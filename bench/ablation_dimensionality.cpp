@@ -1,0 +1,52 @@
+// E12 — the curse of dimensionality (§2.2.2, §3).
+//
+// Adding features degrades both the DM reward model (more dimensions to
+// learn) and matching estimators (fewer exact matches). The paper argues
+// DR's second-order bias "mitigates the curse of dimensionality to some
+// extent and allows us to add more relevant features". We sweep the number
+// of irrelevant numeric features in the CFA world and report errors.
+#include <vector>
+
+#include "bench_util.h"
+#include "cdn/scenario.h"
+#include "core/environment.h"
+#include "core/estimators.h"
+#include "core/reward_model.h"
+#include "stats/summary.h"
+
+using namespace dre;
+
+int main() {
+    bench::print_header("Dimensionality ablation: error vs #noise features");
+    std::printf("%8s %12s %12s %12s\n", "extra", "CFA match", "DM (k-NN)",
+                "DR (k-NN)");
+
+    stats::Rng rng(20170712);
+    for (const std::size_t extra : {0u, 2u, 4u, 8u, 16u}) {
+        cdn::CdnWorldConfig config;
+        config.noise_features = extra;
+        cdn::VideoQualityEnv env(config);
+        core::UniformRandomPolicy logging(env.num_decisions());
+        const Trace probe = core::collect_trace(env, logging, 3000, rng);
+        const auto target = cdn::make_greedy_policy(env, probe);
+        const double truth = core::true_policy_value(env, *target, 100000, rng);
+
+        stats::Accumulator cfa_err, dm_err, dr_err;
+        for (int run = 0; run < 30; ++run) {
+            const Trace trace = core::collect_trace(env, logging, 1600, rng);
+            cfa_err.add(core::relative_error(
+                truth, cdn::cfa_matching_estimate(trace, *target).value));
+            core::KnnRewardModel knn(env.num_decisions(), 10);
+            knn.fit(trace);
+            dm_err.add(core::relative_error(
+                truth, core::direct_method(trace, *target, knn).value));
+            dr_err.add(core::relative_error(
+                truth, core::doubly_robust(trace, *target, knn).value));
+        }
+        std::printf("%8zu %12.4f %12.4f %12.4f\n", extra, cfa_err.mean(),
+                    dm_err.mean(), dr_err.mean());
+    }
+    std::printf("\nDM degrades with dimension (k-NN distances wash out);\n"
+                "DR's correction keeps it anchored to observed rewards.\n");
+    return 0;
+}

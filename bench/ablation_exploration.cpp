@@ -1,0 +1,131 @@
+// Exploration ablation (§4.1 randomness remedy, quantified end to end).
+//
+// The paper recommends "introducing (perhaps judicious amounts of)
+// randomization in the decisions" so that logged traces can support
+// off-policy evaluation. This ablation measures the full tradeoff for the
+// classic exploration strategies: how much reward each one gives up while
+// logging (per-step regret) versus how evaluable the trace it leaves behind
+// is (DR / IPS error for a *different* candidate policy, and the effective
+// sample size of the importance weights).
+//
+// Expected shape: uniform logging is the best evaluator and the worst
+// earner; the most reward-efficient strategies (Thompson, UCB1) leave the
+// least evaluable traces — Thompson's propensity floor decays to ~1e-3 and
+// UCB1's point masses void IPS entirely; strategies with a bounded
+// propensity floor (epsilon-greedy, Boltzmann, EXP3) sit on the "judicious"
+// frontier — modest regret AND small DR error.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bandit/agents.h"
+#include "bandit/run.h"
+#include "bench_util.h"
+#include "core/diagnostics.h"
+#include "core/environment.h"
+#include "core/estimators.h"
+#include "core/policy.h"
+#include "core/reward_model.h"
+#include "stats/rng.h"
+#include "stats/summary.h"
+
+using namespace dre;
+
+namespace {
+
+// Five Gaussian arms; the context is inert (classic bandit) so that every
+// strategy is judged on exploration alone.
+class FiveArmEnv final : public core::Environment {
+public:
+    ClientContext sample_context(stats::Rng&) const override {
+        return ClientContext({0.0});
+    }
+    Reward sample_reward(const ClientContext&, Decision d,
+                         stats::Rng& rng) const override {
+        return kMeans[static_cast<std::size_t>(d)] + 0.4 * rng.normal();
+    }
+    double expected_reward(const ClientContext&, Decision d, stats::Rng&,
+                           int) const override {
+        return kMeans[static_cast<std::size_t>(d)];
+    }
+    std::size_t num_decisions() const noexcept override { return 5; }
+
+    static constexpr double kMeans[5] = {0.10, 0.30, 0.50, 0.70, 0.90};
+};
+
+std::unique_ptr<bandit::ExplorationAgent> make_agent(const std::string& kind) {
+    if (kind == "uniform") return std::make_unique<bandit::UniformAgent>(5);
+    if (kind == "eps-greedy 0.1")
+        return std::make_unique<bandit::EpsilonGreedyAgent>(5, 0.1);
+    if (kind == "eps-decay ->0.02")
+        return std::make_unique<bandit::EpsilonDecayAgent>(
+            5, bandit::EpsilonDecayAgent::Schedule{1.0, 0.5, 0.02});
+    if (kind == "boltzmann T=0.2")
+        return std::make_unique<bandit::BoltzmannAgent>(5, 0.2);
+    if (kind == "exp3 g=0.1")
+        return std::make_unique<bandit::Exp3Agent>(5, 0.1, -1.0, 2.0);
+    if (kind == "thompson")
+        return std::make_unique<bandit::GaussianThompsonAgent>(
+            5, bandit::GaussianThompsonAgent::Options{0.5, 1.0, 0.4, 512, 7});
+    if (kind == "ucb1")
+        return std::make_unique<bandit::Ucb1Agent>(5, 1.0);
+    throw std::logic_error("unknown agent kind");
+}
+
+} // namespace
+
+int main() {
+    bench::print_header(
+        "Exploration ablation: logging regret vs off-policy evaluability");
+
+    const FiveArmEnv env;
+    constexpr std::size_t kSteps = 2000;
+    constexpr int kRuns = 30;
+    stats::Rng rng(20170704);
+
+    const double best = bandit::best_fixed_arm_value(env, 20000, rng);
+    // Candidate policy a deployment might want to vet offline: the
+    // second-best arm — exactly what a converged greedy logger stops playing.
+    core::DeterministicPolicy target(5,
+                                     [](const ClientContext&) { return Decision{3}; });
+    const double truth = FiveArmEnv::kMeans[3];
+    std::printf("best fixed arm value %.3f; target policy true value %.3f\n\n",
+                best, truth);
+
+    std::printf("%-18s %10s %10s %10s %10s\n", "strategy", "regret/step",
+                "DR err", "IPS err", "ESS");
+    for (const std::string kind :
+         {"uniform", "eps-greedy 0.1", "eps-decay ->0.02", "boltzmann T=0.2",
+          "exp3 g=0.1", "thompson", "ucb1"}) {
+        stats::Accumulator regret, dr_err, ips_err, ess;
+        for (int run = 0; run < kRuns; ++run) {
+            auto agent = make_agent(kind);
+            const bandit::BanditRunResult result =
+                bandit::run_bandit(env, *agent, kSteps, rng);
+            regret.add(best - result.average_reward);
+
+            core::TabularRewardModel model(5);
+            model.fit(result.trace);
+            dr_err.add(core::relative_error(
+                truth, core::doubly_robust(result.trace, target, model).value));
+            ips_err.add(core::relative_error(
+                truth, core::inverse_propensity(result.trace, target).value));
+            ess.add(core::overlap_diagnostics(result.trace, target)
+                        .effective_sample_size);
+        }
+        std::printf("%-18s %10.3f %10.3f %10.3f %10.1f\n", kind.c_str(),
+                    regret.mean(), dr_err.mean(), ips_err.mean(), ess.mean());
+    }
+
+    std::printf(
+        "\nReading the frontier: uniform pays ~0.4 reward per step for the\n"
+        "best evaluability. The sharpest earners are the worst evaluators —\n"
+        "thompson all but stops exploring (propensity floor ~1e-3, so DR/IPS\n"
+        "errors explode), and ucb1's point-mass propensities make IPS\n"
+        "outright biased (no support where the logger disagrees; only the\n"
+        "reward model rescues DR). The paper's 'judicious randomization' is\n"
+        "the boltzmann / exp3 / eps-greedy band: a bounded propensity floor\n"
+        "costs a few percent of reward and keeps DR within a few percent of\n"
+        "truth.\n");
+    return 0;
+}

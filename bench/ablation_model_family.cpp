@@ -1,0 +1,88 @@
+// Ablation: reward-model family inside DM and DR (DESIGN §4).
+//
+// How much does the Direct-Method model choice matter once DR's correction
+// is in place? We run tabular / linear / k-NN models in the CFA world and
+// report DM vs DR errors for each, plus DR with the *oracle* model (the
+// best case) and with a constant model (DR degenerates to IPS).
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "cdn/scenario.h"
+#include "core/environment.h"
+#include "core/estimators.h"
+#include "core/reward_model.h"
+#include "stats/summary.h"
+
+using namespace dre;
+
+int main() {
+    bench::print_header("Model-family ablation (CFA world, 30 runs each)");
+
+    cdn::VideoQualityEnv env{cdn::CdnWorldConfig{}};
+    stats::Rng rng(20170713);
+    core::UniformRandomPolicy logging(env.num_decisions());
+    const Trace probe = core::collect_trace(env, logging, 3000, rng);
+    const auto target = cdn::make_greedy_policy(env, probe);
+    const double truth = core::true_policy_value(env, *target, 150000, rng);
+    bench::print_value_row("true value", truth);
+
+    struct Row {
+        const char* name;
+        core::RewardModelKind kind;
+    };
+    const Row rows[] = {
+        {"tabular", core::RewardModelKind::kTabular},
+        {"linear", core::RewardModelKind::kLinear},
+        {"k-NN", core::RewardModelKind::kKnn},
+    };
+
+    std::printf("%-12s %12s %12s\n", "model", "DM err", "DR err");
+    for (const Row& row : rows) {
+        stats::Accumulator dm_err, dr_err;
+        stats::Rng local = rng.split();
+        for (int run = 0; run < 30; ++run) {
+            const Trace trace = core::collect_trace(env, logging, 1600, local);
+            const auto model =
+                core::fit_reward_model(row.kind, env.num_decisions(), trace);
+            dm_err.add(core::relative_error(
+                truth, core::direct_method(trace, *target, *model).value));
+            dr_err.add(core::relative_error(
+                truth, core::doubly_robust(trace, *target, *model).value));
+        }
+        std::printf("%-12s %12.4f %12.4f\n", row.name, dm_err.mean(),
+                    dr_err.mean());
+    }
+
+    // Limits: oracle model (DR == DM == truth modulo noise) and constant
+    // model (DR == IPS).
+    {
+        stats::Accumulator oracle_dr, constant_dr, ips_err;
+        stats::Rng local = rng.split();
+        for (int run = 0; run < 30; ++run) {
+            const Trace trace = core::collect_trace(env, logging, 1600, local);
+            core::OracleRewardModel oracle(
+                env.num_decisions(),
+                [&env, &local](const ClientContext& c, Decision d) {
+                    return env.expected_reward(c, d, local, 1);
+                });
+            oracle_dr.add(core::relative_error(
+                truth, core::doubly_robust(trace, *target, oracle).value));
+            core::ConstantRewardModel constant(env.num_decisions(), 0.0);
+            constant_dr.add(core::relative_error(
+                truth, core::doubly_robust(trace, *target, constant).value));
+            ips_err.add(core::relative_error(
+                truth, core::inverse_propensity(trace, *target).value));
+        }
+        std::printf("%-12s %12s %12.4f\n", "oracle", "-", oracle_dr.mean());
+        std::printf("%-12s %12s %12.4f  (IPS: %.4f)\n", "constant-0", "-",
+                    constant_dr.mean(), ips_err.mean());
+    }
+    std::printf(
+        "\nDR is far less sensitive to the model family than DM — the 'fewer\n"
+        "assumptions' selling point of §3. Caveat visible in the tabular row:\n"
+        "on continuous contexts a tabular model memorizes each logged tuple\n"
+        "(singleton cells), so DR's correction residuals vanish and DR\n"
+        "inherits DM's bias — prefer smoothing models for such contexts.\n");
+    return 0;
+}

@@ -1,0 +1,119 @@
+// E9 — §4.2 non-stationary (history-dependent) policies.
+//
+// The target is a self-reinforcing "momentum" policy: it keeps using the
+// premium decision as long as its own observed rewards stay high. Its own
+// trajectory (start on premium, rewards ~0.5, keep premium) is very
+// different from the logged trajectory (logging mostly plays the basic
+// decision, rewards ~0.1). A careless evaluator that conditions the target
+// on the *logged* history concludes the target would abandon premium —
+// and badly underestimates it. The §4.2 rejection-sampling DR maintains a
+// matched history and gets it right.
+#include <cmath>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/dr_nonstationary.h"
+#include "core/environment.h"
+#include "core/estimators.h"
+#include "core/reward_model.h"
+#include "stats/summary.h"
+
+using namespace dre;
+
+namespace {
+
+// d=1 ("premium") has mean reward 0.8 + 0.1x; d=0 ("basic") 0.1 - 0.1x.
+class TwoTierEnv final : public core::Environment {
+public:
+    ClientContext sample_context(stats::Rng& rng) const override {
+        return ClientContext({rng.uniform(-1.0, 1.0)}, {});
+    }
+    Reward sample_reward(const ClientContext& c, Decision d,
+                         stats::Rng& rng) const override {
+        return true_mean(c, d) + rng.normal(0.0, 0.1);
+    }
+    double expected_reward(const ClientContext& c, Decision d, stats::Rng&,
+                           int) const override {
+        return true_mean(c, d);
+    }
+    std::size_t num_decisions() const noexcept override { return 2; }
+    static double true_mean(const ClientContext& c, Decision d) {
+        return d == 1 ? 0.8 + 0.1 * c.numeric[0] : 0.1 - 0.1 * c.numeric[0];
+    }
+};
+
+// Prefers premium while its running mean reward stays >= threshold; starts
+// optimistic (premium on empty history).
+class MomentumPolicy final : public core::HistoryPolicy {
+public:
+    MomentumPolicy(double threshold, double epsilon)
+        : threshold_(threshold), epsilon_(epsilon) {}
+
+    std::vector<double> action_probabilities(
+        const ClientContext&, std::span<const LoggedTuple> history) const override {
+        double mean = 1.0; // optimistic prior
+        if (!history.empty()) {
+            mean = 0.0;
+            for (const auto& t : history) mean += t.reward;
+            mean /= static_cast<double>(history.size());
+        }
+        const std::size_t preferred = mean >= threshold_ ? 1 : 0;
+        std::vector<double> probs(2, epsilon_ / 2.0);
+        probs[preferred] += 1.0 - epsilon_;
+        return probs;
+    }
+    std::size_t num_decisions() const noexcept override { return 2; }
+
+private:
+    double threshold_;
+    double epsilon_;
+};
+
+} // namespace
+
+int main() {
+    bench::print_header("Non-stationary policies: rejection DR vs naive DR");
+
+    TwoTierEnv env;
+    stats::Rng rng(20170709);
+    // Uniform logging (the regime the rejection method is designed for:
+    // conditioned on a match, the logged decision is distributed as mu_new).
+    core::UniformRandomPolicy logging(2);
+    MomentumPolicy target(0.6, 0.05);
+    const double truth = core::true_policy_value(env, target, 200000, rng);
+    bench::print_value_row("true value V(momentum)", truth);
+
+    std::printf("%8s %14s %14s %14s %12s\n", "n", "|rejectionDR|",
+                "|naiveDR|", "|DM-empty|", "match-rate");
+    for (const std::size_t n : {500u, 1000u, 2000u, 4000u}) {
+        stats::Accumulator good_err, naive_err, dm_err, match;
+        for (int run = 0; run < 25; ++run) {
+            const Trace trace = core::collect_trace(env, logging, n, rng);
+            core::TabularRewardModel model(2);
+            model.fit(trace);
+            const auto good = core::doubly_robust_nonstationary_averaged(
+                trace, target, model, rng, 8);
+            good_err.add(std::fabs(good.value - truth));
+            match.add(good.match_rate);
+            naive_err.add(std::fabs(
+                core::doubly_robust_ignoring_history(trace, target, model) -
+                truth));
+            // Stationary approximation: the target's empty-history decision.
+            core::DeterministicPolicy stationary(
+                2, [&target](const ClientContext& c) {
+                    const auto probs = target.action_probabilities(c, {});
+                    return static_cast<Decision>(probs[1] > probs[0] ? 1 : 0);
+                });
+            dm_err.add(std::fabs(
+                core::direct_method(trace, stationary, model).value - truth));
+        }
+        std::printf("%8zu %14.4f %14.4f %14.4f %12.3f\n", n, good_err.mean(),
+                    naive_err.mean(), dm_err.mean(), match.mean());
+    }
+    std::printf(
+        "\nThe careless evaluator replays the target against the *logged*\n"
+        "history (mean logged reward ~0.45 < threshold 0.6), concludes it would abandon\n"
+        "the premium decision, and underestimates it; the rejection-sampled\n"
+        "history stays on the target's own trajectory (§4.2).\n");
+    return 0;
+}

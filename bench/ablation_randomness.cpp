@@ -1,0 +1,67 @@
+// E8 — §4.1 "Coverage and randomness": estimator error vs logging epsilon.
+//
+// As the logging policy's randomization epsilon -> 0, IPS weights blow up
+// (1/mu_old terms) and IPS/DR variance explodes; DM is unaffected but
+// biased. Clipping and self-normalization (SNIPS) are the standard
+// mitigations. This ablation puts numbers behind the paper's plea to
+// "persuade network operators ... to introduce randomness".
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/diagnostics.h"
+#include "core/environment.h"
+#include "core/estimators.h"
+#include "core/reward_model.h"
+#include "netsim/assignment_env.h"
+#include "stats/summary.h"
+
+using namespace dre;
+
+int main() {
+    bench::print_header("Randomness ablation: error vs logging epsilon");
+
+    netsim::ServerSelectionEnv env(4, 4, 99);
+    stats::Rng rng(20170708);
+    // Target: always pick server 2 (arbitrary fixed deterministic target).
+    core::DeterministicPolicy target(
+        env.num_decisions(), [](const ClientContext&) { return Decision{2}; });
+    const double truth = core::true_policy_value(env, target, 200000, rng);
+    bench::print_value_row("true value", truth);
+
+    // Logging base: always server 0 (so the target's decision is rare).
+    auto base = std::make_shared<core::DeterministicPolicy>(
+        env.num_decisions(), [](const ClientContext&) { return Decision{0}; });
+
+    std::printf("%8s %10s %10s %10s %10s %10s %10s\n", "epsilon", "ESS", "DM",
+                "IPS", "SNIPS", "clipIPS", "DR");
+    for (const double epsilon : {0.5, 0.3, 0.2, 0.1, 0.05, 0.02}) {
+        core::EpsilonGreedyPolicy logging(base, epsilon);
+        stats::Accumulator ess, dm_err, ips_err, snips_err, clip_err, dr_err;
+        for (int run = 0; run < 40; ++run) {
+            const Trace trace = core::collect_trace(env, logging, 1000, rng);
+            ess.add(core::overlap_diagnostics(trace, target)
+                        .effective_sample_size);
+            core::LinearRewardModel model(env.num_decisions());
+            model.fit(trace);
+            dm_err.add(core::relative_error(
+                truth, core::direct_method(trace, target, model).value));
+            ips_err.add(core::relative_error(
+                truth, core::inverse_propensity(trace, target).value));
+            snips_err.add(core::relative_error(
+                truth, core::self_normalized_ips(trace, target).value));
+            core::EstimatorOptions options;
+            options.weight_clip = 20.0;
+            clip_err.add(core::relative_error(
+                truth, core::clipped_ips(trace, target, options).value));
+            dr_err.add(core::relative_error(
+                truth, core::doubly_robust(trace, target, model).value));
+        }
+        std::printf("%8.2f %10.1f %10.4f %10.4f %10.4f %10.4f %10.4f\n",
+                    epsilon, ess.mean(), dm_err.mean(), ips_err.mean(),
+                    snips_err.mean(), clip_err.mean(), dr_err.mean());
+    }
+    std::printf("\nIPS error grows as epsilon shrinks; DR degrades far more\n"
+                "slowly thanks to its model term (§4.1).\n");
+    return 0;
+}

@@ -1,0 +1,89 @@
+// E7 — the §3 "second-order bias" property, measured.
+//
+// Corrupt the reward model by a controlled additive error and the logged
+// propensities by a controlled multiplicative error; sweep both and report
+// the empirical |bias| of DM, IPS and DR. DR's error should look like the
+// *product* of the two ingredient errors: near-zero along both axes.
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/environment.h"
+#include "core/estimators.h"
+#include "core/policy.h"
+#include "core/reward_model.h"
+#include "stats/summary.h"
+
+using namespace dre;
+
+namespace {
+
+class LinearEnv final : public core::Environment {
+public:
+    ClientContext sample_context(stats::Rng& rng) const override {
+        return ClientContext({rng.uniform(-1.0, 1.0)}, {});
+    }
+    Reward sample_reward(const ClientContext& c, Decision d,
+                         stats::Rng& rng) const override {
+        return true_mean(c, d) + rng.normal(0.0, 0.2);
+    }
+    double expected_reward(const ClientContext& c, Decision d, stats::Rng&,
+                           int) const override {
+        return true_mean(c, d);
+    }
+    std::size_t num_decisions() const noexcept override { return 2; }
+    static double true_mean(const ClientContext& c, Decision d) {
+        return (d + 1.0) * c.numeric[0] + 0.5 * d;
+    }
+};
+
+} // namespace
+
+int main() {
+    bench::print_header(
+        "Second-order bias: |bias| of DM / IPS / DR vs ingredient errors");
+
+    LinearEnv env;
+    stats::Rng rng(20170707);
+    core::UniformRandomPolicy logging(2);
+    core::DeterministicPolicy target(2, [](const ClientContext& c) {
+        return static_cast<Decision>(c.numeric[0] > 0.0 ? 1 : 0);
+    });
+    const double truth = core::true_policy_value(env, target, 300000, rng);
+
+    const std::vector<double> model_errors{0.0, 0.25, 0.5, 1.0};
+    const std::vector<double> propensity_errors{0.0, 0.2, 0.4};
+
+    std::printf("%10s %10s | %10s %10s %10s\n", "model_err", "prop_err",
+                "|bias DM|", "|bias IPS|", "|bias DR|");
+    for (const double me : model_errors) {
+        for (const double pe : propensity_errors) {
+            stats::Accumulator dm_bias, ips_bias, dr_bias;
+            for (int run = 0; run < 50; ++run) {
+                Trace trace = core::collect_trace(env, logging, 1500, rng);
+                for (auto& t : trace)
+                    t.propensity =
+                        std::clamp(t.propensity * (1.0 + pe), 1e-3, 1.0);
+                core::OracleRewardModel model(
+                    2, [me](const ClientContext& c, Decision d) {
+                        return LinearEnv::true_mean(c, d) + me;
+                    });
+                dm_bias.add(core::direct_method(trace, target, model).value -
+                            truth);
+                ips_bias.add(core::inverse_propensity(trace, target).value -
+                             truth);
+                dr_bias.add(core::doubly_robust(trace, target, model).value -
+                            truth);
+            }
+            std::printf("%10.2f %10.2f | %10.4f %10.4f %10.4f\n", me, pe,
+                        std::fabs(dm_bias.mean()), std::fabs(ips_bias.mean()),
+                        std::fabs(dr_bias.mean()));
+        }
+    }
+    std::printf(
+        "\nDR's |bias| stays ~0 along both axes (either ingredient correct)\n"
+        "and grows roughly with the product when both are wrong (§3).\n");
+    return 0;
+}

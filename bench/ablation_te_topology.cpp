@@ -1,0 +1,90 @@
+// Ablation: off-policy evaluation on the link-level TE substrate.
+//
+// The topology-backed environment (max-min fair sharing over an explicit
+// backbone) produces rewards with genuine congestion interactions. We
+// evaluate a congestion-aware path policy from logs collected under a
+// "shortest-path with exploration" incumbent and compare estimator errors,
+// plus a per-congestion-regime breakdown via subgroup analysis.
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/environment.h"
+#include "core/estimators.h"
+#include "core/reward_model.h"
+#include "core/subgroup.h"
+#include "netsim/te_env.h"
+#include "stats/summary.h"
+
+using namespace dre;
+
+int main() {
+    bench::print_header("TE topology ablation: evaluating a congestion-aware policy");
+
+    const netsim::TopologyTeEnv env = netsim::TopologyTeEnv::backbone();
+    std::printf("backbone candidate paths: %zu (delays:", env.num_decisions());
+    for (const auto& path : env.candidate_paths())
+        std::printf(" %.0fms", env.topology().path_delay_ms(path));
+    std::printf(")\n");
+
+    stats::Rng rng(20170716);
+    auto base = std::make_shared<core::DeterministicPolicy>(
+        env.num_decisions(), [](const ClientContext&) { return Decision{0}; });
+    core::EpsilonGreedyPolicy logging(base, 0.25);
+
+    // Congestion-aware candidate: medium detour when the short path is busy.
+    core::DeterministicPolicy target(
+        env.num_decisions(), [](const ClientContext& c) {
+            return c.numeric.at(1) > 0.5 ? Decision{1} : Decision{0};
+        });
+    const double truth = core::true_policy_value(env, target, 150000, rng);
+    bench::print_value_row("true value V(congestion-aware)", truth);
+    {
+        stats::Rng tmp = rng.split();
+        bench::print_value_row(
+            "true value V(always-shortest)",
+            core::true_policy_value(
+                env,
+                core::DeterministicPolicy(
+                    env.num_decisions(),
+                    [](const ClientContext&) { return Decision{0}; }),
+                150000, tmp));
+    }
+
+    std::vector<double> dm_err, ips_err, dr_err;
+    for (int run = 0; run < 40; ++run) {
+        const Trace trace = core::collect_trace(env, logging, 3000, rng);
+        core::LinearRewardModel model(env.num_decisions());
+        model.fit(trace);
+        dm_err.push_back(core::relative_error(
+            truth, core::direct_method(trace, target, model).value));
+        ips_err.push_back(core::relative_error(
+            truth, core::inverse_propensity(trace, target).value));
+        dr_err.push_back(core::relative_error(
+            truth, core::doubly_robust(trace, target, model).value));
+    }
+    bench::print_error_row("DM (linear)", dm_err);
+    bench::print_error_row("IPS", ips_err);
+    bench::print_error_row("DR", dr_err);
+
+    // Per-regime breakdown: bucket congestion into low/high and show the
+    // segment-level picture an operator would look at.
+    bench::print_header("Per-congestion-regime DR (one 6000-flow trace)");
+    const Trace trace = core::collect_trace(env, logging, 6000, rng);
+    core::LinearRewardModel model(env.num_decisions());
+    model.fit(trace);
+    const auto groups = core::subgroup_analysis(
+        trace, target, model, [](const LoggedTuple& t) -> std::int64_t {
+            return t.context.numeric.at(1) > 0.5 ? 1 : 0;
+        });
+    std::printf("%12s %8s %10s %10s\n", "regime", "tuples", "DR", "ESS");
+    for (const auto& g : groups)
+        std::printf("%12s %8zu %10.4f %10.1f\n",
+                    g.group == 0 ? "calm" : "congested", g.tuples, g.dr.value,
+                    g.overlap.effective_sample_size);
+    std::printf(
+        "\nThe segment view shows *where* value is won or lost (the congested\n"
+        "regime) and how much support each estimate has (ESS collapses in\n"
+        "the regime where the logging policy rarely matched the target).\n");
+    return 0;
+}

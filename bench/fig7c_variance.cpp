@@ -1,0 +1,58 @@
+// E3 — Figure 7c: variance reduction in the CFA scenario.
+//
+// Paper setup (§4.2): clients randomly assigned to CDNs and bitrates (the
+// CFA logging setup); the original CFA evaluator uses only logged clients
+// whose decision matches the new policy's; the DM inside DR is a k-NN
+// model [25]. Paper: DR's error ~36% below CFA's.
+#include <vector>
+
+#include "bench_util.h"
+#include "cdn/scenario.h"
+#include "core/environment.h"
+#include "core/estimators.h"
+#include "core/reward_model.h"
+
+using namespace dre;
+
+int main() {
+    bench::print_header("Fig. 7c — variance (CFA matching vs DR), 50 runs");
+
+    cdn::CdnWorldConfig world;
+    world.noise_sigma = 0.3; // client features explain most quality variation
+    cdn::VideoQualityEnv env{world};
+    stats::Rng rng(20170703);
+    core::UniformRandomPolicy logging(env.num_decisions());
+
+    // The new policy: a data-driven per-ASN assignment learned on a probe.
+    const Trace probe = core::collect_trace(env, logging, 3000, rng);
+    const auto target = cdn::make_greedy_policy(env, probe);
+    const double truth = core::true_policy_value(env, *target, 200000, rng);
+    bench::print_value_row("true value V(mu_new)", truth);
+
+    constexpr std::size_t kClients = 1600;
+    constexpr int kRuns = 50;
+    std::vector<double> cfa_err, dm_err, dr_err, matches;
+    for (int run = 0; run < kRuns; ++run) {
+        const Trace trace = core::collect_trace(env, logging, kClients, rng);
+        const cdn::MatchingEstimate cfa =
+            cdn::cfa_matching_estimate(trace, *target);
+        core::KnnRewardModel knn(env.num_decisions(), 10);
+        knn.fit(trace);
+        const double dm = core::direct_method(trace, *target, knn).value;
+        const double dr = core::doubly_robust(trace, *target, knn).value;
+        cfa_err.push_back(core::relative_error(truth, cfa.value));
+        dm_err.push_back(core::relative_error(truth, dm));
+        dr_err.push_back(core::relative_error(truth, dr));
+        matches.push_back(static_cast<double>(cfa.matches));
+    }
+
+    bench::print_error_row("CFA (decision matching)", cfa_err);
+    bench::print_error_row("DM (k-NN model)", dm_err);
+    bench::print_error_row("DR (k-NN + correction)", dr_err);
+    bench::print_value_row("mean CFA matches / run", stats::mean(matches));
+    bench::print_reduction("DR", "CFA", stats::mean(dr_err),
+                           stats::mean(cfa_err));
+    bench::print_significance("DR", "CFA", dr_err, cfa_err);
+    std::printf("(paper: DR ~36%% lower than CFA)\n");
+    return 0;
+}

@@ -1,0 +1,101 @@
+// E13 — google-benchmark microbenchmarks: estimator cost per logged tuple.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/environment.h"
+#include "core/estimators.h"
+#include "core/policy.h"
+#include "core/reward_model.h"
+#include "stats/rng.h"
+
+namespace {
+
+using namespace dre;
+
+class BenchEnv final : public core::Environment {
+public:
+    ClientContext sample_context(stats::Rng& rng) const override {
+        return ClientContext({rng.uniform(-1.0, 1.0), rng.uniform(0.0, 1.0)},
+                             {static_cast<std::int32_t>(rng.uniform_index(8))});
+    }
+    Reward sample_reward(const ClientContext& c, Decision d,
+                         stats::Rng& rng) const override {
+        return c.numeric[0] * (d + 1.0) + rng.normal(0.0, 0.1);
+    }
+    std::size_t num_decisions() const noexcept override { return 8; }
+};
+
+struct Fixture {
+    Trace trace;
+    std::unique_ptr<core::Policy> target;
+    std::unique_ptr<core::RewardModel> model;
+
+    explicit Fixture(std::size_t n) {
+        BenchEnv env;
+        stats::Rng rng(1);
+        core::UniformRandomPolicy logging(env.num_decisions());
+        trace = core::collect_trace(env, logging, n, rng);
+        target = std::make_unique<core::DeterministicPolicy>(
+            env.num_decisions(), [](const ClientContext& c) {
+                return static_cast<Decision>(c.numeric[0] > 0.0 ? 7 : 0);
+            });
+        auto tabular = std::make_unique<core::TabularRewardModel>(8);
+        tabular->fit(trace);
+        model = std::move(tabular);
+    }
+};
+
+void BM_DirectMethod(benchmark::State& state) {
+    const Fixture fx(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            core::direct_method(fx.trace, *fx.target, *fx.model).value);
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Ips(benchmark::State& state) {
+    const Fixture fx(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            core::inverse_propensity(fx.trace, *fx.target).value);
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_DoublyRobust(benchmark::State& state) {
+    const Fixture fx(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            core::doubly_robust(fx.trace, *fx.target, *fx.model).value);
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_SwitchDr(benchmark::State& state) {
+    const Fixture fx(static_cast<std::size_t>(state.range(0)));
+    const core::EstimatorOptions options;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            core::switch_doubly_robust(fx.trace, *fx.target, *fx.model, options)
+                .value);
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_FitTabularModel(benchmark::State& state) {
+    const Fixture fx(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        core::TabularRewardModel model(8);
+        model.fit(fx.trace);
+        benchmark::DoNotOptimize(model.cells());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+BENCHMARK(BM_DirectMethod)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_Ips)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_DoublyRobust)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_SwitchDr)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_FitTabularModel)->Arg(1000)->Arg(10000)->Arg(100000);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Evaluating a new ABR algorithm from one logged streaming session.
+//
+// Workflow of Fig. 2 / Fig. 7b: a video provider streamed a session with a
+// buffer-based ABR (slightly randomized), and wants to know how FastMPC
+// would have done on the same session — without deploying it. We show the
+// naive replay estimate (biased by the throughput/bitrate coupling), the
+// DR estimate, and the ground truth.
+#include <cstdio>
+
+#include "core/environment.h"
+#include "core/estimators.h"
+#include "video/evaluation.h"
+#include "video/session.h"
+
+using namespace dre;
+
+int main() {
+    // World: 2 Mbps link, 100 four-second chunks, 5-level bitrate ladder.
+    video::SimulatorConfig config;
+    config.session.chunks = 100;
+    config.epsilon = 0.1; // the logging ABR explores 10% of chunks
+    const video::SessionSimulator simulator(config,
+                                            video::BitrateLadder::standard5());
+    const video::ConstantBandwidth bandwidth(2.0);
+    stats::Rng rng(7);
+
+    // The deployed (old) algorithm logs one session.
+    const video::BufferBasedAbr deployed;
+    const video::SessionRecord session = simulator.simulate(deployed, bandwidth, rng);
+
+    double logged_qoe = 0.0, rebuffer_s = 0.0;
+    for (const auto& chunk : session) {
+        logged_qoe += chunk.qoe;
+        rebuffer_s += chunk.rebuffer_s;
+    }
+    std::printf("logged session: mean QoE %.3f, total rebuffering %.1fs\n",
+                logged_qoe / static_cast<double>(session.size()), rebuffer_s);
+
+    // Candidate: FastMPC with a 3-chunk lookahead.
+    const video::MpcAbr candidate(3);
+
+    // (a) The traditional evaluator: replay against observed throughputs.
+    const double naive = video::replay_session_naive(
+        session, candidate, simulator.ladder(), config.session, config.qoe);
+
+    // (b) Doubly robust: naive per-chunk model + importance-weighted
+    //     correction on chunks whose logged bitrate matches the candidate's.
+    const Trace trace = video::to_trace(session);
+    const video::NaiveChunkModel model(simulator.ladder(), config.session,
+                                       config.qoe);
+    const video::AbrPolicyAdapter target(candidate, simulator.ladder(),
+                                         config.session, config.qoe);
+    const core::EstimateResult dr = core::doubly_robust(trace, target, model);
+
+    // (c) Ground truth: actually run the candidate in the simulator.
+    const double truth = simulator.true_mean_qoe(candidate, bandwidth, rng, 128);
+
+    std::printf("\nhow would FastMPC have done on this session?\n");
+    std::printf("  naive replay estimate   %8.4f  (rel. err %5.1f%%)\n", naive,
+                100.0 * core::relative_error(truth, naive));
+    std::printf("  doubly robust estimate  %8.4f  (rel. err %5.1f%%)\n",
+                dr.value, 100.0 * core::relative_error(truth, dr.value));
+    std::printf("  ground truth            %8.4f\n", truth);
+    std::printf(
+        "\nThe replay assumes a chunk's observed throughput is what any\n"
+        "bitrate would have achieved; because observed throughput grows with\n"
+        "the chosen bitrate (TCP never ramps up on small chunks), that\n"
+        "systematically misjudges the candidate (paper Fig. 2).\n");
+    return 0;
+}

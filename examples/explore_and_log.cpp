@@ -1,0 +1,76 @@
+// Explore, log, then reuse the logs — the full §4.1 randomness story.
+//
+// A server-selection service runs an epsilon-decay bandit in production:
+// it learns which server is fastest while paying a shrinking exploration
+// tax, and every decision is logged with its exact propensity. Months
+// later, two candidate policies are vetted *offline* against those same
+// logs with the DR estimator — no new experiment needed — and the
+// estimates are checked against ground truth that a real operator would
+// not have.
+#include <cstdio>
+#include <memory>
+
+#include "bandit/agents.h"
+#include "bandit/run.h"
+#include "core/environment.h"
+#include "core/evaluator.h"
+#include "core/policy.h"
+#include "netsim/assignment_env.h"
+#include "stats/rng.h"
+
+using namespace dre;
+
+int main() {
+    const netsim::ServerSelectionEnv env(/*num_zones=*/4, /*num_servers=*/4,
+                                         /*seed=*/77);
+    stats::Rng rng(42);
+
+    // Phase 1 — online: a contextual epsilon-decay bandit (one learner per
+    // zone) picks servers, learns, and logs propensities as it goes.
+    bandit::ContextualAgent agent(
+        [] {
+            return std::make_unique<bandit::EpsilonDecayAgent>(
+                4, bandit::EpsilonDecayAgent::Schedule{1.0, 0.5, 0.05});
+        },
+        // Key learners on the zone, not the full context — the quality
+        // feature is continuous, so the raw fingerprint never repeats.
+        [](const ClientContext& c) {
+            return static_cast<std::uint64_t>(c.categorical[0]);
+        });
+    const bandit::BanditRunResult run = bandit::run_bandit(env, agent, 6000, rng);
+    const double best = bandit::best_fixed_arm_value(env, 50000, rng);
+    std::printf("online phase: %zu requests, avg reward %.4f "
+                "(best fixed server %.4f), %zu zones discovered,\n"
+                "min logged propensity %.4f (the support left for reuse)\n\n",
+                run.trace.size(), run.average_reward, best,
+                agent.num_contexts_seen(), run.min_logged_propensity);
+
+    // Phase 2 — offline: vet two candidates against the logged trace.
+    const core::DeterministicPolicy per_zone(4, [](const ClientContext& c) {
+        return static_cast<Decision>(c.categorical[0] % 4);
+    });
+    const core::DeterministicPolicy all_zero(4, [](const ClientContext&) {
+        return Decision{0};
+    });
+
+    core::EvaluationConfig config;
+    config.reward_model = core::RewardModelKind::kKnn;
+    core::Evaluator evaluator(run.trace, config, stats::Rng(7));
+
+    for (const auto& [name, policy] :
+         {std::pair<const char*, const core::Policy*>{"zone-affinity", &per_zone},
+          {"all->server-0", &all_zero}}) {
+        const core::PolicyEvaluation eval = evaluator.evaluate(*policy);
+        const double truth = core::true_policy_value(env, *policy, 50000, rng);
+        std::printf("%-14s DR=%8.4f  DM=%8.4f  IPS=%8.4f  truth=%8.4f  "
+                    "(ESS %.0f)\n",
+                    name, eval.dr.value, eval.dm.value, eval.ips.value, truth,
+                    eval.overlap.effective_sample_size);
+    }
+
+    std::printf(
+        "\nBecause the bandit kept a 5%% exploration floor, the logs retain\n"
+        "support everywhere and both candidates get accurate DR estimates\n"
+        "from data that was collected for a different purpose entirely.\n");
+    return 0;
+}

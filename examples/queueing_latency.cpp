@@ -1,0 +1,96 @@
+// Queueing dynamics and why they break naive trace-driven evaluation.
+//
+// We dispatch requests to two servers through a discrete-event FIFO queue
+// simulator. A randomized dispatcher's logs make the fast server look
+// uniformly great — but a policy that sends *everyone* to the fast server
+// changes the queueing state that produced those logs (§4.1's
+// decision-reward coupling). Ground-truth simulation shows the herding
+// policy's real latency, and the gap to the trace-driven estimate is the
+// coupling bias, measured.
+#include <cstdio>
+#include <vector>
+
+#include "core/environment.h"
+#include "core/estimators.h"
+#include "core/reward_model.h"
+#include "netsim/queue_sim.h"
+#include "stats/summary.h"
+
+using namespace dre;
+
+namespace {
+
+// Dispatch `n` Poisson arrivals using per-request probabilities `p_fast`,
+// returning the logged trace (reward = -sojourn seconds) under the real
+// queueing dynamics.
+Trace run_dispatch(const netsim::QueueSimulator& queues, double arrival_rate,
+                   double horizon_s, double p_fast, stats::Rng& rng) {
+    // Build the arrival sequence and the decisions first.
+    std::vector<netsim::QueueRequest> requests;
+    std::vector<double> propensities;
+    double t = 0.0;
+    while (true) {
+        t += rng.exponential(arrival_rate);
+        if (t >= horizon_s) break;
+        const bool fast = rng.bernoulli(p_fast);
+        requests.push_back({t, fast ? 0u : 1u});
+        propensities.push_back(fast ? p_fast : 1.0 - p_fast);
+    }
+    const std::vector<netsim::QueueOutcome> outcomes = queues.run(requests, rng);
+
+    Trace trace;
+    trace.reserve(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        LoggedTuple tuple;
+        tuple.context.numeric = {requests[i].arrival_time};
+        tuple.decision = static_cast<Decision>(requests[i].server);
+        tuple.reward = -outcomes[i].sojourn_s();
+        tuple.propensity = propensities[i];
+        trace.add(std::move(tuple));
+    }
+    return trace;
+}
+
+double mean_reward(const Trace& trace) {
+    return stats::mean(trace.rewards());
+}
+
+} // namespace
+
+int main() {
+    // Server 0 serves 12 req/s, server 1 only 8 req/s. At 11 req/s the
+    // split load is comfortable, but one server alone runs at 92%
+    // utilization — stable, yet an order of magnitude slower.
+    const netsim::QueueSimulator queues({12.0, 8.0});
+    constexpr double kArrivalRate = 11.0;
+    constexpr double kHorizon = 2000.0;
+    stats::Rng rng(61);
+
+    // Logs under a balanced randomized dispatcher (60% to the fast server).
+    const Trace logs = run_dispatch(queues, kArrivalRate, kHorizon, 0.6, rng);
+    std::printf("logged %zu requests; mean reward (-sojourn s) = %.3f\n",
+                logs.size(), mean_reward(logs));
+
+    // Trace-driven estimate of "send everyone to the fast server".
+    core::DeterministicPolicy herd(2, [](const ClientContext&) { return Decision{0}; });
+    core::TabularRewardModel model(2);
+    model.fit(logs);
+    const double dr_estimate = core::doubly_robust(logs, herd, model).value;
+
+    // Ground truth: actually herd everyone and watch the queue build up.
+    const Trace herd_world = run_dispatch(queues, kArrivalRate, kHorizon, 1.0, rng);
+    const double truth = mean_reward(herd_world);
+
+    std::printf("\npolicy 'all requests -> fast server':\n");
+    std::printf("  trace-driven DR estimate  %8.3f\n", dr_estimate);
+    std::printf("  ground truth              %8.3f\n", truth);
+    std::printf("  coupling bias             %8.3f (optimism)\n",
+                dr_estimate - truth);
+    std::printf(
+        "\nIn the logs, the fast server was fast *because* 40%% of traffic\n"
+        "went elsewhere. Herding 11 req/s onto a 12 req/s server pushes it\n"
+        "to 92%% utilization — a queueing regime the trace never observed\n"
+        "and no reweighting of logged tuples can reveal (§4.1, hidden\n"
+        "decision-reward coupling). Remedies in bench/ablation_coupling.\n");
+    return 0;
+}

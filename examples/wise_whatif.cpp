@@ -1,0 +1,84 @@
+// WISE-style what-if deployment questions (Fig. 4 / Fig. 7a).
+//
+// A CDN operator wants to know the response-time impact of re-routing half
+// of ISP-1's requests onto (FE-1, BE-2) — a combination barely present in
+// the trace. We show the learned causal model's answer, why it is wrong,
+// and the DR-corrected answer.
+#include <cstdio>
+
+#include "core/environment.h"
+#include "core/estimators.h"
+#include "wise/bayes_net.h"
+#include "wise/scenario.h"
+
+using namespace dre;
+
+int main() {
+    wise::RequestRoutingEnv world{wise::WiseWorldConfig{}};
+    stats::Rng rng(31);
+
+    // Trace skewed exactly as in the paper: 500 requests per observed
+    // routing arrow, 5 per remaining (FE, BE) choice.
+    const auto deployed = wise::make_logging_policy(2);
+    const Trace trace = core::collect_trace(world, *deployed, 2060, rng);
+
+    // First, what dependence structure does the trace itself support?
+    // A Chow-Liu tree over (ISP, FE, BE) recovers how the *logging policy*
+    // couples configuration variables — exactly the skew a careless
+    // what-if analysis inherits.
+    std::vector<wise::Assignment> rows;
+    for (const auto& t : trace)
+        rows.push_back({t.context.categorical.at(0),
+                        static_cast<std::int32_t>(wise::frontend_of(t.decision)),
+                        static_cast<std::int32_t>(wise::backend_of(t.decision))});
+    const wise::BayesianNetwork structure =
+        wise::learn_chow_liu_tree(rows, {2, 2, 2});
+    const char* var_names[] = {"ISP", "FE", "BE"};
+    std::printf("Chow-Liu structure of the logged configuration:\n");
+    for (std::size_t v = 0; v < 3; ++v)
+        for (const std::size_t p : structure.parents(v))
+            std::printf("  %s -> %s\n", var_names[p], var_names[v]);
+    std::printf("(the logging policy makes FE/BE follow the ISP almost "
+                "deterministically)\n\n");
+
+    // Learn the WISE-style causal model from the trace.
+    wise::WiseCbnRewardModel cbn;
+    cbn.fit(trace);
+
+    std::printf("learned CBN parents of response time (greedy order):");
+    for (const std::size_t parent : cbn.cbn().parent_order())
+        std::printf(" %s", parent == 0 ? "ISP" : (parent == 1 ? "FE" : "BE"));
+    std::printf("\n\nper-cell what-if answers for ISP-1 (reward = -RT/100):\n");
+    const ClientContext isp1({}, {0});
+    for (std::size_t fe = 0; fe < wise::kNumFrontends; ++fe) {
+        for (std::size_t be = 0; be < wise::kNumBackends; ++be) {
+            const Decision d = wise::encode_decision(fe, be);
+            const wise::Assignment assignment = {
+                0, static_cast<std::int32_t>(fe), static_cast<std::int32_t>(be)};
+            std::printf(
+                "  (FE-%zu, BE-%zu): model %7.3f   truth %7.3f   (cell support %zu)\n",
+                fe + 1, be + 1, cbn.predict(isp1, d),
+                world.expected_reward(isp1, d, rng, 1),
+                cbn.cbn().support(assignment));
+        }
+    }
+    std::printf(
+        "\nCells with only ~5 logged requests fall below the CBN's\n"
+        "reliability threshold; the model backs off to a coarser conditional\n"
+        "and inherits the wrong response time for some what-if cell(s).\n");
+
+    // The full what-if: move 50% of ISP-1 traffic onto (FE-1, BE-2).
+    const auto candidate = wise::make_new_policy(2, 0.5);
+    const double wise_answer =
+        core::direct_method(trace, *candidate, cbn).value;
+    const double dr_answer = core::doubly_robust(trace, *candidate, cbn).value;
+    const double truth = core::true_policy_value(world, *candidate, 300000, rng);
+
+    std::printf("\naverage reward if the new routing were deployed:\n");
+    std::printf("  WISE (model only)  %8.4f (rel. err %5.1f%%)\n", wise_answer,
+                100.0 * core::relative_error(truth, wise_answer));
+    std::printf("  doubly robust      %8.4f (rel. err %5.1f%%)\n", dr_answer,
+                100.0 * core::relative_error(truth, dr_answer));
+    std::printf("  ground truth       %8.4f\n", truth);
+    return 0;
+}

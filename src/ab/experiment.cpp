@@ -1,0 +1,42 @@
+#include "ab/experiment.h"
+
+#include <stdexcept>
+
+#include "stats/summary.h"
+
+namespace dre::ab {
+
+LiveAbOutcome run_live_ab(const core::Environment& env,
+                          const core::Policy& policy_a,
+                          const core::Policy& policy_b,
+                          const LiveAbConfig& config, stats::Rng& rng) {
+    if (policy_a.num_decisions() != env.num_decisions() ||
+        policy_b.num_decisions() != env.num_decisions())
+        throw std::invalid_argument("policy/environment decision-space mismatch");
+    if (config.max_pairs == 0)
+        throw std::invalid_argument("run_live_ab needs max_pairs > 0");
+
+    MixtureSprt sprt(config.tau, config.alpha);
+    stats::Accumulator rewards_a, rewards_b;
+    for (std::size_t pair = 0; pair < config.max_pairs; ++pair) {
+        const ClientContext ca = env.sample_context(rng);
+        const Reward ra = env.sample_reward(ca, policy_a.sample(ca, rng), rng);
+        const ClientContext cb = env.sample_context(rng);
+        const Reward rb = env.sample_reward(cb, policy_b.sample(cb, rng), rng);
+        rewards_a.add(ra);
+        rewards_b.add(rb);
+        const bool decided = sprt.add(ra, rb);
+        if (decided && pair + 1 >= config.min_pairs) break;
+    }
+
+    LiveAbOutcome outcome;
+    outcome.significant = sprt.decided();
+    outcome.pairs_used = sprt.pairs();
+    outcome.estimated_delta = sprt.estimated_delta();
+    outcome.always_valid_p = sprt.always_valid_p();
+    outcome.mean_reward_a = rewards_a.mean();
+    outcome.mean_reward_b = rewards_b.mean();
+    return outcome;
+}
+
+} // namespace dre::ab

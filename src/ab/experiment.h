@@ -1,0 +1,46 @@
+// Live A/B experiment loop against a ground-truth environment.
+//
+// This is the costly alternative the paper's trace-driven program competes
+// with: every step serves two real clients, one per arm, and the losing
+// arm's clients eat the worse experience. The runner stops as soon as the
+// always-valid sequential test reaches significance (or at max_pairs), and
+// reports how much live traffic the answer cost.
+#ifndef DRE_AB_EXPERIMENT_H
+#define DRE_AB_EXPERIMENT_H
+
+#include <cstddef>
+
+#include "ab/test.h"
+#include "core/environment.h"
+#include "core/policy.h"
+#include "stats/rng.h"
+
+namespace dre::ab {
+
+struct LiveAbOutcome {
+    bool significant = false;      // did the sequential test conclude?
+    std::size_t pairs_used = 0;    // live clients consumed = 2 * pairs_used
+    double estimated_delta = 0.0;  // mean(arm A) - mean(arm B) at stop
+    double always_valid_p = 1.0;
+    double mean_reward_a = 0.0;    // realized per-client reward, arm A
+    double mean_reward_b = 0.0;
+};
+
+struct LiveAbConfig {
+    double tau = 0.1;              // mSPRT mixing scale (~ effect of interest)
+    double alpha = 0.05;
+    std::size_t max_pairs = 100000; // traffic budget
+    std::size_t min_pairs = 20;     // never stop before this many pairs
+};
+
+// Serve clients drawn from `env` alternately to `policy_a` and `policy_b`
+// until the mixture SPRT concludes or the traffic budget runs out. Throws
+// std::invalid_argument on a decision-space mismatch or max_pairs == 0.
+LiveAbOutcome run_live_ab(const core::Environment& env,
+                          const core::Policy& policy_a,
+                          const core::Policy& policy_b,
+                          const LiveAbConfig& config, stats::Rng& rng);
+
+} // namespace dre::ab
+
+#endif // DRE_AB_EXPERIMENT_H

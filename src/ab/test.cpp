@@ -1,0 +1,75 @@
+#include "ab/test.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/special.h"
+#include "stats/summary.h"
+
+namespace dre::ab {
+
+WelchResult welch_t_test(std::span<const double> arm_a,
+                         std::span<const double> arm_b) {
+    if (arm_a.size() < 2 || arm_b.size() < 2)
+        throw std::invalid_argument("welch_t_test needs >= 2 samples per arm");
+    stats::Accumulator a, b;
+    for (double x : arm_a) a.add(x);
+    for (double x : arm_b) b.add(x);
+
+    WelchResult result;
+    result.mean_a = a.mean();
+    result.mean_b = b.mean();
+    result.delta = a.mean() - b.mean();
+    const double va = a.sample_variance() / static_cast<double>(a.count());
+    const double vb = b.sample_variance() / static_cast<double>(b.count());
+    result.standard_error = std::sqrt(va + vb);
+    if (result.standard_error == 0.0) {
+        // Degenerate constant samples: identical means -> p = 1, else p = 0.
+        result.p_value_two_sided = result.delta == 0.0 ? 1.0 : 0.0;
+        result.dof = static_cast<double>(a.count() + b.count() - 2);
+        return result;
+    }
+    result.t_statistic = result.delta / result.standard_error;
+    const double na = static_cast<double>(a.count());
+    const double nb = static_cast<double>(b.count());
+    result.dof = (va + vb) * (va + vb) /
+                 (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+    const double tail =
+        stats::student_t_cdf(-std::fabs(result.t_statistic), result.dof);
+    result.p_value_two_sided = std::min(1.0, 2.0 * tail);
+    return result;
+}
+
+MixtureSprt::MixtureSprt(double tau, double alpha, std::size_t burn_in)
+    : tau_(tau), alpha_(alpha), burn_in_(std::max<std::size_t>(burn_in, 2)) {
+    if (!(tau > 0.0)) throw std::invalid_argument("mixture scale tau must be > 0");
+    if (!(alpha > 0.0 && alpha < 1.0))
+        throw std::invalid_argument("alpha must lie in (0, 1)");
+}
+
+double MixtureSprt::likelihood_ratio() const {
+    if (n_ < burn_in_) return 1.0; // variance estimate not trustworthy yet
+    const double n = static_cast<double>(n_);
+    // Sample variance of the pairwise differences, floored so a freakishly
+    // quiet early stream cannot manufacture an infinite likelihood ratio.
+    const double var = std::max(m2_ / (n - 1.0), 1e-12);
+    const double denom = var + n * tau_ * tau_;
+    const double log_lr = 0.5 * std::log(var / denom) +
+                          n * n * tau_ * tau_ * mean_ * mean_ / (2.0 * var * denom);
+    return std::exp(log_lr);
+}
+
+bool MixtureSprt::add(double reward_a, double reward_b) {
+    const double diff = reward_a - reward_b;
+    ++n_;
+    const double delta = diff - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (diff - mean_);
+
+    p_ = std::min(p_, 1.0 / std::max(likelihood_ratio(), 1.0));
+    if (!decided_ && p_ <= alpha_) decided_ = true;
+    return decided_;
+}
+
+} // namespace dre::ab

@@ -1,0 +1,300 @@
+#include "bandit/agents.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dre::bandit {
+
+namespace {
+
+void require_arms(std::size_t num_decisions) {
+    if (num_decisions == 0)
+        throw std::invalid_argument("bandit agent needs at least one decision");
+}
+
+void require_valid_decision(Decision d, std::size_t num_decisions) {
+    if (d < 0 || static_cast<std::size_t>(d) >= num_decisions)
+        throw std::invalid_argument("decision out of range in agent update");
+}
+
+// Greedy-with-floor distribution: probability (1 - epsilon) on the
+// empirical-best arm plus epsilon spread uniformly. Unpulled arms are
+// treated as tied-best at +infinity so they get tried early; ties go to the
+// lowest index (deterministic given the stats).
+std::vector<double> epsilon_distribution(const std::vector<ArmStats>& arms,
+                                         double epsilon) {
+    const std::size_t k = arms.size();
+    std::size_t best = 0;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (std::size_t a = 0; a < k; ++a) {
+        const double score = arms[a].pulls == 0
+                                 ? std::numeric_limits<double>::infinity()
+                                 : arms[a].mean;
+        if (score > best_score) {
+            best_score = score;
+            best = a;
+        }
+    }
+    std::vector<double> probs(k, epsilon / static_cast<double>(k));
+    probs[best] += 1.0 - epsilon;
+    return probs;
+}
+
+} // namespace
+
+// ---- UniformAgent -----------------------------------------------------
+
+UniformAgent::UniformAgent(std::size_t num_decisions)
+    : num_decisions_(num_decisions) {
+    require_arms(num_decisions);
+}
+
+std::vector<double> UniformAgent::action_probabilities(const ClientContext&) {
+    return std::vector<double>(num_decisions_, 1.0 / static_cast<double>(num_decisions_));
+}
+
+// ---- EpsilonGreedyAgent ------------------------------------------------
+
+EpsilonGreedyAgent::EpsilonGreedyAgent(std::size_t num_decisions, double epsilon)
+    : arms_(num_decisions), epsilon_(epsilon) {
+    require_arms(num_decisions);
+    if (!(epsilon >= 0.0 && epsilon <= 1.0))
+        throw std::invalid_argument("epsilon must lie in [0, 1]");
+}
+
+std::vector<double> EpsilonGreedyAgent::action_probabilities(const ClientContext&) {
+    return epsilon_distribution(arms_, epsilon_);
+}
+
+void EpsilonGreedyAgent::update(const ClientContext&, Decision d, Reward r) {
+    require_valid_decision(d, arms_.size());
+    arms_[static_cast<std::size_t>(d)].add(r);
+}
+
+// ---- EpsilonDecayAgent ---------------------------------------------------
+
+EpsilonDecayAgent::EpsilonDecayAgent(std::size_t num_decisions,
+                                     const Schedule& schedule)
+    : arms_(num_decisions), schedule_(schedule) {
+    require_arms(num_decisions);
+    if (!(schedule.initial >= 0.0 && schedule.initial <= 1.0) ||
+        !(schedule.floor >= 0.0 && schedule.floor <= 1.0) || schedule.power < 0.0)
+        throw std::invalid_argument("bad epsilon-decay schedule");
+}
+
+double EpsilonDecayAgent::current_epsilon() const noexcept {
+    const double t = static_cast<double>(t_ + 1);
+    return std::clamp(schedule_.initial / std::pow(t, schedule_.power),
+                      schedule_.floor, 1.0);
+}
+
+std::vector<double> EpsilonDecayAgent::action_probabilities(const ClientContext&) {
+    return epsilon_distribution(arms_, current_epsilon());
+}
+
+void EpsilonDecayAgent::update(const ClientContext&, Decision d, Reward r) {
+    require_valid_decision(d, arms_.size());
+    arms_[static_cast<std::size_t>(d)].add(r);
+    ++t_;
+}
+
+// ---- BoltzmannAgent ------------------------------------------------------
+
+BoltzmannAgent::BoltzmannAgent(std::size_t num_decisions, double temperature)
+    : arms_(num_decisions), temperature_(temperature) {
+    require_arms(num_decisions);
+    if (!(temperature > 0.0))
+        throw std::invalid_argument("temperature must be positive");
+}
+
+std::vector<double> BoltzmannAgent::action_probabilities(const ClientContext&) {
+    const std::size_t k = arms_.size();
+    std::vector<double> probs(k);
+    double max_score = -std::numeric_limits<double>::infinity();
+    for (std::size_t a = 0; a < k; ++a)
+        max_score = std::max(max_score, arms_[a].mean / temperature_);
+    double total = 0.0;
+    for (std::size_t a = 0; a < k; ++a) {
+        probs[a] = std::exp(arms_[a].mean / temperature_ - max_score);
+        total += probs[a];
+    }
+    for (double& p : probs) p /= total;
+    return probs;
+}
+
+void BoltzmannAgent::update(const ClientContext&, Decision d, Reward r) {
+    require_valid_decision(d, arms_.size());
+    arms_[static_cast<std::size_t>(d)].add(r);
+}
+
+// ---- Ucb1Agent -----------------------------------------------------------
+
+Ucb1Agent::Ucb1Agent(std::size_t num_decisions, double exploration_coef)
+    : arms_(num_decisions), exploration_coef_(exploration_coef) {
+    require_arms(num_decisions);
+    if (exploration_coef < 0.0)
+        throw std::invalid_argument("exploration coefficient must be >= 0");
+}
+
+std::size_t Ucb1Agent::best_arm() const {
+    // Round-robin through unpulled arms first.
+    for (std::size_t a = 0; a < arms_.size(); ++a)
+        if (arms_[a].pulls == 0) return a;
+    std::size_t best = 0;
+    double best_score = -std::numeric_limits<double>::infinity();
+    const double log_t = std::log(static_cast<double>(std::max<std::size_t>(t_, 1)));
+    for (std::size_t a = 0; a < arms_.size(); ++a) {
+        const double bonus = exploration_coef_ *
+            std::sqrt(2.0 * log_t / static_cast<double>(arms_[a].pulls));
+        const double score = arms_[a].mean + bonus;
+        if (score > best_score) {
+            best_score = score;
+            best = a;
+        }
+    }
+    return best;
+}
+
+std::vector<double> Ucb1Agent::action_probabilities(const ClientContext&) {
+    std::vector<double> probs(arms_.size(), 0.0);
+    probs[best_arm()] = 1.0;
+    return probs;
+}
+
+void Ucb1Agent::update(const ClientContext&, Decision d, Reward r) {
+    require_valid_decision(d, arms_.size());
+    arms_[static_cast<std::size_t>(d)].add(r);
+    ++t_;
+}
+
+// ---- Exp3Agent -----------------------------------------------------------
+
+Exp3Agent::Exp3Agent(std::size_t num_decisions, double gamma, double reward_min,
+                     double reward_max)
+    : log_weights_(num_decisions, 0.0),
+      gamma_(gamma),
+      reward_min_(reward_min),
+      reward_max_(reward_max) {
+    require_arms(num_decisions);
+    if (!(gamma > 0.0 && gamma <= 1.0))
+        throw std::invalid_argument("EXP3 gamma must lie in (0, 1]");
+    if (!(reward_max > reward_min))
+        throw std::invalid_argument("EXP3 needs reward_max > reward_min");
+}
+
+std::vector<double> Exp3Agent::distribution() const {
+    const std::size_t k = log_weights_.size();
+    const double max_lw = *std::max_element(log_weights_.begin(), log_weights_.end());
+    std::vector<double> probs(k);
+    double total = 0.0;
+    for (std::size_t a = 0; a < k; ++a) {
+        probs[a] = std::exp(log_weights_[a] - max_lw);
+        total += probs[a];
+    }
+    for (std::size_t a = 0; a < k; ++a)
+        probs[a] = (1.0 - gamma_) * probs[a] / total + gamma_ / static_cast<double>(k);
+    return probs;
+}
+
+std::vector<double> Exp3Agent::action_probabilities(const ClientContext&) {
+    return distribution();
+}
+
+void Exp3Agent::update(const ClientContext&, Decision d, Reward r) {
+    const std::size_t k = log_weights_.size();
+    require_valid_decision(d, k);
+    const double scaled =
+        std::clamp((r - reward_min_) / (reward_max_ - reward_min_), 0.0, 1.0);
+    const double p = distribution()[static_cast<std::size_t>(d)];
+    // Importance-weighted reward estimate; only the played arm moves.
+    log_weights_[static_cast<std::size_t>(d)] +=
+        gamma_ * scaled / (p * static_cast<double>(k));
+}
+
+// ---- GaussianThompsonAgent ------------------------------------------------
+
+GaussianThompsonAgent::GaussianThompsonAgent(std::size_t num_decisions,
+                                             const Options& options)
+    : arms_(num_decisions), options_(options), draw_rng_(options.seed) {
+    require_arms(num_decisions);
+    if (!(options.noise_sigma > 0.0) || !(options.prior_strength > 0.0) ||
+        options.propensity_samples < 1)
+        throw std::invalid_argument("bad Thompson options");
+}
+
+std::vector<double> GaussianThompsonAgent::action_probabilities(const ClientContext&) {
+    const std::size_t k = arms_.size();
+    // Posterior of arm a: N(m_a, s_a^2) with the prior acting as
+    // prior_strength pseudo-observations at prior_mean.
+    std::vector<double> post_mean(k), post_sd(k);
+    for (std::size_t a = 0; a < k; ++a) {
+        const double n = static_cast<double>(arms_[a].pulls);
+        const double n_eff = n + options_.prior_strength;
+        post_mean[a] =
+            (options_.prior_strength * options_.prior_mean + n * arms_[a].mean) / n_eff;
+        post_sd[a] = options_.noise_sigma / std::sqrt(n_eff);
+    }
+    std::vector<double> wins(k, 0.0);
+    for (int s = 0; s < options_.propensity_samples; ++s) {
+        std::size_t best = 0;
+        double best_draw = -std::numeric_limits<double>::infinity();
+        for (std::size_t a = 0; a < k; ++a) {
+            const double draw = post_mean[a] + post_sd[a] * draw_rng_.normal();
+            if (draw > best_draw) {
+                best_draw = draw;
+                best = a;
+            }
+        }
+        wins[best] += 1.0;
+    }
+    // Half a pseudo-win per arm keeps propensities strictly positive, so a
+    // rare decision can never be logged with propensity exactly 0.
+    const double denom = static_cast<double>(options_.propensity_samples) +
+                         0.5 * static_cast<double>(k);
+    for (std::size_t a = 0; a < k; ++a) wins[a] = (wins[a] + 0.5) / denom;
+    return wins;
+}
+
+void GaussianThompsonAgent::update(const ClientContext&, Decision d, Reward r) {
+    require_valid_decision(d, arms_.size());
+    arms_[static_cast<std::size_t>(d)].add(r);
+}
+
+// ---- ContextualAgent -------------------------------------------------------
+
+ContextualAgent::ContextualAgent(Factory factory, KeyFn key)
+    : factory_(std::move(factory)), key_(std::move(key)) {
+    if (!factory_) throw std::invalid_argument("ContextualAgent needs a factory");
+    if (!key_)
+        key_ = [](const ClientContext& c) { return context_fingerprint(c); };
+    prototype_ = factory_();
+    if (!prototype_) throw std::invalid_argument("factory returned null agent");
+}
+
+std::size_t ContextualAgent::num_decisions() const noexcept {
+    return prototype_->num_decisions();
+}
+
+ExplorationAgent& ContextualAgent::agent_for(const ClientContext& context) {
+    const std::uint64_t key = key_(context);
+    auto it = per_context_.find(key);
+    if (it == per_context_.end()) {
+        auto agent = factory_();
+        if (!agent || agent->num_decisions() != prototype_->num_decisions())
+            throw std::logic_error("factory produced an inconsistent agent");
+        it = per_context_.emplace(key, std::move(agent)).first;
+    }
+    return *it->second;
+}
+
+std::vector<double> ContextualAgent::action_probabilities(const ClientContext& context) {
+    return agent_for(context).action_probabilities(context);
+}
+
+void ContextualAgent::update(const ClientContext& context, Decision d, Reward r) {
+    agent_for(context).update(context, d, r);
+}
+
+} // namespace dre::bandit

@@ -1,0 +1,60 @@
+#include "bandit/run.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "core/policy.h"
+
+namespace dre::bandit {
+
+BanditRunResult run_bandit(const core::Environment& env, ExplorationAgent& agent,
+                           std::size_t n, stats::Rng& rng) {
+    if (n == 0) throw std::invalid_argument("run_bandit needs n > 0");
+    if (agent.num_decisions() != env.num_decisions())
+        throw std::invalid_argument("agent/environment decision-space mismatch");
+
+    BanditRunResult result;
+    result.trace.reserve(n);
+    result.arm_counts.assign(agent.num_decisions(), 0);
+    result.min_logged_propensity = std::numeric_limits<double>::infinity();
+
+    double reward_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        ClientContext context = env.sample_context(rng);
+        const std::vector<double> probs = agent.action_probabilities(context);
+        core::validate_distribution(probs, agent.num_decisions());
+        const auto d = static_cast<Decision>(rng.categorical(probs));
+        const Reward r = env.sample_reward(context, d, rng);
+        agent.update(context, d, r);
+
+        LoggedTuple tuple;
+        tuple.context = std::move(context);
+        tuple.decision = d;
+        tuple.reward = r;
+        tuple.propensity = probs[static_cast<std::size_t>(d)];
+        result.min_logged_propensity =
+            std::min(result.min_logged_propensity, tuple.propensity);
+        result.trace.add(std::move(tuple));
+
+        ++result.arm_counts[static_cast<std::size_t>(d)];
+        reward_sum += r;
+    }
+    result.average_reward = reward_sum / static_cast<double>(n);
+    return result;
+}
+
+double best_fixed_arm_value(const core::Environment& env, std::size_t clients,
+                            stats::Rng& rng) {
+    if (clients == 0) throw std::invalid_argument("need clients > 0");
+    double best = -std::numeric_limits<double>::infinity();
+    for (std::size_t a = 0; a < env.num_decisions(); ++a) {
+        const auto arm = static_cast<Decision>(a);
+        core::DeterministicPolicy fixed(env.num_decisions(),
+                                        [arm](const ClientContext&) { return arm; });
+        best = std::max(best, core::true_policy_value(env, fixed, clients, rng));
+    }
+    return best;
+}
+
+} // namespace dre::bandit

@@ -1,0 +1,45 @@
+// Driving an exploration agent against a ground-truth environment.
+//
+// run_bandit() is the online "data collection phase" of Figure 1 when the
+// logging policy is itself learning: at every step it samples the decision
+// from exactly the distribution the agent reports and logs that entry as
+// the tuple's propensity. The resulting Trace is directly consumable by
+// every estimator in core/ — which is the whole point: exploration
+// strategies differ not only in the reward they give up while learning but
+// in how evaluable the trace they leave behind is.
+#ifndef DRE_BANDIT_RUN_H
+#define DRE_BANDIT_RUN_H
+
+#include <cstddef>
+#include <vector>
+
+#include "bandit/agents.h"
+#include "core/environment.h"
+#include "stats/rng.h"
+#include "trace/trace.h"
+
+namespace dre::bandit {
+
+struct BanditRunResult {
+    Trace trace;                          // logged tuples with exact propensities
+    std::vector<std::size_t> arm_counts;  // pulls per decision
+    double average_reward = 0.0;          // realized mean reward of the run
+    double min_logged_propensity = 0.0;   // support left for off-policy reuse
+};
+
+// Play `agent` for `n` sequential clients drawn from `env`. Decisions are
+// sampled from the agent's reported distribution; the agent is updated with
+// each observed reward. Throws std::invalid_argument for n == 0 or a
+// decision-space mismatch between agent and environment.
+BanditRunResult run_bandit(const core::Environment& env, ExplorationAgent& agent,
+                           std::size_t n, stats::Rng& rng);
+
+// Value of the best *fixed* decision: max_d E_c E[r | c, d], estimated with
+// `clients` Monte-Carlo context draws. The per-step regret of a run is
+// best_fixed_arm_value(...) - result.average_reward.
+double best_fixed_arm_value(const core::Environment& env, std::size_t clients,
+                            stats::Rng& rng);
+
+} // namespace dre::bandit
+
+#endif // DRE_BANDIT_RUN_H

@@ -1,0 +1,151 @@
+#include "cdn/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/estimators.h"
+#include "core/reward_model.h"
+
+namespace dre::cdn {
+
+Decision encode_decision(const CdnWorldConfig& config, std::size_t cdn,
+                         std::size_t bitrate) {
+    if (cdn >= config.num_cdns || bitrate >= config.num_bitrates)
+        throw std::out_of_range("cdn::encode_decision");
+    return static_cast<Decision>(cdn * config.num_bitrates + bitrate);
+}
+
+std::size_t cdn_of(const CdnWorldConfig& config, Decision d) {
+    if (d < 0 ||
+        static_cast<std::size_t>(d) >= config.num_cdns * config.num_bitrates)
+        throw std::out_of_range("cdn::cdn_of");
+    return static_cast<std::size_t>(d) / config.num_bitrates;
+}
+
+std::size_t bitrate_of(const CdnWorldConfig& config, Decision d) {
+    if (d < 0 ||
+        static_cast<std::size_t>(d) >= config.num_cdns * config.num_bitrates)
+        throw std::out_of_range("cdn::bitrate_of");
+    return static_cast<std::size_t>(d) % config.num_bitrates;
+}
+
+VideoQualityEnv::VideoQualityEnv(CdnWorldConfig config) : config_(config) {
+    if (config_.num_cdns == 0 || config_.num_bitrates == 0 ||
+        config_.num_asns == 0 || config_.num_cities == 0 ||
+        config_.num_device_types == 0)
+        throw std::invalid_argument("VideoQualityEnv: empty dimension");
+    stats::Rng rng(config_.seed);
+    cdn_base_.resize(config_.num_cdns);
+    for (double& b : cdn_base_) b = rng.uniform(-0.5, 0.5);
+    asn_cdn_.resize(config_.num_asns * config_.num_cdns);
+    for (double& a : asn_cdn_) a = rng.uniform(-1.0, 1.0);
+    city_congestion_.resize(config_.num_cities);
+    for (double& c : city_congestion_) c = rng.uniform(0.0, 0.8);
+    device_cap_.resize(config_.num_device_types);
+    for (std::size_t i = 0; i < device_cap_.size(); ++i)
+        device_cap_[i] = rng.uniform(
+            static_cast<double>(config_.num_bitrates) * 0.4,
+            static_cast<double>(config_.num_bitrates));
+}
+
+ClientContext VideoQualityEnv::sample_context(stats::Rng& rng) const {
+    ClientContext context;
+    context.categorical = {
+        static_cast<std::int32_t>(rng.uniform_index(config_.num_asns)),
+        static_cast<std::int32_t>(rng.uniform_index(config_.num_cities)),
+        static_cast<std::int32_t>(rng.uniform_index(config_.num_device_types))};
+    context.numeric = {rng.uniform(0.5, 1.5)}; // access-speed multiplier
+    for (std::size_t i = 0; i < config_.noise_features; ++i)
+        context.numeric.push_back(rng.normal());
+    return context;
+}
+
+double VideoQualityEnv::mean_quality(const ClientContext& context, Decision d) const {
+    const std::size_t cdn = cdn_of(config_, d);
+    const std::size_t bitrate = bitrate_of(config_, d);
+    const auto asn = static_cast<std::size_t>(context.categorical.at(0));
+    const auto city = static_cast<std::size_t>(context.categorical.at(1));
+    const auto device = static_cast<std::size_t>(context.categorical.at(2));
+    if (asn >= config_.num_asns || city >= config_.num_cities ||
+        device >= config_.num_device_types)
+        throw std::out_of_range("VideoQualityEnv: categorical out of range");
+
+    const double speed = context.numeric.at(0);
+    // Diminishing bitrate utility, capped by device capability and hurt by
+    // city congestion when the bitrate is ambitious relative to speed.
+    const double level = static_cast<double>(bitrate) + 1.0;
+    double quality = 2.0 * std::log1p(level);
+    if (level > device_cap_[device]) quality -= 1.5 * (level - device_cap_[device]);
+    quality -= city_congestion_[city] * level / std::max(speed, 0.1);
+    quality += cdn_base_[cdn] + asn_cdn_[asn * config_.num_cdns + cdn];
+    return quality;
+}
+
+Reward VideoQualityEnv::sample_reward(const ClientContext& context, Decision d,
+                                      stats::Rng& rng) const {
+    return mean_quality(context, d) + rng.normal(0.0, config_.noise_sigma);
+}
+
+double VideoQualityEnv::expected_reward(const ClientContext& context, Decision d,
+                                        stats::Rng&, int) const {
+    return mean_quality(context, d);
+}
+
+Decision VideoQualityEnv::best_decision(const ClientContext& context) const {
+    Decision best = 0;
+    double best_quality = mean_quality(context, 0);
+    for (std::size_t d = 1; d < num_decisions(); ++d) {
+        const double q = mean_quality(context, static_cast<Decision>(d));
+        if (q > best_quality) {
+            best_quality = q;
+            best = static_cast<Decision>(d);
+        }
+    }
+    return best;
+}
+
+MatchingEstimate cfa_matching_estimate(const Trace& trace,
+                                       const core::Policy& new_policy) {
+    const core::ReplayEstimate replay = core::matching_replay(trace, new_policy);
+    MatchingEstimate estimate;
+    estimate.value = replay.value;
+    estimate.matches = replay.matches;
+    return estimate;
+}
+
+std::shared_ptr<core::Policy> make_greedy_policy(const VideoQualityEnv& env,
+                                                 const Trace& probe_trace) {
+    // Learn a coarse (asn, decision) quality table from the probe trace and
+    // pick the argmax per client — a plausible "data-driven new policy".
+    auto table = std::make_shared<core::TabularRewardModel>(env.num_decisions());
+    // Reduce contexts to the ASN feature only so the table generalizes.
+    Trace coarse;
+    coarse.reserve(probe_trace.size());
+    for (const auto& t : probe_trace) {
+        LoggedTuple reduced = t;
+        reduced.context.numeric.clear();
+        reduced.context.categorical = {t.context.categorical.at(0)};
+        coarse.add(std::move(reduced));
+    }
+    table->fit(coarse);
+
+    const std::size_t num_decisions = env.num_decisions();
+    return std::make_shared<core::DeterministicPolicy>(
+        num_decisions, [table, num_decisions](const ClientContext& context) {
+            ClientContext reduced;
+            reduced.categorical = {context.categorical.at(0)};
+            Decision best = 0;
+            double best_quality = table->predict(reduced, 0);
+            for (std::size_t d = 1; d < num_decisions; ++d) {
+                const double q = table->predict(reduced, static_cast<Decision>(d));
+                if (q > best_quality) {
+                    best_quality = q;
+                    best = static_cast<Decision>(d);
+                }
+            }
+            return best;
+        });
+}
+
+} // namespace dre::cdn

@@ -1,0 +1,107 @@
+#include "core/dr_nonstationary.h"
+
+#include <stdexcept>
+
+namespace dre::core {
+namespace {
+
+void check_inputs(const Trace& trace, const HistoryPolicy& new_policy,
+                  const RewardModel& model) {
+    validate_trace(trace);
+    if (trace.empty())
+        throw std::invalid_argument("doubly_robust_nonstationary: empty trace");
+    if (trace.num_decisions() > new_policy.num_decisions())
+        throw std::invalid_argument(
+            "doubly_robust_nonstationary: trace uses decisions outside policy space");
+    if (model.num_decisions() != new_policy.num_decisions())
+        throw std::invalid_argument(
+            "doubly_robust_nonstationary: model/policy decision-space mismatch");
+}
+
+} // namespace
+
+NonstationaryEstimate doubly_robust_nonstationary(const Trace& trace,
+                                                  const HistoryPolicy& new_policy,
+                                                  const RewardModel& model,
+                                                  stats::Rng& rng) {
+    check_inputs(trace, new_policy, model);
+
+    Trace matched_history; // g_k: tuples where the decisions agreed
+    double total = 0.0;    // M
+    for (std::size_t k = 0; k < trace.size(); ++k) {
+        const LoggedTuple& t = trace[k];
+        const std::vector<double> probs =
+            new_policy.action_probabilities(t.context, matched_history.tuples());
+        const auto sampled = static_cast<Decision>(rng.categorical(probs));
+        if (sampled != t.decision) continue; // step 3: skip this client
+
+        // Step 2: per-client DR update (paper Eq. 2 conditioned on g_k).
+        double dm_part = 0.0;
+        for (std::size_t d = 0; d < probs.size(); ++d) {
+            if (probs[d] == 0.0) continue;
+            dm_part += probs[d] * model.predict(t.context, static_cast<Decision>(d));
+        }
+        const double weight =
+            probs[static_cast<std::size_t>(t.decision)] / t.propensity;
+        total += dm_part + weight * (t.reward - model.predict(t.context, t.decision));
+        matched_history.add(t);
+    }
+
+    NonstationaryEstimate estimate;
+    estimate.matched = matched_history.size();
+    estimate.match_rate =
+        static_cast<double>(estimate.matched) / static_cast<double>(trace.size());
+    estimate.value =
+        estimate.matched == 0 ? 0.0 : total / static_cast<double>(estimate.matched);
+    return estimate;
+}
+
+NonstationaryEstimate doubly_robust_nonstationary_averaged(
+    const Trace& trace, const HistoryPolicy& new_policy, const RewardModel& model,
+    stats::Rng& rng, int replicates) {
+    if (replicates <= 0)
+        throw std::invalid_argument(
+            "doubly_robust_nonstationary_averaged: replicates must be > 0");
+    double value_sum = 0.0;
+    std::size_t matched_sum = 0;
+    int used = 0;
+    for (int r = 0; r < replicates; ++r) {
+        const NonstationaryEstimate e =
+            doubly_robust_nonstationary(trace, new_policy, model, rng);
+        matched_sum += e.matched;
+        if (e.matched == 0) continue;
+        value_sum += e.value;
+        ++used;
+    }
+    NonstationaryEstimate out;
+    out.matched = matched_sum / static_cast<std::size_t>(replicates);
+    out.match_rate = static_cast<double>(matched_sum) /
+                     (static_cast<double>(replicates) * static_cast<double>(trace.size()));
+    out.value = used == 0 ? 0.0 : value_sum / used;
+    return out;
+}
+
+double doubly_robust_ignoring_history(const Trace& trace,
+                                      const HistoryPolicy& new_policy,
+                                      const RewardModel& model) {
+    check_inputs(trace, new_policy, model);
+    double total = 0.0;
+    for (std::size_t k = 0; k < trace.size(); ++k) {
+        const LoggedTuple& t = trace[k];
+        // The careless evaluator conditions the new policy on the *logged*
+        // prefix — a history that mu_new would never have generated.
+        const std::vector<double> probs =
+            new_policy.action_probabilities(t.context, trace.tuples().subspan(0, k));
+        double dm_part = 0.0;
+        for (std::size_t d = 0; d < probs.size(); ++d) {
+            if (probs[d] == 0.0) continue;
+            dm_part += probs[d] * model.predict(t.context, static_cast<Decision>(d));
+        }
+        const double weight =
+            probs[static_cast<std::size_t>(t.decision)] / t.propensity;
+        total += dm_part + weight * (t.reward - model.predict(t.context, t.decision));
+    }
+    return total / static_cast<double>(trace.size());
+}
+
+} // namespace dre::core

@@ -1,0 +1,35 @@
+#include "core/drift.h"
+
+#include <stdexcept>
+
+namespace dre::core {
+
+DriftReport detect_reward_drift(const Trace& trace, const DriftOptions& options) {
+    validate_trace(trace);
+    if (trace.empty())
+        throw std::invalid_argument("detect_reward_drift: empty trace");
+    const std::vector<double> rewards = trace.rewards();
+    const stats::ChangepointResult result =
+        stats::pelt(rewards, options.penalty, options.min_segment_length);
+    DriftReport report;
+    report.changepoints = result.changepoints;
+    report.segment_means = result.segment_means;
+    return report;
+}
+
+Trace with_drift_segments(const Trace& trace, const DriftReport& report) {
+    Trace out;
+    out.reserve(trace.size());
+    std::size_t segment = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        while (segment < report.changepoints.size() &&
+               i >= report.changepoints[segment])
+            ++segment;
+        LoggedTuple t = trace[i];
+        t.state = static_cast<std::int32_t>(segment);
+        out.add(std::move(t));
+    }
+    return out;
+}
+
+} // namespace dre::core

@@ -1,0 +1,223 @@
+#include "core/estimators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/summary.h"
+
+namespace dre::core {
+namespace {
+
+void check_inputs(const Trace& trace, const Policy& new_policy,
+                  const RewardModel* model) {
+    validate_trace(trace);
+    if (trace.empty()) throw std::invalid_argument("estimator: empty trace");
+    if (trace.num_decisions() > new_policy.num_decisions())
+        throw std::invalid_argument("estimator: trace uses decisions outside policy space");
+    if (model && model->num_decisions() != new_policy.num_decisions())
+        throw std::invalid_argument("estimator: model/policy decision-space mismatch");
+}
+
+double model_value_under_policy(const RewardModel& model, const Policy& policy,
+                                const ClientContext& context) {
+    const std::vector<double> probs = policy.action_probabilities(context);
+    double value = 0.0;
+    for (std::size_t d = 0; d < probs.size(); ++d) {
+        if (probs[d] == 0.0) continue;
+        value += probs[d] * model.predict(context, static_cast<Decision>(d));
+    }
+    return value;
+}
+
+EstimateResult average_result(std::vector<double> per_tuple, std::string name) {
+    EstimateResult result;
+    result.value = stats::mean(per_tuple);
+    result.per_tuple = std::move(per_tuple);
+    result.estimator = std::move(name);
+    return result;
+}
+
+} // namespace
+
+double EstimateResult::variance_of_mean() const {
+    if (per_tuple.size() < 2) return 0.0;
+    return stats::sample_variance(per_tuple) / static_cast<double>(per_tuple.size());
+}
+
+EstimateResult direct_method(const Trace& trace, const Policy& new_policy,
+                             const RewardModel& model) {
+    check_inputs(trace, new_policy, &model);
+    std::vector<double> per_tuple;
+    per_tuple.reserve(trace.size());
+    for (const auto& t : trace)
+        per_tuple.push_back(model_value_under_policy(model, new_policy, t.context));
+    return average_result(std::move(per_tuple), "DM");
+}
+
+std::vector<double> importance_weights(const Trace& trace, const Policy& new_policy) {
+    check_inputs(trace, new_policy, nullptr);
+    std::vector<double> weights;
+    weights.reserve(trace.size());
+    for (const auto& t : trace)
+        weights.push_back(new_policy.probability(t.context, t.decision) / t.propensity);
+    return weights;
+}
+
+EstimateResult inverse_propensity(const Trace& trace, const Policy& new_policy) {
+    const std::vector<double> weights = importance_weights(trace, new_policy);
+    std::vector<double> per_tuple(trace.size());
+    for (std::size_t k = 0; k < trace.size(); ++k)
+        per_tuple[k] = weights[k] * trace[k].reward;
+    return average_result(std::move(per_tuple), "IPS");
+}
+
+EstimateResult clipped_ips(const Trace& trace, const Policy& new_policy,
+                           const EstimatorOptions& options) {
+    if (!(options.weight_clip > 0.0))
+        throw std::invalid_argument("clipped_ips: weight_clip must be > 0");
+    const std::vector<double> weights = importance_weights(trace, new_policy);
+    std::vector<double> per_tuple(trace.size());
+    for (std::size_t k = 0; k < trace.size(); ++k)
+        per_tuple[k] = std::min(weights[k], options.weight_clip) * trace[k].reward;
+    return average_result(std::move(per_tuple), "clipped-IPS");
+}
+
+EstimateResult self_normalized_ips(const Trace& trace, const Policy& new_policy) {
+    const std::vector<double> weights = importance_weights(trace, new_policy);
+    double weighted_reward = 0.0, total_weight = 0.0;
+    for (std::size_t k = 0; k < trace.size(); ++k) {
+        weighted_reward += weights[k] * trace[k].reward;
+        total_weight += weights[k];
+    }
+    EstimateResult result;
+    result.estimator = "SNIPS";
+    if (total_weight <= 0.0) {
+        // New policy has no overlap at all with the logged decisions.
+        result.value = 0.0;
+        result.per_tuple.assign(trace.size(), 0.0);
+        return result;
+    }
+    result.value = weighted_reward / total_weight;
+    // Per-tuple contributions relative to the global normalization, scaled
+    // so that mean(per_tuple) == value.
+    result.per_tuple.resize(trace.size());
+    const double scale = static_cast<double>(trace.size()) / total_weight;
+    for (std::size_t k = 0; k < trace.size(); ++k)
+        result.per_tuple[k] = scale * weights[k] * trace[k].reward;
+    return result;
+}
+
+EstimateResult doubly_robust(const Trace& trace, const Policy& new_policy,
+                             const RewardModel& model) {
+    check_inputs(trace, new_policy, &model);
+    std::vector<double> per_tuple;
+    per_tuple.reserve(trace.size());
+    for (const auto& t : trace) {
+        const double dm_part = model_value_under_policy(model, new_policy, t.context);
+        const double weight =
+            new_policy.probability(t.context, t.decision) / t.propensity;
+        const double correction =
+            weight * (t.reward - model.predict(t.context, t.decision));
+        per_tuple.push_back(dm_part + correction);
+    }
+    return average_result(std::move(per_tuple), "DR");
+}
+
+EstimateResult clipped_doubly_robust(const Trace& trace, const Policy& new_policy,
+                                     const RewardModel& model,
+                                     const EstimatorOptions& options) {
+    if (!(options.weight_clip > 0.0))
+        throw std::invalid_argument("clipped_doubly_robust: weight_clip must be > 0");
+    check_inputs(trace, new_policy, &model);
+    std::vector<double> per_tuple;
+    per_tuple.reserve(trace.size());
+    for (const auto& t : trace) {
+        const double dm_part = model_value_under_policy(model, new_policy, t.context);
+        const double weight = std::min(
+            new_policy.probability(t.context, t.decision) / t.propensity,
+            options.weight_clip);
+        per_tuple.push_back(dm_part +
+                            weight * (t.reward - model.predict(t.context, t.decision)));
+    }
+    return average_result(std::move(per_tuple), "clipped-DR");
+}
+
+EstimateResult switch_doubly_robust(const Trace& trace, const Policy& new_policy,
+                                    const RewardModel& model,
+                                    const EstimatorOptions& options) {
+    if (!(options.switch_threshold > 0.0))
+        throw std::invalid_argument("switch_doubly_robust: threshold must be > 0");
+    check_inputs(trace, new_policy, &model);
+    std::vector<double> per_tuple;
+    per_tuple.reserve(trace.size());
+    for (const auto& t : trace) {
+        const double dm_part = model_value_under_policy(model, new_policy, t.context);
+        const double weight =
+            new_policy.probability(t.context, t.decision) / t.propensity;
+        double contribution = dm_part;
+        if (weight <= options.switch_threshold)
+            contribution += weight * (t.reward - model.predict(t.context, t.decision));
+        per_tuple.push_back(contribution);
+    }
+    return average_result(std::move(per_tuple), "SWITCH-DR");
+}
+
+ReplayEstimate matching_replay(const Trace& trace, const Policy& new_policy) {
+    check_inputs(trace, new_policy, nullptr);
+    double matched_sum = 0.0, total_sum = 0.0;
+    std::size_t matches = 0;
+    for (const auto& t : trace) {
+        total_sum += t.reward;
+        const std::vector<double> probs = new_policy.action_probabilities(t.context);
+        const auto argmax = static_cast<Decision>(
+            std::max_element(probs.begin(), probs.end()) - probs.begin());
+        if (argmax == t.decision) {
+            matched_sum += t.reward;
+            ++matches;
+        }
+    }
+    ReplayEstimate estimate;
+    estimate.matches = matches;
+    estimate.match_rate =
+        static_cast<double>(matches) / static_cast<double>(trace.size());
+    estimate.value = matches > 0
+                         ? matched_sum / static_cast<double>(matches)
+                         : total_sum / static_cast<double>(trace.size());
+    return estimate;
+}
+
+EstimateResult self_normalized_doubly_robust(const Trace& trace,
+                                             const Policy& new_policy,
+                                             const RewardModel& model) {
+    check_inputs(trace, new_policy, &model);
+    const std::size_t n = trace.size();
+    std::vector<double> dm_parts(n), corrections(n), weights(n);
+    double total_weight = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        const LoggedTuple& t = trace[k];
+        dm_parts[k] = model_value_under_policy(model, new_policy, t.context);
+        weights[k] = new_policy.probability(t.context, t.decision) / t.propensity;
+        corrections[k] = weights[k] * (t.reward - model.predict(t.context, t.decision));
+        total_weight += weights[k];
+    }
+    EstimateResult result;
+    result.estimator = "SN-DR";
+    result.per_tuple.resize(n);
+    if (total_weight <= 0.0) {
+        // No overlap: fall back to the pure model estimate.
+        result.value = stats::mean(dm_parts);
+        result.per_tuple = std::move(dm_parts);
+        return result;
+    }
+    const double scale = static_cast<double>(n) / total_weight;
+    double total = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        result.per_tuple[k] = dm_parts[k] + scale * corrections[k];
+        total += result.per_tuple[k];
+    }
+    result.value = total / static_cast<double>(n);
+    return result;
+}
+
+} // namespace dre::core

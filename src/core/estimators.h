@@ -1,0 +1,105 @@
+// Off-policy value estimators (paper §3).
+//
+// Given a trace T = {(c_k, d_k, r_k)} collected under mu_old, a new policy
+// mu_new, and (for DM/DR) a reward model r^, estimate
+//     V(mu_new) = (1/n) sum_k sum_d mu_new(d|c_k) E[r | c_k, d].
+//
+//  * DM   : V^ = (1/n) sum_k sum_d mu_new(d|c_k) r^(c_k, d)
+//  * IPS  : V^ = (1/n) sum_k  w_k r_k,   w_k = mu_new(d_k|c_k)/mu_old(d_k|c_k)
+//  * DR   : V^ = (1/n) sum_k [ sum_d mu_new(d|c_k) r^(c_k,d)
+//                              + w_k (r_k - r^(c_k,d_k)) ]        (Eq. 2)
+//
+// plus standard variance-control variants (self-normalized IPS, weight
+// clipping, SWITCH-DR) that operationalize §4.1's coverage concerns.
+#ifndef DRE_CORE_ESTIMATORS_H
+#define DRE_CORE_ESTIMATORS_H
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/reward_model.h"
+#include "trace/trace.h"
+
+namespace dre::core {
+
+// Result of one estimator run. `per_tuple` holds each tuple's contribution
+// (already averaged semantics: value == mean(per_tuple) except for the
+// self-normalized estimator, where the normalization is global).
+struct EstimateResult {
+    double value = 0.0;
+    std::vector<double> per_tuple;
+    std::string estimator;
+
+    // Sample variance of the per-tuple contributions divided by n — a plug-in
+    // variance proxy for the estimate (exact for the unnormalized averages).
+    double variance_of_mean() const;
+};
+
+struct EstimatorOptions {
+    // Weight cap for clipped IPS / the clipped part of DR; +inf disables.
+    double weight_clip = std::numeric_limits<double>::infinity();
+    // SWITCH threshold tau: tuples with w_k > tau fall back to the model.
+    double switch_threshold = 10.0;
+};
+
+// Direct Method.
+EstimateResult direct_method(const Trace& trace, const Policy& new_policy,
+                             const RewardModel& model);
+
+// Inverse Propensity Scoring, using the propensities logged in the trace.
+EstimateResult inverse_propensity(const Trace& trace, const Policy& new_policy);
+
+// IPS with weights clipped at options.weight_clip.
+EstimateResult clipped_ips(const Trace& trace, const Policy& new_policy,
+                           const EstimatorOptions& options);
+
+// Self-normalized IPS: sum(w r)/sum(w). Biased but much lower variance when
+// weights are skewed.
+EstimateResult self_normalized_ips(const Trace& trace, const Policy& new_policy);
+
+// Doubly Robust (paper Eq. 1/2).
+EstimateResult doubly_robust(const Trace& trace, const Policy& new_policy,
+                             const RewardModel& model);
+
+// DR with clipped correction weights.
+EstimateResult clipped_doubly_robust(const Trace& trace, const Policy& new_policy,
+                                     const RewardModel& model,
+                                     const EstimatorOptions& options);
+
+// SWITCH-DR: use the DR correction only where w_k <= tau, otherwise trust
+// the model alone. Trades a little bias for bounded variance.
+EstimateResult switch_doubly_robust(const Trace& trace, const Policy& new_policy,
+                                    const RewardModel& model,
+                                    const EstimatorOptions& options);
+
+// Self-normalized DR: the correction term is normalized by sum(w) instead
+// of n, combining DR's model anchor with SNIPS's robustness to mis-scaled
+// propensities:
+//   V^ = (1/n) sum_k DM_k  +  sum_k w_k (r_k - r^(c_k,d_k)) / sum_k w_k.
+EstimateResult self_normalized_doubly_robust(const Trace& trace,
+                                             const Policy& new_policy,
+                                             const RewardModel& model);
+
+// Matching/replay estimator (Fig. 5's "unbiased but low coverage"
+// baseline, the skeleton of CFA's evaluator and of Li et al.'s replay):
+// the mean logged reward over tuples whose logged decision equals the new
+// policy's argmax decision for that context. Unbiased when the logging
+// policy is uniform; collapses when matches are scarce.
+struct ReplayEstimate {
+    double value = 0.0;
+    std::size_t matches = 0;
+    double match_rate = 0.0;
+};
+
+// Falls back to the overall trace mean when nothing matches (matches == 0
+// signals that the value is a fallback, not an estimate).
+ReplayEstimate matching_replay(const Trace& trace, const Policy& new_policy);
+
+// The importance weights w_k themselves (diagnostics & tests).
+std::vector<double> importance_weights(const Trace& trace, const Policy& new_policy);
+
+} // namespace dre::core
+
+#endif // DRE_CORE_ESTIMATORS_H

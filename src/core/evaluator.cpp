@@ -1,0 +1,67 @@
+#include "core/evaluator.h"
+
+#include <stdexcept>
+
+namespace dre::core {
+
+Evaluator::Evaluator(Trace trace, EvaluationConfig config, stats::Rng rng)
+    : config_(config), rng_(rng) {
+    validate_trace(trace);
+    if (trace.empty()) throw std::invalid_argument("Evaluator: empty trace");
+
+    if (config_.estimate_propensities) {
+        TabularPropensityModel propensity_model(trace.num_decisions());
+        propensity_model.fit(trace);
+        trace = with_estimated_propensities(trace, propensity_model);
+    }
+
+    if (config_.cross_fit) {
+        auto [train, holdout] = trace.split(config_.cross_fit_train_fraction, rng_);
+        if (train.empty() || holdout.empty())
+            throw std::invalid_argument("Evaluator: cross-fit split produced empty half");
+        model_ = fit_reward_model(config_.reward_model, trace.num_decisions(), train);
+        evaluation_trace_ = std::move(holdout);
+    } else {
+        model_ = fit_reward_model(config_.reward_model, trace.num_decisions(), trace);
+        evaluation_trace_ = std::move(trace);
+    }
+}
+
+const RewardModel& Evaluator::reward_model() const {
+    return *model_;
+}
+
+PolicyEvaluation Evaluator::evaluate(const Policy& new_policy) const {
+    PolicyEvaluation out;
+    out.dm = direct_method(evaluation_trace_, new_policy, *model_);
+    out.ips = inverse_propensity(evaluation_trace_, new_policy);
+    out.snips = self_normalized_ips(evaluation_trace_, new_policy);
+    out.dr = doubly_robust(evaluation_trace_, new_policy, *model_);
+    out.switch_dr = switch_doubly_robust(evaluation_trace_, new_policy, *model_,
+                                         config_.estimator_options);
+    out.overlap = overlap_diagnostics(evaluation_trace_, new_policy);
+    if (config_.ci_replicates > 0) {
+        out.dr_ci = estimate_confidence_interval(out.dr, rng_, config_.ci_replicates,
+                                                 config_.ci_level);
+    }
+    return out;
+}
+
+Evaluator::Comparison Evaluator::compare(
+    const std::vector<const Policy*>& policies) const {
+    if (policies.empty()) throw std::invalid_argument("Evaluator::compare: no policies");
+    Comparison comparison;
+    comparison.evaluations.reserve(policies.size());
+    for (const Policy* policy : policies) {
+        if (!policy) throw std::invalid_argument("Evaluator::compare: null policy");
+        comparison.evaluations.push_back(evaluate(*policy));
+    }
+    for (std::size_t i = 1; i < comparison.evaluations.size(); ++i) {
+        if (comparison.evaluations[i].value() >
+            comparison.evaluations[comparison.best_index].value())
+            comparison.best_index = i;
+    }
+    return comparison;
+}
+
+} // namespace dre::core

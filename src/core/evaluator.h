@@ -1,0 +1,75 @@
+// One-call evaluation harness: run the full estimator suite on a trace and
+// compare candidate policies ("Which policy is the best?" — Figure 1).
+#ifndef DRE_CORE_EVALUATOR_H
+#define DRE_CORE_EVALUATOR_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/diagnostics.h"
+#include "core/estimators.h"
+#include "core/policy.h"
+#include "core/propensity.h"
+#include "core/reward_model.h"
+#include "stats/rng.h"
+#include "trace/trace.h"
+
+namespace dre::core {
+
+struct EvaluationConfig {
+    RewardModelKind reward_model = RewardModelKind::kTabular;
+    // When true, re-estimate logging propensities from the trace instead of
+    // trusting the logged ones (paper §2.1's "in practice" caveat).
+    bool estimate_propensities = false;
+    EstimatorOptions estimator_options;
+    // Fit the reward model on a split disjoint from the evaluation tuples
+    // (avoids the optimistic bias of fitting and evaluating on the same data).
+    bool cross_fit = false;
+    double cross_fit_train_fraction = 0.5;
+    // Bootstrap CI settings (0 replicates disables CIs).
+    int ci_replicates = 0;
+    double ci_level = 0.95;
+};
+
+struct PolicyEvaluation {
+    EstimateResult dm;
+    EstimateResult ips;
+    EstimateResult snips;
+    EstimateResult dr;
+    EstimateResult switch_dr;
+    OverlapDiagnostics overlap;
+    std::optional<stats::ConfidenceInterval> dr_ci;
+
+    // The headline number: DR (paper's recommendation).
+    double value() const noexcept { return dr.value; }
+};
+
+class Evaluator {
+public:
+    Evaluator(Trace trace, EvaluationConfig config, stats::Rng rng);
+
+    // Evaluate one candidate policy.
+    PolicyEvaluation evaluate(const Policy& new_policy) const;
+
+    // Evaluate several candidates and return the index of the DR-best one.
+    struct Comparison {
+        std::vector<PolicyEvaluation> evaluations;
+        std::size_t best_index = 0;
+    };
+    Comparison compare(const std::vector<const Policy*>& policies) const;
+
+    const Trace& evaluation_trace() const noexcept { return evaluation_trace_; }
+    const RewardModel& reward_model() const;
+
+private:
+    EvaluationConfig config_;
+    mutable stats::Rng rng_;
+    Trace evaluation_trace_;     // tuples the estimators average over
+    std::unique_ptr<RewardModel> model_;
+};
+
+} // namespace dre::core
+
+#endif // DRE_CORE_EVALUATOR_H

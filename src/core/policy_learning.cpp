@@ -1,0 +1,70 @@
+#include "core/policy_learning.h"
+
+#include <stdexcept>
+
+#include "stats/bootstrap.h"
+
+namespace dre::core {
+
+GreedyModelPolicy::GreedyModelPolicy(std::shared_ptr<const RewardModel> model,
+                                     double epsilon)
+    : model_(std::move(model)), epsilon_(epsilon) {
+    if (!model_) throw std::invalid_argument("GreedyModelPolicy: null model");
+    if (epsilon_ < 0.0 || epsilon_ > 1.0)
+        throw std::invalid_argument("GreedyModelPolicy: epsilon outside [0,1]");
+}
+
+Decision GreedyModelPolicy::greedy_decision(const ClientContext& context) const {
+    Decision best = 0;
+    double best_value = model_->predict(context, 0);
+    for (std::size_t d = 1; d < model_->num_decisions(); ++d) {
+        const double value = model_->predict(context, static_cast<Decision>(d));
+        if (value > best_value) {
+            best_value = value;
+            best = static_cast<Decision>(d);
+        }
+    }
+    return best;
+}
+
+std::vector<double> GreedyModelPolicy::action_probabilities(
+    const ClientContext& context) const {
+    std::vector<double> probs(model_->num_decisions(),
+                              epsilon_ / static_cast<double>(model_->num_decisions()));
+    probs[static_cast<std::size_t>(greedy_decision(context))] += 1.0 - epsilon_;
+    return probs;
+}
+
+std::shared_ptr<GreedyModelPolicy> learn_greedy_policy(const Trace& trace,
+                                                       RewardModelKind kind,
+                                                       std::size_t num_decisions,
+                                                       double epsilon) {
+    std::shared_ptr<const RewardModel> model =
+        fit_reward_model(kind, num_decisions, trace);
+    return std::make_shared<GreedyModelPolicy>(std::move(model), epsilon);
+}
+
+ImprovementReport certify_improvement(const Trace& trace, const Policy& incumbent,
+                                      const Policy& candidate,
+                                      const RewardModel& model, stats::Rng& rng,
+                                      int bootstrap_replicates, double level) {
+    const EstimateResult incumbent_dr = doubly_robust(trace, incumbent, model);
+    const EstimateResult candidate_dr = doubly_robust(trace, candidate, model);
+
+    ImprovementReport report;
+    report.incumbent_value = incumbent_dr.value;
+    report.candidate_value = candidate_dr.value;
+    report.estimated_lift = candidate_dr.value - incumbent_dr.value;
+
+    // Paired per-tuple differences: the two DR runs share the same clients
+    // and rewards, so common noise cancels in the difference.
+    std::vector<double> lift(trace.size());
+    for (std::size_t k = 0; k < trace.size(); ++k)
+        lift[k] = candidate_dr.per_tuple[k] - incumbent_dr.per_tuple[k];
+    report.lift_ci =
+        stats::bootstrap_mean_ci(lift, rng, bootstrap_replicates, level);
+    report.certified = report.lift_ci.lower > 0.0;
+    return report;
+}
+
+} // namespace dre::core

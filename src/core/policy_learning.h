@@ -1,0 +1,69 @@
+// Offline policy improvement on top of trace-driven evaluation.
+//
+// The paper's workflow ends at "which policy is the best?" (Fig. 1); this
+// module closes the loop: learn a candidate policy from the logged trace
+// (greedy over a fitted reward model, optionally epsilon-smoothed for the
+// *next* round of logging, per §4.1's randomization advice), and certify
+// it against the incumbent with a paired doubly-robust comparison before
+// anyone deploys it.
+#ifndef DRE_CORE_POLICY_LEARNING_H
+#define DRE_CORE_POLICY_LEARNING_H
+
+#include <memory>
+
+#include "core/diagnostics.h"
+#include "core/estimators.h"
+#include "core/policy.h"
+#include "core/reward_model.h"
+#include "stats/rng.h"
+#include "trace/trace.h"
+
+namespace dre::core {
+
+// Policy that plays argmax_d r^(c, d) of a reward model, mixed with
+// epsilon-uniform exploration.
+class GreedyModelPolicy final : public Policy {
+public:
+    GreedyModelPolicy(std::shared_ptr<const RewardModel> model, double epsilon = 0.0);
+
+    std::vector<double> action_probabilities(const ClientContext& context) const override;
+    std::size_t num_decisions() const noexcept override {
+        return model_->num_decisions();
+    }
+
+    Decision greedy_decision(const ClientContext& context) const;
+    const RewardModel& model() const noexcept { return *model_; }
+
+private:
+    std::shared_ptr<const RewardModel> model_;
+    double epsilon_;
+};
+
+// Fit a reward model of `kind` on `trace` and wrap it greedily.
+std::shared_ptr<GreedyModelPolicy> learn_greedy_policy(const Trace& trace,
+                                                       RewardModelKind kind,
+                                                       std::size_t num_decisions,
+                                                       double epsilon = 0.0);
+
+// Paired off-policy comparison of a candidate against the incumbent: DR
+// values for both on the same tuples, plus a bootstrap CI on the per-tuple
+// *difference* (paired, so shared noise cancels).
+struct ImprovementReport {
+    double incumbent_value = 0.0;
+    double candidate_value = 0.0;
+    double estimated_lift = 0.0; // candidate - incumbent
+    stats::ConfidenceInterval lift_ci;
+    // True iff the CI's lower bound is positive: the candidate is certified
+    // better at the CI's confidence level.
+    bool certified = false;
+};
+
+ImprovementReport certify_improvement(const Trace& trace, const Policy& incumbent,
+                                      const Policy& candidate,
+                                      const RewardModel& model, stats::Rng& rng,
+                                      int bootstrap_replicates = 1000,
+                                      double level = 0.95);
+
+} // namespace dre::core
+
+#endif // DRE_CORE_POLICY_LEARNING_H

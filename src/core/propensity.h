@@ -1,0 +1,85 @@
+// Logging-propensity estimation.
+//
+// The paper assumes mu_old(d_k | c_k) is known but notes "in practice, it
+// may be necessary to estimate this probability from the trace" (§2.1).
+// These models recover mu_old(d | c) from logged data and can rewrite a
+// trace's propensity fields accordingly.
+#ifndef DRE_CORE_PROPENSITY_H
+#define DRE_CORE_PROPENSITY_H
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/regression.h"
+#include "trace/trace.h"
+#include "trace/types.h"
+
+namespace dre::core {
+
+class PropensityModel {
+public:
+    virtual ~PropensityModel() = default;
+
+    // Estimated mu_old(d | c). Guaranteed within [floor, 1].
+    virtual double probability(const ClientContext& context, Decision d) const = 0;
+
+    virtual std::size_t num_decisions() const noexcept = 0;
+
+protected:
+    PropensityModel() = default;
+    PropensityModel(const PropensityModel&) = default;
+    PropensityModel& operator=(const PropensityModel&) = default;
+};
+
+// Empirical frequencies per context fingerprint with Laplace smoothing,
+// falling back to marginal decision frequencies for unseen contexts.
+class TabularPropensityModel final : public PropensityModel {
+public:
+    // `smoothing` is the Laplace pseudo-count; `floor` lower-bounds the
+    // returned probability to keep IPS weights finite.
+    TabularPropensityModel(std::size_t num_decisions, double smoothing = 1.0,
+                           double floor = 1e-4);
+
+    void fit(const Trace& trace);
+
+    double probability(const ClientContext& context, Decision d) const override;
+    std::size_t num_decisions() const noexcept override { return num_decisions_; }
+
+private:
+    std::size_t num_decisions_;
+    double smoothing_;
+    double floor_;
+    std::unordered_map<std::uint64_t, std::vector<double>> counts_;
+    std::vector<double> marginal_counts_;
+    bool fitted_ = false;
+};
+
+// One-vs-rest logistic regression over flattened numeric features,
+// normalized across decisions.
+class LogisticPropensityModel final : public PropensityModel {
+public:
+    explicit LogisticPropensityModel(std::size_t num_decisions, double floor = 1e-4);
+
+    void fit(const Trace& trace);
+
+    double probability(const ClientContext& context, Decision d) const override;
+    std::vector<double> distribution(const ClientContext& context) const;
+    std::size_t num_decisions() const noexcept override { return num_decisions_; }
+
+private:
+    std::size_t num_decisions_;
+    double floor_;
+    std::vector<stats::LogisticRegression> per_decision_;
+    std::vector<bool> has_model_;
+    std::vector<double> marginals_;
+    bool fitted_ = false;
+};
+
+// Copy of `trace` with each tuple's propensity replaced by the model's
+// estimate for (context, logged decision).
+Trace with_estimated_propensities(const Trace& trace, const PropensityModel& model);
+
+} // namespace dre::core
+
+#endif // DRE_CORE_PROPENSITY_H

@@ -1,0 +1,202 @@
+#include "core/reward_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace dre::core {
+namespace {
+
+std::uint64_t cell_key(const ClientContext& context, Decision d) noexcept {
+    // Mix the decision into the context fingerprint.
+    std::uint64_t h = context_fingerprint(context);
+    h ^= 0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(d) +
+         (h << 6) + (h >> 2);
+    return h;
+}
+
+void check_decision(Decision d, std::size_t n, const char* who) {
+    if (d < 0 || static_cast<std::size_t>(d) >= n)
+        throw std::out_of_range(std::string(who) + ": decision out of range");
+}
+
+} // namespace
+
+ConstantRewardModel::ConstantRewardModel(std::size_t num_decisions, double value)
+    : num_decisions_(num_decisions), value_(value) {
+    if (num_decisions_ == 0)
+        throw std::invalid_argument("ConstantRewardModel: empty decision space");
+}
+
+OracleRewardModel::OracleRewardModel(std::size_t num_decisions, Fn fn)
+    : num_decisions_(num_decisions), fn_(std::move(fn)) {
+    if (num_decisions_ == 0)
+        throw std::invalid_argument("OracleRewardModel: empty decision space");
+    if (!fn_) throw std::invalid_argument("OracleRewardModel: null function");
+}
+
+double OracleRewardModel::predict(const ClientContext& context, Decision d) const {
+    check_decision(d, num_decisions_, "OracleRewardModel");
+    return fn_(context, d);
+}
+
+TabularRewardModel::TabularRewardModel(std::size_t num_decisions)
+    : num_decisions_(num_decisions), decision_means_(num_decisions) {
+    if (num_decisions_ == 0)
+        throw std::invalid_argument("TabularRewardModel: empty decision space");
+}
+
+void TabularRewardModel::fit(const Trace& trace) {
+    validate_trace(trace);
+    cell_means_.clear();
+    decision_means_.assign(num_decisions_, {});
+    global_mean_ = {};
+    for (const auto& t : trace) {
+        check_decision(t.decision, num_decisions_, "TabularRewardModel::fit");
+        cell_means_[cell_key(t.context, t.decision)].add(t.reward);
+        decision_means_[static_cast<std::size_t>(t.decision)].add(t.reward);
+        global_mean_.add(t.reward);
+    }
+    fitted_ = true;
+}
+
+double TabularRewardModel::predict(const ClientContext& context, Decision d) const {
+    if (!fitted_) throw std::logic_error("TabularRewardModel::predict before fit");
+    check_decision(d, num_decisions_, "TabularRewardModel::predict");
+    const auto it = cell_means_.find(cell_key(context, d));
+    if (it != cell_means_.end()) return it->second.mean;
+    const auto& per_decision = decision_means_[static_cast<std::size_t>(d)];
+    if (per_decision.count > 0) return per_decision.mean;
+    return global_mean_.mean;
+}
+
+LinearRewardModel::LinearRewardModel(std::size_t num_decisions, double l2)
+    : num_decisions_(num_decisions), l2_(l2) {
+    if (num_decisions_ == 0)
+        throw std::invalid_argument("LinearRewardModel: empty decision space");
+    if (l2_ < 0.0) throw std::invalid_argument("LinearRewardModel: negative l2");
+}
+
+void LinearRewardModel::fit(const Trace& trace) {
+    validate_trace(trace);
+    per_decision_.assign(num_decisions_, {});
+    has_model_.assign(num_decisions_, false);
+
+    std::vector<std::vector<std::vector<double>>> features(num_decisions_);
+    std::vector<std::vector<double>> targets(num_decisions_);
+    double total = 0.0;
+    for (const auto& t : trace) {
+        check_decision(t.decision, num_decisions_, "LinearRewardModel::fit");
+        const auto d = static_cast<std::size_t>(t.decision);
+        features[d].push_back(t.context.flattened());
+        targets[d].push_back(t.reward);
+        total += t.reward;
+    }
+    global_mean_ = trace.empty() ? 0.0 : total / static_cast<double>(trace.size());
+    for (std::size_t d = 0; d < num_decisions_; ++d) {
+        if (features[d].empty()) continue;
+        per_decision_[d].fit(features[d], targets[d], l2_);
+        has_model_[d] = true;
+    }
+    fitted_ = true;
+}
+
+double LinearRewardModel::predict(const ClientContext& context, Decision d) const {
+    if (!fitted_) throw std::logic_error("LinearRewardModel::predict before fit");
+    check_decision(d, num_decisions_, "LinearRewardModel::predict");
+    const auto index = static_cast<std::size_t>(d);
+    if (!has_model_[index]) return global_mean_;
+    return per_decision_[index].predict(context.flattened());
+}
+
+KnnRewardModel::KnnRewardModel(std::size_t num_decisions, std::size_t k,
+                               bool one_hot_categoricals)
+    : num_decisions_(num_decisions), k_(k), one_hot_(one_hot_categoricals) {
+    if (num_decisions_ == 0)
+        throw std::invalid_argument("KnnRewardModel: empty decision space");
+    if (k_ == 0) throw std::invalid_argument("KnnRewardModel: k must be > 0");
+}
+
+std::vector<double> KnnRewardModel::encode(const ClientContext& context) const {
+    if (!one_hot_) return context.flattened();
+    std::vector<double> out = context.numeric;
+    for (std::size_t i = 0; i < context.categorical.size(); ++i) {
+        const std::int32_t cardinality =
+            i < cardinalities_.size() ? cardinalities_[i] : 0;
+        const std::size_t base = out.size();
+        out.resize(base + static_cast<std::size_t>(std::max(cardinality, 1)), 0.0);
+        const std::int32_t value = context.categorical[i];
+        if (value >= 0 && value < cardinality)
+            out[base + static_cast<std::size_t>(value)] = 1.0;
+    }
+    return out;
+}
+
+void KnnRewardModel::fit(const Trace& trace) {
+    validate_trace(trace);
+    per_decision_.assign(num_decisions_, stats::KnnRegressor{k_});
+    has_model_.assign(num_decisions_, false);
+
+    // Infer categorical cardinalities for one-hot encoding.
+    cardinalities_.clear();
+    if (one_hot_) {
+        for (const auto& t : trace) {
+            if (t.context.categorical.size() > cardinalities_.size())
+                cardinalities_.resize(t.context.categorical.size(), 0);
+            for (std::size_t i = 0; i < t.context.categorical.size(); ++i)
+                cardinalities_[i] =
+                    std::max(cardinalities_[i], t.context.categorical[i] + 1);
+        }
+    }
+
+    std::vector<std::vector<std::vector<double>>> features(num_decisions_);
+    std::vector<std::vector<double>> targets(num_decisions_);
+    double total = 0.0;
+    for (const auto& t : trace) {
+        check_decision(t.decision, num_decisions_, "KnnRewardModel::fit");
+        const auto d = static_cast<std::size_t>(t.decision);
+        features[d].push_back(encode(t.context));
+        targets[d].push_back(t.reward);
+        total += t.reward;
+    }
+    global_mean_ = trace.empty() ? 0.0 : total / static_cast<double>(trace.size());
+    for (std::size_t d = 0; d < num_decisions_; ++d) {
+        if (features[d].empty()) continue;
+        per_decision_[d].fit(features[d], targets[d]);
+        has_model_[d] = true;
+    }
+    fitted_ = true;
+}
+
+double KnnRewardModel::predict(const ClientContext& context, Decision d) const {
+    if (!fitted_) throw std::logic_error("KnnRewardModel::predict before fit");
+    check_decision(d, num_decisions_, "KnnRewardModel::predict");
+    const auto index = static_cast<std::size_t>(d);
+    if (!has_model_[index]) return global_mean_;
+    return per_decision_[index].predict(encode(context));
+}
+
+std::unique_ptr<RewardModel> fit_reward_model(RewardModelKind kind,
+                                              std::size_t num_decisions,
+                                              const Trace& trace) {
+    switch (kind) {
+        case RewardModelKind::kTabular: {
+            auto model = std::make_unique<TabularRewardModel>(num_decisions);
+            model->fit(trace);
+            return model;
+        }
+        case RewardModelKind::kLinear: {
+            auto model = std::make_unique<LinearRewardModel>(num_decisions);
+            model->fit(trace);
+            return model;
+        }
+        case RewardModelKind::kKnn: {
+            auto model = std::make_unique<KnnRewardModel>(num_decisions);
+            model->fit(trace);
+            return model;
+        }
+    }
+    throw std::invalid_argument("fit_reward_model: unknown kind");
+}
+
+} // namespace dre::core

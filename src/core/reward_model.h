@@ -1,0 +1,156 @@
+// Reward models r^(c, d) — the Direct-Method ingredient (paper §3).
+//
+// "DM uses a reward model r^(c,d) to predict the reward of any client c and
+//  decision d." Model misspecification is the paper's first pitfall
+// (§2.2.1); we therefore provide several model families with different
+// bias/variance trade-offs, all fit from logged traces.
+#ifndef DRE_CORE_REWARD_MODEL_H
+#define DRE_CORE_REWARD_MODEL_H
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/knn.h"
+#include "stats/regression.h"
+#include "trace/trace.h"
+#include "trace/types.h"
+
+namespace dre::core {
+
+class RewardModel {
+public:
+    virtual ~RewardModel() = default;
+
+    // Predicted reward r^(c, d).
+    virtual double predict(const ClientContext& context, Decision d) const = 0;
+
+    virtual std::size_t num_decisions() const noexcept = 0;
+
+protected:
+    RewardModel() = default;
+    RewardModel(const RewardModel&) = default;
+    RewardModel& operator=(const RewardModel&) = default;
+};
+
+// Same prediction for everything — the degenerate model. With value 0 it
+// turns the DR estimator into plain IPS, which the unit tests exploit.
+class ConstantRewardModel final : public RewardModel {
+public:
+    ConstantRewardModel(std::size_t num_decisions, double value);
+
+    double predict(const ClientContext&, Decision) const override { return value_; }
+    std::size_t num_decisions() const noexcept override { return num_decisions_; }
+
+private:
+    std::size_t num_decisions_;
+    double value_;
+};
+
+// Wraps a ground-truth function; used in tests/ablations as the "perfectly
+// specified model" limit where DR should match DM exactly.
+class OracleRewardModel final : public RewardModel {
+public:
+    using Fn = std::function<double(const ClientContext&, Decision)>;
+
+    OracleRewardModel(std::size_t num_decisions, Fn fn);
+
+    double predict(const ClientContext& context, Decision d) const override;
+    std::size_t num_decisions() const noexcept override { return num_decisions_; }
+
+private:
+    std::size_t num_decisions_;
+    Fn fn_;
+};
+
+// Tabular model: mean logged reward per (context fingerprint, decision)
+// cell, falling back to the per-decision mean, then the global mean.
+// Zero-bias where data exists; useless off the observed support — exactly
+// the failure mode Fig. 4/Fig. 5 illustrate.
+class TabularRewardModel final : public RewardModel {
+public:
+    explicit TabularRewardModel(std::size_t num_decisions);
+
+    void fit(const Trace& trace);
+
+    double predict(const ClientContext& context, Decision d) const override;
+    std::size_t num_decisions() const noexcept override { return num_decisions_; }
+
+    // Number of populated (context, decision) cells.
+    std::size_t cells() const noexcept { return cell_means_.size(); }
+
+private:
+    struct MeanCount {
+        double mean = 0.0;
+        std::size_t count = 0;
+        void add(double x) {
+            ++count;
+            mean += (x - mean) / static_cast<double>(count);
+        }
+    };
+
+    std::size_t num_decisions_;
+    std::unordered_map<std::uint64_t, MeanCount> cell_means_; // key mixes d
+    std::vector<MeanCount> decision_means_;
+    MeanCount global_mean_;
+    bool fitted_ = false;
+};
+
+// One ridge regression per decision over flattened numeric features.
+class LinearRewardModel final : public RewardModel {
+public:
+    explicit LinearRewardModel(std::size_t num_decisions, double l2 = 1e-4);
+
+    void fit(const Trace& trace);
+
+    double predict(const ClientContext& context, Decision d) const override;
+    std::size_t num_decisions() const noexcept override { return num_decisions_; }
+
+private:
+    std::size_t num_decisions_;
+    double l2_;
+    std::vector<stats::LinearRegression> per_decision_;
+    std::vector<bool> has_model_;
+    double global_mean_ = 0.0;
+    bool fitted_ = false;
+};
+
+// One k-NN regressor per decision (the paper's Fig. 7c DM model).
+//
+// With `one_hot_categoricals` (default), categorical features are expanded
+// to indicator vectors before computing distances, so two different ASNs
+// are equidistant instead of "close" when their integer codes happen to be.
+class KnnRewardModel final : public RewardModel {
+public:
+    KnnRewardModel(std::size_t num_decisions, std::size_t k = 5,
+                   bool one_hot_categoricals = true);
+
+    void fit(const Trace& trace);
+
+    double predict(const ClientContext& context, Decision d) const override;
+    std::size_t num_decisions() const noexcept override { return num_decisions_; }
+
+private:
+    std::vector<double> encode(const ClientContext& context) const;
+
+    std::size_t num_decisions_;
+    std::size_t k_;
+    bool one_hot_;
+    std::vector<std::int32_t> cardinalities_; // per categorical dim
+    std::vector<stats::KnnRegressor> per_decision_;
+    std::vector<bool> has_model_;
+    double global_mean_ = 0.0;
+    bool fitted_ = false;
+};
+
+// Model families selectable by the one-call Evaluator.
+enum class RewardModelKind { kTabular, kLinear, kKnn };
+
+std::unique_ptr<RewardModel> fit_reward_model(RewardModelKind kind,
+                                              std::size_t num_decisions,
+                                              const Trace& trace);
+
+} // namespace dre::core
+
+#endif // DRE_CORE_REWARD_MODEL_H

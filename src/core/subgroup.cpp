@@ -1,0 +1,67 @@
+#include "core/subgroup.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace dre::core {
+
+std::vector<SubgroupResult> subgroup_analysis(const Trace& trace,
+                                              const Policy& new_policy,
+                                              const RewardModel& model,
+                                              const GroupFn& group_fn,
+                                              const SubgroupOptions& options) {
+    if (!group_fn) throw std::invalid_argument("subgroup_analysis: null group_fn");
+    validate_trace(trace);
+    if (trace.empty()) throw std::invalid_argument("subgroup_analysis: empty trace");
+
+    std::map<std::int64_t, Trace> groups;
+    for (const auto& t : trace) groups[group_fn(t)].add(t);
+
+    std::vector<SubgroupResult> results;
+    results.reserve(groups.size());
+    for (auto& [key, group_trace] : groups) {
+        SubgroupResult result;
+        result.group = key;
+        result.tuples = group_trace.size();
+        result.dr = doubly_robust(group_trace, new_policy, model);
+        result.overlap = overlap_diagnostics(group_trace, new_policy);
+        result.reliable =
+            result.overlap.effective_sample_size >= options.min_effective_sample_size;
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+GroupFn group_by_categorical(std::size_t index) {
+    return [index](const LoggedTuple& t) -> std::int64_t {
+        if (index >= t.context.categorical.size())
+            throw std::out_of_range(
+                "group_by_categorical: categorical index out of range");
+        return t.context.categorical[index];
+    };
+}
+
+double worst_group_regression(const Trace& trace, const Policy& baseline,
+                              const Policy& candidate, const RewardModel& model,
+                              const GroupFn& group_fn,
+                              const SubgroupOptions& options) {
+    const std::vector<SubgroupResult> base =
+        subgroup_analysis(trace, baseline, model, group_fn, options);
+    const std::vector<SubgroupResult> cand =
+        subgroup_analysis(trace, candidate, model, group_fn, options);
+    // Same trace and grouping => identical group keys in identical order.
+    double worst = -std::numeric_limits<double>::infinity();
+    bool any = false;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        if (!base[i].reliable || !cand[i].reliable) continue;
+        worst = std::max(worst, base[i].dr.value - cand[i].dr.value);
+        any = true;
+    }
+    if (!any)
+        throw std::invalid_argument(
+            "worst_group_regression: no group reliable under both policies");
+    return worst;
+}
+
+} // namespace dre::core

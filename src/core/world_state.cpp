@@ -1,0 +1,73 @@
+#include "core/world_state.h"
+
+#include <stdexcept>
+
+#include "stats/summary.h"
+
+namespace dre::core {
+
+Trace apply_state_transition(const Trace& trace, const StateTransitionFn& transition,
+                             std::int32_t target_state) {
+    if (!transition)
+        throw std::invalid_argument("apply_state_transition: null transition");
+    Trace out;
+    out.reserve(trace.size());
+    for (const auto& t : trace) {
+        LoggedTuple copy = t;
+        copy.reward = transition(t.reward, t.state, target_state);
+        copy.state = target_state;
+        out.add(std::move(copy));
+    }
+    return out;
+}
+
+EstimateResult doubly_robust_state_corrected(const Trace& trace,
+                                             const Policy& new_policy,
+                                             const RewardModel& corrected_model,
+                                             const StateTransitionFn& transition,
+                                             std::int32_t target_state) {
+    const Trace corrected = apply_state_transition(trace, transition, target_state);
+    EstimateResult result = doubly_robust(corrected, new_policy, corrected_model);
+    result.estimator = "DR-state-corrected";
+    return result;
+}
+
+EstimateResult doubly_robust_state_matched(const Trace& trace,
+                                           const Policy& new_policy,
+                                           const RewardModel& model,
+                                           std::int32_t target_state) {
+    const Trace matched = trace.with_state(target_state);
+    if (matched.empty())
+        throw std::invalid_argument(
+            "doubly_robust_state_matched: no tuples logged in the target state");
+    EstimateResult result = doubly_robust(matched, new_policy, model);
+    result.estimator = "DR-state-matched";
+    return result;
+}
+
+void AffineStateTransition::fit(std::span<const double> from_rewards,
+                                std::span<const double> to_rewards) {
+    if (from_rewards.size() != to_rewards.size())
+        throw std::invalid_argument("AffineStateTransition::fit: size mismatch");
+    if (from_rewards.size() < 2)
+        throw std::invalid_argument("AffineStateTransition::fit: need >= 2 pairs");
+    // Simple least squares: slope = cov(x,y)/var(x), offset = my - slope*mx.
+    const double mx = stats::mean(from_rewards);
+    const double my = stats::mean(to_rewards);
+    double sxy = 0.0, sxx = 0.0;
+    for (std::size_t i = 0; i < from_rewards.size(); ++i) {
+        sxy += (from_rewards[i] - mx) * (to_rewards[i] - my);
+        sxx += (from_rewards[i] - mx) * (from_rewards[i] - mx);
+    }
+    slope_ = sxx > 1e-12 ? sxy / sxx : 1.0;
+    offset_ = my - slope_ * mx;
+    fitted_ = true;
+}
+
+double AffineStateTransition::operator()(double reward, std::int32_t,
+                                         std::int32_t) const {
+    if (!fitted_) throw std::logic_error("AffineStateTransition used before fit");
+    return slope_ * reward + offset_;
+}
+
+} // namespace dre::core

@@ -1,0 +1,118 @@
+#include "netsim/assignment_env.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dre::netsim {
+
+ServerSelectionEnv::ServerSelectionEnv(std::size_t num_zones,
+                                       std::size_t num_servers, std::uint64_t seed)
+    : num_zones_(num_zones), num_servers_(num_servers) {
+    if (num_zones_ == 0 || num_servers_ == 0)
+        throw std::invalid_argument("ServerSelectionEnv: empty zones or servers");
+    // Random but fixed zone/server latency affinities in [20, 120] ms.
+    stats::Rng rng(seed);
+    affinity_.resize(num_zones_ * num_servers_);
+    for (double& a : affinity_) a = rng.uniform(20.0, 120.0);
+}
+
+double ServerSelectionEnv::mean_latency_ms(std::int32_t zone, Decision server) const {
+    if (zone < 0 || static_cast<std::size_t>(zone) >= num_zones_)
+        throw std::out_of_range("ServerSelectionEnv: zone out of range");
+    if (server < 0 || static_cast<std::size_t>(server) >= num_servers_)
+        throw std::out_of_range("ServerSelectionEnv: server out of range");
+    return affinity_[static_cast<std::size_t>(zone) * num_servers_ +
+                     static_cast<std::size_t>(server)];
+}
+
+ClientContext ServerSelectionEnv::sample_context(stats::Rng& rng) const {
+    ClientContext context;
+    context.categorical = {static_cast<std::int32_t>(rng.uniform_index(num_zones_))};
+    // A per-client "access quality" multiplier in [0.8, 1.2].
+    context.numeric = {rng.uniform(0.8, 1.2)};
+    return context;
+}
+
+Reward ServerSelectionEnv::sample_reward(const ClientContext& context, Decision d,
+                                         stats::Rng& rng) const {
+    const double mean =
+        mean_latency_ms(context.categorical.at(0), d) * context.numeric.at(0);
+    const double latency = mean * rng.lognormal(0.0, 0.2);
+    return -latency / 100.0;
+}
+
+double ServerSelectionEnv::expected_reward(const ClientContext& context, Decision d,
+                                           stats::Rng&, int) const {
+    const double mean =
+        mean_latency_ms(context.categorical.at(0), d) * context.numeric.at(0);
+    // E[lognormal(0, .2)] = exp(.02).
+    return -(mean * std::exp(0.02)) / 100.0;
+}
+
+CoupledAssignmentSimulator::CoupledAssignmentSimulator(
+    std::vector<ServerConfig> servers, double load_per_client)
+    : server_configs_(std::move(servers)), load_per_client_(load_per_client) {
+    if (server_configs_.empty())
+        throw std::invalid_argument("CoupledAssignmentSimulator: no servers");
+    if (load_per_client_ <= 0.0)
+        throw std::invalid_argument("CoupledAssignmentSimulator: load must be > 0");
+}
+
+Trace CoupledAssignmentSimulator::run_once(const core::Policy& policy, std::size_t n,
+                                           stats::Rng& rng, bool record_history) {
+    if (policy.num_decisions() != server_configs_.size())
+        throw std::invalid_argument(
+            "CoupledAssignmentSimulator: policy/server-count mismatch");
+    ServerPool pool(server_configs_);
+    if (record_history) {
+        utilization_history_.clear();
+        utilization_history_.reserve(n);
+    }
+
+    Trace trace;
+    trace.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        LoggedTuple t;
+        t.context.numeric = {rng.uniform(0.8, 1.2)};
+        t.context.categorical = {};
+        const std::vector<double> probs = policy.action_probabilities(t.context);
+        t.decision = static_cast<Decision>(rng.categorical(probs));
+        t.propensity = probs[static_cast<std::size_t>(t.decision)];
+
+        Server& chosen = pool.server(static_cast<std::size_t>(t.decision));
+        chosen.add_load(load_per_client_);
+        t.reward = -chosen.sample_latency_ms(rng) * t.context.numeric[0] / 100.0;
+        if (record_history) {
+            double mean_utilization = 0.0;
+            for (std::size_t s = 0; s < pool.size(); ++s)
+                mean_utilization += pool.server(s).utilization();
+            utilization_history_.push_back(mean_utilization /
+                                           static_cast<double>(pool.size()));
+        }
+        pool.tick();
+        trace.add(std::move(t));
+    }
+    return trace;
+}
+
+Trace CoupledAssignmentSimulator::run(const core::Policy& policy, std::size_t n,
+                                      stats::Rng& rng) {
+    return run_once(policy, n, rng, /*record_history=*/true);
+}
+
+double CoupledAssignmentSimulator::true_value(const core::Policy& policy,
+                                              std::size_t n, stats::Rng& rng,
+                                              int replicates) {
+    if (replicates <= 0)
+        throw std::invalid_argument("CoupledAssignmentSimulator: replicates <= 0");
+    double total = 0.0;
+    for (int r = 0; r < replicates; ++r) {
+        const Trace t = run_once(policy, n, rng, /*record_history=*/false);
+        double sum = 0.0;
+        for (const auto& tuple : t) sum += tuple.reward;
+        total += sum / static_cast<double>(t.size());
+    }
+    return total / replicates;
+}
+
+} // namespace dre::netsim

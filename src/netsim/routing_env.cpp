@@ -1,0 +1,72 @@
+#include "netsim/routing_env.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dre::netsim {
+
+RoutingEnv::RoutingEnv(RoutingWorldConfig config, std::vector<PathConfig> paths)
+    : config_(config),
+      paths_(std::move(paths)),
+      zone_sampler_(config.num_zones, config.zone_zipf_exponent) {
+    if (paths_.empty()) throw std::invalid_argument("RoutingEnv: no paths");
+    if (config_.num_zones == 0) throw std::invalid_argument("RoutingEnv: no zones");
+    for (const auto& p : paths_) {
+        if (p.base_rtt_ms <= 0.0 || p.capacity_mbps <= 0.0 || p.loss_rate < 0.0 ||
+            p.loss_rate >= 1.0)
+            throw std::invalid_argument("RoutingEnv: bad path config");
+    }
+    stats::Rng rng(config_.seed);
+    zone_rtt_offset_.resize(config_.num_zones);
+    for (double& offset : zone_rtt_offset_) offset = rng.uniform(0.0, 30.0);
+}
+
+RoutingEnv RoutingEnv::standard3(RoutingWorldConfig config) {
+    return RoutingEnv(config, {
+        {.base_rtt_ms = 25.0, .loss_rate = 0.02, .capacity_mbps = 200.0},
+        {.base_rtt_ms = 80.0, .loss_rate = 0.0005, .capacity_mbps = 400.0},
+        {.base_rtt_ms = 45.0, .loss_rate = 0.004, .capacity_mbps = 40.0},
+    });
+}
+
+ClientContext RoutingEnv::sample_context(stats::Rng& rng) const {
+    ClientContext context;
+    context.categorical = {
+        static_cast<std::int32_t>(zone_sampler_.sample(rng))};
+    // Heavy-tailed flow demand in Mbps (mice and elephants).
+    context.numeric = {std::min(rng.pareto(2.0, 1.3), 500.0)};
+    return context;
+}
+
+double RoutingEnv::mean_cost_ms(const ClientContext& context, Decision d) const {
+    if (d < 0 || static_cast<std::size_t>(d) >= paths_.size())
+        throw std::out_of_range("RoutingEnv: path out of range");
+    const auto zone = static_cast<std::size_t>(context.categorical.at(0));
+    if (zone >= config_.num_zones)
+        throw std::out_of_range("RoutingEnv: zone out of range");
+    const PathConfig& path = paths_[static_cast<std::size_t>(d)];
+    const double demand = context.numeric.at(0);
+
+    double cost = path.base_rtt_ms + zone_rtt_offset_[zone];
+    // Congestion: demand beyond capacity stretches completion time.
+    const double overload = demand / path.capacity_mbps;
+    if (overload > 1.0) cost *= overload;
+    // Loss translates to retransmission delay.
+    cost += config_.loss_penalty_ms * path.loss_rate;
+    return cost;
+}
+
+Reward RoutingEnv::sample_reward(const ClientContext& context, Decision d,
+                                 stats::Rng& rng) const {
+    const double cost =
+        mean_cost_ms(context, d) * rng.lognormal(0.0, config_.noise_sigma);
+    return -cost / 100.0;
+}
+
+double RoutingEnv::expected_reward(const ClientContext& context, Decision d,
+                                   stats::Rng&, int) const {
+    const double jitter_mean = std::exp(0.5 * config_.noise_sigma * config_.noise_sigma);
+    return -mean_cost_ms(context, d) * jitter_mean / 100.0;
+}
+
+} // namespace dre::netsim

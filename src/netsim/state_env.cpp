@@ -1,0 +1,76 @@
+#include "netsim/state_env.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dre::netsim {
+
+StatefulSelectionEnv::StatefulSelectionEnv(std::size_t num_zones,
+                                           std::size_t num_servers,
+                                           double peak_degradation,
+                                           std::uint64_t seed)
+    : num_zones_(num_zones),
+      num_servers_(num_servers),
+      peak_degradation_(peak_degradation) {
+    if (num_zones_ == 0 || num_servers_ == 0)
+        throw std::invalid_argument("StatefulSelectionEnv: empty zones or servers");
+    if (peak_degradation_ <= 0.0)
+        throw std::invalid_argument("StatefulSelectionEnv: degradation must be > 0");
+    stats::Rng rng(seed);
+    affinity_.resize(num_zones_ * num_servers_);
+    for (double& a : affinity_) a = rng.uniform(20.0, 120.0);
+}
+
+void StatefulSelectionEnv::set_state(std::int32_t state) {
+    if (state != kOffPeak && state != kPeak)
+        throw std::invalid_argument("StatefulSelectionEnv: unknown state");
+    state_ = state;
+}
+
+double StatefulSelectionEnv::degradation(std::int32_t state) const noexcept {
+    return state == kPeak ? peak_degradation_ : 1.0;
+}
+
+double StatefulSelectionEnv::mean_latency_ms(std::int32_t zone, Decision server) const {
+    if (zone < 0 || static_cast<std::size_t>(zone) >= num_zones_)
+        throw std::out_of_range("StatefulSelectionEnv: zone out of range");
+    if (server < 0 || static_cast<std::size_t>(server) >= num_servers_)
+        throw std::out_of_range("StatefulSelectionEnv: server out of range");
+    return affinity_[static_cast<std::size_t>(zone) * num_servers_ +
+                     static_cast<std::size_t>(server)];
+}
+
+ClientContext StatefulSelectionEnv::sample_context(stats::Rng& rng) const {
+    ClientContext context;
+    context.categorical = {static_cast<std::int32_t>(rng.uniform_index(num_zones_))};
+    context.numeric = {rng.uniform(0.8, 1.2)};
+    return context;
+}
+
+Reward StatefulSelectionEnv::sample_reward(const ClientContext& context, Decision d,
+                                           stats::Rng& rng) const {
+    const double mean =
+        mean_latency_ms(context.categorical.at(0), d) * context.numeric.at(0);
+    const double latency = mean * degradation(state_) * rng.lognormal(0.0, 0.2);
+    return -latency / 100.0;
+}
+
+double StatefulSelectionEnv::expected_reward(const ClientContext& context, Decision d,
+                                             stats::Rng&, int) const {
+    const double mean =
+        mean_latency_ms(context.categorical.at(0), d) * context.numeric.at(0);
+    return -(mean * degradation(state_) * std::exp(0.02)) / 100.0;
+}
+
+Trace StatefulSelectionEnv::collect_in_state(const core::Policy& logging_policy,
+                                             std::size_t n, std::int32_t state,
+                                             stats::Rng& rng) {
+    const std::int32_t saved = state_;
+    set_state(state);
+    Trace trace = core::collect_trace(*this, logging_policy, n, rng);
+    for (auto& t : trace) t.state = state;
+    state_ = saved;
+    return trace;
+}
+
+} // namespace dre::netsim

@@ -1,0 +1,59 @@
+// Environment with explicit system states ("state of the world", §4.1).
+//
+// A server-selection world whose rewards depend on a global load regime
+// (e.g., kOffPeak vs kPeak): peak-hour rewards are uniformly degraded by a
+// multiplicative factor. Traces can be collected in one regime and policies
+// evaluated against another — the exact mismatch the paper describes
+// ("evaluate ... during peak hours, but the trace ... was collected during
+// early morning hours").
+#ifndef DRE_NETSIM_STATE_ENV_H
+#define DRE_NETSIM_STATE_ENV_H
+
+#include <vector>
+
+#include "core/environment.h"
+#include "stats/rng.h"
+#include "trace/trace.h"
+
+namespace dre::netsim {
+
+class StatefulSelectionEnv final : public core::Environment {
+public:
+    static constexpr std::int32_t kOffPeak = 0;
+    static constexpr std::int32_t kPeak = 1;
+
+    // `peak_degradation` multiplies rewards in the peak state (rewards are
+    // negative latencies, so values > 1 mean "worse"). Paper's example: 20%
+    // worse => 1.2.
+    StatefulSelectionEnv(std::size_t num_zones, std::size_t num_servers,
+                         double peak_degradation, std::uint64_t seed);
+
+    // The Environment interface operates in the currently-selected state.
+    ClientContext sample_context(stats::Rng& rng) const override;
+    Reward sample_reward(const ClientContext& context, Decision d,
+                         stats::Rng& rng) const override;
+    double expected_reward(const ClientContext& context, Decision d,
+                           stats::Rng& rng, int samples) const override;
+    std::size_t num_decisions() const noexcept override { return num_servers_; }
+
+    void set_state(std::int32_t state);
+    std::int32_t state() const noexcept { return state_; }
+    double degradation(std::int32_t state) const noexcept;
+
+    // Collect a trace in `state`, labelling every tuple with it.
+    Trace collect_in_state(const core::Policy& logging_policy, std::size_t n,
+                           std::int32_t state, stats::Rng& rng);
+
+private:
+    double mean_latency_ms(std::int32_t zone, Decision server) const;
+
+    std::size_t num_zones_;
+    std::size_t num_servers_;
+    double peak_degradation_;
+    std::int32_t state_ = kOffPeak;
+    std::vector<double> affinity_;
+};
+
+} // namespace dre::netsim
+
+#endif // DRE_NETSIM_STATE_ENV_H

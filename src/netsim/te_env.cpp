@@ -1,0 +1,73 @@
+#include "netsim/te_env.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dre::netsim {
+
+TopologyTeEnv::TopologyTeEnv(Topology topology, NodeId src, NodeId dst,
+                             TeWorldConfig config)
+    : topology_(std::move(topology)), config_(config) {
+    paths_ = topology_.k_paths(src, dst, config_.max_hops);
+    if (paths_.empty())
+        throw std::invalid_argument("TopologyTeEnv: no candidate paths");
+    std::sort(paths_.begin(), paths_.end(),
+              [this](const auto& a, const auto& b) {
+                  return topology_.path_delay_ms(a) < topology_.path_delay_ms(b);
+              });
+}
+
+TopologyTeEnv TopologyTeEnv::backbone(TeWorldConfig config) {
+    // 0 --(5ms, 40)-- 1 --(5ms, 40)-- 4     (short, tight capacity)
+    // 0 --(12ms,200)-- 2 --(12ms,200)-- 4   (long, roomy)
+    // 1 --(4ms, 80)-- 3 --(6ms, 80)-- 4     (medium detour)
+    Topology topo(5);
+    topo.add_link(0, 1, 5.0, 40.0);
+    topo.add_link(1, 4, 5.0, 40.0);
+    topo.add_link(0, 2, 12.0, 200.0);
+    topo.add_link(2, 4, 12.0, 200.0);
+    topo.add_link(1, 3, 4.0, 80.0);
+    topo.add_link(3, 4, 6.0, 80.0);
+    return TopologyTeEnv(std::move(topo), 0, 4, config);
+}
+
+ClientContext TopologyTeEnv::sample_context(stats::Rng& rng) const {
+    ClientContext context;
+    // Heavy-tailed demand (mice & elephants), clamped for sanity.
+    const double demand = std::min(rng.pareto(3.0, 1.4), 150.0);
+    // Congestion state in [0, 1] drives the background-flow intensity.
+    context.numeric = {demand, rng.uniform(0.0, 1.0)};
+    return context;
+}
+
+Reward TopologyTeEnv::sample_reward(const ClientContext& context, Decision d,
+                                    stats::Rng& rng) const {
+    if (d < 0 || static_cast<std::size_t>(d) >= paths_.size())
+        throw std::out_of_range("TopologyTeEnv: decision out of range");
+    if (context.numeric.size() < 2)
+        throw std::invalid_argument("TopologyTeEnv: malformed context");
+    const double demand = context.numeric[0];
+    const double congestion = context.numeric[1];
+
+    // Background flows ride the *shortest* path (what everyone defaults to).
+    std::vector<Flow> flows;
+    const auto background = static_cast<std::size_t>(
+        rng.poisson(congestion * config_.background_max_flows));
+    for (std::size_t i = 0; i < background; ++i)
+        flows.push_back({paths_.front(), config_.background_demand_mbps});
+    // Our flow, on the chosen path.
+    flows.push_back({paths_[static_cast<std::size_t>(d)], demand});
+
+    const std::vector<double> rates = max_min_fair_rates(topology_, flows);
+    const double achieved = rates.back();
+    const double delay =
+        topology_.path_delay_ms(paths_[static_cast<std::size_t>(d)]);
+
+    // Reward: throughput utility minus delay cost, mildly noisy.
+    const double reward = config_.throughput_gain_per_mbps * std::log1p(achieved) -
+                          config_.delay_cost_per_ms * delay / 10.0;
+    return reward + rng.normal(0.0, 0.05);
+}
+
+} // namespace dre::netsim

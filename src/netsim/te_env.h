@@ -1,0 +1,58 @@
+// Traffic-engineering environment over an explicit link-level topology.
+//
+// Flows between an ingress/egress pair choose among the k loop-free
+// candidate paths (the decision space). The reward combines the chosen
+// path's propagation delay with the flow's max-min fair throughput given a
+// random level of background traffic — so "short" paths are only good when
+// their links aren't busy, and the right choice depends on both the flow's
+// demand and the congestion state.
+#ifndef DRE_NETSIM_TE_ENV_H
+#define DRE_NETSIM_TE_ENV_H
+
+#include <vector>
+
+#include "core/environment.h"
+#include "netsim/topology.h"
+#include "stats/rng.h"
+
+namespace dre::netsim {
+
+struct TeWorldConfig {
+    std::size_t max_hops = 3;            // candidate-path hop budget
+    double background_max_flows = 12.0;  // mean background flows at peak
+    double background_demand_mbps = 30.0;
+    double delay_cost_per_ms = 1.0;      // reward weights
+    double throughput_gain_per_mbps = 2.0;
+    std::uint64_t seed = 29;
+};
+
+class TopologyTeEnv final : public core::Environment {
+public:
+    // Candidate paths are enumerated from `topology` between src and dst,
+    // ordered by propagation delay (shortest first).
+    TopologyTeEnv(Topology topology, NodeId src, NodeId dst, TeWorldConfig config);
+
+    // Context numeric = {demand_mbps, congestion in [0,1]}.
+    ClientContext sample_context(stats::Rng& rng) const override;
+    Reward sample_reward(const ClientContext& context, Decision d,
+                         stats::Rng& rng) const override;
+    std::size_t num_decisions() const noexcept override { return paths_.size(); }
+
+    const std::vector<std::vector<LinkId>>& candidate_paths() const noexcept {
+        return paths_;
+    }
+    const Topology& topology() const noexcept { return topology_; }
+
+    // A classic 5-node US-ish backbone with one short congested route and
+    // longer clean detours between nodes 0 and 4.
+    static TopologyTeEnv backbone(TeWorldConfig config = {});
+
+private:
+    Topology topology_;
+    TeWorldConfig config_;
+    std::vector<std::vector<LinkId>> paths_;
+};
+
+} // namespace dre::netsim
+
+#endif // DRE_NETSIM_TE_ENV_H

@@ -1,0 +1,62 @@
+#include "netsim/workload.h"
+
+#include <stdexcept>
+
+namespace dre::netsim {
+
+DiurnalCycle::DiurnalCycle(std::vector<Phase> phases) : phases_(std::move(phases)) {
+    if (phases_.empty()) throw std::invalid_argument("DiurnalCycle: no phases");
+    for (const auto& phase : phases_) {
+        if (phase.clients == 0)
+            throw std::invalid_argument("DiurnalCycle: zero-length phase");
+        period_ += phase.clients;
+    }
+}
+
+std::int32_t DiurnalCycle::state_at(std::size_t client_index) const {
+    std::size_t offset = client_index % period_;
+    for (const auto& phase : phases_) {
+        if (offset < phase.clients) return phase.state;
+        offset -= phase.clients;
+    }
+    return phases_.back().state; // unreachable; keeps the compiler happy
+}
+
+double DiurnalCycle::fraction_in(std::int32_t state) const {
+    std::size_t matching = 0;
+    for (const auto& phase : phases_)
+        if (phase.state == state) matching += phase.clients;
+    return static_cast<double>(matching) / static_cast<double>(period_);
+}
+
+DiurnalCycle DiurnalCycle::day_night(std::size_t off_peak, std::size_t peak) {
+    return DiurnalCycle({{StatefulSelectionEnv::kOffPeak, off_peak},
+                         {StatefulSelectionEnv::kPeak, peak}});
+}
+
+Trace collect_diurnal_trace(StatefulSelectionEnv& env,
+                            const core::Policy& logging_policy, std::size_t n,
+                            const DiurnalCycle& cycle, stats::Rng& rng) {
+    if (logging_policy.num_decisions() != env.num_decisions())
+        throw std::invalid_argument("collect_diurnal_trace: decision-space mismatch");
+    const std::int32_t saved = env.state();
+    Trace trace;
+    trace.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int32_t state = cycle.state_at(i);
+        env.set_state(state);
+        LoggedTuple t;
+        t.context = env.sample_context(rng);
+        const std::vector<double> probs =
+            logging_policy.action_probabilities(t.context);
+        t.decision = static_cast<Decision>(rng.categorical(probs));
+        t.propensity = probs[static_cast<std::size_t>(t.decision)];
+        t.reward = env.sample_reward(t.context, t.decision, rng);
+        t.state = state;
+        trace.add(std::move(t));
+    }
+    env.set_state(saved);
+    return trace;
+}
+
+} // namespace dre::netsim

@@ -1,0 +1,54 @@
+// Workload shaping: diurnal state cycles over sequential clients.
+//
+// Real traces interleave system states (§4.1): morning lull, evening peak.
+// DiurnalCycle assigns a state label to each client index so stateful
+// environments can produce realistically mixed traces, and so experiments
+// can slice them back apart (state-matched DR, §4.3).
+#ifndef DRE_NETSIM_WORKLOAD_H
+#define DRE_NETSIM_WORKLOAD_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/policy.h"
+#include "netsim/state_env.h"
+#include "stats/rng.h"
+#include "trace/trace.h"
+
+namespace dre::netsim {
+
+// Deterministic repeating cycle of (state, duration) phases.
+class DiurnalCycle {
+public:
+    struct Phase {
+        std::int32_t state = 0;
+        std::size_t clients = 1; // how many consecutive clients see it
+    };
+
+    explicit DiurnalCycle(std::vector<Phase> phases);
+
+    // State label for the i-th client in the trace.
+    std::int32_t state_at(std::size_t client_index) const;
+
+    std::size_t period() const noexcept { return period_; }
+
+    // Fraction of a full cycle spent in `state`.
+    double fraction_in(std::int32_t state) const;
+
+    // The classic two-phase day: `off_peak` clients off-peak, then `peak`.
+    static DiurnalCycle day_night(std::size_t off_peak, std::size_t peak);
+
+private:
+    std::vector<Phase> phases_;
+    std::size_t period_ = 0;
+};
+
+// Collect a trace whose clients traverse a diurnal cycle over the stateful
+// environment; every tuple is labelled with its phase's state.
+Trace collect_diurnal_trace(StatefulSelectionEnv& env,
+                            const core::Policy& logging_policy, std::size_t n,
+                            const DiurnalCycle& cycle, stats::Rng& rng);
+
+} // namespace dre::netsim
+
+#endif // DRE_NETSIM_WORKLOAD_H

@@ -1,0 +1,162 @@
+#include "relay/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace dre::relay {
+
+std::size_t num_decisions(const RelayWorldConfig& config) {
+    return 1 + config.num_relays;
+}
+
+RelayEnv::RelayEnv(RelayWorldConfig config) : config_(config) {
+    if (config_.num_as == 0) throw std::invalid_argument("RelayEnv: no ASes");
+    if (config_.num_relays == 0) throw std::invalid_argument("RelayEnv: no relays");
+    if (config_.nat_fraction < 0.0 || config_.nat_fraction > 1.0)
+        throw std::invalid_argument("RelayEnv: nat_fraction outside [0,1]");
+    stats::Rng rng(config_.seed);
+    path_base_.resize(config_.num_as * config_.num_as);
+    for (double& q : path_base_) q = rng.uniform(3.0, 4.5); // MOS-ish
+    relay_gain_.resize(config_.num_relays);
+    for (double& g : relay_gain_) g = rng.uniform(-0.1, 0.3);
+}
+
+ClientContext RelayEnv::sample_context(stats::Rng& rng) const {
+    ClientContext context;
+    context.categorical = {
+        static_cast<std::int32_t>(rng.uniform_index(config_.num_as)),
+        static_cast<std::int32_t>(rng.uniform_index(config_.num_as)),
+        rng.bernoulli(config_.nat_fraction) ? 1 : 0};
+    return context;
+}
+
+double RelayEnv::mean_quality(const ClientContext& context, Decision d) const {
+    if (context.categorical.size() != 3)
+        throw std::invalid_argument("RelayEnv: context missing (src, dst, nat)");
+    const auto src = static_cast<std::size_t>(context.categorical[0]);
+    const auto dst = static_cast<std::size_t>(context.categorical[1]);
+    const bool nat = context.categorical[2] != 0;
+    if (src >= config_.num_as || dst >= config_.num_as)
+        throw std::out_of_range("RelayEnv: AS out of range");
+    if (d < 0 || static_cast<std::size_t>(d) >= relay::num_decisions(config_))
+        throw std::out_of_range("RelayEnv: decision out of range");
+
+    double quality = path_base_[src * config_.num_as + dst];
+    if (d == 0) {
+        // Direct path: NAT-ed devices suffer their full last-mile penalty.
+        if (nat) quality -= config_.nat_lastmile_penalty;
+    } else {
+        const auto relay = static_cast<std::size_t>(d - 1);
+        quality += relay_gain_[relay] - config_.relay_overhead;
+        // Relaying rescues most of the NAT penalty (TURN-style traversal),
+        // but NAT-ed users still keep a residual last-mile deficit.
+        if (nat)
+            quality -= config_.nat_lastmile_penalty *
+                       (1.0 - config_.relay_nat_rescue);
+    }
+    return quality;
+}
+
+Reward RelayEnv::sample_reward(const ClientContext& context, Decision d,
+                               stats::Rng& rng) const {
+    return mean_quality(context, d) + rng.normal(0.0, config_.noise_sigma);
+}
+
+double RelayEnv::expected_reward(const ClientContext& context, Decision d,
+                                 stats::Rng&, int) const {
+    return mean_quality(context, d);
+}
+
+std::shared_ptr<core::Policy> make_nat_logging_policy(const RelayWorldConfig& config,
+                                                      double epsilon) {
+    const std::size_t decisions = num_decisions(config);
+    auto base = std::make_shared<core::DeterministicPolicy>(
+        decisions, [config](const ClientContext& context) -> Decision {
+            const bool nat = context.categorical.at(2) != 0;
+            if (!nat) return 0; // public calls go direct
+            const auto src = static_cast<std::size_t>(context.categorical.at(0));
+            const auto dst = static_cast<std::size_t>(context.categorical.at(1));
+            return static_cast<Decision>(1 + (src + dst) % config.num_relays);
+        });
+    return std::make_shared<core::EpsilonGreedyPolicy>(std::move(base), epsilon);
+}
+
+std::shared_ptr<core::Policy> make_relay_all_policy(const RelayWorldConfig& config) {
+    const std::size_t decisions = num_decisions(config);
+    return std::make_shared<core::DeterministicPolicy>(
+        decisions, [config](const ClientContext& context) -> Decision {
+            const auto src = static_cast<std::size_t>(context.categorical.at(0));
+            const auto dst = static_cast<std::size_t>(context.categorical.at(1));
+            return static_cast<Decision>(1 + (src + dst) % config.num_relays);
+        });
+}
+
+ClientContext strip_nat(const ClientContext& context) {
+    if (context.categorical.size() != 3)
+        throw std::invalid_argument("strip_nat: context missing (src, dst, nat)");
+    ClientContext stripped;
+    stripped.numeric = context.numeric;
+    stripped.categorical = {context.categorical[0], context.categorical[1]};
+    return stripped;
+}
+
+Trace without_nat_feature(const Trace& trace) {
+    Trace out;
+    out.reserve(trace.size());
+    for (const auto& t : trace) {
+        LoggedTuple copy = t;
+        copy.context = strip_nat(t.context);
+        out.add(std::move(copy));
+    }
+    return out;
+}
+
+double via_matching_estimate(const Trace& trace, const core::Policy& new_policy) {
+    validate_trace(trace);
+    if (trace.empty())
+        throw std::invalid_argument("via_matching_estimate: empty trace");
+
+    // Index logged rewards by ((src, dst), decision), NAT deliberately
+    // ignored — that is VIA's blind spot in Fig. 3.
+    struct MeanCount {
+        double mean = 0.0;
+        std::size_t count = 0;
+        void add(double x) {
+            ++count;
+            mean += (x - mean) / static_cast<double>(count);
+        }
+    };
+    std::unordered_map<std::uint64_t, MeanCount> by_pair_decision;
+    std::unordered_map<std::int64_t, MeanCount> by_decision;
+    MeanCount overall;
+    const auto pair_key = [](const LoggedTuple& t, Decision d) {
+        const auto src = static_cast<std::uint64_t>(t.context.categorical.at(0));
+        const auto dst = static_cast<std::uint64_t>(t.context.categorical.at(1));
+        return (src << 40) ^ (dst << 16) ^ static_cast<std::uint64_t>(d);
+    };
+    for (const auto& t : trace) {
+        by_pair_decision[pair_key(t, t.decision)].add(t.reward);
+        by_decision[t.decision].add(t.reward);
+        overall.add(t.reward);
+    }
+
+    double total = 0.0;
+    for (const auto& t : trace) {
+        const std::vector<double> probs = new_policy.action_probabilities(t.context);
+        const auto choice = static_cast<Decision>(
+            std::max_element(probs.begin(), probs.end()) - probs.begin());
+        const auto it = by_pair_decision.find(pair_key(t, choice));
+        if (it != by_pair_decision.end()) {
+            total += it->second.mean;
+        } else if (const auto jt = by_decision.find(choice); jt != by_decision.end()) {
+            total += jt->second.mean;
+        } else {
+            total += overall.mean;
+        }
+    }
+    return total / static_cast<double>(trace.size());
+}
+
+} // namespace dre::relay

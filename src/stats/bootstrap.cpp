@@ -1,0 +1,43 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/summary.h"
+
+namespace dre::stats {
+
+ConfidenceInterval bootstrap_ci(std::span<const double> sample,
+                                const Statistic& statistic, Rng& rng,
+                                int replicates, double level) {
+    if (sample.empty()) throw std::invalid_argument("bootstrap_ci: empty sample");
+    if (replicates < 2) throw std::invalid_argument("bootstrap_ci: need >= 2 replicates");
+    if (level <= 0.0 || level >= 1.0)
+        throw std::invalid_argument("bootstrap_ci: level outside (0,1)");
+
+    ConfidenceInterval ci;
+    ci.level = level;
+    ci.point = statistic(sample);
+
+    std::vector<double> resample(sample.size());
+    std::vector<double> replicate_values;
+    replicate_values.reserve(static_cast<std::size_t>(replicates));
+    for (int b = 0; b < replicates; ++b) {
+        for (std::size_t i = 0; i < sample.size(); ++i)
+            resample[i] = sample[rng.uniform_index(sample.size())];
+        replicate_values.push_back(statistic(resample));
+    }
+    const double alpha = 1.0 - level;
+    ci.lower = quantile(replicate_values, alpha / 2.0);
+    ci.upper = quantile(replicate_values, 1.0 - alpha / 2.0);
+    return ci;
+}
+
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> sample, Rng& rng,
+                                     int replicates, double level) {
+    return bootstrap_ci(
+        sample, [](std::span<const double> xs) { return mean(xs); }, rng,
+        replicates, level);
+}
+
+} // namespace dre::stats

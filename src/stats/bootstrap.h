@@ -1,0 +1,40 @@
+// Percentile bootstrap confidence intervals for arbitrary sample statistics.
+#ifndef DRE_STATS_BOOTSTRAP_H
+#define DRE_STATS_BOOTSTRAP_H
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace dre::stats {
+
+struct ConfidenceInterval {
+    double point = 0.0; // statistic on the full sample
+    double lower = 0.0;
+    double upper = 0.0;
+    double level = 0.95;
+
+    double width() const noexcept { return upper - lower; }
+    bool contains(double value) const noexcept {
+        return value >= lower && value <= upper;
+    }
+};
+
+// Statistic over a sample (e.g., mean, quantile, estimator value).
+using Statistic = std::function<double(std::span<const double>)>;
+
+// Percentile bootstrap: resample with replacement `replicates` times and
+// take the (alpha/2, 1-alpha/2) quantiles of the replicate statistics.
+ConfidenceInterval bootstrap_ci(std::span<const double> sample,
+                                const Statistic& statistic, Rng& rng,
+                                int replicates = 1000, double level = 0.95);
+
+// Convenience: CI for the mean.
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> sample, Rng& rng,
+                                     int replicates = 1000, double level = 0.95);
+
+} // namespace dre::stats
+
+#endif // DRE_STATS_BOOTSTRAP_H

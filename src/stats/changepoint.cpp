@@ -1,0 +1,129 @@
+#include "stats/changepoint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/summary.h"
+
+namespace dre::stats {
+namespace {
+
+// Prefix sums enabling O(1) L2 segment cost.
+struct Prefix {
+    std::vector<double> sum;
+    std::vector<double> sum_sq;
+
+    explicit Prefix(std::span<const double> xs)
+        : sum(xs.size() + 1, 0.0), sum_sq(xs.size() + 1, 0.0) {
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            sum[i + 1] = sum[i] + xs[i];
+            sum_sq[i + 1] = sum_sq[i] + xs[i] * xs[i];
+        }
+    }
+
+    // Cost of segment [a, b): residual sum of squares around its mean.
+    double cost(std::size_t a, std::size_t b) const {
+        const auto len = static_cast<double>(b - a);
+        const double s = sum[b] - sum[a];
+        const double ss = sum_sq[b] - sum_sq[a];
+        return ss - s * s / len;
+    }
+
+    double segment_mean(std::size_t a, std::size_t b) const {
+        return (sum[b] - sum[a]) / static_cast<double>(b - a);
+    }
+};
+
+} // namespace
+
+ChangepointResult pelt(std::span<const double> series, double penalty,
+                       std::size_t min_segment_length) {
+    const std::size_t n = series.size();
+    if (min_segment_length == 0)
+        throw std::invalid_argument("pelt: min_segment_length must be > 0");
+    ChangepointResult result;
+    if (n < 2 * min_segment_length) {
+        if (n > 0) result.segment_means.push_back(mean(series));
+        return result;
+    }
+    if (penalty <= 0.0) {
+        const double var = variance(series);
+        penalty = 2.0 * std::max(var, 1e-12) * std::log(static_cast<double>(n));
+    }
+
+    const Prefix prefix(series);
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+
+    // f[t] = optimal cost of segmenting [0, t).
+    std::vector<double> f(n + 1, kInf);
+    std::vector<std::size_t> previous(n + 1, 0);
+    f[0] = -penalty;
+
+    std::vector<std::size_t> candidates{0};
+    for (std::size_t t = min_segment_length; t <= n; ++t) {
+        double best = kInf;
+        std::size_t best_tau = 0;
+        for (std::size_t tau : candidates) {
+            if (t - tau < min_segment_length) continue;
+            const double candidate_cost = f[tau] + prefix.cost(tau, t) + penalty;
+            if (candidate_cost < best) {
+                best = candidate_cost;
+                best_tau = tau;
+            }
+        }
+        f[t] = best;
+        previous[t] = best_tau;
+
+        // PELT pruning: discard tau that can never be optimal again.
+        std::vector<std::size_t> kept;
+        kept.reserve(candidates.size() + 1);
+        for (std::size_t tau : candidates) {
+            if (t - tau < min_segment_length ||
+                f[tau] + prefix.cost(tau, t) <= f[t]) {
+                kept.push_back(tau);
+            }
+        }
+        kept.push_back(t + 1 - min_segment_length < t ? t - min_segment_length + 1
+                                                      : t);
+        // Keep the candidate list sorted & unique; the appended index becomes
+        // a valid start once t grows.
+        std::sort(kept.begin(), kept.end());
+        kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+        candidates = std::move(kept);
+    }
+
+    // Backtrack the optimal segmentation.
+    std::vector<std::size_t> boundaries;
+    for (std::size_t t = n; t > 0; t = previous[t]) {
+        boundaries.push_back(t);
+        if (previous[t] == 0) break;
+    }
+    std::sort(boundaries.begin(), boundaries.end());
+
+    std::size_t start = 0;
+    for (std::size_t boundary : boundaries) {
+        result.segment_means.push_back(prefix.segment_mean(start, boundary));
+        if (boundary != n) result.changepoints.push_back(boundary);
+        start = boundary;
+    }
+    result.total_cost = f[n];
+    return result;
+}
+
+std::size_t cusum_alarm(std::span<const double> series, double reference_mean,
+                        double reference_stddev, double drift, double threshold) {
+    if (reference_stddev <= 0.0)
+        throw std::invalid_argument("cusum_alarm: reference_stddev must be > 0");
+    double positive = 0.0, negative = 0.0;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const double z = (series[i] - reference_mean) / reference_stddev;
+        positive = std::max(0.0, positive + z - drift);
+        negative = std::max(0.0, negative - z - drift);
+        if (positive > threshold || negative > threshold) return i;
+    }
+    return series.size();
+}
+
+} // namespace dre::stats

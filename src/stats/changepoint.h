@@ -1,0 +1,41 @@
+// Offline change-point detection.
+//
+// §4.3 of the paper proposes detecting self-inflicted system-state changes
+// ("reward-decision coupling") with change-point detection, citing
+// PELT (Killick et al. 2012) and penalized contrasts (Lavielle 2005).
+// We implement PELT with a Gaussian mean-shift (L2) segment cost and a
+// BIC-style penalty, plus a simple CUSUM online detector.
+#ifndef DRE_STATS_CHANGEPOINT_H
+#define DRE_STATS_CHANGEPOINT_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dre::stats {
+
+struct ChangepointResult {
+    // Indices i such that a new segment starts at i (0 < i < n), ascending.
+    std::vector<std::size_t> changepoints;
+    // Per-segment means, one more than changepoints.
+    std::vector<double> segment_means;
+    double total_cost = 0.0;
+};
+
+// PELT (Pruned Exact Linear Time) with segment cost
+//   C(a, b) = sum_{i in [a,b)} (x_i - mean(a,b))^2
+// and penalty beta per change-point. penalty <= 0 selects the default
+// BIC-like penalty 2 * var(x) * log(n).
+ChangepointResult pelt(std::span<const double> series, double penalty = -1.0,
+                       std::size_t min_segment_length = 2);
+
+// One-sided CUSUM online mean-shift detector. Returns the first index at
+// which the cumulative deviation exceeds `threshold` (in units of the
+// reference stddev), or series.size() if no alarm fires.
+std::size_t cusum_alarm(std::span<const double> series, double reference_mean,
+                        double reference_stddev, double drift = 0.5,
+                        double threshold = 5.0);
+
+} // namespace dre::stats
+
+#endif // DRE_STATS_CHANGEPOINT_H

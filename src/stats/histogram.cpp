@@ -1,0 +1,75 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dre::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+    if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+    if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+    counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) noexcept {
+    const double t = (x - lo_) / (hi_ - lo_);
+    auto bin = static_cast<long long>(t * static_cast<double>(counts_.size()));
+    bin = std::clamp<long long>(bin, 0, static_cast<long long>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(bin)];
+    ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) noexcept {
+    for (double x : xs) add(x);
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+    if (bin >= counts_.size()) throw std::out_of_range("Histogram::count");
+    return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+    if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_lo");
+    return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                     static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+    return bin_lo(bin) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+double Histogram::density(std::size_t bin) const {
+    if (total_ == 0) return 0.0;
+    return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+    std::string out;
+    const std::size_t peak = counts_.empty()
+                                 ? 0
+                                 : *std::max_element(counts_.begin(), counts_.end());
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        char label[64];
+        std::snprintf(label, sizeof(label), "[%9.3f, %9.3f) %7zu |", bin_lo(b),
+                      bin_hi(b), counts_[b]);
+        out += label;
+        const std::size_t bars =
+            peak == 0 ? 0 : counts_[b] * width / std::max<std::size_t>(peak, 1);
+        out.append(bars, '#');
+        out += '\n';
+    }
+    return out;
+}
+
+std::size_t FrequencyTable::count(long long key) const {
+    const auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+double FrequencyTable::fraction(long long key) const {
+    if (total_ == 0) return 0.0;
+    return static_cast<double>(count(key)) / static_cast<double>(total_);
+}
+
+} // namespace dre::stats

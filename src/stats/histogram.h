@@ -1,0 +1,56 @@
+// Fixed-width histogram and categorical frequency table.
+#ifndef DRE_STATS_HISTOGRAM_H
+#define DRE_STATS_HISTOGRAM_H
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dre::stats {
+
+// Equal-width histogram over [lo, hi); out-of-range samples clamp to the
+// edge bins so nothing is silently dropped.
+class Histogram {
+public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x) noexcept;
+    void add_all(std::span<const double> xs) noexcept;
+
+    std::size_t bins() const noexcept { return counts_.size(); }
+    std::size_t count(std::size_t bin) const;
+    std::size_t total() const noexcept { return total_; }
+    double bin_lo(std::size_t bin) const;
+    double bin_hi(std::size_t bin) const;
+    // Fraction of mass in bin (0 when empty).
+    double density(std::size_t bin) const;
+
+    // Render as fixed-width ASCII rows, for bench output.
+    std::string ascii(std::size_t width = 40) const;
+
+private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+// Frequency table over small integer categories.
+class FrequencyTable {
+public:
+    void add(long long key) noexcept { ++counts_[key]; ++total_; }
+    std::size_t count(long long key) const;
+    double fraction(long long key) const;
+    std::size_t total() const noexcept { return total_; }
+    const std::map<long long, std::size_t>& counts() const noexcept { return counts_; }
+
+private:
+    std::map<long long, std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace dre::stats
+
+#endif // DRE_STATS_HISTOGRAM_H

@@ -1,0 +1,84 @@
+#include "stats/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/summary.h"
+
+namespace dre::stats {
+
+KnnRegressor::KnnRegressor(std::size_t k) : k_(k) {
+    if (k == 0) throw std::invalid_argument("KnnRegressor: k must be > 0");
+}
+
+void KnnRegressor::fit(const std::vector<std::vector<double>>& rows,
+                       std::span<const double> targets) {
+    if (rows.empty()) throw std::invalid_argument("KnnRegressor::fit: no samples");
+    if (rows.size() != targets.size())
+        throw std::invalid_argument("KnnRegressor::fit: size mismatch");
+    dims_ = rows.front().size();
+    feature_mean_.assign(dims_, 0.0);
+    feature_scale_.assign(dims_, 1.0);
+
+    std::vector<Accumulator> accs(dims_);
+    for (const auto& row : rows) {
+        if (row.size() != dims_)
+            throw std::invalid_argument("KnnRegressor::fit: ragged feature rows");
+        for (std::size_t d = 0; d < dims_; ++d) accs[d].add(row[d]);
+    }
+    for (std::size_t d = 0; d < dims_; ++d) {
+        feature_mean_[d] = accs[d].mean();
+        const double sd = accs[d].stddev();
+        feature_scale_[d] = sd > 1e-12 ? sd : 1.0;
+    }
+
+    points_.clear();
+    points_.reserve(rows.size());
+    for (const auto& row : rows) points_.push_back(standardize(row));
+    targets_.assign(targets.begin(), targets.end());
+    fitted_ = true;
+}
+
+std::vector<double> KnnRegressor::standardize(std::span<const double> features) const {
+    std::vector<double> out(dims_);
+    for (std::size_t d = 0; d < dims_; ++d)
+        out[d] = (features[d] - feature_mean_[d]) / feature_scale_[d];
+    return out;
+}
+
+double KnnRegressor::predict(std::span<const double> features) const {
+    if (!fitted_) throw std::logic_error("KnnRegressor::predict before fit");
+    if (features.size() != dims_)
+        throw std::invalid_argument("KnnRegressor::predict: feature size mismatch");
+    const std::vector<double> query = standardize(features);
+
+    const std::size_t k = std::min(k_, points_.size());
+    // (distance^2, index) pairs; partial sort for the k nearest.
+    std::vector<std::pair<double, std::size_t>> dist(points_.size());
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+        double d2 = 0.0;
+        for (std::size_t d = 0; d < dims_; ++d) {
+            const double diff = points_[i][d] - query[d];
+            d2 += diff * diff;
+        }
+        dist[i] = {d2, i};
+    }
+    std::nth_element(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     dist.end());
+
+    if (!weighted_) {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < k; ++i) sum += targets_[dist[i].second];
+        return sum / static_cast<double>(k);
+    }
+    double weighted_sum = 0.0, total_weight = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+        const double w = 1.0 / (std::sqrt(dist[i].first) + 1e-9);
+        weighted_sum += w * targets_[dist[i].second];
+        total_weight += w;
+    }
+    return weighted_sum / total_weight;
+}
+
+} // namespace dre::stats

@@ -1,0 +1,47 @@
+// k-nearest-neighbour regression (brute force, feature-standardized L2).
+//
+// The paper's Fig. 7c uses a k-NN reward model (citing Larose [25]) as the
+// Direct-Method component inside DR for the CFA scenario.
+#ifndef DRE_STATS_KNN_H
+#define DRE_STATS_KNN_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dre::stats {
+
+class KnnRegressor {
+public:
+    explicit KnnRegressor(std::size_t k = 5);
+
+    // Stores (a standardized copy of) the training set.
+    void fit(const std::vector<std::vector<double>>& rows,
+             std::span<const double> targets);
+
+    // Mean target of the k nearest training points (inverse-distance
+    // weighted when weighted() is enabled).
+    double predict(std::span<const double> features) const;
+
+    void set_weighted(bool weighted) noexcept { weighted_ = weighted; }
+    bool weighted() const noexcept { return weighted_; }
+    std::size_t k() const noexcept { return k_; }
+    bool fitted() const noexcept { return fitted_; }
+    std::size_t size() const noexcept { return targets_.size(); }
+
+private:
+    std::vector<double> standardize(std::span<const double> features) const;
+
+    std::size_t k_;
+    bool weighted_ = false;
+    bool fitted_ = false;
+    std::size_t dims_ = 0;
+    std::vector<double> feature_mean_;
+    std::vector<double> feature_scale_;
+    std::vector<std::vector<double>> points_; // standardized
+    std::vector<double> targets_;
+};
+
+} // namespace dre::stats
+
+#endif // DRE_STATS_KNN_H

@@ -1,0 +1,134 @@
+#include "stats/special.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/hypothesis.h" // normal_cdf (for the quantile polish step)
+
+namespace dre::stats {
+
+namespace {
+
+// Lentz's algorithm for the incomplete-beta continued fraction
+// (Numerical Recipes "betacf"). Converges in a handful of iterations for
+// x < (a+1)/(a+b+2), which the caller guarantees via the symmetry relation.
+double beta_continued_fraction(double a, double b, double x) {
+    constexpr int kMaxIterations = 300;
+    constexpr double kEpsilon = 3e-15;
+    constexpr double kTiny = 1e-300;
+
+    const double qab = a + b;
+    const double qap = a + 1.0;
+    const double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= kMaxIterations; ++m) {
+        const double m2 = 2.0 * m;
+        // Even step.
+        double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < kTiny) d = kTiny;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < kTiny) c = kTiny;
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < kTiny) d = kTiny;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < kTiny) c = kTiny;
+        d = 1.0 / d;
+        const double del = d * c;
+        h *= del;
+        if (std::fabs(del - 1.0) < kEpsilon) return h;
+    }
+    throw std::runtime_error("incomplete_beta continued fraction did not converge");
+}
+
+} // namespace
+
+double log_gamma(double x) {
+    if (!(x > 0.0)) throw std::invalid_argument("log_gamma needs x > 0");
+    // Lanczos coefficients (g = 7, 9 terms).
+    static constexpr double kCoefficients[] = {
+        0.99999999999980993,  676.5203681218851,    -1259.1392167224028,
+        771.32342877765313,   -176.61502916214059,  12.507343278686905,
+        -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+    if (x < 0.5) {
+        // Reflection: Γ(x)Γ(1-x) = π / sin(πx).
+        return std::log(M_PI / std::sin(M_PI * x)) - log_gamma(1.0 - x);
+    }
+    const double z = x - 1.0;
+    double sum = kCoefficients[0];
+    for (int i = 1; i < 9; ++i) sum += kCoefficients[i] / (z + i);
+    const double t = z + 7.5;
+    return 0.5 * std::log(2.0 * M_PI) + (z + 0.5) * std::log(t) - t + std::log(sum);
+}
+
+double incomplete_beta(double a, double b, double x) {
+    if (!(a > 0.0) || !(b > 0.0))
+        throw std::invalid_argument("incomplete_beta needs a, b > 0");
+    if (!(x >= 0.0 && x <= 1.0))
+        throw std::invalid_argument("incomplete_beta needs x in [0, 1]");
+    if (x == 0.0) return 0.0;
+    if (x == 1.0) return 1.0;
+    const double log_front = log_gamma(a + b) - log_gamma(a) - log_gamma(b) +
+                             a * std::log(x) + b * std::log1p(-x);
+    const double front = std::exp(log_front);
+    if (x < (a + 1.0) / (a + b + 2.0))
+        return front * beta_continued_fraction(a, b, x) / a;
+    // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a), where the fraction converges.
+    return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double dof) {
+    if (!(dof > 0.0)) throw std::invalid_argument("student_t_cdf needs dof > 0");
+    if (t == 0.0) return 0.5;
+    const double x = dof / (dof + t * t);
+    const double tail = 0.5 * incomplete_beta(0.5 * dof, 0.5, x);
+    return t > 0.0 ? 1.0 - tail : tail;
+}
+
+double normal_quantile(double p) {
+    if (!(p > 0.0 && p < 1.0))
+        throw std::invalid_argument("normal_quantile needs p in (0, 1)");
+    // Acklam's rational approximation, |relative error| < 1.15e-9.
+    static constexpr double A[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                   -2.759285104469687e+02, 1.383577518672690e+02,
+                                   -3.066479806614716e+01, 2.506628277459239e+00};
+    static constexpr double B[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                   -1.556989798598866e+02, 6.680131188771972e+01,
+                                   -1.328068155288572e+01};
+    static constexpr double C[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                   -2.400758277161838e+00, -2.549732539343734e+00,
+                                   4.374664141464968e+00,  2.938163982698783e+00};
+    static constexpr double D[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                   2.445134137142996e+00, 3.754408661907416e+00};
+    constexpr double kLow = 0.02425;
+
+    double z;
+    if (p < kLow) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        z = (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5]) /
+            ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0);
+    } else if (p <= 1.0 - kLow) {
+        const double q = p - 0.5;
+        const double r = q * q;
+        z = (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q /
+            (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0);
+    } else {
+        const double q = std::sqrt(-2.0 * std::log1p(-p));
+        z = -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5]) /
+            ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0);
+    }
+    // One Halley step against the exact CDF tightens to ~1e-15.
+    const double e = normal_cdf(z) - p;
+    const double u = e * std::sqrt(2.0 * M_PI) * std::exp(0.5 * z * z);
+    return z - u / (1.0 + 0.5 * z * u);
+}
+
+} // namespace dre::stats

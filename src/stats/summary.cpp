@@ -1,0 +1,157 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace dre::stats {
+
+void Accumulator::add(double x) noexcept {
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void Accumulator::merge(const Accumulator& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto total = static_cast<double>(n_ + other.n_);
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) / total;
+    mean_ = (mean_ * static_cast<double>(n_) +
+             other.mean_ * static_cast<double>(other.n_)) /
+            total;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double Accumulator::variance() const noexcept {
+    return n_ == 0 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double Accumulator::stddev() const noexcept {
+    return std::sqrt(variance());
+}
+
+double Accumulator::sample_variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::sample_stddev() const noexcept {
+    return std::sqrt(sample_variance());
+}
+
+double Accumulator::standard_error() const noexcept {
+    return n_ < 2 ? 0.0 : sample_stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+namespace {
+
+void require_nonempty(std::span<const double> xs, const char* who) {
+    if (xs.empty()) throw std::invalid_argument(std::string(who) + ": empty sample");
+}
+
+} // namespace
+
+double mean(std::span<const double> xs) {
+    require_nonempty(xs, "mean");
+    Accumulator acc;
+    for (double x : xs) acc.add(x);
+    return acc.mean();
+}
+
+double variance(std::span<const double> xs) {
+    require_nonempty(xs, "variance");
+    Accumulator acc;
+    for (double x : xs) acc.add(x);
+    return acc.variance();
+}
+
+double sample_variance(std::span<const double> xs) {
+    require_nonempty(xs, "sample_variance");
+    Accumulator acc;
+    for (double x : xs) acc.add(x);
+    return acc.sample_variance();
+}
+
+double stddev(std::span<const double> xs) {
+    return std::sqrt(variance(xs));
+}
+
+double quantile(std::span<const double> xs, double q) {
+    require_nonempty(xs, "quantile");
+    if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) {
+    return quantile(xs, 0.5);
+}
+
+Summary summarize(std::span<const double> xs) {
+    require_nonempty(xs, "summarize");
+    Accumulator acc;
+    for (double x : xs) acc.add(x);
+    Summary s;
+    s.count = acc.count();
+    s.mean = acc.mean();
+    s.stddev = acc.sample_stddev();
+    s.standard_error = acc.standard_error();
+    s.min = acc.min();
+    s.max = acc.max();
+    s.median = median(xs);
+    s.p25 = quantile(xs, 0.25);
+    s.p75 = quantile(xs, 0.75);
+    return s;
+}
+
+double correlation(std::span<const double> xs, std::span<const double> ys) {
+    if (xs.size() != ys.size())
+        throw std::invalid_argument("correlation: size mismatch");
+    require_nonempty(xs, "correlation");
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0) return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double weighted_mean(std::span<const double> xs, std::span<const double> ws) {
+    if (xs.size() != ws.size())
+        throw std::invalid_argument("weighted_mean: size mismatch");
+    require_nonempty(xs, "weighted_mean");
+    double total = 0.0, weight = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (ws[i] < 0.0) throw std::invalid_argument("weighted_mean: negative weight");
+        total += xs[i] * ws[i];
+        weight += ws[i];
+    }
+    if (weight <= 0.0) throw std::invalid_argument("weighted_mean: zero total weight");
+    return total / weight;
+}
+
+} // namespace dre::stats

@@ -1,0 +1,32 @@
+#include "stats/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dre::stats {
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+    if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+    if (exponent < 0.0) throw std::invalid_argument("ZipfSampler: negative exponent");
+    cumulative_.resize(n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+        cumulative_[i] = total;
+    }
+    for (double& c : cumulative_) c /= total;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    return static_cast<std::size_t>(it - cumulative_.begin());
+}
+
+double ZipfSampler::probability(std::size_t i) const {
+    if (i >= cumulative_.size()) throw std::out_of_range("ZipfSampler::probability");
+    return i == 0 ? cumulative_[0] : cumulative_[i] - cumulative_[i - 1];
+}
+
+} // namespace dre::stats

@@ -1,0 +1,29 @@
+// Zipf-distributed sampling. Client populations in networking traces are
+// heavy-tailed (a few ASes/cities dominate); the workload generators use
+// this to produce realistic context skew.
+#ifndef DRE_STATS_ZIPF_H
+#define DRE_STATS_ZIPF_H
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace dre::stats {
+
+class ZipfSampler {
+public:
+    // P(i) proportional to 1 / (i+1)^exponent over i in [0, n).
+    ZipfSampler(std::size_t n, double exponent);
+
+    std::size_t sample(Rng& rng) const;
+    double probability(std::size_t i) const;
+    std::size_t size() const noexcept { return cumulative_.size(); }
+
+private:
+    std::vector<double> cumulative_; // normalized cumulative probabilities
+};
+
+} // namespace dre::stats
+
+#endif // DRE_STATS_ZIPF_H

@@ -1,0 +1,112 @@
+#include "trace/csv.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace dre {
+namespace {
+
+std::vector<std::string> split_row(const std::string& line) {
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream ss(line);
+    while (std::getline(ss, cell, ',')) cells.push_back(cell);
+    if (!line.empty() && line.back() == ',') cells.emplace_back();
+    return cells;
+}
+
+[[noreturn]] void fail(std::size_t line_number, const std::string& what) {
+    throw std::runtime_error("csv line " + std::to_string(line_number) + ": " + what);
+}
+
+} // namespace
+
+void write_csv(const Trace& trace, std::ostream& out) {
+    const std::size_t numeric_dims =
+        trace.empty() ? 0 : trace[0].context.numeric_dims();
+    const std::size_t categorical_dims =
+        trace.empty() ? 0 : trace[0].context.categorical_dims();
+
+    out << "decision,reward,propensity,state";
+    for (std::size_t i = 0; i < numeric_dims; ++i) out << ",n" << i;
+    for (std::size_t i = 0; i < categorical_dims; ++i) out << ",c" << i;
+    out << '\n';
+
+    out << std::setprecision(17);
+    for (const auto& t : trace) {
+        if (t.context.numeric_dims() != numeric_dims ||
+            t.context.categorical_dims() != categorical_dims)
+            throw std::invalid_argument("write_csv: heterogeneous context schema");
+        out << t.decision << ',' << t.reward << ',' << t.propensity << ','
+            << t.state;
+        for (double v : t.context.numeric) out << ',' << v;
+        for (std::int32_t c : t.context.categorical) out << ',' << c;
+        out << '\n';
+    }
+}
+
+void write_csv_file(const Trace& trace, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("write_csv_file: cannot open " + path);
+    write_csv(trace, out);
+    if (!out) throw std::runtime_error("write_csv_file: write failed for " + path);
+}
+
+Trace read_csv(std::istream& in) {
+    std::string line;
+    if (!std::getline(in, line)) throw std::runtime_error("csv: missing header");
+    const std::vector<std::string> header = split_row(line);
+    if (header.size() < 4 || header[0] != "decision" || header[1] != "reward" ||
+        header[2] != "propensity" || header[3] != "state")
+        throw std::runtime_error("csv: unexpected header");
+
+    std::size_t numeric_dims = 0, categorical_dims = 0;
+    for (std::size_t i = 4; i < header.size(); ++i) {
+        if (!header[i].empty() && header[i][0] == 'n') {
+            ++numeric_dims;
+        } else if (!header[i].empty() && header[i][0] == 'c') {
+            ++categorical_dims;
+        } else {
+            throw std::runtime_error("csv: unknown column " + header[i]);
+        }
+    }
+
+    Trace trace;
+    std::size_t line_number = 1;
+    while (std::getline(in, line)) {
+        ++line_number;
+        if (line.empty()) continue;
+        const std::vector<std::string> cells = split_row(line);
+        if (cells.size() != 4 + numeric_dims + categorical_dims)
+            fail(line_number, "wrong cell count");
+        LoggedTuple tuple;
+        try {
+            tuple.decision = static_cast<Decision>(std::stol(cells[0]));
+            tuple.reward = std::stod(cells[1]);
+            tuple.propensity = std::stod(cells[2]);
+            tuple.state = static_cast<std::int32_t>(std::stol(cells[3]));
+            tuple.context.numeric.reserve(numeric_dims);
+            for (std::size_t i = 0; i < numeric_dims; ++i)
+                tuple.context.numeric.push_back(std::stod(cells[4 + i]));
+            tuple.context.categorical.reserve(categorical_dims);
+            for (std::size_t i = 0; i < categorical_dims; ++i)
+                tuple.context.categorical.push_back(
+                    static_cast<std::int32_t>(std::stol(cells[4 + numeric_dims + i])));
+        } catch (const std::exception& e) {
+            fail(line_number, e.what());
+        }
+        trace.add(std::move(tuple));
+    }
+    return trace;
+}
+
+Trace read_csv_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("read_csv_file: cannot open " + path);
+    return read_csv(in);
+}
+
+} // namespace dre

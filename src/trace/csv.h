@@ -1,0 +1,27 @@
+// CSV import/export for traces, so experiments can be persisted and
+// analyzed outside the library.
+//
+// Format (one row per tuple, header included):
+//   decision,reward,propensity,state,n0,n1,...,c0,c1,...
+// The header declares the schema: numeric feature columns `n<i>` and
+// categorical feature columns `c<i>`; every row must match it.
+#ifndef DRE_TRACE_CSV_H
+#define DRE_TRACE_CSV_H
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace dre {
+
+void write_csv(const Trace& trace, std::ostream& out);
+void write_csv_file(const Trace& trace, const std::string& path);
+
+// Throws std::runtime_error on malformed input.
+Trace read_csv(std::istream& in);
+Trace read_csv_file(const std::string& path);
+
+} // namespace dre
+
+#endif // DRE_TRACE_CSV_H

@@ -1,0 +1,76 @@
+// Core data model for trace-driven evaluation (paper §2.1).
+//
+// A *client context* c is a featurized summary of the client and its
+// surroundings (client IP bucket, location, device type, time of day, ...).
+// A *decision* d is one of a finite decision space D (server choice, CDN,
+// bitrate, relay path, configuration, ...). A *trace* is the logged set
+// T = {(c_k, d_k, r_k)} produced by running an *old policy* mu_old, where
+// r_k is the observed reward (performance metric).
+#ifndef DRE_TRACE_TYPES_H
+#define DRE_TRACE_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dre {
+
+// Identifier into a finite decision space [0, num_decisions).
+using Decision = std::int32_t;
+
+// Observed performance metric (QoE, -latency, throughput, ...); higher is
+// better by convention throughout the library.
+using Reward = double;
+
+// A client context: a fixed-length vector of numeric features plus an
+// optional vector of categorical features (small non-negative codes).
+// Numeric and categorical parts are kept separate so that reward models can
+// treat them appropriately (regression vs. exact matching / one-hot).
+struct ClientContext {
+    std::vector<double> numeric;
+    std::vector<std::int32_t> categorical;
+
+    ClientContext() = default;
+    explicit ClientContext(std::vector<double> numeric_features,
+                           std::vector<std::int32_t> categorical_features = {})
+        : numeric(std::move(numeric_features)),
+          categorical(std::move(categorical_features)) {}
+
+    std::size_t numeric_dims() const noexcept { return numeric.size(); }
+    std::size_t categorical_dims() const noexcept { return categorical.size(); }
+
+    // Flatten to a single numeric vector (categoricals cast to double) for
+    // generic regressors. One-hot expansion is the reward model's business.
+    std::vector<double> flattened() const;
+
+    bool operator==(const ClientContext&) const = default;
+};
+
+// One logged interaction. `propensity` is mu_old(d_k | c_k): the probability
+// with which the logging policy chose the logged decision. The paper assumes
+// it is known ("we assume knowledge of the probability..."); when it is not,
+// dre::core::PropensityModel estimates it from the trace.
+struct LoggedTuple {
+    ClientContext context;
+    Decision decision = 0;
+    Reward reward = 0.0;
+    double propensity = 1.0;
+    // Optional system-state label (§4.1/§4.3: load regime, time-of-day, ...).
+    // kNoState means unlabeled.
+    std::int32_t state = kNoState;
+
+    static constexpr std::int32_t kNoState = -1;
+};
+
+// Hash-like key for exact context matching (used by tabular models and the
+// CFA matching estimator).
+std::uint64_t context_fingerprint(const ClientContext& context) noexcept;
+
+// Human-readable rendering for logs and error messages.
+std::string to_string(const ClientContext& context);
+
+} // namespace dre
+
+#endif // DRE_TRACE_TYPES_H

@@ -1,0 +1,89 @@
+#include "video/evaluation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/ewma.h"
+
+namespace dre::video {
+
+AbrPolicyAdapter::AbrPolicyAdapter(const AbrAlgorithm& abr, BitrateLadder ladder,
+                                   SessionConfig session, QoeParams qoe,
+                                   double epsilon)
+    : abr_(abr),
+      ladder_(std::move(ladder)),
+      session_(session),
+      qoe_(qoe),
+      epsilon_(epsilon) {
+    if (epsilon_ < 0.0 || epsilon_ > 1.0)
+        throw std::invalid_argument("AbrPolicyAdapter: epsilon outside [0,1]");
+}
+
+std::vector<double> AbrPolicyAdapter::action_probabilities(
+    const ClientContext& context) const {
+    const AbrState state = state_from_context(context);
+    const std::size_t greedy = abr_.choose(state, ladder_, session_, qoe_);
+    std::vector<double> probs(ladder_.levels(),
+                              epsilon_ / static_cast<double>(ladder_.levels()));
+    probs[greedy] += 1.0 - epsilon_;
+    return probs;
+}
+
+NaiveChunkModel::NaiveChunkModel(BitrateLadder ladder, SessionConfig session,
+                                 QoeParams qoe)
+    : ladder_(std::move(ladder)), session_(session), qoe_(qoe) {}
+
+double NaiveChunkModel::predict(const ClientContext& context, Decision d) const {
+    if (d < 0 || static_cast<std::size_t>(d) >= ladder_.levels())
+        throw std::out_of_range("NaiveChunkModel::predict: decision out of range");
+    const AbrState state = state_from_context(context);
+    const double bitrate = ladder_.mbps(static_cast<std::size_t>(d));
+    // FastMPC's faulty assumption: the throughput predictor (a harmonic mean
+    // of throughputs *observed at past bitrates*) is what any candidate
+    // bitrate would achieve for this chunk.
+    const double download_s = bitrate * session_.chunk_seconds /
+                              std::max(state.predicted_throughput_mbps, 1e-3);
+    const double rebuffer_s = std::max(0.0, download_s - state.buffer_s);
+    return qoe_.chunk_qoe(bitrate, rebuffer_s, ladder_.mbps(state.previous_level));
+}
+
+double replay_session_naive(const SessionRecord& logged, const AbrAlgorithm& abr,
+                            const BitrateLadder& ladder, const SessionConfig& session,
+                            const QoeParams& qoe) {
+    if (logged.empty())
+        throw std::invalid_argument("replay_session_naive: empty session");
+
+    AbrState state;
+    state.buffer_s = session.start_buffer_s;
+    state.previous_level = 0;
+    state.predicted_throughput_mbps = ladder.mbps(0) * 2.0;
+
+    stats::SlidingWindow recent_throughput(5);
+
+    double total_qoe = 0.0;
+    for (std::size_t k = 0; k < logged.size(); ++k) {
+        state.chunk_index = k;
+        const std::size_t level = abr.choose(state, ladder, session, qoe);
+        const double bitrate = ladder.mbps(level);
+        // The replay's central error: the throughput the *old* policy's
+        // bitrate experienced is assumed to apply to the new bitrate too.
+        const double throughput = logged[k].observed_throughput_mbps;
+        const double download_s =
+            bitrate * session.chunk_seconds / std::max(throughput, 1e-3);
+        const double rebuffer_s = std::max(0.0, download_s - state.buffer_s);
+        total_qoe += qoe.chunk_qoe(bitrate, rebuffer_s,
+                                   ladder.mbps(state.previous_level));
+
+        double buffer = std::max(state.buffer_s - download_s, 0.0) +
+                        session.chunk_seconds;
+        state.buffer_s = std::min(buffer, session.max_buffer_s);
+        state.previous_level = level;
+
+        recent_throughput.add(throughput);
+        state.predicted_throughput_mbps = recent_throughput.harmonic_mean();
+    }
+    return total_qoe / static_cast<double>(logged.size());
+}
+
+} // namespace dre::video

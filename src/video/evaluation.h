@@ -1,0 +1,68 @@
+// Trace-driven evaluation of ABR policies (the Fig. 2 / Fig. 7b machinery).
+//
+// Three evaluators of a new ABR algorithm from a logged session:
+//  * replay_session_naive — the FastMPC-paper evaluator: replay the new ABR
+//    against the *observed* throughput sequence, assuming the throughput a
+//    chunk saw is what any bitrate would have seen. Biased (Fig. 2).
+//  * Direct Method with NaiveChunkModel — the same assumption expressed as
+//    a per-chunk reward model inside the generic framework.
+//  * Doubly Robust — DM plus the importance-weighted correction on chunks
+//    whose logged bitrate matches the new policy ("using the unbiased
+//    quality measurement on chunks that use the same bitrate", §4.2).
+#ifndef DRE_VIDEO_EVALUATION_H
+#define DRE_VIDEO_EVALUATION_H
+
+#include <memory>
+
+#include "core/policy.h"
+#include "core/reward_model.h"
+#include "video/session.h"
+
+namespace dre::video {
+
+// Adapts an ABR algorithm to the generic Policy interface over logged chunk
+// contexts. With epsilon > 0 this is the epsilon-greedy logging policy;
+// with epsilon == 0 a deterministic target policy.
+class AbrPolicyAdapter final : public core::Policy {
+public:
+    AbrPolicyAdapter(const AbrAlgorithm& abr, BitrateLadder ladder,
+                     SessionConfig session, QoeParams qoe, double epsilon = 0.0);
+
+    std::vector<double> action_probabilities(const ClientContext& context) const override;
+    std::size_t num_decisions() const noexcept override { return ladder_.levels(); }
+
+private:
+    const AbrAlgorithm& abr_; // non-owning; caller keeps it alive
+    BitrateLadder ladder_;
+    SessionConfig session_;
+    QoeParams qoe_;
+    double epsilon_;
+};
+
+// Reward model embodying the faulty independence assumption: the chunk's
+// *predicted* throughput (a harmonic mean of throughputs observed at past
+// bitrates, carried in the context) is treated as the bandwidth any
+// candidate bitrate would achieve. Because past observations were taken at
+// the logging policy's bitrates, the prediction inherits the b*p(r) skew.
+class NaiveChunkModel final : public core::RewardModel {
+public:
+    NaiveChunkModel(BitrateLadder ladder, SessionConfig session, QoeParams qoe);
+
+    double predict(const ClientContext& context, Decision d) const override;
+    std::size_t num_decisions() const noexcept override { return ladder_.levels(); }
+
+private:
+    BitrateLadder ladder_;
+    SessionConfig session_;
+    QoeParams qoe_;
+};
+
+// Full-session naive replay (the original FastMPC evaluator): mean QoE of
+// `abr` replayed over the logged observed-throughput sequence.
+double replay_session_naive(const SessionRecord& logged, const AbrAlgorithm& abr,
+                            const BitrateLadder& ladder, const SessionConfig& session,
+                            const QoeParams& qoe);
+
+} // namespace dre::video
+
+#endif // DRE_VIDEO_EVALUATION_H

@@ -1,0 +1,395 @@
+#include "wise/bayes_net.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+namespace dre::wise {
+
+BayesianNetwork::BayesianNetwork(std::vector<std::int32_t> cardinalities)
+    : cardinalities_(std::move(cardinalities)),
+      parents_(cardinalities_.size()),
+      cpt_(cardinalities_.size()) {
+    if (cardinalities_.empty())
+        throw std::invalid_argument("BayesianNetwork: no variables");
+    for (std::int32_t c : cardinalities_)
+        if (c <= 0)
+            throw std::invalid_argument("BayesianNetwork: cardinality must be > 0");
+    recompute_topological_order();
+}
+
+std::int32_t BayesianNetwork::cardinality(std::size_t var) const {
+    if (var >= cardinalities_.size())
+        throw std::out_of_range("BayesianNetwork::cardinality");
+    return cardinalities_[var];
+}
+
+void BayesianNetwork::set_parents(std::size_t var, std::vector<std::size_t> parents) {
+    if (var >= cardinalities_.size())
+        throw std::out_of_range("BayesianNetwork::set_parents");
+    for (std::size_t p : parents) {
+        if (p >= cardinalities_.size())
+            throw std::invalid_argument("BayesianNetwork: unknown parent");
+        if (p == var)
+            throw std::invalid_argument("BayesianNetwork: self-parent");
+    }
+    const std::vector<std::size_t> saved = std::move(parents_[var]);
+    parents_[var] = std::move(parents);
+    try {
+        recompute_topological_order(); // throws on cycle
+    } catch (...) {
+        parents_[var] = saved;
+        throw;
+    }
+    fitted_ = false;
+}
+
+const std::vector<std::size_t>& BayesianNetwork::parents(std::size_t var) const {
+    if (var >= parents_.size()) throw std::out_of_range("BayesianNetwork::parents");
+    return parents_[var];
+}
+
+void BayesianNetwork::recompute_topological_order() {
+    const std::size_t n = cardinalities_.size();
+    std::vector<int> state(n, 0); // 0 unvisited, 1 visiting, 2 done
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    // DFS over parent edges: parents come before children.
+    std::function<void(std::size_t)> visit = [&](std::size_t v) {
+        if (state[v] == 1)
+            throw std::invalid_argument("BayesianNetwork: cycle detected");
+        if (state[v] == 2) return;
+        state[v] = 1;
+        for (std::size_t p : parents_[v]) visit(p);
+        state[v] = 2;
+        order.push_back(v);
+    };
+    for (std::size_t v = 0; v < n; ++v) visit(v);
+    topo_order_ = std::move(order);
+}
+
+void BayesianNetwork::check_assignment(const Assignment& assignment) const {
+    if (assignment.size() != cardinalities_.size())
+        throw std::invalid_argument("BayesianNetwork: assignment arity mismatch");
+    for (std::size_t v = 0; v < assignment.size(); ++v)
+        if (assignment[v] < 0 || assignment[v] >= cardinalities_[v])
+            throw std::invalid_argument("BayesianNetwork: value out of range");
+}
+
+std::size_t BayesianNetwork::parent_configuration(std::size_t var,
+                                                  const Assignment& assignment) const {
+    std::size_t config = 0;
+    for (std::size_t p : parents_[var]) {
+        config = config * static_cast<std::size_t>(cardinalities_[p]) +
+                 static_cast<std::size_t>(assignment[p]);
+    }
+    return config;
+}
+
+void BayesianNetwork::fit(const std::vector<Assignment>& rows, double laplace) {
+    if (rows.empty()) throw std::invalid_argument("BayesianNetwork::fit: no rows");
+    if (laplace < 0.0)
+        throw std::invalid_argument("BayesianNetwork::fit: negative smoothing");
+    for (const auto& row : rows) check_assignment(row);
+
+    for (std::size_t var = 0; var < cardinalities_.size(); ++var) {
+        std::size_t configs = 1;
+        for (std::size_t p : parents_[var])
+            configs *= static_cast<std::size_t>(cardinalities_[p]);
+        const auto k = static_cast<std::size_t>(cardinalities_[var]);
+        std::vector<double> counts(configs * k, laplace);
+        for (const auto& row : rows) {
+            const std::size_t config = parent_configuration(var, row);
+            counts[config * k + static_cast<std::size_t>(row[var])] += 1.0;
+        }
+        // Normalize per configuration.
+        for (std::size_t c = 0; c < configs; ++c) {
+            double total = 0.0;
+            for (std::size_t v = 0; v < k; ++v) total += counts[c * k + v];
+            if (total <= 0.0) {
+                for (std::size_t v = 0; v < k; ++v)
+                    counts[c * k + v] = 1.0 / static_cast<double>(k);
+            } else {
+                for (std::size_t v = 0; v < k; ++v) counts[c * k + v] /= total;
+            }
+        }
+        cpt_[var] = std::move(counts);
+    }
+    fitted_ = true;
+}
+
+double BayesianNetwork::conditional_probability(std::size_t var,
+                                                const Assignment& assignment) const {
+    if (!fitted_) throw std::logic_error("BayesianNetwork used before fit");
+    check_assignment(assignment);
+    if (var >= cardinalities_.size())
+        throw std::out_of_range("BayesianNetwork::conditional_probability");
+    const auto k = static_cast<std::size_t>(cardinalities_[var]);
+    const std::size_t config = parent_configuration(var, assignment);
+    return cpt_[var][config * k + static_cast<std::size_t>(assignment[var])];
+}
+
+double BayesianNetwork::joint_probability(const Assignment& assignment) const {
+    double probability = 1.0;
+    for (std::size_t var = 0; var < cardinalities_.size(); ++var)
+        probability *= conditional_probability(var, assignment);
+    return probability;
+}
+
+Assignment BayesianNetwork::sample(stats::Rng& rng) const {
+    if (!fitted_) throw std::logic_error("BayesianNetwork used before fit");
+    Assignment assignment(cardinalities_.size(), 0);
+    for (std::size_t var : topo_order_) {
+        const auto k = static_cast<std::size_t>(cardinalities_[var]);
+        const std::size_t config = parent_configuration(var, assignment);
+        const std::span<const double> probs(cpt_[var].data() + config * k, k);
+        assignment[var] = static_cast<std::int32_t>(rng.categorical(probs));
+    }
+    return assignment;
+}
+
+std::vector<double> BayesianNetwork::posterior(
+    std::size_t query_var,
+    const std::map<std::size_t, std::int32_t>& evidence) const {
+    if (!fitted_) throw std::logic_error("BayesianNetwork used before fit");
+    if (query_var >= cardinalities_.size())
+        throw std::out_of_range("BayesianNetwork::posterior");
+    for (const auto& [var, value] : evidence) {
+        if (var >= cardinalities_.size())
+            throw std::invalid_argument("BayesianNetwork: unknown evidence variable");
+        if (value < 0 || value >= cardinalities_[var])
+            throw std::invalid_argument("BayesianNetwork: evidence value out of range");
+    }
+
+    // Enumerate the full joint over the free variables (small networks).
+    std::vector<std::size_t> free_vars;
+    for (std::size_t v = 0; v < cardinalities_.size(); ++v)
+        if (v != query_var && !evidence.contains(v)) free_vars.push_back(v);
+    double state_space = static_cast<double>(cardinalities_[query_var]);
+    for (std::size_t v : free_vars) state_space *= cardinalities_[v];
+    if (state_space > 2e7)
+        throw std::runtime_error("BayesianNetwork::posterior: state space too large");
+
+    Assignment assignment(cardinalities_.size(), 0);
+    for (const auto& [var, value] : evidence) assignment[var] = value;
+
+    const auto kq = static_cast<std::size_t>(cardinalities_[query_var]);
+    std::vector<double> unnormalized(kq, 0.0);
+    // Recursive enumeration over free variables.
+    std::function<void(std::size_t)> enumerate = [&](std::size_t index) {
+        if (index == free_vars.size()) {
+            for (std::size_t q = 0; q < kq; ++q) {
+                assignment[query_var] = static_cast<std::int32_t>(q);
+                unnormalized[q] += joint_probability(assignment);
+            }
+            return;
+        }
+        const std::size_t var = free_vars[index];
+        for (std::int32_t v = 0; v < cardinalities_[var]; ++v) {
+            assignment[var] = v;
+            enumerate(index + 1);
+        }
+    };
+    enumerate(0);
+
+    double total = 0.0;
+    for (double u : unnormalized) total += u;
+    if (total <= 0.0)
+        throw std::runtime_error("BayesianNetwork::posterior: zero-probability evidence");
+    for (double& u : unnormalized) u /= total;
+    return unnormalized;
+}
+
+double mutual_information(const std::vector<Assignment>& rows, std::size_t a,
+                          std::size_t b, std::int32_t cardinality_a,
+                          std::int32_t cardinality_b) {
+    if (rows.empty()) throw std::invalid_argument("mutual_information: no rows");
+    const auto ka = static_cast<std::size_t>(cardinality_a);
+    const auto kb = static_cast<std::size_t>(cardinality_b);
+    std::vector<double> joint(ka * kb, 0.0), pa(ka, 0.0), pb(kb, 0.0);
+    const double weight = 1.0 / static_cast<double>(rows.size());
+    for (const auto& row : rows) {
+        const auto va = static_cast<std::size_t>(row[a]);
+        const auto vb = static_cast<std::size_t>(row[b]);
+        if (va >= ka || vb >= kb)
+            throw std::invalid_argument("mutual_information: value out of range");
+        joint[va * kb + vb] += weight;
+        pa[va] += weight;
+        pb[vb] += weight;
+    }
+    double mi = 0.0;
+    for (std::size_t i = 0; i < ka; ++i)
+        for (std::size_t j = 0; j < kb; ++j) {
+            const double pij = joint[i * kb + j];
+            if (pij > 0.0) mi += pij * std::log(pij / (pa[i] * pb[j]));
+        }
+    return std::max(mi, 0.0);
+}
+
+BayesianNetwork learn_chow_liu_tree(const std::vector<Assignment>& rows,
+                                    std::vector<std::int32_t> cardinalities,
+                                    double laplace) {
+    if (rows.empty()) throw std::invalid_argument("learn_chow_liu_tree: no rows");
+    const std::size_t n = cardinalities.size();
+    BayesianNetwork network(cardinalities);
+    if (n > 1) {
+        // Prim's algorithm on the complete MI graph, rooted at variable 0.
+        std::vector<bool> in_tree(n, false);
+        std::vector<double> best_mi(n, -1.0);
+        std::vector<std::size_t> best_parent(n, 0);
+        in_tree[0] = true;
+        for (std::size_t v = 1; v < n; ++v) {
+            best_mi[v] = mutual_information(rows, 0, v, cardinalities[0],
+                                            cardinalities[v]);
+            best_parent[v] = 0;
+        }
+        for (std::size_t added = 1; added < n; ++added) {
+            std::size_t pick = n;
+            for (std::size_t v = 0; v < n; ++v)
+                if (!in_tree[v] && (pick == n || best_mi[v] > best_mi[pick]))
+                    pick = v;
+            in_tree[pick] = true;
+            network.set_parents(pick, {best_parent[pick]});
+            for (std::size_t v = 0; v < n; ++v) {
+                if (in_tree[v]) continue;
+                const double mi = mutual_information(rows, pick, v,
+                                                     cardinalities[pick],
+                                                     cardinalities[v]);
+                if (mi > best_mi[v]) {
+                    best_mi[v] = mi;
+                    best_parent[v] = pick;
+                }
+            }
+        }
+    }
+    network.fit(rows, laplace);
+    return network;
+}
+
+double bic_score(const std::vector<Assignment>& rows,
+                 const std::vector<std::int32_t>& cardinalities,
+                 const std::vector<std::vector<std::size_t>>& parents) {
+    if (rows.empty()) throw std::invalid_argument("bic_score: no rows");
+    if (parents.size() != cardinalities.size())
+        throw std::invalid_argument("bic_score: arity mismatch");
+    const auto n = static_cast<double>(rows.size());
+    double score = 0.0;
+    for (std::size_t var = 0; var < cardinalities.size(); ++var) {
+        // Count (parent config, value) occurrences.
+        std::size_t configs = 1;
+        for (std::size_t p : parents[var])
+            configs *= static_cast<std::size_t>(cardinalities[p]);
+        const auto k = static_cast<std::size_t>(cardinalities[var]);
+        std::vector<double> counts(configs * k, 0.0);
+        std::vector<double> config_totals(configs, 0.0);
+        for (const auto& row : rows) {
+            std::size_t config = 0;
+            for (std::size_t p : parents[var])
+                config = config * static_cast<std::size_t>(cardinalities[p]) +
+                         static_cast<std::size_t>(row[p]);
+            counts[config * k + static_cast<std::size_t>(row[var])] += 1.0;
+            config_totals[config] += 1.0;
+        }
+        // Max-likelihood log-likelihood contribution.
+        for (std::size_t c = 0; c < configs; ++c) {
+            if (config_totals[c] == 0.0) continue;
+            for (std::size_t v = 0; v < k; ++v) {
+                const double count = counts[c * k + v];
+                if (count > 0.0)
+                    score += count * std::log(count / config_totals[c]);
+            }
+        }
+        // Complexity penalty.
+        score -= 0.5 * std::log(n) * static_cast<double>(configs * (k - 1));
+    }
+    return score;
+}
+
+BayesianNetwork learn_hill_climbing(const std::vector<Assignment>& rows,
+                                    std::vector<std::int32_t> cardinalities,
+                                    const HillClimbOptions& options) {
+    if (rows.empty())
+        throw std::invalid_argument("learn_hill_climbing: no rows");
+    const std::size_t n = cardinalities.size();
+    std::vector<std::vector<std::size_t>> parents(n);
+    double current = bic_score(rows, cardinalities, parents);
+
+    // Cycle check on a candidate parent map (DFS).
+    const auto acyclic = [&](const std::vector<std::vector<std::size_t>>& ps) {
+        std::vector<int> state(n, 0);
+        std::function<bool(std::size_t)> visit = [&](std::size_t v) -> bool {
+            if (state[v] == 1) return false;
+            if (state[v] == 2) return true;
+            state[v] = 1;
+            for (std::size_t p : ps[v])
+                if (!visit(p)) return false;
+            state[v] = 2;
+            return true;
+        };
+        for (std::size_t v = 0; v < n; ++v)
+            if (!visit(v)) return false;
+        return true;
+    };
+
+    for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+        double best_gain = 1e-9;
+        std::vector<std::vector<std::size_t>> best_parents;
+        const auto consider = [&](std::vector<std::vector<std::size_t>> candidate) {
+            if (!acyclic(candidate)) return;
+            const double score = bic_score(rows, cardinalities, candidate);
+            if (score - current > best_gain) {
+                best_gain = score - current;
+                best_parents = std::move(candidate);
+            }
+        };
+        for (std::size_t child = 0; child < n; ++child) {
+            // Single-edge additions and removals.
+            for (std::size_t parent = 0; parent < n; ++parent) {
+                if (parent == child) continue;
+                const auto it = std::find(parents[child].begin(),
+                                          parents[child].end(), parent);
+                std::vector<std::vector<std::size_t>> candidate = parents;
+                if (it == parents[child].end()) {
+                    if (parents[child].size() >= options.max_parents) continue;
+                    candidate[child].push_back(parent);
+                } else {
+                    candidate[child].erase(candidate[child].begin() +
+                                           (it - parents[child].begin()));
+                }
+                consider(std::move(candidate));
+            }
+            // Paired additions: v-structures (e.g. XOR-like interactions)
+            // give no gain from either parent alone, so greedy single-edge
+            // search cannot discover them — try both at once.
+            if (parents[child].size() + 2 > options.max_parents) continue;
+            for (std::size_t p1 = 0; p1 < n; ++p1) {
+                if (p1 == child) continue;
+                if (std::find(parents[child].begin(), parents[child].end(), p1) !=
+                    parents[child].end())
+                    continue;
+                for (std::size_t p2 = p1 + 1; p2 < n; ++p2) {
+                    if (p2 == child) continue;
+                    if (std::find(parents[child].begin(), parents[child].end(),
+                                  p2) != parents[child].end())
+                        continue;
+                    std::vector<std::vector<std::size_t>> candidate = parents;
+                    candidate[child].push_back(p1);
+                    candidate[child].push_back(p2);
+                    consider(std::move(candidate));
+                }
+            }
+        }
+        if (best_parents.empty()) break;
+        parents = std::move(best_parents);
+        current += best_gain;
+    }
+
+    BayesianNetwork network(cardinalities);
+    for (std::size_t v = 0; v < n; ++v)
+        if (!parents[v].empty()) network.set_parents(v, parents[v]);
+    network.fit(rows, options.laplace);
+    return network;
+}
+
+} // namespace dre::wise

@@ -1,0 +1,108 @@
+// Discrete Bayesian network with explicit CPTs — the general machinery
+// behind WISE-style what-if reasoning [38].
+//
+// Features: arbitrary DAG structure with cycle detection, CPT estimation
+// from data (Laplace-smoothed), ancestral sampling, exact posterior
+// inference by enumeration, and Chow-Liu tree structure learning (maximum
+// mutual-information spanning tree) for learning structure from traces.
+#ifndef DRE_WISE_BAYES_NET_H
+#define DRE_WISE_BAYES_NET_H
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "stats/rng.h"
+#include "wise/cbn.h" // Assignment
+
+namespace dre::wise {
+
+class BayesianNetwork {
+public:
+    // One node per variable; cardinalities fixed at construction.
+    explicit BayesianNetwork(std::vector<std::int32_t> cardinalities);
+
+    std::size_t num_variables() const noexcept { return cardinalities_.size(); }
+    std::int32_t cardinality(std::size_t var) const;
+
+    // Replace `var`'s parent set. Throws std::invalid_argument if this
+    // would create a cycle or reference an unknown variable.
+    void set_parents(std::size_t var, std::vector<std::size_t> parents);
+    const std::vector<std::size_t>& parents(std::size_t var) const;
+
+    // Estimate all CPTs from complete-data rows with Laplace smoothing.
+    void fit(const std::vector<Assignment>& rows, double laplace = 1.0);
+
+    // P(var = value | parent values taken from `assignment`).
+    double conditional_probability(std::size_t var, const Assignment& assignment) const;
+
+    // Joint probability of a complete assignment.
+    double joint_probability(const Assignment& assignment) const;
+
+    // Ancestral sample of a complete assignment.
+    Assignment sample(stats::Rng& rng) const;
+
+    // Exact posterior P(query_var | evidence) by enumeration over the
+    // remaining variables. `evidence` maps variable -> observed value.
+    // Throws std::runtime_error if the (tiny) state-space cap is exceeded.
+    std::vector<double> posterior(std::size_t query_var,
+                                  const std::map<std::size_t, std::int32_t>& evidence) const;
+
+    // Variables in a valid topological order.
+    const std::vector<std::size_t>& topological_order() const noexcept {
+        return topo_order_;
+    }
+
+    bool fitted() const noexcept { return fitted_; }
+
+private:
+    std::size_t parent_configuration(std::size_t var,
+                                     const Assignment& assignment) const;
+    void recompute_topological_order();
+    void check_assignment(const Assignment& assignment) const;
+
+    std::vector<std::int32_t> cardinalities_;
+    std::vector<std::vector<std::size_t>> parents_;
+    // cpt_[var][parent_config * cardinality + value] = probability.
+    std::vector<std::vector<double>> cpt_;
+    std::vector<std::size_t> topo_order_;
+    bool fitted_ = false;
+};
+
+// Chow-Liu structure learning: the maximum-spanning tree over pairwise
+// mutual information, rooted at variable 0. Returns a fitted network.
+BayesianNetwork learn_chow_liu_tree(const std::vector<Assignment>& rows,
+                                    std::vector<std::int32_t> cardinalities,
+                                    double laplace = 1.0);
+
+// Empirical mutual information (nats) between columns a and b of `rows`.
+double mutual_information(const std::vector<Assignment>& rows, std::size_t a,
+                          std::size_t b, std::int32_t cardinality_a,
+                          std::int32_t cardinality_b);
+
+// BIC score of a fitted-structure candidate: log-likelihood of the data
+// under maximum-likelihood CPTs minus (log n / 2) * #free parameters.
+// Higher is better.
+double bic_score(const std::vector<Assignment>& rows,
+                 const std::vector<std::int32_t>& cardinalities,
+                 const std::vector<std::vector<std::size_t>>& parents);
+
+struct HillClimbOptions {
+    std::size_t max_parents = 3;
+    int max_iterations = 200;
+    double laplace = 1.0; // smoothing for the returned network's CPTs
+};
+
+// Greedy hill climbing over DAGs: repeatedly apply the single edge
+// addition/removal that most improves the BIC score until no move helps.
+// More expressive than the Chow-Liu tree (captures multi-parent
+// interactions such as Fig. 4's ISP x FE x BE response cell) at higher
+// fitting cost. Returns a fitted network.
+BayesianNetwork learn_hill_climbing(const std::vector<Assignment>& rows,
+                                    std::vector<std::int32_t> cardinalities,
+                                    const HillClimbOptions& options = {});
+
+} // namespace dre::wise
+
+#endif // DRE_WISE_BAYES_NET_H

@@ -1,0 +1,111 @@
+#include "wise/bn_reward_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "wise/scenario.h"
+
+namespace dre::wise {
+
+BnRewardModel::BnRewardModel(std::size_t num_decisions, Encoder encoder,
+                             std::vector<std::int32_t> variable_cardinalities,
+                             std::size_t reward_buckets)
+    : num_decisions_(num_decisions),
+      encoder_(std::move(encoder)),
+      cardinalities_(std::move(variable_cardinalities)),
+      reward_buckets_(reward_buckets) {
+    if (num_decisions_ == 0)
+        throw std::invalid_argument("BnRewardModel: empty decision space");
+    if (!encoder_) throw std::invalid_argument("BnRewardModel: null encoder");
+    if (cardinalities_.empty())
+        throw std::invalid_argument("BnRewardModel: no variables");
+    if (reward_buckets_ < 2)
+        throw std::invalid_argument("BnRewardModel: need >= 2 reward buckets");
+}
+
+std::size_t BnRewardModel::bucket_of(double reward) const {
+    if (reward_hi_ <= reward_lo_) return 0;
+    const double t = (reward - reward_lo_) / (reward_hi_ - reward_lo_);
+    const auto bucket =
+        static_cast<long long>(t * static_cast<double>(reward_buckets_));
+    return static_cast<std::size_t>(std::clamp<long long>(
+        bucket, 0, static_cast<long long>(reward_buckets_) - 1));
+}
+
+void BnRewardModel::fit(const Trace& trace) {
+    validate_trace(trace);
+    if (trace.empty()) throw std::invalid_argument("BnRewardModel::fit: empty trace");
+
+    reward_lo_ = trace[0].reward;
+    reward_hi_ = trace[0].reward;
+    for (const auto& t : trace) {
+        reward_lo_ = std::min(reward_lo_, t.reward);
+        reward_hi_ = std::max(reward_hi_, t.reward);
+    }
+
+    // Rows: encoder variables ++ reward bucket.
+    std::vector<Assignment> rows;
+    rows.reserve(trace.size());
+    bucket_means_.assign(reward_buckets_, 0.0);
+    std::vector<std::size_t> bucket_counts(reward_buckets_, 0);
+    for (const auto& t : trace) {
+        Assignment row = encoder_(t.context, t.decision);
+        if (row.size() != cardinalities_.size())
+            throw std::invalid_argument("BnRewardModel: encoder arity mismatch");
+        const std::size_t bucket = bucket_of(t.reward);
+        row.push_back(static_cast<std::int32_t>(bucket));
+        rows.push_back(std::move(row));
+        bucket_means_[bucket] += t.reward;
+        ++bucket_counts[bucket];
+    }
+    for (std::size_t b = 0; b < reward_buckets_; ++b) {
+        if (bucket_counts[b] > 0) {
+            bucket_means_[b] /= static_cast<double>(bucket_counts[b]);
+        } else {
+            // Empty bucket: use its midpoint.
+            const double width =
+                (reward_hi_ - reward_lo_) / static_cast<double>(reward_buckets_);
+            bucket_means_[b] = reward_lo_ + (static_cast<double>(b) + 0.5) * width;
+        }
+    }
+
+    std::vector<std::int32_t> all_cardinalities = cardinalities_;
+    all_cardinalities.push_back(static_cast<std::int32_t>(reward_buckets_));
+    network_ = std::make_unique<BayesianNetwork>(
+        learn_chow_liu_tree(rows, all_cardinalities));
+}
+
+double BnRewardModel::predict(const ClientContext& context, Decision d) const {
+    if (!network_) throw std::logic_error("BnRewardModel::predict before fit");
+    if (d < 0 || static_cast<std::size_t>(d) >= num_decisions_)
+        throw std::out_of_range("BnRewardModel::predict: decision out of range");
+    const Assignment encoded = encoder_(context, d);
+    std::map<std::size_t, std::int32_t> evidence;
+    for (std::size_t v = 0; v < encoded.size(); ++v) evidence[v] = encoded[v];
+    const std::vector<double> posterior =
+        network_->posterior(cardinalities_.size(), evidence);
+    double expectation = 0.0;
+    for (std::size_t b = 0; b < posterior.size(); ++b)
+        expectation += posterior[b] * bucket_means_[b];
+    return expectation;
+}
+
+const BayesianNetwork& BnRewardModel::network() const {
+    if (!network_) throw std::logic_error("BnRewardModel::network before fit");
+    return *network_;
+}
+
+BnRewardModel make_wise_bn_model(std::size_t num_isps, std::size_t reward_buckets) {
+    return BnRewardModel(
+        kNumDecisions,
+        [](const ClientContext& context, Decision d) -> Assignment {
+            return {context.categorical.at(0),
+                    static_cast<std::int32_t>(frontend_of(d)),
+                    static_cast<std::int32_t>(backend_of(d))};
+        },
+        {static_cast<std::int32_t>(num_isps), static_cast<std::int32_t>(kNumFrontends),
+         static_cast<std::int32_t>(kNumBackends)},
+        reward_buckets);
+}
+
+} // namespace dre::wise

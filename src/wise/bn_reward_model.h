@@ -1,0 +1,54 @@
+// A Bayesian-network reward model: discretize the reward into buckets,
+// learn a Chow-Liu tree over (context categoricals..., decision parts...,
+// reward-bucket), and predict rewards as the posterior-expected bucket
+// midpoint. A second WISE-style Direct-Method model whose bias comes from
+// the tree's structural restriction (each variable gets one parent) rather
+// than from cell back-off — useful for model-family comparisons.
+#ifndef DRE_WISE_BN_REWARD_MODEL_H
+#define DRE_WISE_BN_REWARD_MODEL_H
+
+#include <memory>
+#include <vector>
+
+#include "core/reward_model.h"
+#include "trace/trace.h"
+#include "wise/bayes_net.h"
+
+namespace dre::wise {
+
+class BnRewardModel final : public core::RewardModel {
+public:
+    // The scenario must provide how a (context, decision) pair maps onto
+    // the BN's categorical variables (all but the final reward-bucket one).
+    using Encoder = std::function<Assignment(const ClientContext&, Decision)>;
+
+    BnRewardModel(std::size_t num_decisions, Encoder encoder,
+                  std::vector<std::int32_t> variable_cardinalities,
+                  std::size_t reward_buckets = 8);
+
+    void fit(const Trace& trace);
+
+    double predict(const ClientContext& context, Decision d) const override;
+    std::size_t num_decisions() const noexcept override { return num_decisions_; }
+
+    const BayesianNetwork& network() const;
+
+private:
+    std::size_t bucket_of(double reward) const;
+
+    std::size_t num_decisions_;
+    Encoder encoder_;
+    std::vector<std::int32_t> cardinalities_; // without the bucket variable
+    std::size_t reward_buckets_;
+    double reward_lo_ = 0.0;
+    double reward_hi_ = 1.0;
+    std::vector<double> bucket_means_; // mean observed reward per bucket
+    std::unique_ptr<BayesianNetwork> network_;
+};
+
+// Encoder for the Fig. 4 world: (isp, frontend, backend).
+BnRewardModel make_wise_bn_model(std::size_t num_isps, std::size_t reward_buckets = 8);
+
+} // namespace dre::wise
+
+#endif // DRE_WISE_BN_REWARD_MODEL_H

@@ -1,0 +1,148 @@
+#include "wise/cbn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dre::wise {
+namespace {
+
+// Residual sum of squares when grouping `rows` by the variables in `group`.
+double grouped_rss(const std::vector<Assignment>& rows,
+                   std::span<const double> response,
+                   const std::vector<std::size_t>& group) {
+    struct Agg {
+        double sum = 0.0, sum_sq = 0.0;
+        std::size_t count = 0;
+    };
+    std::unordered_map<std::uint64_t, Agg> cells;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        std::uint64_t key = 0xcbf29ce484222325ull;
+        for (std::size_t v : group) {
+            key ^= static_cast<std::uint64_t>(rows[i][v]) + 0x9e3779b9u;
+            key *= 0x100000001b3ull;
+        }
+        Agg& agg = cells[key];
+        agg.sum += response[i];
+        agg.sum_sq += response[i] * response[i];
+        ++agg.count;
+    }
+    double rss = 0.0;
+    for (const auto& [key, agg] : cells) {
+        (void)key;
+        rss += agg.sum_sq - agg.sum * agg.sum / static_cast<double>(agg.count);
+    }
+    return rss;
+}
+
+} // namespace
+
+CbnResponseModel::CbnResponseModel(std::vector<std::int32_t> cardinalities,
+                                   CbnOptions options)
+    : cardinalities_(std::move(cardinalities)), options_(options) {
+    if (cardinalities_.empty())
+        throw std::invalid_argument("CbnResponseModel: no variables");
+    for (std::int32_t c : cardinalities_)
+        if (c <= 0)
+            throw std::invalid_argument("CbnResponseModel: cardinality must be > 0");
+    if (options_.max_parents == 0)
+        throw std::invalid_argument("CbnResponseModel: max_parents must be > 0");
+}
+
+void CbnResponseModel::check_assignment(const Assignment& assignment) const {
+    if (assignment.size() != cardinalities_.size())
+        throw std::invalid_argument("CbnResponseModel: assignment arity mismatch");
+    for (std::size_t v = 0; v < assignment.size(); ++v)
+        if (assignment[v] < 0 || assignment[v] >= cardinalities_[v])
+            throw std::invalid_argument("CbnResponseModel: value out of range");
+}
+
+std::uint64_t CbnResponseModel::key_for(const Assignment& assignment,
+                                        std::size_t depth) const {
+    std::uint64_t key = 0xcbf29ce484222325ull;
+    for (std::size_t level = 0; level < depth; ++level) {
+        key ^= static_cast<std::uint64_t>(assignment[parent_order_[level]]) +
+               0x9e3779b9u;
+        key *= 0x100000001b3ull;
+    }
+    return key;
+}
+
+void CbnResponseModel::fit(const std::vector<Assignment>& rows,
+                           std::span<const double> response) {
+    if (rows.empty()) throw std::invalid_argument("CbnResponseModel::fit: no rows");
+    if (rows.size() != response.size())
+        throw std::invalid_argument("CbnResponseModel::fit: size mismatch");
+    for (const auto& row : rows) check_assignment(row);
+
+    n_ = rows.size();
+    global_mean_ = 0.0;
+    for (double r : response) global_mean_ += r;
+    global_mean_ /= static_cast<double>(n_);
+    double total_variance = 0.0;
+    for (double r : response)
+        total_variance += (r - global_mean_) * (r - global_mean_);
+
+    // Greedy forward parent selection by RSS reduction.
+    parent_order_.clear();
+    std::vector<bool> used(cardinalities_.size(), false);
+    double current_rss = total_variance;
+    while (parent_order_.size() <
+           std::min(options_.max_parents, cardinalities_.size())) {
+        double best_rss = current_rss;
+        std::size_t best_var = cardinalities_.size();
+        for (std::size_t v = 0; v < cardinalities_.size(); ++v) {
+            if (used[v]) continue;
+            std::vector<std::size_t> candidate = parent_order_;
+            candidate.push_back(v);
+            const double rss = grouped_rss(rows, response, candidate);
+            if (rss < best_rss) {
+                best_rss = rss;
+                best_var = v;
+            }
+        }
+        if (best_var == cardinalities_.size()) break;
+        const double gain = current_rss - best_rss;
+        if (gain < options_.min_gain_fraction * std::max(total_variance, 1e-12))
+            break;
+        parent_order_.push_back(best_var);
+        used[best_var] = true;
+        current_rss = best_rss;
+    }
+
+    // Build hierarchical conditional tables along the parent order.
+    tables_.assign(parent_order_.size(), {});
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        for (std::size_t depth = 1; depth <= parent_order_.size(); ++depth)
+            tables_[depth - 1][key_for(rows[i], depth)].add(response[i]);
+
+    fitted_ = true;
+}
+
+double CbnResponseModel::predict(const Assignment& assignment) const {
+    if (!fitted_) throw std::logic_error("CbnResponseModel::predict before fit");
+    check_assignment(assignment);
+    // Back off from the deepest conditional to coarser ones until a cell has
+    // enough support.
+    for (std::size_t depth = parent_order_.size(); depth >= 1; --depth) {
+        const auto it = tables_[depth - 1].find(key_for(assignment, depth));
+        if (it != tables_[depth - 1].end() &&
+            it->second.count >= options_.min_cell_samples)
+            return it->second.mean;
+    }
+    return global_mean_;
+}
+
+std::size_t CbnResponseModel::support(const Assignment& assignment) const {
+    if (!fitted_) throw std::logic_error("CbnResponseModel::support before fit");
+    check_assignment(assignment);
+    for (std::size_t depth = parent_order_.size(); depth >= 1; --depth) {
+        const auto it = tables_[depth - 1].find(key_for(assignment, depth));
+        if (it != tables_[depth - 1].end() &&
+            it->second.count >= options_.min_cell_samples)
+            return it->second.count;
+    }
+    return 0;
+}
+
+} // namespace dre::wise

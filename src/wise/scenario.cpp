@@ -1,0 +1,182 @@
+#include "wise/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace dre::wise {
+
+Decision encode_decision(std::size_t frontend, std::size_t backend) {
+    if (frontend >= kNumFrontends || backend >= kNumBackends)
+        throw std::out_of_range("encode_decision");
+    return static_cast<Decision>(frontend * kNumBackends + backend);
+}
+
+std::size_t frontend_of(Decision d) {
+    if (d < 0 || static_cast<std::size_t>(d) >= kNumDecisions)
+        throw std::out_of_range("frontend_of");
+    return static_cast<std::size_t>(d) / kNumBackends;
+}
+
+std::size_t backend_of(Decision d) {
+    if (d < 0 || static_cast<std::size_t>(d) >= kNumDecisions)
+        throw std::out_of_range("backend_of");
+    return static_cast<std::size_t>(d) % kNumBackends;
+}
+
+RequestRoutingEnv::RequestRoutingEnv(WiseWorldConfig config) : config_(config) {
+    if (config_.num_isps == 0)
+        throw std::invalid_argument("RequestRoutingEnv: need at least one ISP");
+    if (config_.short_response_ms <= 0.0 ||
+        config_.long_response_ms <= config_.short_response_ms)
+        throw std::invalid_argument("RequestRoutingEnv: bad response times");
+}
+
+double RequestRoutingEnv::mean_response_ms(std::int32_t isp, Decision d) const {
+    if (isp < 0 || static_cast<std::size_t>(isp) >= config_.num_isps)
+        throw std::out_of_range("RequestRoutingEnv: isp out of range");
+    // Ground truth (paper): ISP-1's response time is high only on
+    // (FE-1, BE-1); all other combinations, and all other ISPs, are short.
+    const bool long_path =
+        isp == 0 && frontend_of(d) == 0 && backend_of(d) == 0;
+    return long_path ? config_.long_response_ms : config_.short_response_ms;
+}
+
+ClientContext RequestRoutingEnv::sample_context(stats::Rng& rng) const {
+    ClientContext context;
+    context.categorical = {
+        static_cast<std::int32_t>(rng.uniform_index(config_.num_isps))};
+    return context;
+}
+
+Reward RequestRoutingEnv::sample_reward(const ClientContext& context, Decision d,
+                                        stats::Rng& rng) const {
+    const double response =
+        mean_response_ms(context.categorical.at(0), d) +
+        rng.normal(0.0, config_.noise_sigma);
+    return -response / 100.0;
+}
+
+double RequestRoutingEnv::expected_reward(const ClientContext& context, Decision d,
+                                          stats::Rng&, int) const {
+    return -mean_response_ms(context.categorical.at(0), d) / 100.0;
+}
+
+namespace {
+
+// Which decision an ISP's observed traffic uses (the Fig. 4 "arrows"):
+// ISP-1 traffic is routed over (FE-1, BE-1); ISP-2 over (FE-2, BE-2).
+Decision observed_decision_for(std::int32_t isp) {
+    const std::size_t side = static_cast<std::size_t>(isp) % 2;
+    return encode_decision(side, side);
+}
+
+std::vector<double> skewed_distribution(std::int32_t isp, double observed_weight,
+                                        double rare_weight) {
+    std::vector<double> weights(kNumDecisions, rare_weight);
+    weights[static_cast<std::size_t>(observed_decision_for(isp))] = observed_weight;
+    double total = 0.0;
+    for (double w : weights) total += w;
+    for (double& w : weights) w /= total;
+    return weights;
+}
+
+class SkewedPolicy final : public core::Policy {
+public:
+    SkewedPolicy(std::size_t num_isps, double observed_weight, double rare_weight,
+                 double shifted_fraction)
+        : num_isps_(num_isps),
+          observed_weight_(observed_weight),
+          rare_weight_(rare_weight),
+          shifted_fraction_(shifted_fraction) {
+        if (observed_weight_ <= 0.0 || rare_weight_ <= 0.0)
+            throw std::invalid_argument("SkewedPolicy: weights must be > 0");
+        if (shifted_fraction_ < 0.0 || shifted_fraction_ > 1.0)
+            throw std::invalid_argument("SkewedPolicy: fraction outside [0,1]");
+    }
+
+    std::vector<double> action_probabilities(
+        const ClientContext& context) const override {
+        const std::int32_t isp = context.categorical.at(0);
+        if (isp < 0 || static_cast<std::size_t>(isp) >= num_isps_)
+            throw std::out_of_range("SkewedPolicy: isp out of range");
+        std::vector<double> probs =
+            skewed_distribution(isp, observed_weight_, rare_weight_);
+        if (shifted_fraction_ > 0.0 && isp == 0) {
+            // "50% of ISP-1 clients use FE-1 and BE-2"; remaining mass keeps
+            // the old proportions.
+            const auto target = static_cast<std::size_t>(encode_decision(0, 1));
+            for (double& p : probs) p *= (1.0 - shifted_fraction_);
+            probs[target] += shifted_fraction_;
+        }
+        return probs;
+    }
+
+    std::size_t num_decisions() const noexcept override { return kNumDecisions; }
+
+private:
+    std::size_t num_isps_;
+    double observed_weight_;
+    double rare_weight_;
+    double shifted_fraction_;
+};
+
+} // namespace
+
+std::shared_ptr<core::Policy> make_logging_policy(std::size_t num_isps,
+                                                  double observed_weight,
+                                                  double rare_weight) {
+    return std::make_shared<SkewedPolicy>(num_isps, observed_weight, rare_weight,
+                                          0.0);
+}
+
+std::shared_ptr<core::Policy> make_new_policy(std::size_t num_isps,
+                                              double shifted_fraction,
+                                              double observed_weight,
+                                              double rare_weight) {
+    return std::make_shared<SkewedPolicy>(num_isps, observed_weight, rare_weight,
+                                          shifted_fraction);
+}
+
+WiseCbnRewardModel::WiseCbnRewardModel(CbnOptions options) : options_(options) {}
+
+void WiseCbnRewardModel::fit(const Trace& trace) {
+    validate_trace(trace);
+    if (trace.empty()) throw std::invalid_argument("WiseCbnRewardModel: empty trace");
+    std::int32_t max_isp = 0;
+    for (const auto& t : trace)
+        max_isp = std::max(max_isp, t.context.categorical.at(0));
+
+    std::vector<Assignment> rows;
+    rows.reserve(trace.size());
+    std::vector<double> response;
+    response.reserve(trace.size());
+    for (const auto& t : trace) {
+        rows.push_back({t.context.categorical.at(0),
+                        static_cast<std::int32_t>(frontend_of(t.decision)),
+                        static_cast<std::int32_t>(backend_of(t.decision))});
+        response.push_back(t.reward);
+    }
+    model_ = std::make_unique<CbnResponseModel>(
+        std::vector<std::int32_t>{max_isp + 1,
+                                  static_cast<std::int32_t>(kNumFrontends),
+                                  static_cast<std::int32_t>(kNumBackends)},
+        options_);
+    model_->fit(rows, response);
+}
+
+double WiseCbnRewardModel::predict(const ClientContext& context, Decision d) const {
+    if (!model_) throw std::logic_error("WiseCbnRewardModel::predict before fit");
+    const Assignment assignment = {context.categorical.at(0),
+                                   static_cast<std::int32_t>(frontend_of(d)),
+                                   static_cast<std::int32_t>(backend_of(d))};
+    return model_->predict(assignment);
+}
+
+const CbnResponseModel& WiseCbnRewardModel::cbn() const {
+    if (!model_) throw std::logic_error("WiseCbnRewardModel::cbn before fit");
+    return *model_;
+}
+
+} // namespace dre::wise

@@ -1,0 +1,337 @@
+// Tests for the exploration agents (src/bandit): distribution correctness,
+// regret behaviour, propensity floors, and the downstream off-policy
+// evaluability of the traces each strategy leaves behind.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "bandit/agents.h"
+#include "bandit/run.h"
+#include "core/estimators.h"
+#include "core/policy.h"
+#include "core/reward_model.h"
+#include "stats/rng.h"
+
+namespace dre::bandit {
+namespace {
+
+// Three Gaussian arms with means {0.2, 0.5, 0.8}; the context is inert.
+class ThreeArmEnv final : public core::Environment {
+public:
+    ClientContext sample_context(stats::Rng&) const override {
+        return ClientContext({0.0});
+    }
+    Reward sample_reward(const ClientContext&, Decision d,
+                         stats::Rng& rng) const override {
+        return kMeans[static_cast<std::size_t>(d)] + 0.3 * rng.normal();
+    }
+    double expected_reward(const ClientContext&, Decision d, stats::Rng&,
+                           int) const override {
+        return kMeans[static_cast<std::size_t>(d)];
+    }
+    std::size_t num_decisions() const noexcept override { return 3; }
+
+    static constexpr double kMeans[3] = {0.2, 0.5, 0.8};
+};
+
+// A two-context environment where the best arm flips with the context —
+// distinguishes contextual from context-free learners.
+class FlipEnv final : public core::Environment {
+public:
+    ClientContext sample_context(stats::Rng& rng) const override {
+        return ClientContext({}, {rng.bernoulli(0.5) ? 1 : 0});
+    }
+    Reward sample_reward(const ClientContext& c, Decision d,
+                         stats::Rng& rng) const override {
+        const bool flipped = c.categorical[0] == 1;
+        const double mean = (static_cast<int>(d) == (flipped ? 0 : 1)) ? 0.9 : 0.1;
+        return mean + 0.2 * rng.normal();
+    }
+    std::size_t num_decisions() const noexcept override { return 2; }
+};
+
+double sum(const std::vector<double>& v) {
+    return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(UniformAgent, IsUniformAndStateless) {
+    UniformAgent agent(4);
+    const auto probs = agent.action_probabilities(ClientContext({0.0}));
+    ASSERT_EQ(probs.size(), 4u);
+    for (double p : probs) EXPECT_DOUBLE_EQ(p, 0.25);
+    EXPECT_THROW(UniformAgent(0), std::invalid_argument);
+}
+
+TEST(EpsilonGreedyAgent, FloorsAndGreedyMass) {
+    EpsilonGreedyAgent agent(4, 0.2);
+    const ClientContext c({0.0});
+    for (int i = 0; i < 50; ++i) agent.update(c, 2, 1.0);
+    for (int i = 0; i < 50; ++i) agent.update(c, 0, 0.0);
+    for (int i = 0; i < 50; ++i) agent.update(c, 1, 0.0);
+    for (int i = 0; i < 50; ++i) agent.update(c, 3, 0.0);
+    const auto probs = agent.action_probabilities(c);
+    EXPECT_NEAR(probs[2], 0.8 + 0.05, 1e-12);
+    EXPECT_NEAR(probs[0], 0.05, 1e-12);
+    EXPECT_NEAR(sum(probs), 1.0, 1e-12);
+}
+
+TEST(EpsilonGreedyAgent, Validation) {
+    EXPECT_THROW(EpsilonGreedyAgent(3, -0.1), std::invalid_argument);
+    EXPECT_THROW(EpsilonGreedyAgent(3, 1.5), std::invalid_argument);
+    EpsilonGreedyAgent agent(3, 0.1);
+    EXPECT_THROW(agent.update(ClientContext({0.0}), 3, 1.0), std::invalid_argument);
+    EXPECT_THROW(agent.update(ClientContext({0.0}), -1, 1.0), std::invalid_argument);
+}
+
+TEST(EpsilonGreedyAgent, UnpulledArmsAreTriedGreedily) {
+    // With no data, the greedy mass goes to the first unpulled arm, so every
+    // arm is still reachable through the epsilon floor.
+    EpsilonGreedyAgent agent(3, 0.3);
+    const auto probs = agent.action_probabilities(ClientContext({0.0}));
+    EXPECT_NEAR(probs[0], 0.7 + 0.1, 1e-12);
+    EXPECT_NEAR(probs[1], 0.1, 1e-12);
+}
+
+TEST(EpsilonDecayAgent, DecaysToFloor) {
+    EpsilonDecayAgent::Schedule schedule;
+    schedule.initial = 1.0;
+    schedule.power = 0.5;
+    schedule.floor = 0.05;
+    EpsilonDecayAgent agent(2, schedule);
+    const ClientContext c({0.0});
+    EXPECT_DOUBLE_EQ(agent.current_epsilon(), 1.0);
+    for (int i = 0; i < 3; ++i) agent.update(c, 0, 0.0);
+    EXPECT_NEAR(agent.current_epsilon(), 0.5, 1e-12); // 1/sqrt(4)
+    for (int i = 0; i < 10000; ++i) agent.update(c, 0, 0.0);
+    EXPECT_DOUBLE_EQ(agent.current_epsilon(), 0.05);
+    EXPECT_THROW(EpsilonDecayAgent(2, {.initial = 2.0}), std::invalid_argument);
+}
+
+TEST(BoltzmannAgent, OrdersArmsByMeanAndFlattensWithTemperature) {
+    const ClientContext c({0.0});
+    BoltzmannAgent sharp(3, 0.1);
+    BoltzmannAgent flat(3, 100.0);
+    for (auto* agent : {&sharp, &flat}) {
+        for (int i = 0; i < 20; ++i) {
+            agent->update(c, 0, 0.1);
+            agent->update(c, 1, 0.5);
+            agent->update(c, 2, 0.9);
+        }
+    }
+    const auto p_sharp = sharp.action_probabilities(c);
+    const auto p_flat = flat.action_probabilities(c);
+    EXPECT_GT(p_sharp[2], p_sharp[1]);
+    EXPECT_GT(p_sharp[1], p_sharp[0]);
+    EXPECT_GT(p_sharp[2], 0.95);             // near-deterministic at T=0.1
+    EXPECT_NEAR(p_flat[2], 1.0 / 3.0, 0.01); // near-uniform at T=100
+    EXPECT_NEAR(sum(p_sharp), 1.0, 1e-12);
+    EXPECT_THROW(BoltzmannAgent(3, 0.0), std::invalid_argument);
+}
+
+TEST(Ucb1Agent, RoundRobinsThenExploits) {
+    ThreeArmEnv env;
+    stats::Rng rng(11);
+    Ucb1Agent agent(3, 1.0);
+    const BanditRunResult run = run_bandit(env, agent, 2000, rng);
+    // First k steps must cover every arm once.
+    EXPECT_NE(run.trace[0].decision, run.trace[1].decision);
+    EXPECT_NE(run.trace[1].decision, run.trace[2].decision);
+    // Deterministic policy: every logged propensity is a point mass.
+    EXPECT_DOUBLE_EQ(run.min_logged_propensity, 1.0);
+    // The best arm dominates the pulls.
+    EXPECT_GT(run.arm_counts[2], 1600u);
+    EXPECT_GT(run.average_reward, 0.7);
+}
+
+TEST(Exp3Agent, KeepsTheGammaFloorWhileConverging) {
+    ThreeArmEnv env;
+    stats::Rng rng(12);
+    Exp3Agent agent(3, 0.1, -1.0, 2.0);
+    const BanditRunResult run = run_bandit(env, agent, 4000, rng);
+    // Propensity floor gamma/k holds for every logged tuple.
+    EXPECT_GE(run.min_logged_propensity, 0.1 / 3.0 - 1e-12);
+    // Converges toward the best arm but keeps exploring.
+    EXPECT_GT(run.arm_counts[2], run.arm_counts[0]);
+    EXPECT_GT(run.arm_counts[2], run.arm_counts[1]);
+    EXPECT_GT(run.arm_counts[0], 60u); // floor guarantees ~133 expected pulls
+}
+
+TEST(Exp3Agent, GammaOneIsUniformForever) {
+    Exp3Agent agent(4, 1.0, 0.0, 1.0);
+    const ClientContext c({0.0});
+    for (int i = 0; i < 100; ++i) agent.update(c, 1, 1.0);
+    for (double p : agent.action_probabilities(c)) EXPECT_NEAR(p, 0.25, 1e-12);
+}
+
+TEST(Exp3Agent, Validation) {
+    EXPECT_THROW(Exp3Agent(3, 0.0, 0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(Exp3Agent(3, 1.1, 0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(Exp3Agent(3, 0.5, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(GaussianThompsonAgent, ProbabilitiesAreValidAndConcentrate) {
+    GaussianThompsonAgent::Options options;
+    options.noise_sigma = 0.3;
+    GaussianThompsonAgent agent(3, options);
+    const ClientContext c({0.0});
+    auto prior_probs = agent.action_probabilities(c);
+    EXPECT_NEAR(sum(prior_probs), 1.0, 1e-9);
+    // Symmetric prior: no arm should dominate before any data.
+    for (double p : prior_probs) EXPECT_NEAR(p, 1.0 / 3.0, 0.12);
+
+    for (int i = 0; i < 200; ++i) {
+        agent.update(c, 0, 0.2);
+        agent.update(c, 1, 0.5);
+        agent.update(c, 2, 0.8);
+    }
+    const auto posterior = agent.action_probabilities(c);
+    EXPECT_GT(posterior[2], 0.9);
+    for (double p : posterior) EXPECT_GT(p, 0.0); // pseudo-win floor
+    EXPECT_THROW(GaussianThompsonAgent(3, {.noise_sigma = 0.0}),
+                 std::invalid_argument);
+}
+
+TEST(ContextualAgent, LearnsOppositeArmsPerContext) {
+    FlipEnv env;
+    stats::Rng rng(13);
+    ContextualAgent agent(
+        [] { return std::make_unique<EpsilonGreedyAgent>(2, 0.1); });
+    EXPECT_EQ(agent.num_decisions(), 2u);
+    (void)run_bandit(env, agent, 3000, rng);
+    EXPECT_EQ(agent.num_contexts_seen(), 2u);
+    const auto probs_plain = agent.action_probabilities(ClientContext({}, {0}));
+    const auto probs_flipped = agent.action_probabilities(ClientContext({}, {1}));
+    EXPECT_GT(probs_plain[1], 0.9);  // context 0: arm 1 is best
+    EXPECT_GT(probs_flipped[0], 0.9); // context 1: arm 0 is best
+}
+
+// With a continuous feature in the context, the default fingerprint key
+// never repeats; a projection key makes the learner actually accumulate.
+TEST(ContextualAgent, KeyFunctionControlsGranularity) {
+    class NoisyFlipEnv final : public core::Environment {
+    public:
+        ClientContext sample_context(stats::Rng& rng) const override {
+            return ClientContext({rng.uniform()}, {rng.bernoulli(0.5) ? 1 : 0});
+        }
+        Reward sample_reward(const ClientContext& c, Decision d,
+                             stats::Rng& rng) const override {
+            const bool flipped = c.categorical[0] == 1;
+            return ((static_cast<int>(d) == (flipped ? 0 : 1)) ? 0.9 : 0.1) +
+                   0.2 * rng.normal();
+        }
+        std::size_t num_decisions() const noexcept override { return 2; }
+    };
+
+    NoisyFlipEnv env;
+    stats::Rng rng(21);
+    const auto factory = [] {
+        return std::make_unique<EpsilonGreedyAgent>(2, 0.1);
+    };
+    ContextualAgent keyed(factory, [](const ClientContext& c) {
+        return static_cast<std::uint64_t>(c.categorical[0]);
+    });
+    const BanditRunResult keyed_run = run_bandit(env, keyed, 2000, rng);
+    EXPECT_EQ(keyed.num_contexts_seen(), 2u);
+    EXPECT_GT(keyed_run.average_reward, 0.8); // learned both zones
+
+    ContextualAgent unkeyed(factory); // default: full fingerprint
+    const BanditRunResult unkeyed_run = run_bandit(env, unkeyed, 2000, rng);
+    EXPECT_EQ(unkeyed.num_contexts_seen(), 2000u); // every request fresh
+    EXPECT_LT(unkeyed_run.average_reward, keyed_run.average_reward);
+}
+
+TEST(RunBandit, LogsExactPropensitiesAndCounts) {
+    ThreeArmEnv env;
+    stats::Rng rng(14);
+    EpsilonGreedyAgent agent(3, 0.3);
+    const BanditRunResult run = run_bandit(env, agent, 500, rng);
+    ASSERT_EQ(run.trace.size(), 500u);
+    EXPECT_EQ(run.arm_counts[0] + run.arm_counts[1] + run.arm_counts[2], 500u);
+    // Every logged propensity is one of the two values epsilon-greedy emits.
+    for (std::size_t i = 0; i < run.trace.size(); ++i) {
+        const double p = run.trace[i].propensity;
+        EXPECT_TRUE(std::abs(p - 0.1) < 1e-9 || std::abs(p - 0.8) < 1e-9)
+            << "unexpected propensity " << p;
+    }
+    EXPECT_NEAR(run.min_logged_propensity, 0.1, 1e-9);
+}
+
+TEST(RunBandit, Validation) {
+    ThreeArmEnv env;
+    stats::Rng rng(15);
+    EpsilonGreedyAgent wrong_arms(2, 0.1);
+    EXPECT_THROW(run_bandit(env, wrong_arms, 10, rng), std::invalid_argument);
+    EpsilonGreedyAgent agent(3, 0.1);
+    EXPECT_THROW(run_bandit(env, agent, 0, rng), std::invalid_argument);
+    EXPECT_THROW(best_fixed_arm_value(env, 0, rng), std::invalid_argument);
+}
+
+// Reproducibility contract: a bandit run is a pure function of its seed.
+TEST(RunBandit, BitExactGivenTheSameSeed) {
+    ThreeArmEnv env;
+    auto run_once = [&env] {
+        stats::Rng rng(99);
+        GaussianThompsonAgent agent(3, {.noise_sigma = 0.3, .seed = 5});
+        return run_bandit(env, agent, 300, rng);
+    };
+    const BanditRunResult a = run_once();
+    const BanditRunResult b = run_once();
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+        EXPECT_EQ(a.trace[i].decision, b.trace[i].decision) << i;
+        EXPECT_EQ(a.trace[i].reward, b.trace[i].reward) << i;
+        EXPECT_EQ(a.trace[i].propensity, b.trace[i].propensity) << i;
+    }
+    EXPECT_EQ(a.average_reward, b.average_reward);
+}
+
+TEST(RunBandit, RegretOrderingUniformVsUcb) {
+    ThreeArmEnv env;
+    stats::Rng rng(16);
+    const double best = best_fixed_arm_value(env, 4000, rng);
+    EXPECT_NEAR(best, 0.8, 0.02);
+
+    UniformAgent uniform(3);
+    Ucb1Agent ucb(3, 1.0);
+    const double uniform_regret =
+        best - run_bandit(env, uniform, 3000, rng).average_reward;
+    const double ucb_regret = best - run_bandit(env, ucb, 3000, rng).average_reward;
+    EXPECT_GT(uniform_regret, 0.25); // pays (0.8-0.5)+(0.8-0.2) /3 = 0.3
+    EXPECT_LT(ucb_regret, 0.1);
+    EXPECT_LT(ucb_regret, uniform_regret);
+}
+
+// The paper's tradeoff, end to end: the randomized logger's trace supports
+// accurate off-policy DR for a *different* policy; the deterministic
+// logger's trace does not.
+TEST(RunBandit, DownstreamEvaluabilityDependsOnRandomization) {
+    ThreeArmEnv env;
+    stats::Rng rng(17);
+    // Target: always play the middle arm (true value 0.5) — a policy the
+    // greedy loggers rarely choose once they have learned.
+    core::DeterministicPolicy target(3, [](const ClientContext&) {
+        return Decision{1};
+    });
+
+    EpsilonDecayAgent randomized(3, {.initial = 1.0, .power = 0.5, .floor = 0.05});
+    const Trace randomized_logs = run_bandit(env, randomized, 4000, rng).trace;
+    core::TabularRewardModel model_r(3);
+    model_r.fit(randomized_logs);
+    const double dr_randomized =
+        core::doubly_robust(randomized_logs, target, model_r).value;
+    EXPECT_NEAR(dr_randomized, 0.5, 0.08);
+
+    Ucb1Agent deterministic(3, 0.05); // tiny bonus: near-greedy, near-zero support
+    const Trace det_logs = run_bandit(env, deterministic, 4000, rng).trace;
+    // The middle arm is sampled a handful of times early and never again;
+    // a tabular model still has *some* cell, but IPS has no support at all
+    // (target picks arm 1, logger's point mass sits on arm 2).
+    const double ips_det = core::inverse_propensity(det_logs, target).value;
+    EXPECT_LT(ips_det, 0.1); // collapses toward 0 — almost every weight is 0
+}
+
+} // namespace
+} // namespace dre::bandit

@@ -1,0 +1,89 @@
+#include "wise/bn_reward_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/environment.h"
+#include "core/estimators.h"
+#include "stats/rng.h"
+#include "wise/scenario.h"
+
+namespace dre::wise {
+namespace {
+
+Trace wise_trace(std::size_t n, std::uint64_t seed) {
+    RequestRoutingEnv env{WiseWorldConfig{}};
+    stats::Rng rng(seed);
+    const auto logging = make_logging_policy(2);
+    return dre::core::collect_trace(env, *logging, n, rng);
+}
+
+TEST(BnRewardModel, Validation) {
+    EXPECT_THROW(BnRewardModel(0, nullptr, {2}, 4), std::invalid_argument);
+    auto encoder = [](const ClientContext&, Decision) { return Assignment{0}; };
+    EXPECT_THROW(BnRewardModel(2, nullptr, {2}, 4), std::invalid_argument);
+    EXPECT_THROW(BnRewardModel(2, encoder, {}, 4), std::invalid_argument);
+    EXPECT_THROW(BnRewardModel(2, encoder, {2}, 1), std::invalid_argument);
+    BnRewardModel model(2, encoder, {2}, 4);
+    EXPECT_THROW(model.predict(ClientContext{}, 0), std::logic_error);
+    EXPECT_THROW(model.fit(Trace{}), std::invalid_argument);
+}
+
+TEST(BnRewardModel, SeparatesLongAndShortResponseCells) {
+    const Trace trace = wise_trace(2060, 1);
+    BnRewardModel model = make_wise_bn_model(2);
+    model.fit(trace);
+    const ClientContext isp1({}, {0});
+    const ClientContext isp2({}, {1});
+    // The heavily-logged cells must be predicted well: (ISP-1, FE-1, BE-1)
+    // is long (-2.5), (ISP-2, FE-2, BE-2) short (-0.5).
+    EXPECT_LT(model.predict(isp1, encode_decision(0, 0)), -1.5);
+    EXPECT_GT(model.predict(isp2, encode_decision(1, 1)), -1.0);
+}
+
+TEST(BnRewardModel, PredictionsStayWithinObservedRewardRange) {
+    const Trace trace = wise_trace(1030, 2);
+    BnRewardModel model = make_wise_bn_model(2);
+    model.fit(trace);
+    double lo = trace[0].reward, hi = trace[0].reward;
+    for (const auto& t : trace) {
+        lo = std::min(lo, t.reward);
+        hi = std::max(hi, t.reward);
+    }
+    for (std::int32_t isp = 0; isp < 2; ++isp) {
+        const ClientContext c({}, {isp});
+        for (std::size_t d = 0; d < kNumDecisions; ++d) {
+            const double p = model.predict(c, static_cast<Decision>(d));
+            EXPECT_GE(p, lo - 1e-9);
+            EXPECT_LE(p, hi + 1e-9);
+        }
+    }
+}
+
+TEST(BnRewardModel, UsableInsideDrEstimator) {
+    RequestRoutingEnv env{WiseWorldConfig{}};
+    stats::Rng rng(3);
+    const auto logging = make_logging_policy(2);
+    const auto target = make_new_policy(2, 0.5);
+    const Trace trace = dre::core::collect_trace(env, *logging, 2060, rng);
+    const double truth = dre::core::true_policy_value(env, *target, 100000, rng);
+
+    BnRewardModel model = make_wise_bn_model(2);
+    model.fit(trace);
+    const double dr = dre::core::doubly_robust(trace, *target, model).value;
+    // DR with the BN model should land in the right ballpark.
+    EXPECT_NEAR(dr, truth, 0.35 * std::fabs(truth));
+}
+
+TEST(BnRewardModel, NetworkAccessorExposesLearnedTree) {
+    const Trace trace = wise_trace(1030, 4);
+    BnRewardModel model = make_wise_bn_model(2);
+    model.fit(trace);
+    const BayesianNetwork& network = model.network();
+    EXPECT_EQ(network.num_variables(), 4u); // isp, fe, be, bucket
+    EXPECT_TRUE(network.fitted());
+}
+
+} // namespace
+} // namespace dre::wise

@@ -1,0 +1,125 @@
+#include "cdn/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/estimators.h"
+#include "core/reward_model.h"
+#include "stats/rng.h"
+#include "stats/summary.h"
+
+namespace dre::cdn {
+namespace {
+
+TEST(DecisionEncoding, RoundTrips) {
+    const CdnWorldConfig config;
+    for (std::size_t c = 0; c < config.num_cdns; ++c)
+        for (std::size_t b = 0; b < config.num_bitrates; ++b) {
+            const Decision d = encode_decision(config, c, b);
+            EXPECT_EQ(cdn_of(config, d), c);
+            EXPECT_EQ(bitrate_of(config, d), b);
+        }
+    EXPECT_THROW(encode_decision(config, 99, 0), std::out_of_range);
+    EXPECT_THROW(cdn_of(config, -1), std::out_of_range);
+}
+
+TEST(VideoQualityEnv, ContextsMatchSchema) {
+    const CdnWorldConfig config;
+    VideoQualityEnv env(config);
+    stats::Rng rng(1);
+    const ClientContext c = env.sample_context(rng);
+    ASSERT_EQ(c.categorical.size(), 3u);
+    EXPECT_LT(static_cast<std::size_t>(c.categorical[0]), config.num_asns);
+    EXPECT_LT(static_cast<std::size_t>(c.categorical[1]), config.num_cities);
+    EXPECT_LT(static_cast<std::size_t>(c.categorical[2]),
+              config.num_device_types);
+    ASSERT_EQ(c.numeric.size(), 1u);
+}
+
+TEST(VideoQualityEnv, NoiseFeaturesExtendContext) {
+    CdnWorldConfig config;
+    config.noise_features = 4;
+    VideoQualityEnv env(config);
+    stats::Rng rng(2);
+    EXPECT_EQ(env.sample_context(rng).numeric.size(), 5u);
+}
+
+TEST(VideoQualityEnv, ExpectedRewardIsMeanOfSamples) {
+    VideoQualityEnv env(CdnWorldConfig{});
+    stats::Rng rng(3);
+    const ClientContext c = env.sample_context(rng);
+    stats::Accumulator acc;
+    for (int i = 0; i < 20000; ++i) acc.add(env.sample_reward(c, 3, rng));
+    EXPECT_NEAR(acc.mean(), env.expected_reward(c, 3, rng, 1), 0.02);
+}
+
+TEST(VideoQualityEnv, BestDecisionIsArgmax) {
+    VideoQualityEnv env(CdnWorldConfig{});
+    stats::Rng rng(4);
+    for (int i = 0; i < 20; ++i) {
+        const ClientContext c = env.sample_context(rng);
+        const Decision best = env.best_decision(c);
+        for (std::size_t d = 0; d < env.num_decisions(); ++d)
+            EXPECT_LE(env.expected_reward(c, static_cast<Decision>(d), rng, 1),
+                      env.expected_reward(c, best, rng, 1) + 1e-9);
+    }
+}
+
+TEST(CfaMatching, CountsMatchesUnderRandomLogging) {
+    VideoQualityEnv env(CdnWorldConfig{});
+    stats::Rng rng(5);
+    core::UniformRandomPolicy logging(env.num_decisions());
+    const Trace trace = core::collect_trace(env, logging, 2400, rng);
+    core::DeterministicPolicy target(
+        env.num_decisions(), [](const ClientContext&) { return Decision{3}; });
+    const MatchingEstimate estimate = cfa_matching_estimate(trace, target);
+    // 1/12 of tuples should match a fixed decision.
+    EXPECT_NEAR(static_cast<double>(estimate.matches), 200.0, 50.0);
+    EXPECT_THROW(cfa_matching_estimate(Trace{}, target), std::invalid_argument);
+}
+
+TEST(CfaMatching, UnbiasedButNoisierThanDrWithKnn) {
+    // The Fig. 7c shape: same-decision matching is unbiased but has higher
+    // error spread than DR with a k-NN direct model.
+    VideoQualityEnv env(CdnWorldConfig{});
+    stats::Rng rng(6);
+    core::UniformRandomPolicy logging(env.num_decisions());
+
+    // Personalized new policy learned from a probe trace.
+    const Trace probe = core::collect_trace(env, logging, 3000, rng);
+    const auto target = make_greedy_policy(env, probe);
+    const double truth = core::true_policy_value(env, *target, 60000, rng);
+
+    stats::Accumulator cfa_err, dr_err;
+    for (int run = 0; run < 20; ++run) {
+        const Trace trace = core::collect_trace(env, logging, 1600, rng);
+        const MatchingEstimate cfa = cfa_matching_estimate(trace, *target);
+        core::KnnRewardModel knn(env.num_decisions(), 10);
+        knn.fit(trace);
+        const double dr = core::doubly_robust(trace, *target, knn).value;
+        cfa_err.add(core::relative_error(truth, cfa.value));
+        dr_err.add(core::relative_error(truth, dr));
+    }
+    EXPECT_LT(dr_err.mean(), cfa_err.mean());
+}
+
+TEST(GreedyPolicy, IsDeterministicOverAsn) {
+    VideoQualityEnv env(CdnWorldConfig{});
+    stats::Rng rng(7);
+    core::UniformRandomPolicy logging(env.num_decisions());
+    const Trace probe = core::collect_trace(env, logging, 2000, rng);
+    const auto target = make_greedy_policy(env, probe);
+    // Same ASN -> same decision regardless of other features.
+    ClientContext a({1.0}, {3, 0, 0});
+    ClientContext b({0.6}, {3, 4, 2});
+    const auto pa = target->action_probabilities(a);
+    const auto pb = target->action_probabilities(b);
+    EXPECT_EQ(pa, pb);
+    double total = 0.0;
+    for (double p : pa) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace dre::cdn

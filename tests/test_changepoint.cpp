@@ -1,0 +1,96 @@
+#include "stats/changepoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace dre::stats {
+namespace {
+
+std::vector<double> step_series(Rng& rng, const std::vector<double>& means,
+                                std::size_t segment_length, double sigma) {
+    std::vector<double> xs;
+    for (double mean : means)
+        for (std::size_t i = 0; i < segment_length; ++i)
+            xs.push_back(rng.normal(mean, sigma));
+    return xs;
+}
+
+TEST(Pelt, NoChangeInFlatSeries) {
+    Rng rng(1);
+    std::vector<double> xs;
+    for (int i = 0; i < 200; ++i) xs.push_back(rng.normal(5.0, 0.5));
+    const ChangepointResult result = pelt(xs);
+    EXPECT_TRUE(result.changepoints.empty());
+    ASSERT_EQ(result.segment_means.size(), 1u);
+    EXPECT_NEAR(result.segment_means[0], 5.0, 0.2);
+}
+
+TEST(Pelt, FindsSingleObviousShift) {
+    Rng rng(2);
+    const std::vector<double> xs = step_series(rng, {0.0, 5.0}, 100, 0.5);
+    const ChangepointResult result = pelt(xs);
+    ASSERT_EQ(result.changepoints.size(), 1u);
+    EXPECT_NEAR(static_cast<double>(result.changepoints[0]), 100.0, 3.0);
+    ASSERT_EQ(result.segment_means.size(), 2u);
+    EXPECT_NEAR(result.segment_means[0], 0.0, 0.3);
+    EXPECT_NEAR(result.segment_means[1], 5.0, 0.3);
+}
+
+TEST(Pelt, FindsMultipleShifts) {
+    Rng rng(3);
+    const std::vector<double> xs = step_series(rng, {0.0, 4.0, -3.0}, 120, 0.6);
+    const ChangepointResult result = pelt(xs);
+    ASSERT_EQ(result.changepoints.size(), 2u);
+    EXPECT_NEAR(static_cast<double>(result.changepoints[0]), 120.0, 5.0);
+    EXPECT_NEAR(static_cast<double>(result.changepoints[1]), 240.0, 5.0);
+}
+
+TEST(Pelt, HigherPenaltySuppressesSmallShifts) {
+    Rng rng(4);
+    const std::vector<double> xs = step_series(rng, {0.0, 0.8}, 100, 0.5);
+    const ChangepointResult sensitive = pelt(xs, 5.0);
+    const ChangepointResult conservative = pelt(xs, 1e6);
+    EXPECT_GE(sensitive.changepoints.size(), 1u);
+    EXPECT_TRUE(conservative.changepoints.empty());
+}
+
+TEST(Pelt, ShortSeriesReturnsSingleSegment) {
+    const std::vector<double> xs{1.0, 2.0};
+    const ChangepointResult result = pelt(xs, -1.0, 2);
+    EXPECT_TRUE(result.changepoints.empty());
+    EXPECT_THROW(pelt(xs, -1.0, 0), std::invalid_argument);
+}
+
+TEST(Cusum, AlarmsAfterShift) {
+    Rng rng(5);
+    std::vector<double> xs;
+    for (int i = 0; i < 100; ++i) xs.push_back(rng.normal(0.0, 1.0));
+    for (int i = 0; i < 100; ++i) xs.push_back(rng.normal(3.0, 1.0));
+    const std::size_t alarm = cusum_alarm(xs, 0.0, 1.0, 0.5, 8.0);
+    EXPECT_GE(alarm, 90u);
+    EXPECT_LE(alarm, 120u);
+}
+
+TEST(Cusum, SilentOnStationarySeries) {
+    Rng rng(6);
+    std::vector<double> xs;
+    for (int i = 0; i < 300; ++i) xs.push_back(rng.normal(0.0, 1.0));
+    EXPECT_EQ(cusum_alarm(xs, 0.0, 1.0, 0.5, 12.0), xs.size());
+}
+
+TEST(Cusum, DetectsDownwardShiftToo) {
+    Rng rng(7);
+    std::vector<double> xs;
+    for (int i = 0; i < 100; ++i) xs.push_back(rng.normal(0.0, 1.0));
+    for (int i = 0; i < 100; ++i) xs.push_back(rng.normal(-3.0, 1.0));
+    const std::size_t alarm = cusum_alarm(xs, 0.0, 1.0, 0.5, 8.0);
+    EXPECT_LT(alarm, 125u);
+    EXPECT_THROW(cusum_alarm(xs, 0.0, 0.0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace dre::stats

@@ -1,0 +1,107 @@
+#include "trace/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/rng.h"
+
+namespace dre {
+namespace {
+
+Trace sample_trace() {
+    Trace trace;
+    stats::Rng rng(3);
+    for (int i = 0; i < 20; ++i) {
+        LoggedTuple t;
+        t.context.numeric = {rng.normal(), rng.uniform(0.0, 1.0)};
+        t.context.categorical = {static_cast<std::int32_t>(rng.uniform_index(4)),
+                                 static_cast<std::int32_t>(rng.uniform_index(2))};
+        t.decision = static_cast<Decision>(rng.uniform_index(3));
+        t.reward = rng.normal(1.0, 2.0);
+        t.propensity = rng.uniform(0.05, 1.0);
+        t.state = i % 2;
+        trace.add(std::move(t));
+    }
+    return trace;
+}
+
+TEST(Csv, RoundTripPreservesEverything) {
+    const Trace original = sample_trace();
+    std::stringstream buffer;
+    write_csv(original, buffer);
+    const Trace parsed = read_csv(buffer);
+
+    ASSERT_EQ(parsed.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(parsed[i].decision, original[i].decision);
+        EXPECT_DOUBLE_EQ(parsed[i].reward, original[i].reward);
+        EXPECT_DOUBLE_EQ(parsed[i].propensity, original[i].propensity);
+        EXPECT_EQ(parsed[i].state, original[i].state);
+        EXPECT_EQ(parsed[i].context, original[i].context);
+    }
+}
+
+TEST(Csv, EmptyTraceRoundTrips) {
+    std::stringstream buffer;
+    write_csv(Trace{}, buffer);
+    const Trace parsed = read_csv(buffer);
+    EXPECT_TRUE(parsed.empty());
+}
+
+TEST(Csv, HeaderDeclaresSchema) {
+    const Trace trace = sample_trace();
+    std::stringstream buffer;
+    write_csv(trace, buffer);
+    std::string header;
+    std::getline(buffer, header);
+    EXPECT_EQ(header, "decision,reward,propensity,state,n0,n1,c0,c1");
+}
+
+TEST(Csv, RejectsMalformedHeader) {
+    std::stringstream bad("foo,bar\n");
+    EXPECT_THROW(read_csv(bad), std::runtime_error);
+    std::stringstream empty("");
+    EXPECT_THROW(read_csv(empty), std::runtime_error);
+}
+
+TEST(Csv, RejectsWrongCellCount) {
+    std::stringstream bad("decision,reward,propensity,state,n0\n1,2.0,0.5,0\n");
+    EXPECT_THROW(read_csv(bad), std::runtime_error);
+}
+
+TEST(Csv, RejectsNonNumericCells) {
+    std::stringstream bad(
+        "decision,reward,propensity,state,n0\n1,abc,0.5,0,1.0\n");
+    EXPECT_THROW(read_csv(bad), std::runtime_error);
+}
+
+TEST(Csv, RejectsHeterogeneousSchemaOnWrite) {
+    Trace trace;
+    LoggedTuple a;
+    a.context.numeric = {1.0};
+    trace.add(a);
+    LoggedTuple b;
+    b.context.numeric = {1.0, 2.0};
+    trace.add(b);
+    std::stringstream buffer;
+    EXPECT_THROW(write_csv(trace, buffer), std::invalid_argument);
+}
+
+TEST(Csv, FileRoundTrip) {
+    const Trace original = sample_trace();
+    const std::string path = testing::TempDir() + "dre_trace_test.csv";
+    write_csv_file(original, path);
+    const Trace parsed = read_csv_file(path);
+    EXPECT_EQ(parsed.size(), original.size());
+    EXPECT_THROW(read_csv_file("/nonexistent/dir/file.csv"), std::runtime_error);
+}
+
+TEST(Csv, SkipsBlankLines) {
+    std::stringstream in("decision,reward,propensity,state,n0\n1,2.0,0.5,0,1.0\n\n");
+    const Trace parsed = read_csv(in);
+    EXPECT_EQ(parsed.size(), 1u);
+}
+
+} // namespace
+} // namespace dre

@@ -1,0 +1,112 @@
+#include "core/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/environment.h"
+#include "stats/rng.h"
+
+namespace dre::core {
+namespace {
+
+// E[r | x, d]: decision 1 is better iff x > 0.
+class SplitEnv final : public Environment {
+public:
+    ClientContext sample_context(stats::Rng& rng) const override {
+        return ClientContext({rng.uniform(-1.0, 1.0)}, {});
+    }
+    Reward sample_reward(const ClientContext& c, Decision d,
+                         stats::Rng& rng) const override {
+        const double mean = d == 1 ? c.numeric[0] : -c.numeric[0];
+        return mean + rng.normal(0.0, 0.3);
+    }
+    std::size_t num_decisions() const noexcept override { return 2; }
+};
+
+Trace make_trace(std::size_t n, std::uint64_t seed) {
+    SplitEnv env;
+    stats::Rng rng(seed);
+    UniformRandomPolicy logging(2);
+    return collect_trace(env, logging, n, rng);
+}
+
+TEST(Evaluator, RunsFullEstimatorSuite) {
+    EvaluationConfig config;
+    config.reward_model = RewardModelKind::kLinear;
+    Evaluator evaluator(make_trace(2000, 1), config, stats::Rng(2));
+
+    DeterministicPolicy target(2, [](const ClientContext& c) {
+        return static_cast<Decision>(c.numeric[0] > 0.0 ? 1 : 0);
+    });
+    const PolicyEvaluation result = evaluator.evaluate(target);
+    // Analytic truth: E[|x|] = 0.5.
+    EXPECT_NEAR(result.dr.value, 0.5, 0.08);
+    EXPECT_NEAR(result.ips.value, 0.5, 0.1);
+    EXPECT_NEAR(result.dm.value, 0.5, 0.1);
+    EXPECT_NEAR(result.snips.value, 0.5, 0.1);
+    EXPECT_NEAR(result.switch_dr.value, 0.5, 0.1);
+    EXPECT_DOUBLE_EQ(result.value(), result.dr.value);
+    EXPECT_GT(result.overlap.effective_sample_size, 0.0);
+    EXPECT_FALSE(result.dr_ci.has_value()); // disabled by default
+}
+
+TEST(Evaluator, ConfidenceIntervalWhenRequested) {
+    EvaluationConfig config;
+    config.ci_replicates = 300;
+    Evaluator evaluator(make_trace(1000, 3), config, stats::Rng(4));
+    UniformRandomPolicy target(2);
+    const PolicyEvaluation result = evaluator.evaluate(target);
+    ASSERT_TRUE(result.dr_ci.has_value());
+    EXPECT_TRUE(result.dr_ci->contains(result.dr.value));
+}
+
+TEST(Evaluator, CrossFitSplitsTrace) {
+    EvaluationConfig config;
+    config.cross_fit = true;
+    config.cross_fit_train_fraction = 0.5;
+    const Trace trace = make_trace(2000, 5);
+    Evaluator evaluator(trace, config, stats::Rng(6));
+    EXPECT_LT(evaluator.evaluation_trace().size(), trace.size());
+    EXPECT_GT(evaluator.evaluation_trace().size(), 500u);
+    // Estimates still sane on the holdout.
+    DeterministicPolicy target(2, [](const ClientContext& c) {
+        return static_cast<Decision>(c.numeric[0] > 0.0 ? 1 : 0);
+    });
+    EXPECT_NEAR(evaluator.evaluate(target).dr.value, 0.5, 0.1);
+}
+
+TEST(Evaluator, EstimatedPropensitiesReplaceLoggedOnes) {
+    Trace trace = make_trace(1500, 7);
+    for (auto& t : trace) t.propensity = 0.9; // corrupt the logs
+    EvaluationConfig config;
+    config.estimate_propensities = true;
+    Evaluator evaluator(trace, config, stats::Rng(8));
+    UniformRandomPolicy target(2);
+    // With re-estimated propensities (~0.5) IPS recovers the truth (0).
+    EXPECT_NEAR(evaluator.evaluate(target).ips.value, 0.0, 0.1);
+}
+
+TEST(Evaluator, CompareSelectsBestPolicy) {
+    Evaluator evaluator(make_trace(3000, 9), EvaluationConfig{}, stats::Rng(10));
+    DeterministicPolicy good(2, [](const ClientContext& c) {
+        return static_cast<Decision>(c.numeric[0] > 0.0 ? 1 : 0);
+    });
+    DeterministicPolicy bad(2, [](const ClientContext& c) {
+        return static_cast<Decision>(c.numeric[0] > 0.0 ? 0 : 1);
+    });
+    UniformRandomPolicy meh(2);
+    const auto comparison = evaluator.compare({&bad, &meh, &good});
+    EXPECT_EQ(comparison.best_index, 2u);
+    EXPECT_EQ(comparison.evaluations.size(), 3u);
+    EXPECT_THROW(evaluator.compare({}), std::invalid_argument);
+    EXPECT_THROW(evaluator.compare({nullptr}), std::invalid_argument);
+}
+
+TEST(Evaluator, Validation) {
+    EXPECT_THROW(Evaluator(Trace{}, EvaluationConfig{}, stats::Rng(1)),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace dre::core

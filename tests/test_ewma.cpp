@@ -1,0 +1,70 @@
+#include "stats/ewma.h"
+
+#include <gtest/gtest.h>
+
+namespace dre::stats {
+namespace {
+
+TEST(Ewma, FirstSampleSeedsValue) {
+    Ewma ewma(0.3);
+    EXPECT_TRUE(ewma.empty());
+    ewma.add(10.0);
+    EXPECT_FALSE(ewma.empty());
+    EXPECT_DOUBLE_EQ(ewma.value(), 10.0);
+}
+
+TEST(Ewma, FollowsRecurrence) {
+    Ewma ewma(0.5);
+    ewma.add(10.0);
+    ewma.add(0.0);
+    EXPECT_DOUBLE_EQ(ewma.value(), 5.0);
+    ewma.add(5.0);
+    EXPECT_DOUBLE_EQ(ewma.value(), 5.0);
+}
+
+TEST(Ewma, AlphaOneTracksLastSample) {
+    Ewma ewma(1.0);
+    ewma.add(3.0);
+    ewma.add(7.0);
+    EXPECT_DOUBLE_EQ(ewma.value(), 7.0);
+}
+
+TEST(Ewma, ResetAndValidation) {
+    Ewma ewma(0.2);
+    ewma.add(1.0);
+    ewma.reset();
+    EXPECT_TRUE(ewma.empty());
+    EXPECT_THROW(Ewma(0.0), std::invalid_argument);
+    EXPECT_THROW(Ewma(1.5), std::invalid_argument);
+}
+
+TEST(SlidingWindow, EvictsOldestBeyondCapacity) {
+    SlidingWindow window(3);
+    for (double x : {1.0, 2.0, 3.0, 4.0}) window.add(x);
+    EXPECT_EQ(window.size(), 3u);
+    EXPECT_DOUBLE_EQ(window.mean(), 3.0); // {2,3,4}
+    EXPECT_DOUBLE_EQ(window.min(), 2.0);
+    EXPECT_DOUBLE_EQ(window.max(), 4.0);
+}
+
+TEST(SlidingWindow, HarmonicMeanKnownValue) {
+    SlidingWindow window(4);
+    window.add(1.0);
+    window.add(2.0);
+    // HM(1,2) = 2/(1 + 0.5) = 4/3.
+    EXPECT_NEAR(window.harmonic_mean(), 4.0 / 3.0, 1e-12);
+    EXPECT_LE(window.harmonic_mean(), window.mean()); // AM-HM inequality
+}
+
+TEST(SlidingWindow, Validation) {
+    EXPECT_THROW(SlidingWindow(0), std::invalid_argument);
+    SlidingWindow window(2);
+    EXPECT_THROW(window.mean(), std::logic_error);
+    EXPECT_THROW(window.harmonic_mean(), std::logic_error);
+    EXPECT_THROW(window.min(), std::logic_error);
+    window.add(-1.0);
+    EXPECT_THROW(window.harmonic_mean(), std::invalid_argument);
+}
+
+} // namespace
+} // namespace dre::stats

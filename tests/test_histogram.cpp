@@ -1,0 +1,70 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dre::stats {
+namespace {
+
+TEST(Histogram, BinsValuesCorrectly) {
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(5.5);
+    h.add(9.9);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(5), 1u);
+    EXPECT_EQ(h.count(9), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+    Histogram h(0.0, 1.0, 4);
+    h.add(-100.0);
+    h.add(100.0);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(Histogram, BinBoundsAndDensity) {
+    Histogram h(0.0, 4.0, 4);
+    EXPECT_DOUBLE_EQ(h.bin_lo(1), 1.0);
+    EXPECT_DOUBLE_EQ(h.bin_hi(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.density(0), 0.0); // empty
+    h.add_all(std::vector<double>{0.5, 0.6, 3.5, 3.6});
+    EXPECT_DOUBLE_EQ(h.density(0), 0.5);
+    EXPECT_THROW(h.count(4), std::out_of_range);
+}
+
+TEST(Histogram, ConstructionValidation) {
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, AsciiRenderingHasOneRowPerBin) {
+    Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    const std::string art = h.ascii();
+    EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 2);
+    EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(FrequencyTable, CountsAndFractions) {
+    FrequencyTable table;
+    table.add(3);
+    table.add(3);
+    table.add(7);
+    EXPECT_EQ(table.count(3), 2u);
+    EXPECT_EQ(table.count(7), 1u);
+    EXPECT_EQ(table.count(999), 0u);
+    EXPECT_DOUBLE_EQ(table.fraction(3), 2.0 / 3.0);
+    EXPECT_EQ(table.total(), 3u);
+}
+
+TEST(FrequencyTable, EmptyFractionIsZero) {
+    FrequencyTable table;
+    EXPECT_DOUBLE_EQ(table.fraction(1), 0.0);
+}
+
+} // namespace
+} // namespace dre::stats

@@ -1,0 +1,78 @@
+#include "stats/knn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace dre::stats {
+namespace {
+
+TEST(Knn, KOneReproducesTrainingPoints) {
+    KnnRegressor knn(1);
+    knn.fit({{0.0}, {1.0}, {2.0}}, std::vector<double>{10.0, 20.0, 30.0});
+    EXPECT_DOUBLE_EQ(knn.predict(std::vector<double>{0.0}), 10.0);
+    EXPECT_DOUBLE_EQ(knn.predict(std::vector<double>{2.1}), 30.0);
+}
+
+TEST(Knn, AveragesKNeighbours) {
+    KnnRegressor knn(2);
+    knn.fit({{0.0}, {1.0}, {10.0}}, std::vector<double>{0.0, 2.0, 100.0});
+    // Nearest two to 0.4 are 0.0 and 1.0 -> mean 1.0.
+    EXPECT_DOUBLE_EQ(knn.predict(std::vector<double>{0.4}), 1.0);
+}
+
+TEST(Knn, KLargerThanSampleUsesAll) {
+    KnnRegressor knn(10);
+    knn.fit({{0.0}, {1.0}}, std::vector<double>{1.0, 3.0});
+    EXPECT_DOUBLE_EQ(knn.predict(std::vector<double>{0.5}), 2.0);
+}
+
+TEST(Knn, StandardizationBalancesScales) {
+    // Feature 1 has a huge scale; without standardization it would dominate.
+    // Points: class A at small-x/any-y, class B at large-x. The query is
+    // closest to A in standardized space.
+    KnnRegressor knn(1);
+    knn.fit({{0.0, 0.0}, {1.0, 10000.0}, {10.0, 0.0}},
+            std::vector<double>{1.0, 1.0, 5.0});
+    EXPECT_DOUBLE_EQ(knn.predict(std::vector<double>{1.0, 5000.0}), 1.0);
+}
+
+TEST(Knn, WeightedPredictionPrefersCloserPoints) {
+    KnnRegressor knn(2);
+    knn.set_weighted(true);
+    knn.fit({{0.0}, {1.0}}, std::vector<double>{0.0, 10.0});
+    const double near_zero = knn.predict(std::vector<double>{0.05});
+    EXPECT_LT(near_zero, 5.0); // closer to the 0-labelled point
+}
+
+TEST(Knn, ApproximatesSmoothFunction) {
+    Rng rng(6);
+    std::vector<std::vector<double>> rows;
+    std::vector<double> targets;
+    for (int i = 0; i < 3000; ++i) {
+        const double x = rng.uniform(0.0, 6.28);
+        rows.push_back({x});
+        targets.push_back(std::sin(x) + rng.normal(0.0, 0.05));
+    }
+    KnnRegressor knn(25);
+    knn.fit(rows, targets);
+    for (double x : {0.5, 1.5, 3.0, 5.0})
+        EXPECT_NEAR(knn.predict(std::vector<double>{x}), std::sin(x), 0.1);
+}
+
+TEST(Knn, InputValidation) {
+    EXPECT_THROW(KnnRegressor(0), std::invalid_argument);
+    KnnRegressor knn(3);
+    EXPECT_THROW(knn.fit({}, std::vector<double>{}), std::invalid_argument);
+    EXPECT_THROW(knn.fit({{1.0}}, std::vector<double>{1.0, 2.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(knn.predict(std::vector<double>{1.0}), std::logic_error);
+    knn.fit({{1.0, 2.0}}, std::vector<double>{1.0});
+    EXPECT_THROW(knn.predict(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace dre::stats

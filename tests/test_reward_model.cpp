@@ -1,0 +1,130 @@
+#include "core/reward_model.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace dre::core {
+namespace {
+
+LoggedTuple tuple(std::vector<double> numeric, std::vector<std::int32_t> cat,
+                  Decision d, double reward) {
+    LoggedTuple t;
+    t.context.numeric = std::move(numeric);
+    t.context.categorical = std::move(cat);
+    t.decision = d;
+    t.reward = reward;
+    t.propensity = 0.5;
+    return t;
+}
+
+TEST(ConstantRewardModel, AlwaysReturnsValue) {
+    ConstantRewardModel model(3, 1.25);
+    EXPECT_DOUBLE_EQ(model.predict(ClientContext{}, 0), 1.25);
+    EXPECT_DOUBLE_EQ(model.predict(ClientContext{}, 2), 1.25);
+    EXPECT_THROW(ConstantRewardModel(0, 1.0), std::invalid_argument);
+}
+
+TEST(OracleRewardModel, DelegatesToFunction) {
+    OracleRewardModel model(2, [](const ClientContext& c, Decision d) {
+        return c.numeric.at(0) + d;
+    });
+    EXPECT_DOUBLE_EQ(model.predict(ClientContext({3.0}, {}), 1), 4.0);
+    EXPECT_THROW(model.predict(ClientContext({3.0}, {}), 5), std::out_of_range);
+    EXPECT_THROW(OracleRewardModel(2, nullptr), std::invalid_argument);
+}
+
+TEST(TabularRewardModel, ExactCellMeans) {
+    Trace trace;
+    trace.add(tuple({}, {1}, 0, 2.0));
+    trace.add(tuple({}, {1}, 0, 4.0));
+    trace.add(tuple({}, {2}, 0, 10.0));
+    trace.add(tuple({}, {1}, 1, -1.0));
+    TabularRewardModel model(2);
+    model.fit(trace);
+    EXPECT_DOUBLE_EQ(model.predict(ClientContext({}, {1}), 0), 3.0);
+    EXPECT_DOUBLE_EQ(model.predict(ClientContext({}, {2}), 0), 10.0);
+    EXPECT_DOUBLE_EQ(model.predict(ClientContext({}, {1}), 1), -1.0);
+    EXPECT_EQ(model.cells(), 3u);
+}
+
+TEST(TabularRewardModel, FallsBackToDecisionThenGlobalMean) {
+    Trace trace;
+    trace.add(tuple({}, {1}, 0, 2.0));
+    trace.add(tuple({}, {2}, 0, 4.0));
+    TabularRewardModel model(2);
+    model.fit(trace);
+    // Unseen context, seen decision -> decision mean 3.
+    EXPECT_DOUBLE_EQ(model.predict(ClientContext({}, {9}), 0), 3.0);
+    // Unseen decision entirely -> global mean 3.
+    EXPECT_DOUBLE_EQ(model.predict(ClientContext({}, {9}), 1), 3.0);
+}
+
+TEST(TabularRewardModel, PredictBeforeFitThrows) {
+    TabularRewardModel model(2);
+    EXPECT_THROW(model.predict(ClientContext{}, 0), std::logic_error);
+}
+
+TEST(LinearRewardModel, LearnsPerDecisionLinearRewards) {
+    stats::Rng rng(1);
+    Trace trace;
+    for (int i = 0; i < 600; ++i) {
+        const double x = rng.uniform(-2.0, 2.0);
+        const auto d = static_cast<Decision>(rng.uniform_index(2));
+        const double reward = d == 0 ? 2.0 * x + 1.0 : -x;
+        trace.add(tuple({x}, {}, d, reward + rng.normal(0.0, 0.05)));
+    }
+    LinearRewardModel model(2);
+    model.fit(trace);
+    EXPECT_NEAR(model.predict(ClientContext({1.0}, {}), 0), 3.0, 0.1);
+    EXPECT_NEAR(model.predict(ClientContext({1.0}, {}), 1), -1.0, 0.1);
+}
+
+TEST(LinearRewardModel, UnseenDecisionFallsBackToGlobalMean) {
+    Trace trace;
+    trace.add(tuple({1.0}, {}, 0, 2.0));
+    trace.add(tuple({2.0}, {}, 0, 4.0));
+    LinearRewardModel model(3);
+    model.fit(trace);
+    EXPECT_DOUBLE_EQ(model.predict(ClientContext({1.0}, {}), 2), 3.0);
+}
+
+TEST(KnnRewardModel, LocalAveraging) {
+    Trace trace;
+    trace.add(tuple({0.0}, {}, 0, 1.0));
+    trace.add(tuple({0.1}, {}, 0, 3.0));
+    trace.add(tuple({5.0}, {}, 0, 100.0));
+    KnnRewardModel model(1, 2);
+    model.fit(trace);
+    EXPECT_DOUBLE_EQ(model.predict(ClientContext({0.05}, {}), 0), 2.0);
+}
+
+TEST(KnnRewardModel, SeparatesDecisions) {
+    stats::Rng rng(2);
+    Trace trace;
+    for (int i = 0; i < 200; ++i) {
+        const double x = rng.uniform(0.0, 1.0);
+        trace.add(tuple({x}, {}, 0, 5.0 + rng.normal(0.0, 0.01)));
+        trace.add(tuple({x}, {}, 1, -5.0 + rng.normal(0.0, 0.01)));
+    }
+    KnnRewardModel model(2, 5);
+    model.fit(trace);
+    EXPECT_NEAR(model.predict(ClientContext({0.5}, {}), 0), 5.0, 0.1);
+    EXPECT_NEAR(model.predict(ClientContext({0.5}, {}), 1), -5.0, 0.1);
+}
+
+TEST(FitRewardModel, FactoryProducesEachKind) {
+    Trace trace;
+    trace.add(tuple({1.0}, {0}, 0, 1.0));
+    trace.add(tuple({2.0}, {1}, 1, 2.0));
+    for (const auto kind : {RewardModelKind::kTabular, RewardModelKind::kLinear,
+                            RewardModelKind::kKnn}) {
+        const auto model = fit_reward_model(kind, 2, trace);
+        ASSERT_NE(model, nullptr);
+        EXPECT_EQ(model->num_decisions(), 2u);
+        EXPECT_NO_THROW(model->predict(trace[0].context, 0));
+    }
+}
+
+} // namespace
+} // namespace dre::core

@@ -1,0 +1,173 @@
+#include "stats/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "stats/summary.h"
+
+namespace dre::stats {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) equal += a.next_u64() == b.next_u64();
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+    Rng rng(11);
+    Accumulator acc;
+    for (int i = 0; i < 100000; ++i) acc.add(rng.uniform());
+    EXPECT_NEAR(acc.mean(), 0.5, 0.01);
+    EXPECT_NEAR(acc.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(-3.0, 2.0);
+        EXPECT_GE(x, -3.0);
+        EXPECT_LT(x, 2.0);
+    }
+    EXPECT_THROW(rng.uniform(2.0, 2.0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIndexCoversAllValuesUnbiased) {
+    Rng rng(3);
+    std::vector<int> counts(7, 0);
+    const int draws = 70000;
+    for (int i = 0; i < draws; ++i) ++counts[rng.uniform_index(7)];
+    for (int c : counts) EXPECT_NEAR(c, draws / 7.0, draws / 7.0 * 0.1);
+    EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto x = rng.uniform_int(-2, 2);
+        EXPECT_GE(x, -2);
+        EXPECT_LE(x, 2);
+        saw_lo |= x == -2;
+        saw_hi |= x == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+    Rng rng(13);
+    int hits = 0;
+    const int draws = 50000;
+    for (int i = 0; i < draws; ++i) hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / draws, 0.3, 0.02);
+    EXPECT_THROW(rng.bernoulli(1.5), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+    Rng rng(17);
+    Accumulator acc;
+    for (int i = 0; i < 100000; ++i) acc.add(rng.normal(2.0, 3.0));
+    EXPECT_NEAR(acc.mean(), 2.0, 0.05);
+    EXPECT_NEAR(acc.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+    Rng rng(19);
+    Accumulator acc;
+    for (int i = 0; i < 100000; ++i) acc.add(rng.exponential(4.0));
+    EXPECT_NEAR(acc.mean(), 0.25, 0.01);
+    EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, LognormalMedianIsExpMu) {
+    Rng rng(23);
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i) xs.push_back(rng.lognormal(1.0, 0.5));
+    EXPECT_NEAR(median(xs), std::exp(1.0), 0.1);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+    Rng rng(29);
+    for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+    EXPECT_THROW(rng.pareto(-1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+    Rng rng(31);
+    const std::vector<double> weights{1.0, 3.0, 6.0};
+    std::vector<int> counts(3, 0);
+    const int draws = 100000;
+    for (int i = 0; i < draws; ++i) ++counts[rng.categorical(weights)];
+    EXPECT_NEAR(counts[0] / static_cast<double>(draws), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(draws), 0.3, 0.015);
+    EXPECT_NEAR(counts[2] / static_cast<double>(draws), 0.6, 0.015);
+}
+
+TEST(Rng, CategoricalRejectsBadWeights) {
+    Rng rng(37);
+    EXPECT_THROW(rng.categorical(std::vector<double>{}), std::invalid_argument);
+    EXPECT_THROW(rng.categorical(std::vector<double>{0.0, 0.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(rng.categorical(std::vector<double>{-1.0, 2.0}),
+                 std::invalid_argument);
+}
+
+TEST(Rng, CategoricalHandlesZeroLeadingWeight) {
+    Rng rng(41);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.categorical(std::vector<double>{0.0, 1.0}), 1u);
+}
+
+TEST(Rng, PoissonMeanMatchesLambdaSmallAndLarge) {
+    Rng rng(43);
+    Accumulator small, large;
+    for (int i = 0; i < 20000; ++i) {
+        small.add(static_cast<double>(rng.poisson(3.0)));
+        large.add(static_cast<double>(rng.poisson(80.0)));
+    }
+    EXPECT_NEAR(small.mean(), 3.0, 0.1);
+    EXPECT_NEAR(large.mean(), 80.0, 0.5);
+    EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+    Rng rng(47);
+    std::vector<int> v(100);
+    std::iota(v.begin(), v.end(), 0);
+    auto shuffled = v;
+    rng.shuffle(shuffled);
+    EXPECT_NE(shuffled, v); // astronomically unlikely to be identity
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+    Rng a(53);
+    Rng b = a.split();
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) equal += a.next_u64() == b.next_u64();
+    EXPECT_LT(equal, 2);
+}
+
+} // namespace
+} // namespace dre::stats

@@ -1,0 +1,83 @@
+// Tests for the special functions (stats/special.h) against closed forms
+// and published reference values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/hypothesis.h"
+#include "stats/special.h"
+
+namespace dre::stats {
+namespace {
+
+TEST(LogGamma, MatchesFactorials) {
+    // Γ(n) = (n-1)!
+    EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-12);
+    EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-12);
+    EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-10);
+    EXPECT_NEAR(log_gamma(11.0), std::log(3628800.0), 1e-9);
+}
+
+TEST(LogGamma, HalfIntegerAndReflection) {
+    // Γ(1/2) = sqrt(pi); Γ(3/2) = sqrt(pi)/2.
+    EXPECT_NEAR(log_gamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+    EXPECT_NEAR(log_gamma(1.5), std::log(std::sqrt(M_PI) / 2.0), 1e-10);
+    // x < 0.5 goes through the reflection formula.
+    EXPECT_NEAR(log_gamma(0.25), std::log(3.6256099082219083), 1e-9);
+    EXPECT_THROW(log_gamma(0.0), std::invalid_argument);
+    EXPECT_THROW(log_gamma(-1.0), std::invalid_argument);
+}
+
+TEST(IncompleteBeta, ClosedForms) {
+    // I_x(1, 1) = x.
+    for (double x : {0.0, 0.2, 0.5, 0.9, 1.0})
+        EXPECT_NEAR(incomplete_beta(1.0, 1.0, x), x, 1e-12);
+    // I_x(2, 2) = 3x^2 - 2x^3.
+    for (double x : {0.1, 0.35, 0.5, 0.8}) {
+        EXPECT_NEAR(incomplete_beta(2.0, 2.0, x), 3 * x * x - 2 * x * x * x, 1e-10);
+    }
+    // Symmetry I_x(a,b) = 1 - I_{1-x}(b,a).
+    EXPECT_NEAR(incomplete_beta(3.0, 5.0, 0.3),
+                1.0 - incomplete_beta(5.0, 3.0, 0.7), 1e-12);
+    EXPECT_THROW(incomplete_beta(0.0, 1.0, 0.5), std::invalid_argument);
+    EXPECT_THROW(incomplete_beta(1.0, 1.0, 1.5), std::invalid_argument);
+}
+
+TEST(StudentT, MatchesCauchyAtOneDof) {
+    // t with 1 dof is Cauchy: CDF(t) = 1/2 + atan(t)/pi.
+    for (double t : {-3.0, -1.0, 0.0, 0.5, 2.0}) {
+        EXPECT_NEAR(student_t_cdf(t, 1.0), 0.5 + std::atan(t) / M_PI, 1e-10)
+            << "t=" << t;
+    }
+}
+
+TEST(StudentT, ConvergesToNormalForLargeDof) {
+    for (double t : {-2.0, -0.5, 1.0, 2.5})
+        EXPECT_NEAR(student_t_cdf(t, 1e6), normal_cdf(t), 1e-4) << "t=" << t;
+}
+
+TEST(StudentT, ReferenceQuantiles) {
+    // Classic t-table: P(T_10 <= 2.228) = 0.975, P(T_5 <= 2.015) = 0.95.
+    EXPECT_NEAR(student_t_cdf(2.228, 10.0), 0.975, 5e-4);
+    EXPECT_NEAR(student_t_cdf(2.015, 5.0), 0.95, 5e-4);
+    EXPECT_THROW(student_t_cdf(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(NormalQuantile, ReferenceValues) {
+    EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+    EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-9);
+    EXPECT_NEAR(normal_quantile(0.8), 0.8416212335729143, 1e-9);
+    EXPECT_NEAR(normal_quantile(0.05), -1.6448536269514722, 1e-9);
+    // Deep tails (the Acklam tail branch).
+    EXPECT_NEAR(normal_quantile(1e-8), -5.612001244174789, 1e-6);
+    EXPECT_THROW(normal_quantile(0.0), std::invalid_argument);
+    EXPECT_THROW(normal_quantile(1.0), std::invalid_argument);
+}
+
+TEST(NormalQuantile, RoundTripsWithCdf) {
+    for (double p = 0.001; p < 1.0; p += 0.037)
+        EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-10) << "p=" << p;
+}
+
+} // namespace
+} // namespace dre::stats

@@ -1,0 +1,107 @@
+// Tests for BIC scoring and hill-climbing structure learning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.h"
+#include "wise/bayes_net.h"
+
+namespace dre::wise {
+namespace {
+
+// V-structure data: A, B independent fair coins; C = A XOR B with 5% noise.
+// Pairwise MI(A,C) and MI(B,C) are ~0, so Chow-Liu cannot find it; only a
+// multi-parent learner recovers C's parents {A, B}.
+std::vector<Assignment> xor_rows(std::size_t n, stats::Rng& rng) {
+    std::vector<Assignment> rows;
+    rows.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int32_t a = rng.bernoulli(0.5) ? 1 : 0;
+        const std::int32_t b = rng.bernoulli(0.5) ? 1 : 0;
+        std::int32_t c = a ^ b;
+        if (rng.bernoulli(0.05)) c = 1 - c;
+        rows.push_back({a, b, c});
+    }
+    return rows;
+}
+
+TEST(BicScore, PenalizesUselessParents) {
+    stats::Rng rng(1);
+    // Independent coins: adding an edge must not improve BIC.
+    std::vector<Assignment> rows;
+    for (int i = 0; i < 3000; ++i)
+        rows.push_back({rng.bernoulli(0.5) ? 1 : 0, rng.bernoulli(0.5) ? 1 : 0});
+    const std::vector<std::int32_t> cards{2, 2};
+    const double empty = bic_score(rows, cards, {{}, {}});
+    const double with_edge = bic_score(rows, cards, {{}, {0}});
+    EXPECT_GT(empty, with_edge);
+}
+
+TEST(BicScore, RewardsRealDependence) {
+    stats::Rng rng(2);
+    std::vector<Assignment> rows;
+    for (int i = 0; i < 3000; ++i) {
+        const std::int32_t a = rng.bernoulli(0.5) ? 1 : 0;
+        rows.push_back({a, rng.bernoulli(a ? 0.9 : 0.1) ? 1 : 0});
+    }
+    const std::vector<std::int32_t> cards{2, 2};
+    EXPECT_GT(bic_score(rows, cards, {{}, {0}}),
+              bic_score(rows, cards, {{}, {}}));
+    EXPECT_THROW(bic_score({}, cards, {{}, {}}), std::invalid_argument);
+}
+
+TEST(HillClimbing, RecoversXorVStructure) {
+    stats::Rng rng(3);
+    const std::vector<Assignment> rows = xor_rows(6000, rng);
+
+    // Chow-Liu is structurally blind to XOR (pairwise MI ~ 0 to C).
+    const double mi_ac = mutual_information(rows, 0, 2, 2, 2);
+    EXPECT_LT(mi_ac, 0.01);
+
+    const BayesianNetwork net = learn_hill_climbing(rows, {2, 2, 2});
+    // The learner must connect C with both A and B, in some orientation:
+    // either C has two parents {A, B}, or C is a parent of both (equivalent
+    // likelihood class). Check that A,B,C are not mutually independent.
+    const std::size_t total_edges = net.parents(0).size() +
+                                    net.parents(1).size() +
+                                    net.parents(2).size();
+    EXPECT_GE(total_edges, 2u);
+    // Whatever the orientation, inference must capture the XOR: given A=1,
+    // B=0 the posterior of C must concentrate on 1.
+    const auto posterior = net.posterior(2, {{0, 1}, {1, 0}});
+    EXPECT_GT(posterior[1], 0.85);
+    const auto posterior_equal = net.posterior(2, {{0, 1}, {1, 1}});
+    EXPECT_GT(posterior_equal[0], 0.85);
+}
+
+TEST(HillClimbing, LeavesIndependentVariablesUnconnected) {
+    stats::Rng rng(4);
+    std::vector<Assignment> rows;
+    for (int i = 0; i < 4000; ++i)
+        rows.push_back({rng.bernoulli(0.5) ? 1 : 0, rng.bernoulli(0.3) ? 1 : 0,
+                        rng.bernoulli(0.7) ? 1 : 0});
+    const BayesianNetwork net = learn_hill_climbing(rows, {2, 2, 2});
+    EXPECT_TRUE(net.parents(0).empty());
+    EXPECT_TRUE(net.parents(1).empty());
+    EXPECT_TRUE(net.parents(2).empty());
+}
+
+TEST(HillClimbing, RespectsMaxParents) {
+    stats::Rng rng(5);
+    // C depends on A, B, D; cap parents at 1.
+    std::vector<Assignment> rows;
+    for (int i = 0; i < 4000; ++i) {
+        const std::int32_t a = rng.bernoulli(0.5), b = rng.bernoulli(0.5),
+                           d = rng.bernoulli(0.5);
+        const std::int32_t c = (a + b + d) >= 2 ? 1 : 0;
+        rows.push_back({a, b, c, d});
+    }
+    HillClimbOptions options;
+    options.max_parents = 1;
+    const BayesianNetwork net = learn_hill_climbing(rows, {2, 2, 2, 2}, options);
+    for (std::size_t v = 0; v < 4; ++v) EXPECT_LE(net.parents(v).size(), 1u);
+    EXPECT_THROW(learn_hill_climbing({}, {2, 2}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace dre::wise

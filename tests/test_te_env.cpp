@@ -1,0 +1,98 @@
+#include "netsim/te_env.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/environment.h"
+#include "core/estimators.h"
+#include "core/reward_model.h"
+#include "stats/rng.h"
+#include "stats/summary.h"
+
+namespace dre::netsim {
+namespace {
+
+TEST(TeEnv, BackboneEnumeratesCandidatePathsShortestFirst) {
+    const TopologyTeEnv env = TopologyTeEnv::backbone();
+    ASSERT_GE(env.num_decisions(), 3u);
+    const auto& paths = env.candidate_paths();
+    double previous = 0.0;
+    for (const auto& path : paths) {
+        const double delay = env.topology().path_delay_ms(path);
+        EXPECT_GE(delay, previous);
+        previous = delay;
+    }
+    EXPECT_DOUBLE_EQ(env.topology().path_delay_ms(paths.front()), 10.0);
+}
+
+TEST(TeEnv, ContextSchema) {
+    const TopologyTeEnv env = TopologyTeEnv::backbone();
+    stats::Rng rng(1);
+    const ClientContext c = env.sample_context(rng);
+    ASSERT_EQ(c.numeric.size(), 2u);
+    EXPECT_GT(c.numeric[0], 0.0);    // demand
+    EXPECT_GE(c.numeric[1], 0.0);    // congestion
+    EXPECT_LE(c.numeric[1], 1.0);
+}
+
+TEST(TeEnv, CongestionHurtsTheShortPathOnly) {
+    const TopologyTeEnv env = TopologyTeEnv::backbone();
+    stats::Rng rng(2);
+    const ClientContext calm({30.0, 0.0}, {});
+    const ClientContext busy({30.0, 1.0}, {});
+    stats::Accumulator short_calm, short_busy, long_calm, long_busy;
+    const auto long_path = static_cast<Decision>(env.num_decisions() - 1);
+    for (int i = 0; i < 400; ++i) {
+        short_calm.add(env.sample_reward(calm, 0, rng));
+        short_busy.add(env.sample_reward(busy, 0, rng));
+        long_calm.add(env.sample_reward(calm, long_path, rng));
+        long_busy.add(env.sample_reward(busy, long_path, rng));
+    }
+    // The short path degrades substantially under congestion...
+    EXPECT_GT(short_calm.mean() - short_busy.mean(), 0.5);
+    // ...while the roomy detour barely notices.
+    EXPECT_LT(std::fabs(long_calm.mean() - long_busy.mean()), 0.3);
+    // And under calm conditions the short path wins.
+    EXPECT_GT(short_calm.mean(), long_calm.mean());
+}
+
+TEST(TeEnv, OffPolicyEvaluationRecoversTruth) {
+    const TopologyTeEnv env = TopologyTeEnv::backbone();
+    stats::Rng rng(3);
+    core::UniformRandomPolicy logging(env.num_decisions());
+    const Trace trace = core::collect_trace(env, logging, 4000, rng);
+
+    // Congestion-aware target: take the detour when congestion is high.
+    const auto detour = static_cast<Decision>(env.num_decisions() - 1);
+    core::DeterministicPolicy target(
+        env.num_decisions(), [detour](const ClientContext& c) {
+            return c.numeric.at(1) > 0.5 ? detour : Decision{0};
+        });
+    const double truth = core::true_policy_value(env, target, 40000, rng);
+
+    core::LinearRewardModel model(env.num_decisions());
+    model.fit(trace);
+    const double dr = core::doubly_robust(trace, target, model).value;
+    EXPECT_NEAR(dr, truth, 0.15 * std::max(std::fabs(truth), 1.0));
+}
+
+TEST(TeEnv, Validation) {
+    const TopologyTeEnv env = TopologyTeEnv::backbone();
+    stats::Rng rng(4);
+    EXPECT_THROW(env.sample_reward(ClientContext({1.0, 0.5}, {}), 99, rng),
+                 std::out_of_range);
+    EXPECT_THROW(env.sample_reward(ClientContext({1.0}, {}), 0, rng),
+                 std::invalid_argument);
+    // A topology with no path within the hop budget must be rejected.
+    Topology line(3);
+    line.add_link(0, 1, 1.0, 10.0);
+    line.add_link(1, 2, 1.0, 10.0);
+    TeWorldConfig tight;
+    tight.max_hops = 1;
+    EXPECT_THROW(TopologyTeEnv(std::move(line), 0, 2, tight),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace dre::netsim

@@ -1,0 +1,152 @@
+// Tests for the extended video substrate: BOLA, piecewise/Markov bandwidth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.h"
+#include "stats/summary.h"
+#include "video/abr.h"
+#include "video/bandwidth.h"
+#include "video/session.h"
+
+namespace dre::video {
+namespace {
+
+TEST(BolaAbr, LowBufferPicksLowBitrate) {
+    const BolaAbr bola;
+    const BitrateLadder ladder = BitrateLadder::standard5();
+    AbrState starved{.buffer_s = 0.5};
+    EXPECT_EQ(bola.choose(starved, ladder, SessionConfig{}, QoeParams{}), 0u);
+}
+
+TEST(BolaAbr, BitrateIsMonotoneInBuffer) {
+    const BolaAbr bola(4.0, 5.0);
+    const BitrateLadder ladder = BitrateLadder::standard5();
+    std::size_t previous = 0;
+    for (double buffer = 0.0; buffer <= 20.0; buffer += 1.0) {
+        AbrState state{.buffer_s = buffer};
+        const std::size_t level =
+            bola.choose(state, ladder, SessionConfig{}, QoeParams{});
+        EXPECT_GE(level, previous);
+        previous = level;
+    }
+}
+
+TEST(BolaAbr, DerivedControlCoversTheWholeLadder) {
+    // With V derived from buffer capacity, the policy should use the whole
+    // ladder across the buffer range: lowest level when empty, highest when
+    // (nearly) full.
+    const BolaAbr bola;
+    const BitrateLadder ladder = BitrateLadder::standard5();
+    const SessionConfig session;
+    EXPECT_EQ(bola.choose(AbrState{.buffer_s = 0.0}, ladder, session,
+                          QoeParams{}),
+              0u);
+    EXPECT_EQ(bola.choose(AbrState{.buffer_s = session.max_buffer_s}, ladder,
+                          session, QoeParams{}),
+              ladder.highest());
+    EXPECT_THROW(BolaAbr(0.0), std::invalid_argument);
+    EXPECT_THROW(BolaAbr(-1.0), std::invalid_argument);
+}
+
+TEST(BolaAbr, StreamsWithoutPersistentRebuffering) {
+    SimulatorConfig config;
+    config.session.chunks = 200;
+    const SessionSimulator sim(config, BitrateLadder::standard5());
+    const ConstantBandwidth bandwidth(2.5);
+    stats::Rng rng(1);
+    const BolaAbr bola;
+    const SessionRecord record = sim.simulate(bola, bandwidth, rng);
+    double rebuffer = 0.0;
+    for (const auto& chunk : record) rebuffer += chunk.rebuffer_s;
+    // Some startup rebuffering is allowed, but not constant stalls.
+    EXPECT_LT(rebuffer, 10.0);
+}
+
+TEST(PiecewiseBandwidth, ReplaysSeriesCyclically) {
+    const PiecewiseBandwidth bw({1.0, 2.0, 3.0}, 0.0);
+    stats::Rng rng(2);
+    EXPECT_DOUBLE_EQ(bw.bandwidth_mbps(0, rng), 1.0);
+    EXPECT_DOUBLE_EQ(bw.bandwidth_mbps(1, rng), 2.0);
+    EXPECT_DOUBLE_EQ(bw.bandwidth_mbps(2, rng), 3.0);
+    EXPECT_DOUBLE_EQ(bw.bandwidth_mbps(3, rng), 1.0); // wraps
+    EXPECT_EQ(bw.length(), 3u);
+}
+
+TEST(PiecewiseBandwidth, JitterCentersOnSeries) {
+    const PiecewiseBandwidth bw({2.0}, 0.1);
+    stats::Rng rng(3);
+    stats::Accumulator acc;
+    for (int i = 0; i < 20000; ++i) acc.add(bw.bandwidth_mbps(0, rng));
+    EXPECT_NEAR(acc.mean(), 2.0 * std::exp(0.005), 0.02);
+}
+
+TEST(PiecewiseBandwidth, Validation) {
+    EXPECT_THROW(PiecewiseBandwidth({}), std::invalid_argument);
+    EXPECT_THROW(PiecewiseBandwidth({0.0}), std::invalid_argument);
+    EXPECT_THROW(PiecewiseBandwidth({1.0}, -0.1), std::invalid_argument);
+}
+
+TEST(MarkovBandwidth, StaysWithinLevels) {
+    const MarkovBandwidth bw(5.0, 1.0, 0.1, 4, 500);
+    stats::Rng rng(5);
+    for (std::size_t k = 0; k < 500; ++k) {
+        const double b = bw.bandwidth_mbps(k, rng);
+        EXPECT_GT(b, 0.5);
+        EXPECT_LT(b, 8.0);
+    }
+    EXPECT_THROW(MarkovBandwidth(0.0, 1.0, 0.1, 1, 10), std::invalid_argument);
+    EXPECT_THROW(MarkovBandwidth(1.0, 1.0, 2.0, 1, 10), std::invalid_argument);
+}
+
+TEST(MarkovBandwidth, FlipProbabilityShapesVariance) {
+    stats::Rng rng(6);
+    // Frozen chain (flip 0) has only jitter; a busy chain mixes two levels.
+    const MarkovBandwidth frozen(5.0, 1.0, 0.0, 7, 400);
+    const MarkovBandwidth busy(5.0, 1.0, 0.3, 7, 400);
+    stats::Accumulator frozen_acc, busy_acc;
+    for (std::size_t k = 0; k < 400; ++k) {
+        frozen_acc.add(frozen.bandwidth_mbps(k, rng));
+        busy_acc.add(busy.bandwidth_mbps(k, rng));
+    }
+    EXPECT_LT(frozen_acc.stddev(), busy_acc.stddev());
+}
+
+TEST(SessionSimulator, BolaSessionConvertsToValidTrace) {
+    SimulatorConfig config;
+    config.session.chunks = 80;
+    config.epsilon = 0.15;
+    const SessionSimulator sim(config, BitrateLadder::standard5());
+    const PiecewiseBandwidth bandwidth({1.5, 3.0, 2.0, 4.0}, 0.05);
+    stats::Rng rng(7);
+    const BolaAbr bola;
+    const Trace trace = to_trace(sim.simulate(bola, bandwidth, rng));
+    EXPECT_EQ(trace.size(), 80u);
+    EXPECT_NO_THROW(validate_trace(trace));
+}
+
+TEST(SimulatePopulation, ConcatenatesSessionsWithHeterogeneousBandwidth) {
+    SimulatorConfig config;
+    config.session.chunks = 40;
+    config.epsilon = 0.2;
+    const SessionSimulator sim(config, BitrateLadder::standard5());
+    stats::Rng rng(8);
+    const BufferBasedAbr bba;
+    const Trace population = simulate_population(sim, bba, 25, 2.0, 0.5, rng);
+    EXPECT_EQ(population.size(), 25u * 40u);
+    EXPECT_NO_THROW(validate_trace(population));
+    // Heterogeneity: observed throughputs span a wide range.
+    double lo = 1e9, hi = 0.0;
+    for (const auto& t : population) {
+        lo = std::min(lo, observed_throughput_from_context(t.context));
+        hi = std::max(hi, observed_throughput_from_context(t.context));
+    }
+    EXPECT_GT(hi / lo, 3.0);
+    EXPECT_THROW(simulate_population(sim, bba, 0, 2.0, 0.5, rng),
+                 std::invalid_argument);
+    EXPECT_THROW(simulate_population(sim, bba, 2, -1.0, 0.5, rng),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace dre::video

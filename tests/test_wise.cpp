@@ -1,0 +1,148 @@
+#include "wise/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/estimators.h"
+#include "stats/rng.h"
+#include "stats/summary.h"
+#include "wise/cbn.h"
+
+namespace dre::wise {
+namespace {
+
+TEST(DecisionEncoding, RoundTrips) {
+    for (std::size_t fe = 0; fe < kNumFrontends; ++fe)
+        for (std::size_t be = 0; be < kNumBackends; ++be) {
+            const Decision d = encode_decision(fe, be);
+            EXPECT_EQ(frontend_of(d), fe);
+            EXPECT_EQ(backend_of(d), be);
+        }
+    EXPECT_THROW(encode_decision(5, 0), std::out_of_range);
+    EXPECT_THROW(frontend_of(-1), std::out_of_range);
+}
+
+TEST(Cbn, LearnsSingleRelevantVariable) {
+    // response depends only on variable 1 of 3.
+    stats::Rng rng(1);
+    std::vector<Assignment> rows;
+    std::vector<double> response;
+    for (int i = 0; i < 2000; ++i) {
+        Assignment a = {static_cast<std::int32_t>(rng.uniform_index(2)),
+                        static_cast<std::int32_t>(rng.uniform_index(3)),
+                        static_cast<std::int32_t>(rng.uniform_index(2))};
+        rows.push_back(a);
+        response.push_back(10.0 * a[1] + rng.normal(0.0, 0.2));
+    }
+    CbnResponseModel model({2, 3, 2});
+    model.fit(rows, response);
+    ASSERT_FALSE(model.parent_order().empty());
+    EXPECT_EQ(model.parent_order()[0], 1u);
+    EXPECT_NEAR(model.predict({0, 2, 1}), 20.0, 0.3);
+    EXPECT_NEAR(model.predict({1, 0, 0}), 0.0, 0.3);
+}
+
+TEST(Cbn, BacksOffWhenCellIsStarved) {
+    // Interaction effect (x0 AND x1) but almost no data for (1, 1): the
+    // model must fall back to a coarser (wrong) conditional.
+    stats::Rng rng(2);
+    std::vector<Assignment> rows;
+    std::vector<double> response;
+    const auto add = [&](std::int32_t a, std::int32_t b, double mean, int n) {
+        for (int i = 0; i < n; ++i) {
+            rows.push_back({a, b});
+            response.push_back(mean + rng.normal(0.0, 0.1));
+        }
+    };
+    add(0, 0, 0.0, 400);
+    add(1, 0, 10.0, 400); // x0=1 looks "slow"
+    add(0, 1, 0.0, 400);
+    add(1, 1, 0.0, 5); // the truth for (1,1) is fast, but starved
+    CbnOptions options;
+    options.min_cell_samples = 30;
+    CbnResponseModel model({2, 2}, options);
+    model.fit(rows, response);
+    // Prediction for (1, 1) backs off to the x0=1 conditional: ~10, wrong.
+    EXPECT_GT(model.predict({1, 1}), 5.0);
+    EXPECT_EQ(model.support({1, 1}), 405u); // used the coarse cell
+    // With enough data it would be right:
+    options.min_cell_samples = 3;
+    CbnResponseModel informed({2, 2}, options);
+    informed.fit(rows, response);
+    EXPECT_LT(informed.predict({1, 1}), 2.0);
+}
+
+TEST(Cbn, Validation) {
+    CbnResponseModel model({2, 2});
+    EXPECT_THROW(model.predict({0, 0}), std::logic_error);
+    EXPECT_THROW(model.fit({}, std::vector<double>{}), std::invalid_argument);
+    EXPECT_THROW(model.fit({{0, 5}}, std::vector<double>{1.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(CbnResponseModel({}), std::invalid_argument);
+    EXPECT_THROW(CbnResponseModel({0}), std::invalid_argument);
+}
+
+TEST(RequestRoutingEnv, GroundTruthMatchesPaper) {
+    RequestRoutingEnv env(WiseWorldConfig{});
+    // ISP-1 (index 0) on (FE-1, BE-1) is long; everything else short.
+    EXPECT_DOUBLE_EQ(env.mean_response_ms(0, encode_decision(0, 0)), 250.0);
+    EXPECT_DOUBLE_EQ(env.mean_response_ms(0, encode_decision(0, 1)), 50.0);
+    EXPECT_DOUBLE_EQ(env.mean_response_ms(0, encode_decision(1, 0)), 50.0);
+    EXPECT_DOUBLE_EQ(env.mean_response_ms(1, encode_decision(0, 0)), 50.0);
+}
+
+TEST(Policies, LoggingSkewAndNewPolicyShift) {
+    const auto logging = make_logging_policy(2);
+    const ClientContext isp1({}, {0});
+    const auto probs = logging->action_probabilities(isp1);
+    // 500 : 5 : 5 : 5 on (FE-1, BE-1).
+    EXPECT_NEAR(probs[encode_decision(0, 0)], 500.0 / 515.0, 1e-9);
+    EXPECT_NEAR(probs[encode_decision(0, 1)], 5.0 / 515.0, 1e-9);
+
+    const auto target = make_new_policy(2, 0.5);
+    const auto new_probs = target->action_probabilities(isp1);
+    EXPECT_NEAR(new_probs[encode_decision(0, 1)],
+                0.5 + 0.5 * 5.0 / 515.0, 1e-9);
+    // ISP-2 keeps the old pattern.
+    const ClientContext isp2({}, {1});
+    EXPECT_NEAR(target->action_probabilities(isp2)[encode_decision(1, 1)],
+                500.0 / 515.0, 1e-9);
+}
+
+TEST(WiseCbnModel, MispredictsTheStarvedWhatIfCell) {
+    RequestRoutingEnv env(WiseWorldConfig{});
+    stats::Rng rng(3);
+    const auto logging = make_logging_policy(2);
+    const Trace trace = core::collect_trace(env, *logging, 2060, rng);
+
+    WiseCbnRewardModel model;
+    model.fit(trace);
+    const ClientContext isp1({}, {0});
+    // Truth for (ISP-1, FE-1, BE-2) is short (-0.5); WISE predicts long-ish.
+    const double prediction = model.predict(isp1, encode_decision(0, 1));
+    EXPECT_LT(prediction, -1.0); // pulled toward the long (FE-1, BE-1) mass
+}
+
+TEST(Fig7aShape, DrBeatsWiseDm) {
+    RequestRoutingEnv env(WiseWorldConfig{});
+    stats::Rng rng(4);
+    const auto logging = make_logging_policy(2);
+    const auto target = make_new_policy(2, 0.5);
+    const double truth = core::true_policy_value(env, *target, 100000, rng);
+
+    stats::Accumulator wise_err, dr_err;
+    for (int run = 0; run < 12; ++run) {
+        const Trace trace = core::collect_trace(env, *logging, 2060, rng);
+        WiseCbnRewardModel model;
+        model.fit(trace);
+        const double wise = core::direct_method(trace, *target, model).value;
+        const double dr = core::doubly_robust(trace, *target, model).value;
+        wise_err.add(core::relative_error(truth, wise));
+        dr_err.add(core::relative_error(truth, dr));
+    }
+    EXPECT_LT(dr_err.mean(), wise_err.mean());
+}
+
+} // namespace
+} // namespace dre::wise

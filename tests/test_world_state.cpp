@@ -1,0 +1,148 @@
+#include "core/world_state.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/environment.h"
+#include "netsim/state_env.h"
+#include "stats/rng.h"
+
+namespace dre::core {
+namespace {
+
+using netsim::StatefulSelectionEnv;
+
+TEST(ApplyStateTransition, RewritesRewardsAndStates) {
+    Trace trace;
+    LoggedTuple t;
+    t.reward = 10.0;
+    t.state = 0;
+    t.propensity = 1.0;
+    trace.add(t);
+    const Trace corrected = apply_state_transition(
+        trace, [](double r, std::int32_t, std::int32_t) { return 0.8 * r; }, 1);
+    EXPECT_DOUBLE_EQ(corrected[0].reward, 8.0);
+    EXPECT_EQ(corrected[0].state, 1);
+    EXPECT_THROW(apply_state_transition(trace, nullptr, 1), std::invalid_argument);
+}
+
+TEST(AffineTransition, FitsExactAffineMap) {
+    AffineStateTransition transition;
+    const std::vector<double> from{1.0, 2.0, 3.0, 4.0};
+    std::vector<double> to;
+    for (double x : from) to.push_back(1.2 * x - 0.3);
+    transition.fit(from, to);
+    EXPECT_NEAR(transition.slope(), 1.2, 1e-9);
+    EXPECT_NEAR(transition.offset(), -0.3, 1e-9);
+    EXPECT_NEAR(transition(2.5, 0, 1), 2.7, 1e-9);
+}
+
+TEST(AffineTransition, Validation) {
+    AffineStateTransition transition;
+    EXPECT_THROW(transition(1.0, 0, 1), std::logic_error);
+    EXPECT_THROW(
+        transition.fit(std::vector<double>{1.0}, std::vector<double>{1.0}),
+        std::invalid_argument);
+    EXPECT_THROW(transition.fit(std::vector<double>{1.0, 2.0},
+                                std::vector<double>{1.0}),
+                 std::invalid_argument);
+}
+
+struct StateFixture : testing::Test {
+    StateFixture()
+        : env(3, 4, /*peak_degradation=*/1.3, /*seed=*/5), rng(7) {}
+
+    StatefulSelectionEnv env;
+    stats::Rng rng;
+};
+
+TEST_F(StateFixture, UncorrectedDrIsBiasedAcrossStates) {
+    // Trace from off-peak; target evaluated at peak.
+    UniformRandomPolicy logging(env.num_decisions());
+    const Trace trace =
+        env.collect_in_state(logging, 4000, StatefulSelectionEnv::kOffPeak, rng);
+
+    DeterministicPolicy target(env.num_decisions(),
+                               [](const ClientContext&) { return Decision{1}; });
+    env.set_state(StatefulSelectionEnv::kPeak);
+    const double truth = true_policy_value(env, target, 40000, rng);
+
+    TabularRewardModel model(env.num_decisions());
+    model.fit(trace);
+    const double naive = doubly_robust(trace, target, model).value;
+    // Peak rewards are 30% worse; the naive estimate must be optimistic.
+    EXPECT_GT(naive, truth + 0.05);
+}
+
+TEST_F(StateFixture, TransitionCorrectedDrRemovesTheBias) {
+    UniformRandomPolicy logging(env.num_decisions());
+    const Trace trace =
+        env.collect_in_state(logging, 4000, StatefulSelectionEnv::kOffPeak, rng);
+
+    DeterministicPolicy target(env.num_decisions(),
+                               [](const ClientContext&) { return Decision{1}; });
+    env.set_state(StatefulSelectionEnv::kPeak);
+    const double truth = true_policy_value(env, target, 40000, rng);
+
+    // Known transition: rewards are negative latencies, so peak = 1.3x.
+    const StateTransitionFn transition = [](double r, std::int32_t, std::int32_t) {
+        return 1.3 * r;
+    };
+    const Trace corrected =
+        apply_state_transition(trace, transition, StatefulSelectionEnv::kPeak);
+    TabularRewardModel corrected_model(env.num_decisions());
+    corrected_model.fit(corrected);
+
+    const EstimateResult fixed = doubly_robust_state_corrected(
+        trace, target, corrected_model, transition, StatefulSelectionEnv::kPeak);
+    EXPECT_EQ(fixed.estimator, "DR-state-corrected");
+    EXPECT_NEAR(fixed.value, truth, 0.05);
+}
+
+TEST_F(StateFixture, StateMatchedDrUsesOnlyMatchingTuples) {
+    UniformRandomPolicy logging(env.num_decisions());
+    Trace mixed =
+        env.collect_in_state(logging, 2000, StatefulSelectionEnv::kOffPeak, rng);
+    const Trace peak =
+        env.collect_in_state(logging, 2000, StatefulSelectionEnv::kPeak, rng);
+    for (const auto& t : peak) mixed.add(t);
+
+    DeterministicPolicy target(env.num_decisions(),
+                               [](const ClientContext&) { return Decision{1}; });
+    env.set_state(StatefulSelectionEnv::kPeak);
+    const double truth = true_policy_value(env, target, 40000, rng);
+
+    TabularRewardModel model(env.num_decisions());
+    model.fit(mixed.with_state(StatefulSelectionEnv::kPeak));
+    const EstimateResult matched = doubly_robust_state_matched(
+        mixed, target, model, StatefulSelectionEnv::kPeak);
+    EXPECT_EQ(matched.per_tuple.size(), 2000u);
+    EXPECT_NEAR(matched.value, truth, 0.05);
+
+    EXPECT_THROW(doubly_robust_state_matched(mixed, target, model, 77),
+                 std::invalid_argument);
+}
+
+TEST_F(StateFixture, FittedAffineTransitionApproximatesTrueDegradation) {
+    // Pair up expected rewards of the same (context, decision) in both
+    // states and identify the transition automatically.
+    UniformRandomPolicy logging(env.num_decisions());
+    std::vector<double> off_peak, peak;
+    for (int i = 0; i < 200; ++i) {
+        const ClientContext c = env.sample_context(rng);
+        const auto d = static_cast<Decision>(rng.uniform_index(env.num_decisions()));
+        env.set_state(StatefulSelectionEnv::kOffPeak);
+        off_peak.push_back(env.expected_reward(c, d, rng, 1));
+        env.set_state(StatefulSelectionEnv::kPeak);
+        peak.push_back(env.expected_reward(c, d, rng, 1));
+    }
+    AffineStateTransition transition;
+    transition.fit(off_peak, peak);
+    EXPECT_NEAR(transition.slope(), 1.3, 0.05);
+    EXPECT_NEAR(transition.offset(), 0.0, 0.05);
+}
+
+} // namespace
+} // namespace dre::core

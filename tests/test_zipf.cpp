@@ -1,0 +1,47 @@
+#include "stats/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dre::stats {
+namespace {
+
+TEST(Zipf, ProbabilitiesSumToOneAndDecay) {
+    const ZipfSampler zipf(10, 1.2);
+    double total = 0.0, previous = 1.0;
+    for (std::size_t i = 0; i < zipf.size(); ++i) {
+        const double p = zipf.probability(i);
+        EXPECT_GT(p, 0.0);
+        EXPECT_LE(p, previous + 1e-12);
+        previous = p;
+        total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    EXPECT_THROW(zipf.probability(10), std::out_of_range);
+}
+
+TEST(Zipf, ExponentZeroIsUniform) {
+    const ZipfSampler zipf(4, 0.0);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(zipf.probability(i), 0.25, 1e-12);
+}
+
+TEST(Zipf, EmpiricalFrequenciesMatch) {
+    const ZipfSampler zipf(5, 1.0);
+    Rng rng(1);
+    std::vector<int> counts(5, 0);
+    const int draws = 200000;
+    for (int i = 0; i < draws; ++i) ++counts[zipf.sample(rng)];
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_NEAR(static_cast<double>(counts[i]) / draws, zipf.probability(i),
+                    0.01);
+}
+
+TEST(Zipf, Validation) {
+    EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+    EXPECT_THROW(ZipfSampler(3, -1.0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace dre::stats

@@ -1,0 +1,233 @@
+// dre_eval — evaluate a candidate policy against a logged trace CSV.
+//
+// Usage:
+//   dre_eval <trace.csv> <policy-spec> [options]
+//
+// Policy specs:
+//   constant:<d>        always choose decision d
+//   uniform             uniform over the trace's decision space
+//   greedy:<model>      argmax of a reward model fit on the trace, where
+//                       <model> is tabular | linear | knn
+//
+// Options:
+//   --estimate-propensities   re-estimate mu_old(d|c) from the trace
+//   --cross-fit               fit the reward model on a held-out split
+//   --model <kind>            DM/DR reward model (tabular | linear | knn)
+//   --ci <replicates>         bootstrap CI replicates for the DR estimate
+//   --quantile <q>            also report the q-quantile under the policy
+//   --by-group <i>            per-segment DR values, grouped by the i-th
+//                             categorical feature
+//   --check-drift             flag reward change-points inside the trace
+//   --audit                   run the full §4.1 pitfall audit on the trace
+//                             (propensity validity, overlap, drift, shifts)
+//   --compare <policy-spec>   treat <policy-spec> as the incumbent and
+//                             certify whether the main policy improves on
+//                             it (paired DR lift with a bootstrap CI)
+//   --seed <n>                RNG seed (default 1)
+//
+// The trace CSV format is the library's own (see dre::write_csv):
+//   decision,reward,propensity,state,n0,...,c0,...
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/audit.h"
+#include "core/evaluator.h"
+#include "core/policy_learning.h"
+#include "core/quantile_estimators.h"
+#include "core/drift.h"
+#include "core/subgroup.h"
+#include "trace/csv.h"
+
+using namespace dre;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s <trace.csv> <policy-spec> [--estimate-propensities] "
+                 "[--cross-fit] [--model tabular|linear|knn] [--ci N] "
+                 "[--quantile q] [--by-group i] [--check-drift] [--audit] "
+                 "[--compare policy-spec] [--seed n]\n",
+                 argv0);
+    std::exit(2);
+}
+
+core::RewardModelKind parse_model_kind(const std::string& name) {
+    if (name == "tabular") return core::RewardModelKind::kTabular;
+    if (name == "linear") return core::RewardModelKind::kLinear;
+    if (name == "knn") return core::RewardModelKind::kKnn;
+    throw std::invalid_argument("unknown model kind: " + name);
+}
+
+std::shared_ptr<core::Policy> parse_policy(const std::string& spec,
+                                           const Trace& trace) {
+    const std::size_t decisions = trace.num_decisions();
+    if (spec == "uniform")
+        return std::make_shared<core::UniformRandomPolicy>(decisions);
+    if (spec.rfind("constant:", 0) == 0) {
+        const auto d = static_cast<Decision>(std::stol(spec.substr(9)));
+        if (d < 0 || static_cast<std::size_t>(d) >= decisions)
+            throw std::invalid_argument("constant decision outside trace's space");
+        return std::make_shared<core::DeterministicPolicy>(
+            decisions, [d](const ClientContext&) { return d; });
+    }
+    if (spec.rfind("greedy:", 0) == 0) {
+        const core::RewardModelKind kind = parse_model_kind(spec.substr(7));
+        return core::learn_greedy_policy(trace, kind, decisions);
+    }
+    throw std::invalid_argument("unknown policy spec: " + spec);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 3) usage(argv[0]);
+    try {
+        const std::string path = argv[1];
+        const std::string policy_spec = argv[2];
+
+        core::EvaluationConfig config;
+        double quantile_q = -1.0;
+        long group_index = -1;
+        bool check_drift = false;
+        bool run_audit = false;
+        std::string compare_spec;
+        std::uint64_t seed = 1;
+        for (int i = 3; i < argc; ++i) {
+            const std::string arg = argv[i];
+            const auto next = [&](const char* what) -> std::string {
+                if (i + 1 >= argc)
+                    throw std::invalid_argument(std::string(what) + " needs a value");
+                return argv[++i];
+            };
+            if (arg == "--estimate-propensities") {
+                config.estimate_propensities = true;
+            } else if (arg == "--cross-fit") {
+                config.cross_fit = true;
+            } else if (arg == "--model") {
+                config.reward_model = parse_model_kind(next("--model"));
+            } else if (arg == "--ci") {
+                config.ci_replicates = std::stoi(next("--ci"));
+            } else if (arg == "--quantile") {
+                quantile_q = std::stod(next("--quantile"));
+            } else if (arg == "--by-group") {
+                group_index = std::stol(next("--by-group"));
+            } else if (arg == "--check-drift") {
+                check_drift = true;
+            } else if (arg == "--audit") {
+                run_audit = true;
+            } else if (arg == "--compare") {
+                compare_spec = next("--compare");
+            } else if (arg == "--seed") {
+                seed = std::stoull(next("--seed"));
+            } else {
+                usage(argv[0]);
+            }
+        }
+
+        const Trace trace = read_csv_file(path);
+        if (trace.empty()) throw std::runtime_error("trace is empty");
+        std::printf("trace: %zu tuples, %zu decisions\n", trace.size(),
+                    trace.num_decisions());
+
+        if (check_drift) {
+            const core::DriftReport drift = core::detect_reward_drift(trace);
+            if (drift.drift_detected()) {
+                std::printf("\nWARNING: reward drift detected inside the trace "
+                            "(%zu segments):\n",
+                            drift.num_segments());
+                for (std::size_t s = 0; s < drift.segment_means.size(); ++s)
+                    std::printf("  segment %zu: mean reward %.4f\n", s,
+                                drift.segment_means[s]);
+                std::printf("  consider state-matched evaluation per segment "
+                            "(see core/world_state.h)\n");
+            } else {
+                std::printf("\nno reward drift detected inside the trace\n");
+            }
+        }
+
+        const auto policy = parse_policy(policy_spec, trace);
+
+        if (run_audit) {
+            const auto findings = core::audit_trace(trace, policy.get());
+            if (findings.empty()) {
+                std::printf("\naudit: no pitfalls detected\n");
+            } else {
+                std::printf("\naudit: %zu finding(s):\n", findings.size());
+                for (const auto& f : findings)
+                    std::printf("  [%s] %s: %s\n", core::to_string(f.severity),
+                                f.code.c_str(), f.message.c_str());
+            }
+        }
+
+        const core::Evaluator evaluator(trace, config, stats::Rng(seed));
+        const core::PolicyEvaluation result = evaluator.evaluate(*policy);
+
+        std::printf("\npolicy %s:\n", policy_spec.c_str());
+        std::printf("  DM        %10.4f\n", result.dm.value);
+        std::printf("  IPS       %10.4f\n", result.ips.value);
+        std::printf("  SNIPS     %10.4f\n", result.snips.value);
+        std::printf("  SWITCH-DR %10.4f\n", result.switch_dr.value);
+        std::printf("  DR        %10.4f", result.dr.value);
+        if (result.dr_ci)
+            std::printf("   %.0f%% CI [%.4f, %.4f]", 100.0 * result.dr_ci->level,
+                        result.dr_ci->lower, result.dr_ci->upper);
+        std::printf("\n");
+        std::printf("\ndiagnostics:\n");
+        std::printf("  effective sample size  %10.1f (%.1f%% of trace)\n",
+                    result.overlap.effective_sample_size,
+                    100.0 * result.overlap.effective_sample_fraction);
+        std::printf("  mean importance weight %10.3f (should be ~1)\n",
+                    result.overlap.mean_weight);
+        std::printf("  max importance weight  %10.3f\n", result.overlap.max_weight);
+        std::printf("  zero-weight tuples     %9.1f%%\n",
+                    100.0 * result.overlap.zero_weight_fraction);
+
+        if (quantile_q >= 0.0) {
+            const double q = core::off_policy_quantile(
+                evaluator.evaluation_trace(), *policy, quantile_q);
+            std::printf("  reward %.0f%%-quantile     %10.4f\n",
+                        100.0 * quantile_q, q);
+        }
+
+        if (!compare_spec.empty()) {
+            const auto incumbent = parse_policy(compare_spec, trace);
+            stats::Rng certify_rng(seed + 1);
+            const core::ImprovementReport report = core::certify_improvement(
+                evaluator.evaluation_trace(), *incumbent, *policy,
+                evaluator.reward_model(), certify_rng);
+            std::printf("\nvs incumbent %s:\n", compare_spec.c_str());
+            std::printf("  incumbent DR  %10.4f\n", report.incumbent_value);
+            std::printf("  candidate DR  %10.4f\n", report.candidate_value);
+            std::printf("  lift          %10.4f   %.0f%% CI [%.4f, %.4f]\n",
+                        report.estimated_lift, 100.0 * report.lift_ci.level,
+                        report.lift_ci.lower, report.lift_ci.upper);
+            std::printf("  verdict: %s\n",
+                        report.certified
+                            ? "CERTIFIED better (CI excludes zero)"
+                            : "not certified (CI includes zero or negative)");
+        }
+
+        if (group_index >= 0) {
+            const auto groups = core::subgroup_analysis(
+                evaluator.evaluation_trace(), *policy, evaluator.reward_model(),
+                core::group_by_categorical(static_cast<std::size_t>(group_index)));
+            std::printf("\nper-segment DR (categorical feature %ld):\n",
+                        group_index);
+            std::printf("  %8s %8s %10s %8s %s\n", "group", "tuples", "DR",
+                        "ESS", "reliable");
+            for (const auto& g : groups)
+                std::printf("  %8lld %8zu %10.4f %8.1f %s\n",
+                            static_cast<long long>(g.group), g.tuples,
+                            g.dr.value, g.overlap.effective_sample_size,
+                            g.reliable ? "yes" : "NO");
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
