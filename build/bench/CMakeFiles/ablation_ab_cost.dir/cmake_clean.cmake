@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ab_cost.dir/ablation_ab_cost.cpp.o"
+  "CMakeFiles/ablation_ab_cost.dir/ablation_ab_cost.cpp.o.d"
+  "ablation_ab_cost"
+  "ablation_ab_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ab_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

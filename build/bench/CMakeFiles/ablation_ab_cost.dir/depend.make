@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_ab_cost.
+# This may be replaced when dependencies are built.

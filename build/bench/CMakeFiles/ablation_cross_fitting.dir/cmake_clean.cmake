@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cross_fitting.dir/ablation_cross_fitting.cpp.o"
+  "CMakeFiles/ablation_cross_fitting.dir/ablation_cross_fitting.cpp.o.d"
+  "ablation_cross_fitting"
+  "ablation_cross_fitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cross_fitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

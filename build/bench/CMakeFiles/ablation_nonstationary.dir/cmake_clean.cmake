@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nonstationary.dir/ablation_nonstationary.cpp.o"
+  "CMakeFiles/ablation_nonstationary.dir/ablation_nonstationary.cpp.o.d"
+  "ablation_nonstationary"
+  "ablation_nonstationary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nonstationary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_propensities.dir/ablation_propensities.cpp.o"
+  "CMakeFiles/ablation_propensities.dir/ablation_propensities.cpp.o.d"
+  "ablation_propensities"
+  "ablation_propensities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_propensities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_randomness.dir/ablation_randomness.cpp.o"
+  "CMakeFiles/ablation_randomness.dir/ablation_randomness.cpp.o.d"
+  "ablation_randomness"
+  "ablation_randomness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_randomness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

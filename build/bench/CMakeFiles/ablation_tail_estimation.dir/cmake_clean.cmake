@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tail_estimation.dir/ablation_tail_estimation.cpp.o"
+  "CMakeFiles/ablation_tail_estimation.dir/ablation_tail_estimation.cpp.o.d"
+  "ablation_tail_estimation"
+  "ablation_tail_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tail_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_te_topology.dir/ablation_te_topology.cpp.o"
+  "CMakeFiles/ablation_te_topology.dir/ablation_te_topology.cpp.o.d"
+  "ablation_te_topology"
+  "ablation_te_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_te_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_abr_anatomy.dir/fig2_abr_anatomy.cpp.o"
+  "CMakeFiles/fig2_abr_anatomy.dir/fig2_abr_anatomy.cpp.o.d"
+  "fig2_abr_anatomy"
+  "fig2_abr_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_abr_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

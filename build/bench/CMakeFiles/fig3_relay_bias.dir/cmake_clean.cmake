@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_relay_bias.dir/fig3_relay_bias.cpp.o"
+  "CMakeFiles/fig3_relay_bias.dir/fig3_relay_bias.cpp.o.d"
+  "fig3_relay_bias"
+  "fig3_relay_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_relay_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

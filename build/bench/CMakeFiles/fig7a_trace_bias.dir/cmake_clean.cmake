@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_trace_bias.dir/fig7a_trace_bias.cpp.o"
+  "CMakeFiles/fig7a_trace_bias.dir/fig7a_trace_bias.cpp.o.d"
+  "fig7a_trace_bias"
+  "fig7a_trace_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_trace_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

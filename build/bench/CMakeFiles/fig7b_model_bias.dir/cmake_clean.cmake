@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_model_bias.dir/fig7b_model_bias.cpp.o"
+  "CMakeFiles/fig7b_model_bias.dir/fig7b_model_bias.cpp.o.d"
+  "fig7b_model_bias"
+  "fig7b_model_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_model_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7c_variance.dir/fig7c_variance.cpp.o"
+  "CMakeFiles/fig7c_variance.dir/fig7c_variance.cpp.o.d"
+  "fig7c_variance"
+  "fig7c_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7c_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

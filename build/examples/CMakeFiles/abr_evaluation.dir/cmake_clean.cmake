@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_evaluation.dir/abr_evaluation.cpp.o"
+  "CMakeFiles/abr_evaluation.dir/abr_evaluation.cpp.o.d"
+  "abr_evaluation"
+  "abr_evaluation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_selection.dir/cdn_selection.cpp.o"
+  "CMakeFiles/cdn_selection.dir/cdn_selection.cpp.o.d"
+  "cdn_selection"
+  "cdn_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_and_log.dir/explore_and_log.cpp.o"
+  "CMakeFiles/explore_and_log.dir/explore_and_log.cpp.o.d"
+  "explore_and_log"
+  "explore_and_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_and_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queueing_latency.dir/queueing_latency.cpp.o"
+  "CMakeFiles/queueing_latency.dir/queueing_latency.cpp.o.d"
+  "queueing_latency"
+  "queueing_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queueing_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

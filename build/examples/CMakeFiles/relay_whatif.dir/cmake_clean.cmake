@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relay_whatif.dir/relay_whatif.cpp.o"
+  "CMakeFiles/relay_whatif.dir/relay_whatif.cpp.o.d"
+  "relay_whatif"
+  "relay_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relay_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_doctor.dir/trace_doctor.cpp.o"
+  "CMakeFiles/trace_doctor.dir/trace_doctor.cpp.o.d"
+  "trace_doctor"
+  "trace_doctor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_doctor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

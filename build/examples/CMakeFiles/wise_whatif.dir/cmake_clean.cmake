@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wise_whatif.dir/wise_whatif.cpp.o"
+  "CMakeFiles/wise_whatif.dir/wise_whatif.cpp.o.d"
+  "wise_whatif"
+  "wise_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wise_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dre_ab.dir/design.cpp.o"
+  "CMakeFiles/dre_ab.dir/design.cpp.o.d"
+  "CMakeFiles/dre_ab.dir/experiment.cpp.o"
+  "CMakeFiles/dre_ab.dir/experiment.cpp.o.d"
+  "CMakeFiles/dre_ab.dir/test.cpp.o"
+  "CMakeFiles/dre_ab.dir/test.cpp.o.d"
+  "libdre_ab.a"
+  "libdre_ab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dre_ab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dre_bandit.dir/agents.cpp.o"
+  "CMakeFiles/dre_bandit.dir/agents.cpp.o.d"
+  "CMakeFiles/dre_bandit.dir/run.cpp.o"
+  "CMakeFiles/dre_bandit.dir/run.cpp.o.d"
+  "libdre_bandit.a"
+  "libdre_bandit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dre_bandit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

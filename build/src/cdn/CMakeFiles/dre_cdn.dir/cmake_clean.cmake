@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dre_cdn.dir/scenario.cpp.o"
+  "CMakeFiles/dre_cdn.dir/scenario.cpp.o.d"
+  "libdre_cdn.a"
+  "libdre_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dre_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

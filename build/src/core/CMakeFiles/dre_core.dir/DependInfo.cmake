@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/audit.cpp" "src/core/CMakeFiles/dre_core.dir/audit.cpp.o" "gcc" "src/core/CMakeFiles/dre_core.dir/audit.cpp.o.d"
+  "/root/repo/src/core/diagnostics.cpp" "src/core/CMakeFiles/dre_core.dir/diagnostics.cpp.o" "gcc" "src/core/CMakeFiles/dre_core.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/core/dr_nonstationary.cpp" "src/core/CMakeFiles/dre_core.dir/dr_nonstationary.cpp.o" "gcc" "src/core/CMakeFiles/dre_core.dir/dr_nonstationary.cpp.o.d"
+  "/root/repo/src/core/drift.cpp" "src/core/CMakeFiles/dre_core.dir/drift.cpp.o" "gcc" "src/core/CMakeFiles/dre_core.dir/drift.cpp.o.d"
+  "/root/repo/src/core/environment.cpp" "src/core/CMakeFiles/dre_core.dir/environment.cpp.o" "gcc" "src/core/CMakeFiles/dre_core.dir/environment.cpp.o.d"
+  "/root/repo/src/core/estimators.cpp" "src/core/CMakeFiles/dre_core.dir/estimators.cpp.o" "gcc" "src/core/CMakeFiles/dre_core.dir/estimators.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/dre_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/dre_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/dre_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/dre_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/policy_learning.cpp" "src/core/CMakeFiles/dre_core.dir/policy_learning.cpp.o" "gcc" "src/core/CMakeFiles/dre_core.dir/policy_learning.cpp.o.d"
+  "/root/repo/src/core/propensity.cpp" "src/core/CMakeFiles/dre_core.dir/propensity.cpp.o" "gcc" "src/core/CMakeFiles/dre_core.dir/propensity.cpp.o.d"
+  "/root/repo/src/core/quantile_estimators.cpp" "src/core/CMakeFiles/dre_core.dir/quantile_estimators.cpp.o" "gcc" "src/core/CMakeFiles/dre_core.dir/quantile_estimators.cpp.o.d"
+  "/root/repo/src/core/reward_model.cpp" "src/core/CMakeFiles/dre_core.dir/reward_model.cpp.o" "gcc" "src/core/CMakeFiles/dre_core.dir/reward_model.cpp.o.d"
+  "/root/repo/src/core/subgroup.cpp" "src/core/CMakeFiles/dre_core.dir/subgroup.cpp.o" "gcc" "src/core/CMakeFiles/dre_core.dir/subgroup.cpp.o.d"
+  "/root/repo/src/core/world_state.cpp" "src/core/CMakeFiles/dre_core.dir/world_state.cpp.o" "gcc" "src/core/CMakeFiles/dre_core.dir/world_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/dre_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dre_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

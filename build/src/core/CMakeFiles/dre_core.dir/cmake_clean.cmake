@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dre_core.dir/audit.cpp.o"
+  "CMakeFiles/dre_core.dir/audit.cpp.o.d"
+  "CMakeFiles/dre_core.dir/diagnostics.cpp.o"
+  "CMakeFiles/dre_core.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/dre_core.dir/dr_nonstationary.cpp.o"
+  "CMakeFiles/dre_core.dir/dr_nonstationary.cpp.o.d"
+  "CMakeFiles/dre_core.dir/drift.cpp.o"
+  "CMakeFiles/dre_core.dir/drift.cpp.o.d"
+  "CMakeFiles/dre_core.dir/environment.cpp.o"
+  "CMakeFiles/dre_core.dir/environment.cpp.o.d"
+  "CMakeFiles/dre_core.dir/estimators.cpp.o"
+  "CMakeFiles/dre_core.dir/estimators.cpp.o.d"
+  "CMakeFiles/dre_core.dir/evaluator.cpp.o"
+  "CMakeFiles/dre_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/dre_core.dir/policy.cpp.o"
+  "CMakeFiles/dre_core.dir/policy.cpp.o.d"
+  "CMakeFiles/dre_core.dir/policy_learning.cpp.o"
+  "CMakeFiles/dre_core.dir/policy_learning.cpp.o.d"
+  "CMakeFiles/dre_core.dir/propensity.cpp.o"
+  "CMakeFiles/dre_core.dir/propensity.cpp.o.d"
+  "CMakeFiles/dre_core.dir/quantile_estimators.cpp.o"
+  "CMakeFiles/dre_core.dir/quantile_estimators.cpp.o.d"
+  "CMakeFiles/dre_core.dir/reward_model.cpp.o"
+  "CMakeFiles/dre_core.dir/reward_model.cpp.o.d"
+  "CMakeFiles/dre_core.dir/subgroup.cpp.o"
+  "CMakeFiles/dre_core.dir/subgroup.cpp.o.d"
+  "CMakeFiles/dre_core.dir/world_state.cpp.o"
+  "CMakeFiles/dre_core.dir/world_state.cpp.o.d"
+  "libdre_core.a"
+  "libdre_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dre_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/assignment_env.cpp" "src/netsim/CMakeFiles/dre_netsim.dir/assignment_env.cpp.o" "gcc" "src/netsim/CMakeFiles/dre_netsim.dir/assignment_env.cpp.o.d"
+  "/root/repo/src/netsim/queue_sim.cpp" "src/netsim/CMakeFiles/dre_netsim.dir/queue_sim.cpp.o" "gcc" "src/netsim/CMakeFiles/dre_netsim.dir/queue_sim.cpp.o.d"
+  "/root/repo/src/netsim/routing_env.cpp" "src/netsim/CMakeFiles/dre_netsim.dir/routing_env.cpp.o" "gcc" "src/netsim/CMakeFiles/dre_netsim.dir/routing_env.cpp.o.d"
+  "/root/repo/src/netsim/server.cpp" "src/netsim/CMakeFiles/dre_netsim.dir/server.cpp.o" "gcc" "src/netsim/CMakeFiles/dre_netsim.dir/server.cpp.o.d"
+  "/root/repo/src/netsim/state_env.cpp" "src/netsim/CMakeFiles/dre_netsim.dir/state_env.cpp.o" "gcc" "src/netsim/CMakeFiles/dre_netsim.dir/state_env.cpp.o.d"
+  "/root/repo/src/netsim/te_env.cpp" "src/netsim/CMakeFiles/dre_netsim.dir/te_env.cpp.o" "gcc" "src/netsim/CMakeFiles/dre_netsim.dir/te_env.cpp.o.d"
+  "/root/repo/src/netsim/topology.cpp" "src/netsim/CMakeFiles/dre_netsim.dir/topology.cpp.o" "gcc" "src/netsim/CMakeFiles/dre_netsim.dir/topology.cpp.o.d"
+  "/root/repo/src/netsim/workload.cpp" "src/netsim/CMakeFiles/dre_netsim.dir/workload.cpp.o" "gcc" "src/netsim/CMakeFiles/dre_netsim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dre_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dre_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dre_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dre_netsim.dir/assignment_env.cpp.o"
+  "CMakeFiles/dre_netsim.dir/assignment_env.cpp.o.d"
+  "CMakeFiles/dre_netsim.dir/queue_sim.cpp.o"
+  "CMakeFiles/dre_netsim.dir/queue_sim.cpp.o.d"
+  "CMakeFiles/dre_netsim.dir/routing_env.cpp.o"
+  "CMakeFiles/dre_netsim.dir/routing_env.cpp.o.d"
+  "CMakeFiles/dre_netsim.dir/server.cpp.o"
+  "CMakeFiles/dre_netsim.dir/server.cpp.o.d"
+  "CMakeFiles/dre_netsim.dir/state_env.cpp.o"
+  "CMakeFiles/dre_netsim.dir/state_env.cpp.o.d"
+  "CMakeFiles/dre_netsim.dir/te_env.cpp.o"
+  "CMakeFiles/dre_netsim.dir/te_env.cpp.o.d"
+  "CMakeFiles/dre_netsim.dir/topology.cpp.o"
+  "CMakeFiles/dre_netsim.dir/topology.cpp.o.d"
+  "CMakeFiles/dre_netsim.dir/workload.cpp.o"
+  "CMakeFiles/dre_netsim.dir/workload.cpp.o.d"
+  "libdre_netsim.a"
+  "libdre_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dre_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

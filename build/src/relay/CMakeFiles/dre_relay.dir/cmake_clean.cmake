@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dre_relay.dir/scenario.cpp.o"
+  "CMakeFiles/dre_relay.dir/scenario.cpp.o.d"
+  "libdre_relay.a"
+  "libdre_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dre_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/dre_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/dre_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/changepoint.cpp" "src/stats/CMakeFiles/dre_stats.dir/changepoint.cpp.o" "gcc" "src/stats/CMakeFiles/dre_stats.dir/changepoint.cpp.o.d"
+  "/root/repo/src/stats/ewma.cpp" "src/stats/CMakeFiles/dre_stats.dir/ewma.cpp.o" "gcc" "src/stats/CMakeFiles/dre_stats.dir/ewma.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/dre_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/dre_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/hypothesis.cpp" "src/stats/CMakeFiles/dre_stats.dir/hypothesis.cpp.o" "gcc" "src/stats/CMakeFiles/dre_stats.dir/hypothesis.cpp.o.d"
+  "/root/repo/src/stats/knn.cpp" "src/stats/CMakeFiles/dre_stats.dir/knn.cpp.o" "gcc" "src/stats/CMakeFiles/dre_stats.dir/knn.cpp.o.d"
+  "/root/repo/src/stats/matrix.cpp" "src/stats/CMakeFiles/dre_stats.dir/matrix.cpp.o" "gcc" "src/stats/CMakeFiles/dre_stats.dir/matrix.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/stats/CMakeFiles/dre_stats.dir/regression.cpp.o" "gcc" "src/stats/CMakeFiles/dre_stats.dir/regression.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/stats/CMakeFiles/dre_stats.dir/rng.cpp.o" "gcc" "src/stats/CMakeFiles/dre_stats.dir/rng.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/stats/CMakeFiles/dre_stats.dir/special.cpp.o" "gcc" "src/stats/CMakeFiles/dre_stats.dir/special.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/dre_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/dre_stats.dir/summary.cpp.o.d"
+  "/root/repo/src/stats/zipf.cpp" "src/stats/CMakeFiles/dre_stats.dir/zipf.cpp.o" "gcc" "src/stats/CMakeFiles/dre_stats.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dre_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/dre_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/dre_stats.dir/changepoint.cpp.o"
+  "CMakeFiles/dre_stats.dir/changepoint.cpp.o.d"
+  "CMakeFiles/dre_stats.dir/ewma.cpp.o"
+  "CMakeFiles/dre_stats.dir/ewma.cpp.o.d"
+  "CMakeFiles/dre_stats.dir/histogram.cpp.o"
+  "CMakeFiles/dre_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/dre_stats.dir/hypothesis.cpp.o"
+  "CMakeFiles/dre_stats.dir/hypothesis.cpp.o.d"
+  "CMakeFiles/dre_stats.dir/knn.cpp.o"
+  "CMakeFiles/dre_stats.dir/knn.cpp.o.d"
+  "CMakeFiles/dre_stats.dir/matrix.cpp.o"
+  "CMakeFiles/dre_stats.dir/matrix.cpp.o.d"
+  "CMakeFiles/dre_stats.dir/regression.cpp.o"
+  "CMakeFiles/dre_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/dre_stats.dir/rng.cpp.o"
+  "CMakeFiles/dre_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/dre_stats.dir/special.cpp.o"
+  "CMakeFiles/dre_stats.dir/special.cpp.o.d"
+  "CMakeFiles/dre_stats.dir/summary.cpp.o"
+  "CMakeFiles/dre_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/dre_stats.dir/zipf.cpp.o"
+  "CMakeFiles/dre_stats.dir/zipf.cpp.o.d"
+  "libdre_stats.a"
+  "libdre_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dre_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/csv.cpp" "src/trace/CMakeFiles/dre_trace.dir/csv.cpp.o" "gcc" "src/trace/CMakeFiles/dre_trace.dir/csv.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/dre_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/dre_trace.dir/trace.cpp.o.d"
+  "/root/repo/src/trace/types.cpp" "src/trace/CMakeFiles/dre_trace.dir/types.cpp.o" "gcc" "src/trace/CMakeFiles/dre_trace.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/dre_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

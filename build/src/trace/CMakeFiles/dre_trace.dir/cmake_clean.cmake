@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dre_trace.dir/csv.cpp.o"
+  "CMakeFiles/dre_trace.dir/csv.cpp.o.d"
+  "CMakeFiles/dre_trace.dir/trace.cpp.o"
+  "CMakeFiles/dre_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/dre_trace.dir/types.cpp.o"
+  "CMakeFiles/dre_trace.dir/types.cpp.o.d"
+  "libdre_trace.a"
+  "libdre_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dre_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

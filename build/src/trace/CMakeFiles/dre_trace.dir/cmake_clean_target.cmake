@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdre_trace.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/abr.cpp" "src/video/CMakeFiles/dre_video.dir/abr.cpp.o" "gcc" "src/video/CMakeFiles/dre_video.dir/abr.cpp.o.d"
+  "/root/repo/src/video/bandwidth.cpp" "src/video/CMakeFiles/dre_video.dir/bandwidth.cpp.o" "gcc" "src/video/CMakeFiles/dre_video.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/video/evaluation.cpp" "src/video/CMakeFiles/dre_video.dir/evaluation.cpp.o" "gcc" "src/video/CMakeFiles/dre_video.dir/evaluation.cpp.o.d"
+  "/root/repo/src/video/session.cpp" "src/video/CMakeFiles/dre_video.dir/session.cpp.o" "gcc" "src/video/CMakeFiles/dre_video.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dre_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dre_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dre_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

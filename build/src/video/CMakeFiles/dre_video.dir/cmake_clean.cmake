@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dre_video.dir/abr.cpp.o"
+  "CMakeFiles/dre_video.dir/abr.cpp.o.d"
+  "CMakeFiles/dre_video.dir/bandwidth.cpp.o"
+  "CMakeFiles/dre_video.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/dre_video.dir/evaluation.cpp.o"
+  "CMakeFiles/dre_video.dir/evaluation.cpp.o.d"
+  "CMakeFiles/dre_video.dir/session.cpp.o"
+  "CMakeFiles/dre_video.dir/session.cpp.o.d"
+  "libdre_video.a"
+  "libdre_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dre_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdre_video.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wise/bayes_net.cpp" "src/wise/CMakeFiles/dre_wise.dir/bayes_net.cpp.o" "gcc" "src/wise/CMakeFiles/dre_wise.dir/bayes_net.cpp.o.d"
+  "/root/repo/src/wise/bn_reward_model.cpp" "src/wise/CMakeFiles/dre_wise.dir/bn_reward_model.cpp.o" "gcc" "src/wise/CMakeFiles/dre_wise.dir/bn_reward_model.cpp.o.d"
+  "/root/repo/src/wise/cbn.cpp" "src/wise/CMakeFiles/dre_wise.dir/cbn.cpp.o" "gcc" "src/wise/CMakeFiles/dre_wise.dir/cbn.cpp.o.d"
+  "/root/repo/src/wise/scenario.cpp" "src/wise/CMakeFiles/dre_wise.dir/scenario.cpp.o" "gcc" "src/wise/CMakeFiles/dre_wise.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dre_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dre_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dre_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dre_wise.dir/bayes_net.cpp.o"
+  "CMakeFiles/dre_wise.dir/bayes_net.cpp.o.d"
+  "CMakeFiles/dre_wise.dir/bn_reward_model.cpp.o"
+  "CMakeFiles/dre_wise.dir/bn_reward_model.cpp.o.d"
+  "CMakeFiles/dre_wise.dir/cbn.cpp.o"
+  "CMakeFiles/dre_wise.dir/cbn.cpp.o.d"
+  "CMakeFiles/dre_wise.dir/scenario.cpp.o"
+  "CMakeFiles/dre_wise.dir/scenario.cpp.o.d"
+  "libdre_wise.a"
+  "libdre_wise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dre_wise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dre_wise.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ab.dir/test_ab.cpp.o"
+  "CMakeFiles/test_ab.dir/test_ab.cpp.o.d"
+  "test_ab"
+  "test_ab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bandit.dir/test_bandit.cpp.o"
+  "CMakeFiles/test_bandit.dir/test_bandit.cpp.o.d"
+  "test_bandit"
+  "test_bandit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bandit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bayes_net.dir/test_bayes_net.cpp.o"
+  "CMakeFiles/test_bayes_net.dir/test_bayes_net.cpp.o.d"
+  "test_bayes_net"
+  "test_bayes_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bayes_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bn_reward_model.dir/test_bn_reward_model.cpp.o"
+  "CMakeFiles/test_bn_reward_model.dir/test_bn_reward_model.cpp.o.d"
+  "test_bn_reward_model"
+  "test_bn_reward_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bn_reward_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

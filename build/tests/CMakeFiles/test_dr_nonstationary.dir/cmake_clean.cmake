@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dr_nonstationary.dir/test_dr_nonstationary.cpp.o"
+  "CMakeFiles/test_dr_nonstationary.dir/test_dr_nonstationary.cpp.o.d"
+  "test_dr_nonstationary"
+  "test_dr_nonstationary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dr_nonstationary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

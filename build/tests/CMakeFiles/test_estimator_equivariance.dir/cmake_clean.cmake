@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_estimator_equivariance.dir/test_estimator_equivariance.cpp.o"
+  "CMakeFiles/test_estimator_equivariance.dir/test_estimator_equivariance.cpp.o.d"
+  "test_estimator_equivariance"
+  "test_estimator_equivariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_estimator_equivariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_estimator_properties.dir/test_estimator_properties.cpp.o"
+  "CMakeFiles/test_estimator_properties.dir/test_estimator_properties.cpp.o.d"
+  "test_estimator_properties"
+  "test_estimator_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_estimator_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

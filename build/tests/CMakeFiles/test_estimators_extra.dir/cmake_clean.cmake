@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_estimators_extra.dir/test_estimators_extra.cpp.o"
+  "CMakeFiles/test_estimators_extra.dir/test_estimators_extra.cpp.o.d"
+  "test_estimators_extra"
+  "test_estimators_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_estimators_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

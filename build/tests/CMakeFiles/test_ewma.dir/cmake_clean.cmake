@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ewma.dir/test_ewma.cpp.o"
+  "CMakeFiles/test_ewma.dir/test_ewma.cpp.o.d"
+  "test_ewma"
+  "test_ewma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ewma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_framework_properties.dir/test_framework_properties.cpp.o"
+  "CMakeFiles/test_framework_properties.dir/test_framework_properties.cpp.o.d"
+  "test_framework_properties"
+  "test_framework_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_framework_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

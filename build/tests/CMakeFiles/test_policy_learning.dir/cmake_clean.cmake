@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_learning.dir/test_policy_learning.cpp.o"
+  "CMakeFiles/test_policy_learning.dir/test_policy_learning.cpp.o.d"
+  "test_policy_learning"
+  "test_policy_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantile_estimators.dir/test_quantile_estimators.cpp.o"
+  "CMakeFiles/test_quantile_estimators.dir/test_quantile_estimators.cpp.o.d"
+  "test_quantile_estimators"
+  "test_quantile_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantile_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_structure_learning.dir/test_structure_learning.cpp.o"
+  "CMakeFiles/test_structure_learning.dir/test_structure_learning.cpp.o.d"
+  "test_structure_learning"
+  "test_structure_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_structure_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

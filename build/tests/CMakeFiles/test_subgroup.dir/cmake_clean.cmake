@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subgroup.dir/test_subgroup.cpp.o"
+  "CMakeFiles/test_subgroup.dir/test_subgroup.cpp.o.d"
+  "test_subgroup"
+  "test_subgroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

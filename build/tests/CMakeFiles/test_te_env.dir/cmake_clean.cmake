@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_te_env.dir/test_te_env.cpp.o"
+  "CMakeFiles/test_te_env.dir/test_te_env.cpp.o.d"
+  "test_te_env"
+  "test_te_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_te_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

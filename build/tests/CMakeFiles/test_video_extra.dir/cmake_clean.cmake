@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_video_extra.dir/test_video_extra.cpp.o"
+  "CMakeFiles/test_video_extra.dir/test_video_extra.cpp.o.d"
+  "test_video_extra"
+  "test_video_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_video_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

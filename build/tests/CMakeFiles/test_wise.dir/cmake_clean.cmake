@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wise.dir/test_wise.cpp.o"
+  "CMakeFiles/test_wise.dir/test_wise.cpp.o.d"
+  "test_wise"
+  "test_wise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

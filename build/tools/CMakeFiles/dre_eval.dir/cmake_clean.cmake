@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dre_eval.dir/dre_eval.cpp.o"
+  "CMakeFiles/dre_eval.dir/dre_eval.cpp.o.d"
+  "dre_eval"
+  "dre_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dre_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

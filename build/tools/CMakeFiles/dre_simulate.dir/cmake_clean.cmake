@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dre_simulate.dir/dre_simulate.cpp.o"
+  "CMakeFiles/dre_simulate.dir/dre_simulate.cpp.o.d"
+  "dre_simulate"
+  "dre_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dre_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
