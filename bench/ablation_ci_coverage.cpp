@@ -41,6 +41,12 @@ void record(Calibration& c, const stats::ConfidenceInterval& ci, double truth) {
     c.width.add(ci.width());
 }
 
+// Per-run interval records, accumulated into Calibration after the
+// parallel fan-out.
+struct RunIntervals {
+    stats::ConfidenceInterval dr_boot, dr_bern, ips_boot;
+};
+
 } // namespace
 
 int main() {
@@ -65,24 +71,34 @@ int main() {
                 "DR Bernstein", "IPS bootstrap");
     std::printf("%6s | %6s %6s %6s %6s | %6s %6s\n", "", "cover", "width",
                 "cover", "width", "cover", "width");
+    std::uint64_t row_seed = 20170705;
     for (const std::size_t n : {200u, 800u, 3200u}) {
+        const auto runs =
+            bench::run_many(200, row_seed++, [&](int, stats::Rng& run_rng) {
+                const Trace trace = core::collect_trace(env, logging, n, run_rng);
+                // k-NN, not tabular: these contexts carry a continuous quality
+                // feature, and a tabular model would memorize singleton cells,
+                // biasing DR (see ablation_model_family) — a bias no CI can fix.
+                core::KnnRewardModel model(4, 15);
+                model.fit(trace);
+
+                RunIntervals r;
+                const core::EstimateResult dr =
+                    core::doubly_robust(trace, target, model);
+                r.dr_boot =
+                    core::estimate_confidence_interval(dr, run_rng, 400, 0.90);
+                r.dr_bern = core::empirical_bernstein_interval(dr, 0.90);
+                const core::EstimateResult ips =
+                    core::inverse_propensity(trace, target);
+                r.ips_boot =
+                    core::estimate_confidence_interval(ips, run_rng, 400, 0.90);
+                return r;
+            });
         Calibration dr_boot, dr_bern, ips_boot;
-        for (int run = 0; run < 200; ++run) {
-            const Trace trace = core::collect_trace(env, logging, n, rng);
-            // k-NN, not tabular: these contexts carry a continuous quality
-            // feature, and a tabular model would memorize singleton cells,
-            // biasing DR (see ablation_model_family) — a bias no CI can fix.
-            core::KnnRewardModel model(4, 15);
-            model.fit(trace);
-
-            const core::EstimateResult dr = core::doubly_robust(trace, target, model);
-            record(dr_boot, core::estimate_confidence_interval(dr, rng, 400, 0.90),
-                   truth);
-            record(dr_bern, core::empirical_bernstein_interval(dr, 0.90), truth);
-
-            const core::EstimateResult ips = core::inverse_propensity(trace, target);
-            record(ips_boot, core::estimate_confidence_interval(ips, rng, 400, 0.90),
-                   truth);
+        for (const RunIntervals& r : runs) {
+            record(dr_boot, r.dr_boot, truth);
+            record(dr_bern, r.dr_bern, truth);
+            record(ips_boot, r.ips_boot, truth);
         }
         std::printf("%6zu | %5.0f%% %6.3f %5.0f%% %6.3f | %5.0f%% %6.3f\n", n,
                     100.0 * dr_boot.covered.mean(), dr_boot.width.mean(),

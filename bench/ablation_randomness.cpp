@@ -35,31 +35,43 @@ int main() {
 
     std::printf("%8s %10s %10s %10s %10s %10s %10s\n", "epsilon", "ESS", "DM",
                 "IPS", "SNIPS", "clipIPS", "DR");
+    struct RunResult {
+        double ess = 0.0, dm = 0.0, ips = 0.0, snips = 0.0, clip = 0.0,
+               dr = 0.0;
+    };
+    std::uint64_t row_seed = 20170708;
     for (const double epsilon : {0.5, 0.3, 0.2, 0.1, 0.05, 0.02}) {
-        core::EpsilonGreedyPolicy logging(base, epsilon);
-        stats::Accumulator ess, dm_err, ips_err, snips_err, clip_err, dr_err;
-        for (int run = 0; run < 40; ++run) {
-            const Trace trace = core::collect_trace(env, logging, 1000, rng);
-            ess.add(core::overlap_diagnostics(trace, target)
-                        .effective_sample_size);
-            core::LinearRewardModel model(env.num_decisions());
-            model.fit(trace);
-            dm_err.add(core::relative_error(
-                truth, core::direct_method(trace, target, model).value));
-            ips_err.add(core::relative_error(
-                truth, core::inverse_propensity(trace, target).value));
-            snips_err.add(core::relative_error(
-                truth, core::self_normalized_ips(trace, target).value));
-            core::EstimatorOptions options;
-            options.weight_clip = 20.0;
-            clip_err.add(core::relative_error(
-                truth, core::clipped_ips(trace, target, options).value));
-            dr_err.add(core::relative_error(
-                truth, core::doubly_robust(trace, target, model).value));
-        }
+        const core::EpsilonGreedyPolicy logging(base, epsilon);
+        const auto runs =
+            bench::run_many(40, row_seed++, [&](int, stats::Rng& run_rng) {
+                const Trace trace =
+                    core::collect_trace(env, logging, 1000, run_rng);
+                core::LinearRewardModel model(env.num_decisions());
+                model.fit(trace);
+                core::EstimatorOptions options;
+                options.weight_clip = 20.0;
+                RunResult r;
+                r.ess = core::overlap_diagnostics(trace, target)
+                            .effective_sample_size;
+                r.dm = core::relative_error(
+                    truth, core::direct_method(trace, target, model).value);
+                r.ips = core::relative_error(
+                    truth, core::inverse_propensity(trace, target).value);
+                r.snips = core::relative_error(
+                    truth, core::self_normalized_ips(trace, target).value);
+                r.clip = core::relative_error(
+                    truth, core::clipped_ips(trace, target, options).value);
+                r.dr = core::relative_error(
+                    truth, core::doubly_robust(trace, target, model).value);
+                return r;
+            });
         std::printf("%8.2f %10.1f %10.4f %10.4f %10.4f %10.4f %10.4f\n",
-                    epsilon, ess.mean(), dm_err.mean(), ips_err.mean(),
-                    snips_err.mean(), clip_err.mean(), dr_err.mean());
+                    epsilon, stats::mean(bench::column(runs, &RunResult::ess)),
+                    stats::mean(bench::column(runs, &RunResult::dm)),
+                    stats::mean(bench::column(runs, &RunResult::ips)),
+                    stats::mean(bench::column(runs, &RunResult::snips)),
+                    stats::mean(bench::column(runs, &RunResult::clip)),
+                    stats::mean(bench::column(runs, &RunResult::dr)));
     }
     std::printf("\nIPS error grows as epsilon shrinks; DR degrades far more\n"
                 "slowly thanks to its model term (§4.1).\n");

@@ -4,15 +4,48 @@
 #ifndef DRE_BENCH_BENCH_UTIL_H
 #define DRE_BENCH_BENCH_UTIL_H
 
+#include <cstdint>
 #include <cstdio>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
+#include "core/parallel.h"
 #include "stats/hypothesis.h"
+#include "stats/rng.h"
 #include "stats/summary.h"
 
 namespace dre::bench {
+
+// Run `n_runs` independent replications of an experiment, in parallel
+// (dre::par), each with its own RNG stream derived from (seed, run index).
+// Results come back in run order and are bit-identical for any DRE_THREADS
+// setting — the standard harness for the paper's "mean/min/max over 50
+// runs" loops. `fn` is called as fn(run_index, rng) and must only touch
+// shared state through const references.
+template <typename Fn>
+auto run_many(int n_runs, std::uint64_t seed, Fn&& fn)
+    -> std::vector<std::decay_t<std::invoke_result_t<Fn&, int, stats::Rng&>>> {
+    using Result = std::decay_t<std::invoke_result_t<Fn&, int, stats::Rng&>>;
+    std::vector<Result> results(static_cast<std::size_t>(n_runs));
+    const stats::Rng base(seed);
+    par::parallel_for(static_cast<std::size_t>(n_runs), [&](std::size_t run) {
+        stats::Rng rng = base.split(run);
+        results[run] = fn(static_cast<int>(run), rng);
+    });
+    return results;
+}
+
+// Pull one field out of a vector of per-run records (for print_error_row).
+template <typename Record, typename Field>
+std::vector<double> column(const std::vector<Record>& records,
+                           Field Record::* field) {
+    std::vector<double> xs;
+    xs.reserve(records.size());
+    for (const Record& r : records) xs.push_back(r.*field);
+    return xs;
+}
 
 inline void print_header(const std::string& title) {
     std::printf("\n=== %s ===\n", title.c_str());

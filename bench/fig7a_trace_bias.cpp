@@ -30,24 +30,35 @@ int main() {
     constexpr std::size_t kClients = 2060;
     constexpr int kRuns = 50;
 
-    std::vector<double> wise_err, bn_err, ips_err, dr_err, dr_bn_err;
-    for (int run = 0; run < kRuns; ++run) {
-        const Trace trace = core::collect_trace(env, *logging, kClients, rng);
-        wise::WiseCbnRewardModel model;
-        model.fit(trace);
-        wise::BnRewardModel bn_model = wise::make_wise_bn_model(2);
-        bn_model.fit(trace);
-        wise_err.push_back(core::relative_error(
-            truth, core::direct_method(trace, *target, model).value));
-        bn_err.push_back(core::relative_error(
-            truth, core::direct_method(trace, *target, bn_model).value));
-        ips_err.push_back(core::relative_error(
-            truth, core::inverse_propensity(trace, *target).value));
-        dr_err.push_back(core::relative_error(
-            truth, core::doubly_robust(trace, *target, model).value));
-        dr_bn_err.push_back(core::relative_error(
-            truth, core::doubly_robust(trace, *target, bn_model).value));
-    }
+    struct RunErrors {
+        double wise = 0.0, bn = 0.0, ips = 0.0, dr = 0.0, dr_bn = 0.0;
+    };
+    const auto runs =
+        bench::run_many(kRuns, 20170701, [&](int, stats::Rng& run_rng) {
+            const Trace trace =
+                core::collect_trace(env, *logging, kClients, run_rng);
+            wise::WiseCbnRewardModel model;
+            model.fit(trace);
+            wise::BnRewardModel bn_model = wise::make_wise_bn_model(2);
+            bn_model.fit(trace);
+            RunErrors e;
+            e.wise = core::relative_error(
+                truth, core::direct_method(trace, *target, model).value);
+            e.bn = core::relative_error(
+                truth, core::direct_method(trace, *target, bn_model).value);
+            e.ips = core::relative_error(
+                truth, core::inverse_propensity(trace, *target).value);
+            e.dr = core::relative_error(
+                truth, core::doubly_robust(trace, *target, model).value);
+            e.dr_bn = core::relative_error(
+                truth, core::doubly_robust(trace, *target, bn_model).value);
+            return e;
+        });
+    const auto wise_err = bench::column(runs, &RunErrors::wise);
+    const auto bn_err = bench::column(runs, &RunErrors::bn);
+    const auto ips_err = bench::column(runs, &RunErrors::ips);
+    const auto dr_err = bench::column(runs, &RunErrors::dr);
+    const auto dr_bn_err = bench::column(runs, &RunErrors::dr_bn);
 
     bench::print_error_row("WISE (CBN direct method)", wise_err);
     bench::print_error_row("Chow-Liu BN direct method", bn_err);

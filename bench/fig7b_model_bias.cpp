@@ -33,27 +33,35 @@ int main() {
                            sim.true_mean_qoe(old_policy, bandwidth, rng, 256));
 
     constexpr int kRuns = 50;
-    std::vector<double> replay_err, dm_err, snips_err, dr_err;
-    for (int run = 0; run < kRuns; ++run) {
-        const video::SessionRecord logged =
-            sim.simulate(old_policy, bandwidth, rng);
-        const Trace trace = video::to_trace(logged);
+    struct RunErrors {
+        double replay = 0.0, dm = 0.0, snips = 0.0, dr = 0.0;
+    };
+    const auto runs =
+        bench::run_many(kRuns, 20170702, [&](int, stats::Rng& run_rng) {
+            const video::SessionRecord logged =
+                sim.simulate(old_policy, bandwidth, run_rng);
+            const Trace trace = video::to_trace(logged);
 
-        const double replay = video::replay_session_naive(
-            logged, new_policy, sim.ladder(), config.session, config.qoe);
-        const video::NaiveChunkModel model(sim.ladder(), config.session,
-                                           config.qoe);
-        const video::AbrPolicyAdapter target(new_policy, sim.ladder(),
-                                             config.session, config.qoe);
-        const double dm = core::direct_method(trace, target, model).value;
-        const double snips = core::self_normalized_ips(trace, target).value;
-        const double dr = core::doubly_robust(trace, target, model).value;
-
-        replay_err.push_back(core::relative_error(truth, replay));
-        dm_err.push_back(core::relative_error(truth, dm));
-        snips_err.push_back(core::relative_error(truth, snips));
-        dr_err.push_back(core::relative_error(truth, dr));
-    }
+            const double replay = video::replay_session_naive(
+                logged, new_policy, sim.ladder(), config.session, config.qoe);
+            const video::NaiveChunkModel model(sim.ladder(), config.session,
+                                               config.qoe);
+            const video::AbrPolicyAdapter target(new_policy, sim.ladder(),
+                                                 config.session, config.qoe);
+            RunErrors e;
+            e.replay = core::relative_error(truth, replay);
+            e.dm = core::relative_error(
+                truth, core::direct_method(trace, target, model).value);
+            e.snips = core::relative_error(
+                truth, core::self_normalized_ips(trace, target).value);
+            e.dr = core::relative_error(
+                truth, core::doubly_robust(trace, target, model).value);
+            return e;
+        });
+    const auto replay_err = bench::column(runs, &RunErrors::replay);
+    const auto dm_err = bench::column(runs, &RunErrors::dm);
+    const auto snips_err = bench::column(runs, &RunErrors::snips);
+    const auto dr_err = bench::column(runs, &RunErrors::dr);
 
     bench::print_error_row("FastMPC evaluator (replay)", replay_err);
     bench::print_error_row("DM (naive chunk model)", dm_err);

@@ -31,20 +31,30 @@ int main() {
 
     constexpr std::size_t kClients = 1600;
     constexpr int kRuns = 50;
-    std::vector<double> cfa_err, dm_err, dr_err, matches;
-    for (int run = 0; run < kRuns; ++run) {
-        const Trace trace = core::collect_trace(env, logging, kClients, rng);
-        const cdn::MatchingEstimate cfa =
-            cdn::cfa_matching_estimate(trace, *target);
-        core::KnnRewardModel knn(env.num_decisions(), 10);
-        knn.fit(trace);
-        const double dm = core::direct_method(trace, *target, knn).value;
-        const double dr = core::doubly_robust(trace, *target, knn).value;
-        cfa_err.push_back(core::relative_error(truth, cfa.value));
-        dm_err.push_back(core::relative_error(truth, dm));
-        dr_err.push_back(core::relative_error(truth, dr));
-        matches.push_back(static_cast<double>(cfa.matches));
-    }
+    struct RunErrors {
+        double cfa = 0.0, dm = 0.0, dr = 0.0, matches = 0.0;
+    };
+    const auto runs =
+        bench::run_many(kRuns, 20170703, [&](int, stats::Rng& run_rng) {
+            const Trace trace =
+                core::collect_trace(env, logging, kClients, run_rng);
+            const cdn::MatchingEstimate cfa =
+                cdn::cfa_matching_estimate(trace, *target);
+            core::KnnRewardModel knn(env.num_decisions(), 10);
+            knn.fit(trace);
+            RunErrors e;
+            e.cfa = core::relative_error(truth, cfa.value);
+            e.dm = core::relative_error(
+                truth, core::direct_method(trace, *target, knn).value);
+            e.dr = core::relative_error(
+                truth, core::doubly_robust(trace, *target, knn).value);
+            e.matches = static_cast<double>(cfa.matches);
+            return e;
+        });
+    const auto cfa_err = bench::column(runs, &RunErrors::cfa);
+    const auto dm_err = bench::column(runs, &RunErrors::dm);
+    const auto dr_err = bench::column(runs, &RunErrors::dr);
+    const auto matches = bench::column(runs, &RunErrors::matches);
 
     bench::print_error_row("CFA (decision matching)", cfa_err);
     bench::print_error_row("DM (k-NN model)", dm_err);

@@ -1,0 +1,143 @@
+// Serial-vs-parallel wall clock for the dre::par hot paths.
+//
+// Times stats::bootstrap_ci (10k replicates) and core::Evaluator::compare
+// (8 policies with bootstrap CIs) under DRE_THREADS=1 and the configured
+// thread count, checks the outputs are bit-identical (the determinism
+// contract of core/parallel.h), and appends the numbers to
+// BENCH_parallel.json so later PRs can track the perf trajectory.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "cdn/scenario.h"
+#include "core/environment.h"
+#include "core/evaluator.h"
+#include "core/parallel.h"
+#include "core/policy.h"
+#include "stats/bootstrap.h"
+#include "stats/rng.h"
+
+using namespace dre;
+
+namespace {
+
+// Median-of-3 wall-clock milliseconds.
+template <typename Fn>
+double time_ms(const Fn& fn) {
+    std::vector<double> times;
+    for (int rep = 0; rep < 3; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        fn();
+        const auto stop = std::chrono::steady_clock::now();
+        times.push_back(
+            std::chrono::duration<double, std::milli>(stop - start).count());
+    }
+    return stats::median(times);
+}
+
+struct Measurement {
+    double serial_ms = 0.0;
+    double parallel_ms = 0.0;
+    bool identical = false;
+
+    double speedup() const { return serial_ms / parallel_ms; }
+};
+
+void print_row(const char* label, const Measurement& m, std::size_t threads) {
+    std::printf("%-28s serial %9.1f ms   %zu threads %9.1f ms   speedup %.2fx   %s\n",
+                label, m.serial_ms, threads, m.parallel_ms, m.speedup(),
+                m.identical ? "bit-identical" : "OUTPUTS DIFFER (BUG)");
+}
+
+} // namespace
+
+int main() {
+    bench::print_header("micro_parallel — dre::par serial vs parallel");
+    const std::size_t threads = par::thread_count();
+    std::printf("configured threads: %zu (set DRE_THREADS to override)\n", threads);
+    if (threads == 1)
+        std::printf("note: only one thread available; speedups will be ~1x\n");
+
+    // --- bootstrap_ci: 2000-point sample, 10k replicates ------------------
+    std::vector<double> sample(2000);
+    {
+        stats::Rng fill(7);
+        for (double& x : sample) x = fill.lognormal(0.0, 1.0);
+    }
+    const auto run_bootstrap = [&] {
+        stats::Rng rng(42);
+        return stats::bootstrap_mean_ci(sample, rng, 10000);
+    };
+    Measurement boot;
+    par::set_thread_count(1);
+    const stats::ConfidenceInterval ci_serial = run_bootstrap();
+    boot.serial_ms = time_ms(run_bootstrap);
+    par::set_thread_count(threads);
+    const stats::ConfidenceInterval ci_parallel = run_bootstrap();
+    boot.parallel_ms = time_ms(run_bootstrap);
+    boot.identical = ci_serial.lower == ci_parallel.lower &&
+                     ci_serial.upper == ci_parallel.upper &&
+                     ci_serial.point == ci_parallel.point;
+    print_row("bootstrap_ci (10k reps)", boot, threads);
+
+    // --- Evaluator::compare: 8 policies, DR + bootstrap CIs ---------------
+    cdn::VideoQualityEnv env{cdn::CdnWorldConfig{}};
+    stats::Rng setup_rng(20170806);
+    const core::UniformRandomPolicy logging(env.num_decisions());
+    const Trace trace = core::collect_trace(env, logging, 4000, setup_rng);
+
+    std::vector<std::unique_ptr<core::Policy>> owned;
+    std::vector<const core::Policy*> policies;
+    for (std::size_t p = 0; p < 8; ++p) {
+        const auto fixed = static_cast<Decision>(p % env.num_decisions());
+        owned.push_back(std::make_unique<core::DeterministicPolicy>(
+            env.num_decisions(),
+            [fixed](const ClientContext&) { return fixed; }));
+        policies.push_back(owned.back().get());
+    }
+    core::EvaluationConfig config;
+    config.ci_replicates = 500;
+    const auto run_compare = [&] {
+        core::Evaluator evaluator(trace, config, stats::Rng(99));
+        return evaluator.compare(policies);
+    };
+    Measurement cmp;
+    par::set_thread_count(1);
+    const auto cmp_serial = run_compare();
+    cmp.serial_ms = time_ms(run_compare);
+    par::set_thread_count(threads);
+    const auto cmp_parallel = run_compare();
+    cmp.parallel_ms = time_ms(run_compare);
+    cmp.identical = cmp_serial.best_index == cmp_parallel.best_index;
+    for (std::size_t i = 0; cmp.identical && i < policies.size(); ++i) {
+        cmp.identical =
+            cmp_serial.evaluations[i].dr.value ==
+                cmp_parallel.evaluations[i].dr.value &&
+            cmp_serial.evaluations[i].dr_ci->lower ==
+                cmp_parallel.evaluations[i].dr_ci->lower &&
+            cmp_serial.evaluations[i].dr_ci->upper ==
+                cmp_parallel.evaluations[i].dr_ci->upper;
+    }
+    print_row("Evaluator::compare (8 pol)", cmp, threads);
+
+    std::FILE* json = std::fopen("BENCH_parallel.json", "w");
+    if (json != nullptr) {
+        std::fprintf(
+            json,
+            "{\n"
+            "  \"threads\": %zu,\n"
+            "  \"bootstrap_ci\": {\"serial_ms\": %.3f, \"parallel_ms\": %.3f,"
+            " \"speedup\": %.3f, \"bit_identical\": %s},\n"
+            "  \"evaluator_compare\": {\"serial_ms\": %.3f, \"parallel_ms\": %.3f,"
+            " \"speedup\": %.3f, \"bit_identical\": %s}\n"
+            "}\n",
+            threads, boot.serial_ms, boot.parallel_ms, boot.speedup(),
+            boot.identical ? "true" : "false", cmp.serial_ms, cmp.parallel_ms,
+            cmp.speedup(), cmp.identical ? "true" : "false");
+        std::fclose(json);
+        std::printf("wrote BENCH_parallel.json\n");
+    }
+    return boot.identical && cmp.identical ? 0 : 1;
+}

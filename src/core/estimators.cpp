@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/parallel.h"
 #include "stats/summary.h"
 
 namespace dre::core {
@@ -30,9 +31,25 @@ double model_value_under_policy(const RewardModel& model, const Policy& policy,
     return value;
 }
 
+// Fill per_tuple[k] = fn(trace[k]) for every tuple, in parallel. Each task
+// writes only its own slots and fn is a pure function of the tuple, so the
+// result is identical for any thread count.
+template <typename Fn>
+std::vector<double> per_tuple_map(const Trace& trace, const Fn& fn) {
+    std::vector<double> per_tuple(trace.size());
+    par::parallel_for_chunked(trace.size(),
+                              [&](std::size_t begin, std::size_t end) {
+                                  for (std::size_t k = begin; k < end; ++k)
+                                      per_tuple[k] = fn(trace[k]);
+                              });
+    return per_tuple;
+}
+
 EstimateResult average_result(std::vector<double> per_tuple, std::string name) {
     EstimateResult result;
-    result.value = stats::mean(per_tuple);
+    // Ordered chunk-wise mean: deterministic for any thread count, and
+    // bit-identical to stats::mean below par::kReduceChunk elements.
+    result.value = par::chunked_mean(per_tuple);
     result.per_tuple = std::move(per_tuple);
     result.estimator = std::move(name);
     return result;
@@ -48,48 +65,60 @@ double EstimateResult::variance_of_mean() const {
 EstimateResult direct_method(const Trace& trace, const Policy& new_policy,
                              const RewardModel& model) {
     check_inputs(trace, new_policy, &model);
-    std::vector<double> per_tuple;
-    per_tuple.reserve(trace.size());
-    for (const auto& t : trace)
-        per_tuple.push_back(model_value_under_policy(model, new_policy, t.context));
-    return average_result(std::move(per_tuple), "DM");
+    return average_result(
+        per_tuple_map(trace,
+                      [&](const LoggedTuple& t) {
+                          return model_value_under_policy(model, new_policy,
+                                                          t.context);
+                      }),
+        "DM");
 }
 
 std::vector<double> importance_weights(const Trace& trace, const Policy& new_policy) {
     check_inputs(trace, new_policy, nullptr);
-    std::vector<double> weights;
-    weights.reserve(trace.size());
-    for (const auto& t : trace)
-        weights.push_back(new_policy.probability(t.context, t.decision) / t.propensity);
-    return weights;
+    return per_tuple_map(trace, [&](const LoggedTuple& t) {
+        return new_policy.probability(t.context, t.decision) / t.propensity;
+    });
 }
 
 EstimateResult inverse_propensity(const Trace& trace, const Policy& new_policy) {
-    const std::vector<double> weights = importance_weights(trace, new_policy);
-    std::vector<double> per_tuple(trace.size());
-    for (std::size_t k = 0; k < trace.size(); ++k)
-        per_tuple[k] = weights[k] * trace[k].reward;
-    return average_result(std::move(per_tuple), "IPS");
+    check_inputs(trace, new_policy, nullptr);
+    return average_result(
+        per_tuple_map(trace,
+                      [&](const LoggedTuple& t) {
+                          return new_policy.probability(t.context, t.decision) /
+                                 t.propensity * t.reward;
+                      }),
+        "IPS");
 }
 
 EstimateResult clipped_ips(const Trace& trace, const Policy& new_policy,
                            const EstimatorOptions& options) {
     if (!(options.weight_clip > 0.0))
         throw std::invalid_argument("clipped_ips: weight_clip must be > 0");
-    const std::vector<double> weights = importance_weights(trace, new_policy);
-    std::vector<double> per_tuple(trace.size());
-    for (std::size_t k = 0; k < trace.size(); ++k)
-        per_tuple[k] = std::min(weights[k], options.weight_clip) * trace[k].reward;
-    return average_result(std::move(per_tuple), "clipped-IPS");
+    check_inputs(trace, new_policy, nullptr);
+    return average_result(
+        per_tuple_map(trace,
+                      [&](const LoggedTuple& t) {
+                          const double weight =
+                              new_policy.probability(t.context, t.decision) /
+                              t.propensity;
+                          return std::min(weight, options.weight_clip) * t.reward;
+                      }),
+        "clipped-IPS");
 }
 
 EstimateResult self_normalized_ips(const Trace& trace, const Policy& new_policy) {
     const std::vector<double> weights = importance_weights(trace, new_policy);
-    double weighted_reward = 0.0, total_weight = 0.0;
-    for (std::size_t k = 0; k < trace.size(); ++k) {
-        weighted_reward += weights[k] * trace[k].reward;
-        total_weight += weights[k];
-    }
+    std::vector<double> weighted_rewards(trace.size());
+    par::parallel_for_chunked(trace.size(),
+                              [&](std::size_t begin, std::size_t end) {
+                                  for (std::size_t k = begin; k < end; ++k)
+                                      weighted_rewards[k] =
+                                          weights[k] * trace[k].reward;
+                              });
+    const double weighted_reward = par::chunked_sum(weighted_rewards);
+    const double total_weight = par::chunked_sum(weights);
     EstimateResult result;
     result.estimator = "SNIPS";
     if (total_weight <= 0.0) {
@@ -103,25 +132,30 @@ EstimateResult self_normalized_ips(const Trace& trace, const Policy& new_policy)
     // so that mean(per_tuple) == value.
     result.per_tuple.resize(trace.size());
     const double scale = static_cast<double>(trace.size()) / total_weight;
-    for (std::size_t k = 0; k < trace.size(); ++k)
-        result.per_tuple[k] = scale * weights[k] * trace[k].reward;
+    par::parallel_for_chunked(trace.size(),
+                              [&](std::size_t begin, std::size_t end) {
+                                  for (std::size_t k = begin; k < end; ++k)
+                                      result.per_tuple[k] =
+                                          scale * weighted_rewards[k];
+                              });
     return result;
 }
 
 EstimateResult doubly_robust(const Trace& trace, const Policy& new_policy,
                              const RewardModel& model) {
     check_inputs(trace, new_policy, &model);
-    std::vector<double> per_tuple;
-    per_tuple.reserve(trace.size());
-    for (const auto& t : trace) {
-        const double dm_part = model_value_under_policy(model, new_policy, t.context);
-        const double weight =
-            new_policy.probability(t.context, t.decision) / t.propensity;
-        const double correction =
-            weight * (t.reward - model.predict(t.context, t.decision));
-        per_tuple.push_back(dm_part + correction);
-    }
-    return average_result(std::move(per_tuple), "DR");
+    return average_result(
+        per_tuple_map(trace,
+                      [&](const LoggedTuple& t) {
+                          const double dm_part =
+                              model_value_under_policy(model, new_policy, t.context);
+                          const double weight =
+                              new_policy.probability(t.context, t.decision) /
+                              t.propensity;
+                          return dm_part +
+                                 weight * (t.reward - model.predict(t.context, t.decision));
+                      }),
+        "DR");
 }
 
 EstimateResult clipped_doubly_robust(const Trace& trace, const Policy& new_policy,
@@ -130,17 +164,19 @@ EstimateResult clipped_doubly_robust(const Trace& trace, const Policy& new_polic
     if (!(options.weight_clip > 0.0))
         throw std::invalid_argument("clipped_doubly_robust: weight_clip must be > 0");
     check_inputs(trace, new_policy, &model);
-    std::vector<double> per_tuple;
-    per_tuple.reserve(trace.size());
-    for (const auto& t : trace) {
-        const double dm_part = model_value_under_policy(model, new_policy, t.context);
-        const double weight = std::min(
-            new_policy.probability(t.context, t.decision) / t.propensity,
-            options.weight_clip);
-        per_tuple.push_back(dm_part +
-                            weight * (t.reward - model.predict(t.context, t.decision)));
-    }
-    return average_result(std::move(per_tuple), "clipped-DR");
+    return average_result(
+        per_tuple_map(trace,
+                      [&](const LoggedTuple& t) {
+                          const double dm_part =
+                              model_value_under_policy(model, new_policy, t.context);
+                          const double weight = std::min(
+                              new_policy.probability(t.context, t.decision) /
+                                  t.propensity,
+                              options.weight_clip);
+                          return dm_part +
+                                 weight * (t.reward - model.predict(t.context, t.decision));
+                      }),
+        "clipped-DR");
 }
 
 EstimateResult switch_doubly_robust(const Trace& trace, const Policy& new_policy,
@@ -149,31 +185,45 @@ EstimateResult switch_doubly_robust(const Trace& trace, const Policy& new_policy
     if (!(options.switch_threshold > 0.0))
         throw std::invalid_argument("switch_doubly_robust: threshold must be > 0");
     check_inputs(trace, new_policy, &model);
-    std::vector<double> per_tuple;
-    per_tuple.reserve(trace.size());
-    for (const auto& t : trace) {
-        const double dm_part = model_value_under_policy(model, new_policy, t.context);
-        const double weight =
-            new_policy.probability(t.context, t.decision) / t.propensity;
-        double contribution = dm_part;
-        if (weight <= options.switch_threshold)
-            contribution += weight * (t.reward - model.predict(t.context, t.decision));
-        per_tuple.push_back(contribution);
-    }
-    return average_result(std::move(per_tuple), "SWITCH-DR");
+    return average_result(
+        per_tuple_map(trace,
+                      [&](const LoggedTuple& t) {
+                          const double dm_part =
+                              model_value_under_policy(model, new_policy, t.context);
+                          const double weight =
+                              new_policy.probability(t.context, t.decision) /
+                              t.propensity;
+                          double contribution = dm_part;
+                          if (weight <= options.switch_threshold)
+                              contribution +=
+                                  weight *
+                                  (t.reward - model.predict(t.context, t.decision));
+                          return contribution;
+                      }),
+        "SWITCH-DR");
 }
 
 ReplayEstimate matching_replay(const Trace& trace, const Policy& new_policy) {
     check_inputs(trace, new_policy, nullptr);
+    // Matched flags computed in parallel (slot-disjoint); the small
+    // reductions over them stay serial and deterministic.
+    std::vector<double> matched(trace.size());
+    par::parallel_for_chunked(
+        trace.size(), [&](std::size_t begin, std::size_t end) {
+            for (std::size_t k = begin; k < end; ++k) {
+                const std::vector<double> probs =
+                    new_policy.action_probabilities(trace[k].context);
+                const auto argmax = static_cast<Decision>(
+                    std::max_element(probs.begin(), probs.end()) - probs.begin());
+                matched[k] = argmax == trace[k].decision ? 1.0 : 0.0;
+            }
+        });
     double matched_sum = 0.0, total_sum = 0.0;
     std::size_t matches = 0;
-    for (const auto& t : trace) {
-        total_sum += t.reward;
-        const std::vector<double> probs = new_policy.action_probabilities(t.context);
-        const auto argmax = static_cast<Decision>(
-            std::max_element(probs.begin(), probs.end()) - probs.begin());
-        if (argmax == t.decision) {
-            matched_sum += t.reward;
+    for (std::size_t k = 0; k < trace.size(); ++k) {
+        total_sum += trace[k].reward;
+        if (matched[k] != 0.0) {
+            matched_sum += trace[k].reward;
             ++matches;
         }
     }
@@ -193,30 +243,31 @@ EstimateResult self_normalized_doubly_robust(const Trace& trace,
     check_inputs(trace, new_policy, &model);
     const std::size_t n = trace.size();
     std::vector<double> dm_parts(n), corrections(n), weights(n);
-    double total_weight = 0.0;
-    for (std::size_t k = 0; k < n; ++k) {
-        const LoggedTuple& t = trace[k];
-        dm_parts[k] = model_value_under_policy(model, new_policy, t.context);
-        weights[k] = new_policy.probability(t.context, t.decision) / t.propensity;
-        corrections[k] = weights[k] * (t.reward - model.predict(t.context, t.decision));
-        total_weight += weights[k];
-    }
+    par::parallel_for_chunked(n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t k = begin; k < end; ++k) {
+            const LoggedTuple& t = trace[k];
+            dm_parts[k] = model_value_under_policy(model, new_policy, t.context);
+            weights[k] = new_policy.probability(t.context, t.decision) / t.propensity;
+            corrections[k] =
+                weights[k] * (t.reward - model.predict(t.context, t.decision));
+        }
+    });
+    const double total_weight = par::chunked_sum(weights);
     EstimateResult result;
     result.estimator = "SN-DR";
     result.per_tuple.resize(n);
     if (total_weight <= 0.0) {
         // No overlap: fall back to the pure model estimate.
-        result.value = stats::mean(dm_parts);
+        result.value = par::chunked_mean(dm_parts);
         result.per_tuple = std::move(dm_parts);
         return result;
     }
     const double scale = static_cast<double>(n) / total_weight;
-    double total = 0.0;
-    for (std::size_t k = 0; k < n; ++k) {
-        result.per_tuple[k] = dm_parts[k] + scale * corrections[k];
-        total += result.per_tuple[k];
-    }
-    result.value = total / static_cast<double>(n);
+    par::parallel_for_chunked(n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t k = begin; k < end; ++k)
+            result.per_tuple[k] = dm_parts[k] + scale * corrections[k];
+    });
+    result.value = par::chunked_sum(result.per_tuple) / static_cast<double>(n);
     return result;
 }
 

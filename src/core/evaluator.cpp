@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/parallel.h"
+
 namespace dre::core {
 
 Evaluator::Evaluator(Trace trace, EvaluationConfig config, stats::Rng rng)
@@ -31,7 +33,8 @@ const RewardModel& Evaluator::reward_model() const {
     return *model_;
 }
 
-PolicyEvaluation Evaluator::evaluate(const Policy& new_policy) const {
+PolicyEvaluation Evaluator::evaluate_with(const Policy& new_policy,
+                                          stats::Rng& rng) const {
     PolicyEvaluation out;
     out.dm = direct_method(evaluation_trace_, new_policy, *model_);
     out.ips = inverse_propensity(evaluation_trace_, new_policy);
@@ -41,21 +44,32 @@ PolicyEvaluation Evaluator::evaluate(const Policy& new_policy) const {
                                          config_.estimator_options);
     out.overlap = overlap_diagnostics(evaluation_trace_, new_policy);
     if (config_.ci_replicates > 0) {
-        out.dr_ci = estimate_confidence_interval(out.dr, rng_, config_.ci_replicates,
+        out.dr_ci = estimate_confidence_interval(out.dr, rng, config_.ci_replicates,
                                                  config_.ci_level);
     }
     return out;
 }
 
+PolicyEvaluation Evaluator::evaluate(const Policy& new_policy) const {
+    return evaluate_with(new_policy, rng_);
+}
+
 Evaluator::Comparison Evaluator::compare(
     const std::vector<const Policy*>& policies) const {
     if (policies.empty()) throw std::invalid_argument("Evaluator::compare: no policies");
-    Comparison comparison;
-    comparison.evaluations.reserve(policies.size());
-    for (const Policy* policy : policies) {
+    for (const Policy* policy : policies)
         if (!policy) throw std::invalid_argument("Evaluator::compare: null policy");
-        comparison.evaluations.push_back(evaluate(*policy));
-    }
+
+    // One advance of the shared generator, then a split stream per policy:
+    // the evaluations are independent of each other and of the thread
+    // count, so they can run concurrently yet stay bit-reproducible.
+    const stats::Rng base = rng_.split();
+    Comparison comparison;
+    comparison.evaluations.resize(policies.size());
+    par::parallel_for(policies.size(), [&](std::size_t i) {
+        stats::Rng policy_rng = base.split(i);
+        comparison.evaluations[i] = evaluate_with(*policies[i], policy_rng);
+    });
     for (std::size_t i = 1; i < comparison.evaluations.size(); ++i) {
         if (comparison.evaluations[i].value() >
             comparison.evaluations[comparison.best_index].value())

@@ -54,6 +54,9 @@ public:
     PolicyEvaluation evaluate(const Policy& new_policy) const;
 
     // Evaluate several candidates and return the index of the DR-best one.
+    // Candidates are evaluated concurrently (dre::par); each gets its own
+    // split RNG stream keyed by its index, so the result is bit-identical
+    // for any DRE_THREADS setting.
     struct Comparison {
         std::vector<PolicyEvaluation> evaluations;
         std::size_t best_index = 0;
@@ -64,6 +67,8 @@ public:
     const RewardModel& reward_model() const;
 
 private:
+    PolicyEvaluation evaluate_with(const Policy& new_policy, stats::Rng& rng) const;
+
     EvaluationConfig config_;
     mutable stats::Rng rng_;
     Trace evaluation_trace_;     // tuples the estimators average over

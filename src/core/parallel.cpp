@@ -1,0 +1,264 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace dre::par {
+namespace {
+
+thread_local bool tls_in_parallel_region = false;
+
+// RAII flag so nested parallel_for calls from inside a task inline safely
+// even when the task throws.
+struct RegionGuard {
+    bool previous;
+    RegionGuard() : previous(tls_in_parallel_region) {
+        tls_in_parallel_region = true;
+    }
+    ~RegionGuard() { tls_in_parallel_region = previous; }
+};
+
+std::size_t hardware_default() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t env_thread_count() {
+    const char* env = std::getenv("DRE_THREADS");
+    if (env == nullptr || *env == '\0') return hardware_default();
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || parsed < 0)
+        throw std::invalid_argument(std::string("DRE_THREADS is not a ") +
+                                    "non-negative integer: " + env);
+    return parsed == 0 ? hardware_default() : static_cast<std::size_t>(parsed);
+}
+
+struct GlobalPool {
+    std::mutex mutex;
+    std::unique_ptr<ThreadPool> pool;
+
+    ThreadPool& get() {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!pool) pool = std::make_unique<ThreadPool>(env_thread_count());
+        return *pool;
+    }
+
+    void resize(std::size_t n) {
+        std::lock_guard<std::mutex> lock(mutex);
+        const std::size_t want = n == 0 ? env_thread_count() : n;
+        if (pool && pool->thread_count() == want) return;
+        pool = std::make_unique<ThreadPool>(want);
+    }
+};
+
+GlobalPool& global_state() {
+    static GlobalPool state; // never destroyed before exit-time user code
+    return state;
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads - 1);
+    for (std::size_t i = 0; i + 1 < threads; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::finish_one(std::size_t n) {
+    if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        done_.notify_all();
+    }
+}
+
+void ThreadPool::drain(const std::function<void(std::size_t)>& fn,
+                       std::size_t n) {
+    RegionGuard guard;
+    for (;;) {
+        const std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+            fn(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!first_error_) first_error_ = std::current_exception();
+        }
+        finish_one(n);
+    }
+}
+
+void ThreadPool::worker_loop() {
+    std::uint64_t seen_epoch = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        wake_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+        if (stop_) return;
+        seen_epoch = epoch_;
+        if (batch_fn_ == nullptr) continue; // batch already drained
+        const std::function<void(std::size_t)>* fn = batch_fn_;
+        const std::size_t n = batch_size_;
+        lock.unlock();
+        drain(*fn, n);
+        lock.lock();
+    }
+}
+
+void ThreadPool::run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    // Serial paths: a pool of one, a nested call from inside a task, or a
+    // single item. Exceptions propagate directly.
+    if (workers_.empty() || tls_in_parallel_region || n == 1) {
+        RegionGuard guard;
+        for (std::size_t i = 0; i < n; ++i) fn(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        batch_fn_ = &fn;
+        batch_size_ = n;
+        first_error_ = nullptr;
+        next_index_.store(0, std::memory_order_relaxed);
+        completed_.store(0, std::memory_order_relaxed);
+        ++epoch_;
+    }
+    wake_.notify_all();
+    drain(fn, n); // the submitting thread participates
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return completed_.load(std::memory_order_acquire) == n; });
+    batch_fn_ = nullptr;
+    const std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    if (error) std::rethrow_exception(error);
+}
+
+std::size_t thread_count() { return global_state().get().thread_count(); }
+
+void set_thread_count(std::size_t n) {
+    if (tls_in_parallel_region)
+        throw std::logic_error("par::set_thread_count inside a parallel region");
+    global_state().resize(n);
+}
+
+ThreadPool& global_pool() { return global_state().get(); }
+
+bool in_parallel_region() noexcept { return tls_in_parallel_region; }
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    global_pool().run(n, fn);
+}
+
+void parallel_for_chunked(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+    if (n == 0) return;
+    ThreadPool& pool = global_pool();
+    const std::size_t threads = pool.thread_count();
+    if (threads == 1 || in_parallel_region()) {
+        RegionGuard guard;
+        fn(0, n);
+        return;
+    }
+    // ~4 chunks per thread for load balancing; grain >= 256 keeps dispatch
+    // overhead negligible. Chunk geometry never affects results (callers
+    // only perform slot-disjoint writes).
+    const std::size_t grain = std::max<std::size_t>(256, n / (threads * 4));
+    const std::size_t chunks = (n + grain - 1) / grain;
+    pool.run(chunks, [&](std::size_t c) {
+        const std::size_t begin = c * grain;
+        const std::size_t end = std::min(begin + grain, n);
+        fn(begin, end);
+    });
+}
+
+namespace {
+
+// Mean-only Welford state mirroring stats::Accumulator's add/merge
+// arithmetic exactly (dre_par cannot depend on dre_stats: dre_stats links
+// against this library).
+struct MeanState {
+    std::size_t n = 0;
+    double mean = 0.0;
+
+    void add(double x) noexcept {
+        ++n;
+        mean += (x - mean) / static_cast<double>(n);
+    }
+    void merge(const MeanState& other) noexcept {
+        if (other.n == 0) return;
+        if (n == 0) {
+            *this = other;
+            return;
+        }
+        const auto total = static_cast<double>(n + other.n);
+        mean = (mean * static_cast<double>(n) +
+                other.mean * static_cast<double>(other.n)) /
+               total;
+        n += other.n;
+    }
+};
+
+template <typename Partial, typename PerChunk>
+std::vector<Partial> chunk_partials(std::size_t n, const PerChunk& per_chunk) {
+    const std::size_t chunks = (n + kReduceChunk - 1) / kReduceChunk;
+    std::vector<Partial> partials(chunks);
+    parallel_for(chunks, [&](std::size_t c) {
+        const std::size_t begin = c * kReduceChunk;
+        const std::size_t end = std::min(begin + kReduceChunk, n);
+        partials[c] = per_chunk(begin, end);
+    });
+    return partials;
+}
+
+} // namespace
+
+double chunked_sum(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    if (xs.size() <= kReduceChunk) {
+        double sum = 0.0;
+        for (double x : xs) sum += x;
+        return sum;
+    }
+    const std::vector<double> partials =
+        chunk_partials<double>(xs.size(), [&](std::size_t begin, std::size_t end) {
+            double sum = 0.0;
+            for (std::size_t i = begin; i < end; ++i) sum += xs[i];
+            return sum;
+        });
+    double total = 0.0;
+    for (double partial : partials) total += partial;
+    return total;
+}
+
+double chunked_mean(std::span<const double> xs) {
+    if (xs.empty()) throw std::invalid_argument("chunked_mean: empty sample");
+    if (xs.size() <= kReduceChunk) {
+        MeanState state;
+        for (double x : xs) state.add(x);
+        return state.mean;
+    }
+    const std::vector<MeanState> partials = chunk_partials<MeanState>(
+        xs.size(), [&](std::size_t begin, std::size_t end) {
+            MeanState state;
+            for (std::size_t i = begin; i < end; ++i) state.add(xs[i]);
+            return state;
+        });
+    MeanState total;
+    for (const MeanState& partial : partials) total.merge(partial);
+    return total.mean;
+}
+
+} // namespace dre::par

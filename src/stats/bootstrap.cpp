@@ -1,11 +1,36 @@
 #include "stats/bootstrap.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
+#include "core/parallel.h"
 #include "stats/summary.h"
 
 namespace dre::stats {
+namespace {
+
+// Quantile by partial selection — same linear interpolation as
+// stats::quantile but O(n) via nth_element instead of a full sort.
+// Reorders xs. `lower_bound_rank` lets the caller promise that ranks below
+// it are already in their sorted positions (from a previous call with a
+// smaller q), shrinking the selection range.
+double quantile_select(std::vector<double>& xs, double q,
+                       std::size_t lower_bound_rank = 0) {
+    const double pos = q * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    const auto first = xs.begin() + static_cast<std::ptrdiff_t>(lower_bound_rank);
+    std::nth_element(first, xs.begin() + static_cast<std::ptrdiff_t>(lo), xs.end());
+    const double value_lo = xs[lo];
+    if (frac == 0.0 || lo + 1 == xs.size()) return value_lo;
+    // The (lo+1)-th order statistic is the minimum of the suffix.
+    const double value_hi =
+        *std::min_element(xs.begin() + static_cast<std::ptrdiff_t>(lo + 1), xs.end());
+    return value_lo * (1.0 - frac) + value_hi * frac;
+}
+
+} // namespace
 
 ConfidenceInterval bootstrap_ci(std::span<const double> sample,
                                 const Statistic& statistic, Rng& rng,
@@ -19,17 +44,30 @@ ConfidenceInterval bootstrap_ci(std::span<const double> sample,
     ci.level = level;
     ci.point = statistic(sample);
 
-    std::vector<double> resample(sample.size());
-    std::vector<double> replicate_values;
-    replicate_values.reserve(static_cast<std::size_t>(replicates));
-    for (int b = 0; b < replicates; ++b) {
-        for (std::size_t i = 0; i < sample.size(); ++i)
-            resample[i] = sample[rng.uniform_index(sample.size())];
-        replicate_values.push_back(statistic(resample));
-    }
+    // Advance the caller's generator once (consecutive calls stay distinct),
+    // then key every replicate off its own split stream so the replicate
+    // values — and hence the interval — are identical for any thread count.
+    const Rng base = rng.split();
+    const std::size_t n = sample.size();
+    const auto b_count = static_cast<std::size_t>(replicates);
+    std::vector<double> replicate_values(b_count);
+    par::parallel_for_chunked(b_count, [&](std::size_t begin, std::size_t end) {
+        std::vector<double> resample(n); // one buffer per chunk, reused
+        for (std::size_t b = begin; b < end; ++b) {
+            Rng replicate_rng = base.split(b);
+            for (std::size_t i = 0; i < n; ++i)
+                resample[i] = sample[replicate_rng.uniform_index(n)];
+            replicate_values[b] = statistic(resample);
+        }
+    });
+
     const double alpha = 1.0 - level;
-    ci.lower = quantile(replicate_values, alpha / 2.0);
-    ci.upper = quantile(replicate_values, 1.0 - alpha / 2.0);
+    // Partial selection instead of a full sort; the upper quantile's
+    // selection can skip everything below the lower quantile's rank.
+    ci.lower = quantile_select(replicate_values, alpha / 2.0);
+    const auto lower_rank = static_cast<std::size_t>(
+        (alpha / 2.0) * static_cast<double>(b_count - 1));
+    ci.upper = quantile_select(replicate_values, 1.0 - alpha / 2.0, lower_rank);
     return ci;
 }
 

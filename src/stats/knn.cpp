@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/parallel.h"
 #include "stats/summary.h"
 
 namespace dre::stats {
@@ -44,6 +45,18 @@ std::vector<double> KnnRegressor::standardize(std::span<const double> features) 
     std::vector<double> out(dims_);
     for (std::size_t d = 0; d < dims_; ++d)
         out[d] = (features[d] - feature_mean_[d]) / feature_scale_[d];
+    return out;
+}
+
+std::vector<double> KnnRegressor::predict_batch(
+    const std::vector<std::vector<double>>& queries) const {
+    if (!fitted_) throw std::logic_error("KnnRegressor::predict_batch before fit");
+    std::vector<double> out(queries.size());
+    par::parallel_for_chunked(queries.size(),
+                              [&](std::size_t begin, std::size_t end) {
+                                  for (std::size_t i = begin; i < end; ++i)
+                                      out[i] = predict(queries[i]);
+                              });
     return out;
 }
 

@@ -23,6 +23,11 @@ public:
     // weighted when weighted() is enabled).
     double predict(std::span<const double> features) const;
 
+    // Batch queries answered concurrently (dre::par), one slot per query;
+    // identical to calling predict per row, for any thread count.
+    std::vector<double> predict_batch(
+        const std::vector<std::vector<double>>& queries) const;
+
     void set_weighted(bool weighted) noexcept { weighted_ = weighted; }
     bool weighted() const noexcept { return weighted_; }
     std::size_t k() const noexcept { return k_; }

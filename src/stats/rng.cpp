@@ -150,4 +150,19 @@ Rng Rng::split() noexcept {
     return Rng{next_u64()};
 }
 
+Rng Rng::split(std::uint64_t stream_id) const noexcept {
+    // Fold the full 256-bit state and the stream id into one 64-bit seed via
+    // SplitMix64 finalization steps. Each state word and the id pass through
+    // their own mixing round so that ids differing in any bit, or parents
+    // differing in any state word, yield unrelated children.
+    std::uint64_t s = 0x9e3779b97f4a7c15ull;
+    for (const std::uint64_t word : state_) {
+        s ^= word;
+        s = splitmix64(s);
+    }
+    s ^= stream_id;
+    s = splitmix64(s);
+    return Rng{s};
+}
+
 } // namespace dre::stats

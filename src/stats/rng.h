@@ -69,8 +69,17 @@ public:
         }
     }
 
-    // Split off an independently-seeded generator (for parallel/sub streams).
+    // Split off an independently-seeded generator, advancing this one (for
+    // sequential sub-streams).
     Rng split() noexcept;
+
+    // Derive the `stream_id`-th child stream without advancing this
+    // generator: the same (state, stream_id) pair always yields the same
+    // child, and distinct stream ids yield statistically independent
+    // streams. This is the substrate for deterministic parallelism — each
+    // parallel work item draws from split(logical_index), so results do not
+    // depend on the thread count or execution order (see core/parallel.h).
+    Rng split(std::uint64_t stream_id) const noexcept;
 
     // UniformRandomBitGenerator interface (usable with std algorithms).
     static constexpr result_type min() noexcept { return 0; }

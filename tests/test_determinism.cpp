@@ -6,11 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "cdn/scenario.h"
 #include "core/environment.h"
 #include "core/estimators.h"
+#include "core/evaluator.h"
+#include "core/parallel.h"
 #include "core/reward_model.h"
+#include "stats/bootstrap.h"
 #include "stats/rng.h"
 #include "wise/scenario.h"
 
@@ -75,6 +80,93 @@ TEST(Determinism, EstimatorValueReproducesExactly) {
     const double first = run_once();
     const double second = run_once();
     EXPECT_EQ(first, second); // bit-exact, not just approximately equal
+}
+
+// The dre::par contract: any DRE_THREADS setting — including the fully
+// serial 1 — produces bit-identical results. These tests flip the global
+// pool between 1 and 8 threads in-process and compare raw doubles with
+// EXPECT_EQ (no tolerance).
+
+// Restores the default pool size even if an assertion fails midway.
+class ThreadCountGuard {
+public:
+    ~ThreadCountGuard() { par::set_thread_count(0); }
+};
+
+TEST(Determinism, BootstrapCiIsThreadCountInvariant) {
+    ThreadCountGuard guard;
+    stats::Rng fill(2024);
+    std::vector<double> sample(5000);
+    for (double& x : sample) x = fill.lognormal(0.0, 1.0);
+
+    const auto run_with = [&](std::size_t threads) {
+        par::set_thread_count(threads);
+        stats::Rng rng(808);
+        return stats::bootstrap_mean_ci(sample, rng, 4000);
+    };
+    const stats::ConfidenceInterval serial = run_with(1);
+    const stats::ConfidenceInterval parallel = run_with(8);
+    EXPECT_EQ(serial.point, parallel.point);
+    EXPECT_EQ(serial.lower, parallel.lower);
+    EXPECT_EQ(serial.upper, parallel.upper);
+}
+
+TEST(Determinism, EvaluatorCompareIsThreadCountInvariant) {
+    ThreadCountGuard guard;
+    cdn::VideoQualityEnv env{cdn::CdnWorldConfig{}};
+    core::UniformRandomPolicy logging(env.num_decisions());
+    stats::Rng trace_rng(4242);
+    const Trace trace = core::collect_trace(env, logging, 3000, trace_rng);
+
+    std::vector<std::unique_ptr<core::Policy>> owned;
+    std::vector<const core::Policy*> policies;
+    for (std::size_t p = 0; p < 4; ++p) {
+        const auto fixed = static_cast<Decision>(p % env.num_decisions());
+        owned.push_back(std::make_unique<core::DeterministicPolicy>(
+            env.num_decisions(),
+            [fixed](const ClientContext&) { return fixed; }));
+        policies.push_back(owned.back().get());
+    }
+    core::EvaluationConfig config;
+    config.ci_replicates = 300; // exercises the per-policy split RNG streams
+
+    const auto run_with = [&](std::size_t threads) {
+        par::set_thread_count(threads);
+        core::Evaluator evaluator(trace, config, stats::Rng(77));
+        return evaluator.compare(policies);
+    };
+    const core::Evaluator::Comparison serial = run_with(1);
+    const core::Evaluator::Comparison parallel = run_with(8);
+    ASSERT_EQ(serial.evaluations.size(), parallel.evaluations.size());
+    EXPECT_EQ(serial.best_index, parallel.best_index);
+    for (std::size_t i = 0; i < serial.evaluations.size(); ++i) {
+        EXPECT_EQ(serial.evaluations[i].dm.value, parallel.evaluations[i].dm.value);
+        EXPECT_EQ(serial.evaluations[i].ips.value, parallel.evaluations[i].ips.value);
+        EXPECT_EQ(serial.evaluations[i].dr.value, parallel.evaluations[i].dr.value);
+        ASSERT_TRUE(serial.evaluations[i].dr_ci.has_value());
+        ASSERT_TRUE(parallel.evaluations[i].dr_ci.has_value());
+        EXPECT_EQ(serial.evaluations[i].dr_ci->lower,
+                  parallel.evaluations[i].dr_ci->lower);
+        EXPECT_EQ(serial.evaluations[i].dr_ci->upper,
+                  parallel.evaluations[i].dr_ci->upper);
+    }
+}
+
+TEST(Determinism, EstimatorSumsAreThreadCountInvariant) {
+    ThreadCountGuard guard;
+    cdn::VideoQualityEnv env{cdn::CdnWorldConfig{}};
+    core::UniformRandomPolicy logging(env.num_decisions());
+    stats::Rng rng(999);
+    // Longer than par::kReduceChunk so the ordered chunk combine is hit.
+    const Trace trace = core::collect_trace(env, logging, 6000, rng);
+    core::KnnRewardModel model(env.num_decisions(), 10);
+    model.fit(trace);
+
+    const auto run_with = [&](std::size_t threads) {
+        par::set_thread_count(threads);
+        return core::doubly_robust(trace, logging, model).value;
+    };
+    EXPECT_EQ(run_with(1), run_with(8));
 }
 
 TEST(Determinism, EnvironmentWorldParametersAreSeedStable) {
