@@ -82,6 +82,56 @@ int main() {
                      ci_serial.point == ci_parallel.point;
     print_row("bootstrap_ci (10k reps)", boot, threads);
 
+    // Per-kernel breakdown of the bootstrap: the resample (index draws +
+    // gathers), the statistic over each resample, and the final quantile
+    // extraction. Timed standalone with the same sizes and RNG streams, at
+    // the configured thread count, so regressions can be blamed on a phase.
+    const std::size_t n_sample = sample.size();
+    constexpr std::size_t kReplicatesBreakdown = 10000;
+    std::vector<double> replicate_values(kReplicatesBreakdown);
+    const stats::Rng breakdown_base(43);
+    const auto run_resample_only = [&] {
+        par::parallel_for_chunked(
+            kReplicatesBreakdown,
+            [&](std::size_t begin, std::size_t end) {
+                std::vector<double> resample(n_sample);
+                for (std::size_t b = begin; b < end; ++b) {
+                    stats::Rng replicate_rng = breakdown_base.split(b);
+                    for (std::size_t i = 0; i < n_sample; ++i)
+                        resample[i] = sample[replicate_rng.uniform_index(n_sample)];
+                    replicate_values[b] = resample[0]; // keep the work observable
+                }
+            },
+            /*min_grain=*/16);
+    };
+    const auto run_resample_and_estimate = [&] {
+        par::parallel_for_chunked(
+            kReplicatesBreakdown,
+            [&](std::size_t begin, std::size_t end) {
+                std::vector<double> resample(n_sample);
+                for (std::size_t b = begin; b < end; ++b) {
+                    stats::Rng replicate_rng = breakdown_base.split(b);
+                    for (std::size_t i = 0; i < n_sample; ++i)
+                        resample[i] = sample[replicate_rng.uniform_index(n_sample)];
+                    replicate_values[b] = stats::mean(resample);
+                }
+            },
+            /*min_grain=*/16);
+    };
+    const double resample_ms = time_ms(run_resample_only);
+    const double resample_estimate_ms = time_ms(run_resample_and_estimate);
+    const double estimate_ms = resample_estimate_ms > resample_ms
+                                   ? resample_estimate_ms - resample_ms
+                                   : 0.0;
+    const double quantile_ms = time_ms([&] {
+        std::vector<double> copy = replicate_values;
+        stats::quantile(copy, 0.025);
+        stats::quantile(copy, 0.975);
+    });
+    std::printf("  breakdown (10k reps): resample %8.1f ms   estimate %8.1f ms"
+                "   quantile %8.3f ms\n",
+                resample_ms, estimate_ms, quantile_ms);
+
     // --- Evaluator::compare: 8 policies, DR + bootstrap CIs ---------------
     cdn::VideoQualityEnv env{cdn::CdnWorldConfig{}};
     stats::Rng setup_rng(20170806);
@@ -130,12 +180,15 @@ int main() {
             "  \"threads\": %zu,\n"
             "  \"bootstrap_ci\": {\"serial_ms\": %.3f, \"parallel_ms\": %.3f,"
             " \"speedup\": %.3f, \"bit_identical\": %s},\n"
+            "  \"bootstrap_breakdown\": {\"resample_ms\": %.3f,"
+            " \"estimate_ms\": %.3f, \"quantile_ms\": %.3f},\n"
             "  \"evaluator_compare\": {\"serial_ms\": %.3f, \"parallel_ms\": %.3f,"
             " \"speedup\": %.3f, \"bit_identical\": %s}\n"
             "}\n",
             threads, boot.serial_ms, boot.parallel_ms, boot.speedup(),
-            boot.identical ? "true" : "false", cmp.serial_ms, cmp.parallel_ms,
-            cmp.speedup(), cmp.identical ? "true" : "false");
+            boot.identical ? "true" : "false", resample_ms, estimate_ms,
+            quantile_ms, cmp.serial_ms, cmp.parallel_ms, cmp.speedup(),
+            cmp.identical ? "true" : "false");
         std::fclose(json);
         std::printf("wrote BENCH_parallel.json\n");
     }

@@ -20,27 +20,62 @@ void check_inputs(const Trace& trace, const Policy& new_policy,
         throw std::invalid_argument("estimator: model/policy decision-space mismatch");
 }
 
-double model_value_under_policy(const RewardModel& model, const Policy& policy,
-                                const ClientContext& context) {
+void check_matrix(const Trace& trace, const Policy& new_policy,
+                  const PredictionMatrix& qhat) {
+    validate_trace(trace);
+    if (trace.empty()) throw std::invalid_argument("estimator: empty trace");
+    if (trace.num_decisions() > new_policy.num_decisions())
+        throw std::invalid_argument("estimator: trace uses decisions outside policy space");
+    if (qhat.num_decisions() != new_policy.num_decisions())
+        throw std::invalid_argument("estimator: matrix/policy decision-space mismatch");
+    if (qhat.num_tuples() != trace.size())
+        throw std::invalid_argument("estimator: matrix built from a different trace");
+}
+
+// The model-based estimators are written once against a generic q̂ accessor
+// q(k, context, d) and instantiated twice: reading the RewardModel directly,
+// or reading a PredictionMatrix row. Both instantiations run the same loop
+// with the same skip rule and summation order, so they are bit-identical.
+template <typename Q>
+double value_under_policy(const Policy& policy, const ClientContext& context,
+                          std::size_t k, const Q& q) {
     const std::vector<double> probs = policy.action_probabilities(context);
     double value = 0.0;
     for (std::size_t d = 0; d < probs.size(); ++d) {
         if (probs[d] == 0.0) continue;
-        value += probs[d] * model.predict(context, static_cast<Decision>(d));
+        value += probs[d] * q(k, context, d);
     }
     return value;
 }
 
-// Fill per_tuple[k] = fn(trace[k]) for every tuple, in parallel. Each task
-// writes only its own slots and fn is a pure function of the tuple, so the
-// result is identical for any thread count.
+// Accessor over the live model (the pre-matrix code path, verbatim).
+struct ModelQ {
+    const RewardModel* model;
+    double operator()(std::size_t, const ClientContext& context,
+                      std::size_t d) const {
+        return model->predict(context, static_cast<Decision>(d));
+    }
+};
+
+// Accessor over the precomputed matrix; the context is ignored because the
+// row was computed from exactly that tuple's context.
+struct MatrixQ {
+    const PredictionMatrix* qhat;
+    double operator()(std::size_t k, const ClientContext&, std::size_t d) const {
+        return qhat->at(k, d);
+    }
+};
+
+// Fill per_tuple[k] = fn(k, trace[k]) for every tuple, in parallel. Each
+// task writes only its own slots and fn is a pure function of (k, tuple),
+// so the result is identical for any thread count.
 template <typename Fn>
 std::vector<double> per_tuple_map(const Trace& trace, const Fn& fn) {
     std::vector<double> per_tuple(trace.size());
     par::parallel_for_chunked(trace.size(),
                               [&](std::size_t begin, std::size_t end) {
                                   for (std::size_t k = begin; k < end; ++k)
-                                      per_tuple[k] = fn(trace[k]);
+                                      per_tuple[k] = fn(k, trace[k]);
                               });
     return per_tuple;
 }
@@ -55,6 +90,117 @@ EstimateResult average_result(std::vector<double> per_tuple, std::string name) {
     return result;
 }
 
+template <typename Q>
+EstimateResult direct_method_impl(const Trace& trace, const Policy& new_policy,
+                                  const Q& q) {
+    return average_result(
+        per_tuple_map(trace,
+                      [&](std::size_t k, const LoggedTuple& t) {
+                          return value_under_policy(new_policy, t.context, k, q);
+                      }),
+        "DM");
+}
+
+template <typename Q>
+EstimateResult doubly_robust_impl(const Trace& trace, const Policy& new_policy,
+                                  const Q& q) {
+    return average_result(
+        per_tuple_map(trace,
+                      [&](std::size_t k, const LoggedTuple& t) {
+                          const double dm_part =
+                              value_under_policy(new_policy, t.context, k, q);
+                          const double weight =
+                              new_policy.probability(t.context, t.decision) /
+                              t.propensity;
+                          return dm_part +
+                                 weight * (t.reward -
+                                           q(k, t.context,
+                                             static_cast<std::size_t>(t.decision)));
+                      }),
+        "DR");
+}
+
+template <typename Q>
+EstimateResult clipped_doubly_robust_impl(const Trace& trace,
+                                          const Policy& new_policy, const Q& q,
+                                          const EstimatorOptions& options) {
+    return average_result(
+        per_tuple_map(trace,
+                      [&](std::size_t k, const LoggedTuple& t) {
+                          const double dm_part =
+                              value_under_policy(new_policy, t.context, k, q);
+                          const double weight = std::min(
+                              new_policy.probability(t.context, t.decision) /
+                                  t.propensity,
+                              options.weight_clip);
+                          return dm_part +
+                                 weight * (t.reward -
+                                           q(k, t.context,
+                                             static_cast<std::size_t>(t.decision)));
+                      }),
+        "clipped-DR");
+}
+
+template <typename Q>
+EstimateResult switch_doubly_robust_impl(const Trace& trace,
+                                         const Policy& new_policy, const Q& q,
+                                         const EstimatorOptions& options) {
+    return average_result(
+        per_tuple_map(trace,
+                      [&](std::size_t k, const LoggedTuple& t) {
+                          const double dm_part =
+                              value_under_policy(new_policy, t.context, k, q);
+                          const double weight =
+                              new_policy.probability(t.context, t.decision) /
+                              t.propensity;
+                          double contribution = dm_part;
+                          if (weight <= options.switch_threshold)
+                              contribution +=
+                                  weight *
+                                  (t.reward -
+                                   q(k, t.context,
+                                     static_cast<std::size_t>(t.decision)));
+                          return contribution;
+                      }),
+        "SWITCH-DR");
+}
+
+template <typename Q>
+EstimateResult self_normalized_doubly_robust_impl(const Trace& trace,
+                                                  const Policy& new_policy,
+                                                  const Q& q) {
+    const std::size_t n = trace.size();
+    std::vector<double> dm_parts(n), corrections(n), weights(n);
+    par::parallel_for_chunked(n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t k = begin; k < end; ++k) {
+            const LoggedTuple& t = trace[k];
+            dm_parts[k] = value_under_policy(new_policy, t.context, k, q);
+            weights[k] = new_policy.probability(t.context, t.decision) / t.propensity;
+            corrections[k] =
+                weights[k] *
+                (t.reward -
+                 q(k, t.context, static_cast<std::size_t>(t.decision)));
+        }
+    });
+    const double total_weight = par::chunked_sum(weights);
+    EstimateResult result;
+    result.estimator = "SN-DR";
+    result.per_tuple.resize(n);
+    if (total_weight <= 0.0) {
+        // No overlap: fall back to the pure model estimate.
+        result.value = par::chunked_mean(dm_parts);
+        result.per_tuple = std::move(dm_parts);
+        return result;
+    }
+    const double scale = static_cast<double>(n) / total_weight;
+    par::parallel_for_chunked(n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t k = begin; k < end; ++k)
+            result.per_tuple[k] = dm_parts[k] + scale * corrections[k];
+    });
+    result.value = par::chunked_sum(result.per_tuple) / static_cast<double>(n);
+    return result;
+}
+
 } // namespace
 
 double EstimateResult::variance_of_mean() const {
@@ -65,18 +211,18 @@ double EstimateResult::variance_of_mean() const {
 EstimateResult direct_method(const Trace& trace, const Policy& new_policy,
                              const RewardModel& model) {
     check_inputs(trace, new_policy, &model);
-    return average_result(
-        per_tuple_map(trace,
-                      [&](const LoggedTuple& t) {
-                          return model_value_under_policy(model, new_policy,
-                                                          t.context);
-                      }),
-        "DM");
+    return direct_method_impl(trace, new_policy, ModelQ{&model});
+}
+
+EstimateResult direct_method(const Trace& trace, const Policy& new_policy,
+                             const PredictionMatrix& qhat) {
+    check_matrix(trace, new_policy, qhat);
+    return direct_method_impl(trace, new_policy, MatrixQ{&qhat});
 }
 
 std::vector<double> importance_weights(const Trace& trace, const Policy& new_policy) {
     check_inputs(trace, new_policy, nullptr);
-    return per_tuple_map(trace, [&](const LoggedTuple& t) {
+    return per_tuple_map(trace, [&](std::size_t, const LoggedTuple& t) {
         return new_policy.probability(t.context, t.decision) / t.propensity;
     });
 }
@@ -85,7 +231,7 @@ EstimateResult inverse_propensity(const Trace& trace, const Policy& new_policy) 
     check_inputs(trace, new_policy, nullptr);
     return average_result(
         per_tuple_map(trace,
-                      [&](const LoggedTuple& t) {
+                      [&](std::size_t, const LoggedTuple& t) {
                           return new_policy.probability(t.context, t.decision) /
                                  t.propensity * t.reward;
                       }),
@@ -99,7 +245,7 @@ EstimateResult clipped_ips(const Trace& trace, const Policy& new_policy,
     check_inputs(trace, new_policy, nullptr);
     return average_result(
         per_tuple_map(trace,
-                      [&](const LoggedTuple& t) {
+                      [&](std::size_t, const LoggedTuple& t) {
                           const double weight =
                               new_policy.probability(t.context, t.decision) /
                               t.propensity;
@@ -144,18 +290,13 @@ EstimateResult self_normalized_ips(const Trace& trace, const Policy& new_policy)
 EstimateResult doubly_robust(const Trace& trace, const Policy& new_policy,
                              const RewardModel& model) {
     check_inputs(trace, new_policy, &model);
-    return average_result(
-        per_tuple_map(trace,
-                      [&](const LoggedTuple& t) {
-                          const double dm_part =
-                              model_value_under_policy(model, new_policy, t.context);
-                          const double weight =
-                              new_policy.probability(t.context, t.decision) /
-                              t.propensity;
-                          return dm_part +
-                                 weight * (t.reward - model.predict(t.context, t.decision));
-                      }),
-        "DR");
+    return doubly_robust_impl(trace, new_policy, ModelQ{&model});
+}
+
+EstimateResult doubly_robust(const Trace& trace, const Policy& new_policy,
+                             const PredictionMatrix& qhat) {
+    check_matrix(trace, new_policy, qhat);
+    return doubly_robust_impl(trace, new_policy, MatrixQ{&qhat});
 }
 
 EstimateResult clipped_doubly_robust(const Trace& trace, const Policy& new_policy,
@@ -164,19 +305,16 @@ EstimateResult clipped_doubly_robust(const Trace& trace, const Policy& new_polic
     if (!(options.weight_clip > 0.0))
         throw std::invalid_argument("clipped_doubly_robust: weight_clip must be > 0");
     check_inputs(trace, new_policy, &model);
-    return average_result(
-        per_tuple_map(trace,
-                      [&](const LoggedTuple& t) {
-                          const double dm_part =
-                              model_value_under_policy(model, new_policy, t.context);
-                          const double weight = std::min(
-                              new_policy.probability(t.context, t.decision) /
-                                  t.propensity,
-                              options.weight_clip);
-                          return dm_part +
-                                 weight * (t.reward - model.predict(t.context, t.decision));
-                      }),
-        "clipped-DR");
+    return clipped_doubly_robust_impl(trace, new_policy, ModelQ{&model}, options);
+}
+
+EstimateResult clipped_doubly_robust(const Trace& trace, const Policy& new_policy,
+                                     const PredictionMatrix& qhat,
+                                     const EstimatorOptions& options) {
+    if (!(options.weight_clip > 0.0))
+        throw std::invalid_argument("clipped_doubly_robust: weight_clip must be > 0");
+    check_matrix(trace, new_policy, qhat);
+    return clipped_doubly_robust_impl(trace, new_policy, MatrixQ{&qhat}, options);
 }
 
 EstimateResult switch_doubly_robust(const Trace& trace, const Policy& new_policy,
@@ -185,22 +323,16 @@ EstimateResult switch_doubly_robust(const Trace& trace, const Policy& new_policy
     if (!(options.switch_threshold > 0.0))
         throw std::invalid_argument("switch_doubly_robust: threshold must be > 0");
     check_inputs(trace, new_policy, &model);
-    return average_result(
-        per_tuple_map(trace,
-                      [&](const LoggedTuple& t) {
-                          const double dm_part =
-                              model_value_under_policy(model, new_policy, t.context);
-                          const double weight =
-                              new_policy.probability(t.context, t.decision) /
-                              t.propensity;
-                          double contribution = dm_part;
-                          if (weight <= options.switch_threshold)
-                              contribution +=
-                                  weight *
-                                  (t.reward - model.predict(t.context, t.decision));
-                          return contribution;
-                      }),
-        "SWITCH-DR");
+    return switch_doubly_robust_impl(trace, new_policy, ModelQ{&model}, options);
+}
+
+EstimateResult switch_doubly_robust(const Trace& trace, const Policy& new_policy,
+                                    const PredictionMatrix& qhat,
+                                    const EstimatorOptions& options) {
+    if (!(options.switch_threshold > 0.0))
+        throw std::invalid_argument("switch_doubly_robust: threshold must be > 0");
+    check_matrix(trace, new_policy, qhat);
+    return switch_doubly_robust_impl(trace, new_policy, MatrixQ{&qhat}, options);
 }
 
 ReplayEstimate matching_replay(const Trace& trace, const Policy& new_policy) {
@@ -241,34 +373,14 @@ EstimateResult self_normalized_doubly_robust(const Trace& trace,
                                              const Policy& new_policy,
                                              const RewardModel& model) {
     check_inputs(trace, new_policy, &model);
-    const std::size_t n = trace.size();
-    std::vector<double> dm_parts(n), corrections(n), weights(n);
-    par::parallel_for_chunked(n, [&](std::size_t begin, std::size_t end) {
-        for (std::size_t k = begin; k < end; ++k) {
-            const LoggedTuple& t = trace[k];
-            dm_parts[k] = model_value_under_policy(model, new_policy, t.context);
-            weights[k] = new_policy.probability(t.context, t.decision) / t.propensity;
-            corrections[k] =
-                weights[k] * (t.reward - model.predict(t.context, t.decision));
-        }
-    });
-    const double total_weight = par::chunked_sum(weights);
-    EstimateResult result;
-    result.estimator = "SN-DR";
-    result.per_tuple.resize(n);
-    if (total_weight <= 0.0) {
-        // No overlap: fall back to the pure model estimate.
-        result.value = par::chunked_mean(dm_parts);
-        result.per_tuple = std::move(dm_parts);
-        return result;
-    }
-    const double scale = static_cast<double>(n) / total_weight;
-    par::parallel_for_chunked(n, [&](std::size_t begin, std::size_t end) {
-        for (std::size_t k = begin; k < end; ++k)
-            result.per_tuple[k] = dm_parts[k] + scale * corrections[k];
-    });
-    result.value = par::chunked_sum(result.per_tuple) / static_cast<double>(n);
-    return result;
+    return self_normalized_doubly_robust_impl(trace, new_policy, ModelQ{&model});
+}
+
+EstimateResult self_normalized_doubly_robust(const Trace& trace,
+                                             const Policy& new_policy,
+                                             const PredictionMatrix& qhat) {
+    check_matrix(trace, new_policy, qhat);
+    return self_normalized_doubly_robust_impl(trace, new_policy, MatrixQ{&qhat});
 }
 
 } // namespace dre::core

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/policy.h"
+#include "core/qhat.h"
 #include "core/reward_model.h"
 #include "trace/trace.h"
 
@@ -81,6 +82,33 @@ EstimateResult switch_doubly_robust(const Trace& trace, const Policy& new_policy
 EstimateResult self_normalized_doubly_robust(const Trace& trace,
                                              const Policy& new_policy,
                                              const RewardModel& model);
+
+// ---------------------------------------------------------------------------
+// PredictionMatrix overloads: identical estimators reading q̂ from a
+// precomputed matrix (one model call per (tuple, decision), shared across
+// estimators and bootstrap replicates) instead of querying the model per
+// use. Same summation order and arithmetic as the model-based overloads —
+// the results are bit-identical. The matrix must have been built from the
+// same trace (num_tuples checked) and model (num_decisions checked).
+// ---------------------------------------------------------------------------
+
+EstimateResult direct_method(const Trace& trace, const Policy& new_policy,
+                             const PredictionMatrix& qhat);
+
+EstimateResult doubly_robust(const Trace& trace, const Policy& new_policy,
+                             const PredictionMatrix& qhat);
+
+EstimateResult clipped_doubly_robust(const Trace& trace, const Policy& new_policy,
+                                     const PredictionMatrix& qhat,
+                                     const EstimatorOptions& options);
+
+EstimateResult switch_doubly_robust(const Trace& trace, const Policy& new_policy,
+                                    const PredictionMatrix& qhat,
+                                    const EstimatorOptions& options);
+
+EstimateResult self_normalized_doubly_robust(const Trace& trace,
+                                             const Policy& new_policy,
+                                             const PredictionMatrix& qhat);
 
 // Matching/replay estimator (Fig. 5's "unbiased but low coverage"
 // baseline, the skeleton of CFA's evaluator and of Li et al.'s replay):

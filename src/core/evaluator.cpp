@@ -27,6 +27,9 @@ Evaluator::Evaluator(Trace trace, EvaluationConfig config, stats::Rng rng)
         model_ = fit_reward_model(config_.reward_model, trace.num_decisions(), trace);
         evaluation_trace_ = std::move(trace);
     }
+    // Evaluate the model once per (tuple, decision); every estimator run —
+    // and every bootstrap replicate under the hood — reuses this matrix.
+    qhat_ = PredictionMatrix::build(*model_, evaluation_trace_);
 }
 
 const RewardModel& Evaluator::reward_model() const {
@@ -36,11 +39,11 @@ const RewardModel& Evaluator::reward_model() const {
 PolicyEvaluation Evaluator::evaluate_with(const Policy& new_policy,
                                           stats::Rng& rng) const {
     PolicyEvaluation out;
-    out.dm = direct_method(evaluation_trace_, new_policy, *model_);
+    out.dm = direct_method(evaluation_trace_, new_policy, qhat_);
     out.ips = inverse_propensity(evaluation_trace_, new_policy);
     out.snips = self_normalized_ips(evaluation_trace_, new_policy);
-    out.dr = doubly_robust(evaluation_trace_, new_policy, *model_);
-    out.switch_dr = switch_doubly_robust(evaluation_trace_, new_policy, *model_,
+    out.dr = doubly_robust(evaluation_trace_, new_policy, qhat_);
+    out.switch_dr = switch_doubly_robust(evaluation_trace_, new_policy, qhat_,
                                          config_.estimator_options);
     out.overlap = overlap_diagnostics(evaluation_trace_, new_policy);
     if (config_.ci_replicates > 0) {

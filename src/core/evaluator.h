@@ -12,6 +12,7 @@
 #include "core/estimators.h"
 #include "core/policy.h"
 #include "core/propensity.h"
+#include "core/qhat.h"
 #include "core/reward_model.h"
 #include "stats/rng.h"
 #include "trace/trace.h"
@@ -66,6 +67,12 @@ public:
     const Trace& evaluation_trace() const noexcept { return evaluation_trace_; }
     const RewardModel& reward_model() const;
 
+    // The shared q̂[tuple × decision] matrix: the fitted model evaluated
+    // once at every (evaluation tuple, decision) pair in the constructor.
+    // All model-based estimators in evaluate()/compare() read from it
+    // instead of re-querying the model, with bit-identical results.
+    const PredictionMatrix& prediction_matrix() const noexcept { return qhat_; }
+
 private:
     PolicyEvaluation evaluate_with(const Policy& new_policy, stats::Rng& rng) const;
 
@@ -73,6 +80,7 @@ private:
     mutable stats::Rng rng_;
     Trace evaluation_trace_;     // tuples the estimators average over
     std::unique_ptr<RewardModel> model_;
+    PredictionMatrix qhat_;      // q̂ over evaluation_trace_ × decisions
 };
 
 } // namespace dre::core

@@ -6,6 +6,10 @@
 #include <stdexcept>
 #include <string>
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 namespace dre::par {
 namespace {
 
@@ -21,10 +25,7 @@ struct RegionGuard {
     ~RegionGuard() { tls_in_parallel_region = previous; }
 };
 
-std::size_t hardware_default() {
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
-}
+std::size_t hardware_default() { return available_cpus(); }
 
 std::size_t env_thread_count() {
     const char* env = std::getenv("DRE_THREADS");
@@ -78,26 +79,22 @@ ThreadPool::~ThreadPool() {
     for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::finish_one(std::size_t n) {
-    if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        done_.notify_all();
-    }
-}
-
-void ThreadPool::drain(const std::function<void(std::size_t)>& fn,
-                       std::size_t n) {
+void ThreadPool::drain(Batch& batch) {
     RegionGuard guard;
     for (;;) {
-        const std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
+        const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batch.size) return;
         try {
-            fn(i);
+            (*batch.fn)(i);
         } catch (...) {
             std::lock_guard<std::mutex> lock(mutex_);
             if (!first_error_) first_error_ = std::current_exception();
         }
-        finish_one(n);
+        if (batch.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            batch.size) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            done_.notify_all();
+        }
     }
 }
 
@@ -108,11 +105,14 @@ void ThreadPool::worker_loop() {
         wake_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
         if (stop_) return;
         seen_epoch = epoch_;
-        if (batch_fn_ == nullptr) continue; // batch already drained
-        const std::function<void(std::size_t)>* fn = batch_fn_;
-        const std::size_t n = batch_size_;
+        // Pin the batch while draining it. A worker scheduled so late that
+        // run() already returned sees either a null batch_ or an exhausted
+        // batch (its `next` counter is never reset), both of which are
+        // no-ops — it can never claim an index against a recycled batch.
+        const std::shared_ptr<Batch> batch = batch_;
+        if (batch == nullptr) continue; // batch already drained and cleared
         lock.unlock();
-        drain(*fn, n);
+        drain(*batch);
         lock.lock();
     }
 }
@@ -126,24 +126,47 @@ void ThreadPool::run(std::size_t n, const std::function<void(std::size_t)>& fn) 
         for (std::size_t i = 0; i < n; ++i) fn(i);
         return;
     }
+    const auto batch = std::make_shared<Batch>();
+    batch->fn = &fn;
+    batch->size = n;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        batch_fn_ = &fn;
-        batch_size_ = n;
+        batch_ = batch;
         first_error_ = nullptr;
-        next_index_.store(0, std::memory_order_relaxed);
-        completed_.store(0, std::memory_order_relaxed);
         ++epoch_;
     }
-    wake_.notify_all();
-    drain(fn, n); // the submitting thread participates
+    // Wake only as many workers as there are items beyond the submitting
+    // thread's share: waking the whole pool for a 4-item batch costs a
+    // wake/sleep cycle per idle worker and can dominate small batches.
+    const std::size_t to_wake = std::min(workers_.size(), n - 1);
+    if (to_wake == workers_.size()) {
+        wake_.notify_all();
+    } else {
+        for (std::size_t i = 0; i < to_wake; ++i) wake_.notify_one();
+    }
+    drain(*batch); // the submitting thread participates
     std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [&] { return completed_.load(std::memory_order_acquire) == n; });
-    batch_fn_ = nullptr;
+    done_.wait(lock, [&] {
+        return batch->completed.load(std::memory_order_acquire) == n;
+    });
+    if (batch_ == batch) batch_ = nullptr;
     const std::exception_ptr error = first_error_;
     first_error_ = nullptr;
     lock.unlock();
     if (error) std::rethrow_exception(error);
+}
+
+std::size_t available_cpus() {
+#if defined(__linux__)
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+        const int count = CPU_COUNT(&set);
+        if (count > 0) return static_cast<std::size_t>(count);
+    }
+#endif
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
 std::size_t thread_count() { return global_state().get().thread_count(); }
@@ -162,20 +185,23 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
     global_pool().run(n, fn);
 }
 
-void parallel_for_chunked(
-    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+void parallel_for_chunked(std::size_t n,
+                          const std::function<void(std::size_t, std::size_t)>& fn,
+                          std::size_t min_grain) {
     if (n == 0) return;
+    if (min_grain == 0) min_grain = 1;
     ThreadPool& pool = global_pool();
     const std::size_t threads = pool.thread_count();
-    if (threads == 1 || in_parallel_region()) {
+    // Serial when the pool is serial, when nested, or when the range is too
+    // small to amortize a batch dispatch (one wake/sleep cycle per worker).
+    if (threads == 1 || in_parallel_region() || n <= min_grain) {
         RegionGuard guard;
         fn(0, n);
         return;
     }
-    // ~4 chunks per thread for load balancing; grain >= 256 keeps dispatch
-    // overhead negligible. Chunk geometry never affects results (callers
-    // only perform slot-disjoint writes).
-    const std::size_t grain = std::max<std::size_t>(256, n / (threads * 4));
+    // ~4 chunks per thread for load balancing; grain >= min_grain keeps
+    // dispatch overhead negligible relative to per-item cost.
+    const std::size_t grain = std::max(min_grain, n / (threads * 4));
     const std::size_t chunks = (n + grain - 1) / grain;
     pool.run(chunks, [&](std::size_t c) {
         const std::size_t begin = c * grain;

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <thread>
@@ -62,28 +63,43 @@ public:
     void run(std::size_t n, const std::function<void(std::size_t)>& fn);
 
 private:
+    // One batch submission. Heap-allocated and shared between the submitting
+    // thread and any workers that observed it, so a worker that was woken
+    // for a batch but scheduled late can never act on recycled counters: a
+    // stale batch's `next` is exhausted forever, which means the dangling
+    // `fn` of a completed batch is provably never dereferenced again.
+    struct Batch {
+        const std::function<void(std::size_t)>* fn = nullptr;
+        std::size_t size = 0;
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> completed{0};
+    };
+
     void worker_loop();
     // Claim-and-execute loop shared by workers and the submitting thread.
-    void drain(const std::function<void(std::size_t)>& fn, std::size_t n);
-    void finish_one(std::size_t n);
+    void drain(Batch& batch);
 
     std::vector<std::thread> workers_;
     std::mutex mutex_;
     std::condition_variable wake_;
     std::condition_variable done_;
-    const std::function<void(std::size_t)>* batch_fn_ = nullptr; // guarded
-    std::size_t batch_size_ = 0;                                 // guarded
-    std::uint64_t epoch_ = 0;                                    // guarded
-    std::exception_ptr first_error_;                             // guarded
-    bool stop_ = false;                                          // guarded
-    std::atomic<std::size_t> next_index_{0};
-    std::atomic<std::size_t> completed_{0};
+    std::shared_ptr<Batch> batch_;   // guarded; null when idle
+    std::uint64_t epoch_ = 0;        // guarded
+    std::exception_ptr first_error_; // guarded
+    bool stop_ = false;              // guarded
 };
 
 // --- Global pool -----------------------------------------------------------
 //
 // Lazily constructed on first use. Size: DRE_THREADS if set (clamped to
-// >= 1; "1" means fully serial), else std::thread::hardware_concurrency().
+// >= 1; "1" means fully serial), else the number of CPUs actually available
+// to this process (CPU affinity mask), not std::thread::hardware_concurrency()
+// — in containers with a CPU quota the latter over-reports and an oversized
+// pool thrashes instead of speeding anything up.
+
+// CPUs usable by this process: the affinity-mask population count on Linux,
+// falling back to hardware_concurrency() (>= 1) elsewhere.
+std::size_t available_cpus();
 
 // The configured parallelism (>= 1). Initializes the pool if needed.
 std::size_t thread_count();
@@ -107,8 +123,18 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 // fn(begin, end) over contiguous sub-ranges covering [0, n). Use for
 // fine-grained per-element loops; the grain is an implementation detail
 // because correct callers only perform slot-disjoint writes.
+//
+// `min_grain` bounds the smallest sub-range dispatched to the pool; tune it
+// to the per-item cost. The default (kDefaultGrain) suits cheap per-element
+// work; callers whose items are individually expensive (a bootstrap
+// replicate, a k-NN query batch) should pass a small grain so the chunk
+// count exceeds the thread count and the pool can load-balance. Chunk
+// geometry never affects results — callers only perform slot-disjoint
+// writes — so the grain is a pure performance knob.
+inline constexpr std::size_t kDefaultGrain = 256;
 void parallel_for_chunked(std::size_t n,
-                          const std::function<void(std::size_t, std::size_t)>& fn);
+                          const std::function<void(std::size_t, std::size_t)>& fn,
+                          std::size_t min_grain = kDefaultGrain);
 
 // Materialize fn(i) for i in [0, n) in index order.
 template <typename Fn>

@@ -1,0 +1,34 @@
+#include "core/qhat.h"
+
+#include <stdexcept>
+
+#include "core/parallel.h"
+
+namespace dre::core {
+
+PredictionMatrix PredictionMatrix::build(const RewardModel& model,
+                                         const Trace& trace) {
+    PredictionMatrix matrix;
+    matrix.num_tuples_ = trace.size();
+    matrix.num_decisions_ = model.num_decisions();
+    if (matrix.num_decisions_ == 0)
+        throw std::invalid_argument("PredictionMatrix: model has no decisions");
+    matrix.values_.resize(matrix.num_tuples_ * matrix.num_decisions_);
+    const std::size_t num_decisions = matrix.num_decisions_;
+    // One chunk task per tuple range; a tuple's whole row is filled by the
+    // task that owns it, so writes are slot-disjoint.
+    par::parallel_for_chunked(
+        trace.size(),
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t k = begin; k < end; ++k) {
+                double* row = matrix.values_.data() + k * num_decisions;
+                for (std::size_t d = 0; d < num_decisions; ++d)
+                    row[d] = model.predict(trace[k].context,
+                                           static_cast<Decision>(d));
+            }
+        },
+        /*min_grain=*/16);
+    return matrix;
+}
+
+} // namespace dre::core

@@ -51,15 +51,25 @@ ConfidenceInterval bootstrap_ci(std::span<const double> sample,
     const std::size_t n = sample.size();
     const auto b_count = static_cast<std::size_t>(replicates);
     std::vector<double> replicate_values(b_count);
-    par::parallel_for_chunked(b_count, [&](std::size_t begin, std::size_t end) {
-        std::vector<double> resample(n); // one buffer per chunk, reused
-        for (std::size_t b = begin; b < end; ++b) {
-            Rng replicate_rng = base.split(b);
-            for (std::size_t i = 0; i < n; ++i)
-                resample[i] = sample[replicate_rng.uniform_index(n)];
-            replicate_values[b] = statistic(resample);
-        }
-    });
+    // Replicates are cheap relative to thread dispatch unless there are many
+    // of them: below the grain the whole loop runs serially on the caller
+    // (parallel_for_chunked's fallback), and above it each task claims a
+    // batch of replicates and reuses one resample buffer across its batch.
+    // Replicate b's value depends only on base.split(b), so serial and
+    // parallel schedules produce identical intervals.
+    constexpr std::size_t kReplicateGrain = 16;
+    par::parallel_for_chunked(
+        b_count,
+        [&](std::size_t begin, std::size_t end) {
+            std::vector<double> resample(n); // one buffer per batch, reused
+            for (std::size_t b = begin; b < end; ++b) {
+                Rng replicate_rng = base.split(b);
+                for (std::size_t i = 0; i < n; ++i)
+                    resample[i] = sample[replicate_rng.uniform_index(n)];
+                replicate_values[b] = statistic(resample);
+            }
+        },
+        /*min_grain=*/kReplicateGrain);
 
     const double alpha = 1.0 - level;
     // Partial selection instead of a full sort; the upper quantile's

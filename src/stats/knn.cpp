@@ -2,12 +2,54 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "core/parallel.h"
 #include "stats/summary.h"
 
 namespace dre::stats {
+namespace {
+
+// Leaves below this size are scanned linearly; splitting further would cost
+// more in traversal than it saves in distance computations.
+constexpr std::size_t kLeafSize = 16;
+
+// Training sets below this size answer queries by scan even under kAuto —
+// the tree's traversal overhead only pays off beyond it. Pure performance
+// choice: both paths return bit-identical answers.
+constexpr std::size_t kAutoBruteThreshold = 128;
+
+// Reusable per-thread query state: standardized query, bounded top-k heap.
+// Thread-local so concurrent predict_batch tasks never share buffers and no
+// query allocates once the vectors have grown to steady state.
+struct QueryScratch {
+    std::vector<double> query;
+    std::vector<std::pair<double, std::uint32_t>> heap;
+    std::vector<double> offsets; // per-axis cell offsets (tree search only)
+};
+
+QueryScratch& scratch() {
+    thread_local QueryScratch tls_scratch;
+    return tls_scratch;
+}
+
+// Offer (d2, index) to a max-heap bounded at k entries, keeping the k
+// lexicographically smallest pairs (distance ties broken by index).
+inline void offer(std::vector<std::pair<double, std::uint32_t>>& heap,
+                  std::size_t k, double d2, std::uint32_t index) {
+    const std::pair<double, std::uint32_t> candidate(d2, index);
+    if (heap.size() < k) {
+        heap.push_back(candidate);
+        std::push_heap(heap.begin(), heap.end());
+    } else if (candidate < heap.front()) {
+        std::pop_heap(heap.begin(), heap.end());
+        heap.back() = candidate;
+        std::push_heap(heap.begin(), heap.end());
+    }
+}
+
+} // namespace
 
 KnnRegressor::KnnRegressor(std::size_t k) : k_(k) {
     if (k == 0) throw std::invalid_argument("KnnRegressor: k must be > 0");
@@ -34,29 +76,198 @@ void KnnRegressor::fit(const std::vector<std::vector<double>>& rows,
         feature_scale_[d] = sd > 1e-12 ? sd : 1.0;
     }
 
-    points_.clear();
-    points_.reserve(rows.size());
-    for (const auto& row : rows) points_.push_back(standardize(row));
+    const std::size_t n = rows.size();
+    points_.resize(n * dims_);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t d = 0; d < dims_; ++d)
+            points_[i * dims_ + d] =
+                (rows[i][d] - feature_mean_[d]) / feature_scale_[d];
+    perm_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) perm_[i] = static_cast<std::uint32_t>(i);
     targets_.assign(targets.begin(), targets.end());
+    build_tree();
     fitted_ = true;
 }
 
-std::vector<double> KnnRegressor::standardize(std::span<const double> features) const {
-    std::vector<double> out(dims_);
+void KnnRegressor::build_tree() {
+    node_axis_.clear();
+    node_split_.clear();
+    node_left_.clear();
+    node_right_.clear();
+    node_begin_.clear();
+    node_end_.clear();
+
+    const std::size_t n = perm_.size();
+    // Standardized coordinates in original-index order; points_ is
+    // re-materialized in tree order afterwards for contiguous leaf scans.
+    const std::vector<double> raw = points_;
+
+    // Recursive median split on the widest-spread axis; ties in the split
+    // coordinate are ordered by original index so the partition (and hence
+    // the whole tree) is deterministic.
+    const auto build = [&](auto&& self, std::uint32_t begin,
+                           std::uint32_t end) -> std::uint32_t {
+        const auto id = static_cast<std::uint32_t>(node_axis_.size());
+        node_axis_.push_back(-1);
+        node_split_.push_back(0.0);
+        node_left_.push_back(kNoChild);
+        node_right_.push_back(kNoChild);
+        node_begin_.push_back(begin);
+        node_end_.push_back(end);
+
+        if (end - begin <= kLeafSize || dims_ == 0) return id;
+
+        std::size_t axis = 0;
+        double best_extent = -1.0;
+        for (std::size_t d = 0; d < dims_; ++d) {
+            double lo = raw[perm_[begin] * dims_ + d], hi = lo;
+            for (std::uint32_t i = begin + 1; i < end; ++i) {
+                const double x = raw[perm_[i] * dims_ + d];
+                lo = std::min(lo, x);
+                hi = std::max(hi, x);
+            }
+            if (hi - lo > best_extent) {
+                best_extent = hi - lo;
+                axis = d;
+            }
+        }
+        if (best_extent <= 0.0) return id; // all points identical: leaf
+
+        const std::uint32_t mid = begin + (end - begin) / 2;
+        std::nth_element(perm_.begin() + begin, perm_.begin() + mid,
+                         perm_.begin() + end,
+                         [&](std::uint32_t a, std::uint32_t b) {
+                             const double xa = raw[a * dims_ + axis];
+                             const double xb = raw[b * dims_ + axis];
+                             return xa != xb ? xa < xb : a < b;
+                         });
+        node_axis_[id] = static_cast<std::int32_t>(axis);
+        node_split_[id] = raw[perm_[mid] * dims_ + axis];
+        const std::uint32_t left = self(self, begin, mid);
+        node_left_[id] = left;
+        const std::uint32_t right = self(self, mid, end);
+        node_right_[id] = right;
+        return id;
+    };
+    build(build, 0, static_cast<std::uint32_t>(n));
+
+    for (std::size_t slot = 0; slot < n; ++slot)
+        for (std::size_t d = 0; d < dims_; ++d)
+            points_[slot * dims_ + d] = raw[perm_[slot] * dims_ + d];
+}
+
+void KnnRegressor::standardize_into(std::span<const double> features,
+                                    std::vector<double>& out) const {
+    out.resize(dims_);
     for (std::size_t d = 0; d < dims_; ++d)
         out[d] = (features[d] - feature_mean_[d]) / feature_scale_[d];
-    return out;
+}
+
+void KnnRegressor::nearest_brute(std::span<const double> query, std::size_t k,
+                                 std::vector<Neighbor>& heap) const {
+    heap.clear();
+    const std::size_t n = perm_.size();
+    for (std::size_t slot = 0; slot < n; ++slot) {
+        double d2 = 0.0;
+        const double* point = points_.data() + slot * dims_;
+        for (std::size_t d = 0; d < dims_; ++d) {
+            const double diff = point[d] - query[d];
+            d2 += diff * diff;
+        }
+        offer(heap, k, d2, perm_[slot]);
+    }
+    std::sort(heap.begin(), heap.end());
+}
+
+void KnnRegressor::search_node(std::uint32_t node, std::span<const double> query,
+                               std::size_t k, std::vector<Neighbor>& heap,
+                               std::vector<double>& offsets,
+                               double cell_d2) const {
+    const std::int32_t axis = node_axis_[node];
+    if (axis < 0) {
+        for (std::uint32_t slot = node_begin_[node]; slot < node_end_[node];
+             ++slot) {
+            double d2 = 0.0;
+            const double* point = points_.data() + slot * dims_;
+            // Strict partial-distance exit: once the running sum exceeds the
+            // current worst, the full distance is strictly worse too, so the
+            // candidate pair (d2, index) could never enter the heap. Ties
+            // (partial == worst) must keep accumulating — the final distance
+            // may equal the worst with a smaller index, which wins.
+            const double worst = heap.size() < k
+                                     ? std::numeric_limits<double>::infinity()
+                                     : heap.front().first;
+            std::size_t d = 0;
+            for (; d < dims_; ++d) {
+                const double diff = point[d] - query[d];
+                d2 += diff * diff;
+                if (d2 > worst) break;
+            }
+            if (d == dims_) offer(heap, k, d2, perm_[slot]);
+        }
+        return;
+    }
+    const std::size_t a = static_cast<std::size_t>(axis);
+    const double diff = query[a] - node_split_[node];
+    const std::uint32_t near = diff < 0.0 ? node_left_[node] : node_right_[node];
+    const std::uint32_t far = diff < 0.0 ? node_right_[node] : node_left_[node];
+    // The near child shares this node's cell bound.
+    search_node(near, query, k, heap, offsets, cell_d2);
+    // Far-side lower bound (Arya–Mount incremental distance): replace this
+    // axis's contribution to the cell distance with the offset to the
+    // splitting hyperplane. Every far-side point is at least `far_d2` away.
+    // On exact ties (far_d2 == worst d2) the far side may hold an
+    // equal-distance point with a smaller index, which outranks the current
+    // worst under the (distance, index) order — so the bound must be
+    // non-strict for exact brute-force equivalence.
+    const double old_offset = offsets[a];
+    const double far_d2 = cell_d2 - old_offset * old_offset + diff * diff;
+    if (heap.size() < k || far_d2 <= heap.front().first) {
+        offsets[a] = diff;
+        search_node(far, query, k, heap, offsets, far_d2);
+        offsets[a] = old_offset;
+    }
+}
+
+void KnnRegressor::nearest_kdtree(std::span<const double> query, std::size_t k,
+                                  std::vector<Neighbor>& heap,
+                                  std::vector<double>& offsets) const {
+    heap.clear();
+    offsets.assign(dims_, 0.0);
+    search_node(0, query, k, heap, offsets, 0.0);
+    std::sort(heap.begin(), heap.end());
+}
+
+double KnnRegressor::reduce_neighbors(const std::vector<Neighbor>& neighbors) const {
+    // Accumulate in ascending (distance^2, index) order — the canonical
+    // order shared by both query paths, so results never depend on which
+    // algorithm answered.
+    if (!weighted_) {
+        double sum = 0.0;
+        for (const Neighbor& nb : neighbors) sum += targets_[nb.second];
+        return sum / static_cast<double>(neighbors.size());
+    }
+    double weighted_sum = 0.0, total_weight = 0.0;
+    for (const Neighbor& nb : neighbors) {
+        const double w = 1.0 / (std::sqrt(nb.first) + 1e-9);
+        weighted_sum += w * targets_[nb.second];
+        total_weight += w;
+    }
+    return weighted_sum / total_weight;
 }
 
 std::vector<double> KnnRegressor::predict_batch(
     const std::vector<std::vector<double>>& queries) const {
     if (!fitted_) throw std::logic_error("KnnRegressor::predict_batch before fit");
     std::vector<double> out(queries.size());
-    par::parallel_for_chunked(queries.size(),
-                              [&](std::size_t begin, std::size_t end) {
-                                  for (std::size_t i = begin; i < end; ++i)
-                                      out[i] = predict(queries[i]);
-                              });
+    // Queries are individually cheap post-KD-tree; a modest grain keeps
+    // dispatch overhead low while still load-balancing across threads.
+    par::parallel_for_chunked(
+        queries.size(),
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) out[i] = predict(queries[i]);
+        },
+        /*min_grain=*/64);
     return out;
 }
 
@@ -64,34 +275,20 @@ double KnnRegressor::predict(std::span<const double> features) const {
     if (!fitted_) throw std::logic_error("KnnRegressor::predict before fit");
     if (features.size() != dims_)
         throw std::invalid_argument("KnnRegressor::predict: feature size mismatch");
-    const std::vector<double> query = standardize(features);
+    QueryScratch& s = scratch();
+    standardize_into(features, s.query);
 
-    const std::size_t k = std::min(k_, points_.size());
-    // (distance^2, index) pairs; partial sort for the k nearest.
-    std::vector<std::pair<double, std::size_t>> dist(points_.size());
-    for (std::size_t i = 0; i < points_.size(); ++i) {
-        double d2 = 0.0;
-        for (std::size_t d = 0; d < dims_; ++d) {
-            const double diff = points_[i][d] - query[d];
-            d2 += diff * diff;
-        }
-        dist[i] = {d2, i};
+    const std::size_t k = std::min(k_, targets_.size());
+    const bool brute = algorithm_ == Algorithm::kBruteForce ||
+                       (algorithm_ == Algorithm::kAuto &&
+                        targets_.size() < kAutoBruteThreshold) ||
+                       dims_ == 0;
+    if (brute) {
+        nearest_brute(s.query, k, s.heap);
+    } else {
+        nearest_kdtree(s.query, k, s.heap, s.offsets);
     }
-    std::nth_element(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k - 1),
-                     dist.end());
-
-    if (!weighted_) {
-        double sum = 0.0;
-        for (std::size_t i = 0; i < k; ++i) sum += targets_[dist[i].second];
-        return sum / static_cast<double>(k);
-    }
-    double weighted_sum = 0.0, total_weight = 0.0;
-    for (std::size_t i = 0; i < k; ++i) {
-        const double w = 1.0 / (std::sqrt(dist[i].first) + 1e-9);
-        weighted_sum += w * targets_[dist[i].second];
-        total_weight += w;
-    }
-    return weighted_sum / total_weight;
+    return reduce_neighbors(s.heap);
 }
 
 } // namespace dre::stats

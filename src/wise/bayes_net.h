@@ -3,14 +3,18 @@
 //
 // Features: arbitrary DAG structure with cycle detection, CPT estimation
 // from data (Laplace-smoothed), ancestral sampling, exact posterior
-// inference by enumeration, and Chow-Liu tree structure learning (maximum
-// mutual-information spanning tree) for learning structure from traces.
+// inference by variable elimination with a memoized query cache (plus the
+// original full-joint enumeration as a reference implementation), and
+// Chow-Liu tree structure learning (maximum mutual-information spanning
+// tree) for learning structure from traces.
 #ifndef DRE_WISE_BAYES_NET_H
 #define DRE_WISE_BAYES_NET_H
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "stats/rng.h"
@@ -43,11 +47,27 @@ public:
     // Ancestral sample of a complete assignment.
     Assignment sample(stats::Rng& rng) const;
 
-    // Exact posterior P(query_var | evidence) by enumeration over the
-    // remaining variables. `evidence` maps variable -> observed value.
-    // Throws std::runtime_error if the (tiny) state-space cap is exceeded.
+    // Exact posterior P(query_var | evidence) by variable elimination
+    // (min-width elimination order, deterministic index tie-break), with
+    // results memoized per (query_var, evidence) — repeated what-if queries
+    // (the reward-model hot path) are answered from the cache. The cache is
+    // invalidated by fit() / set_parents() and is safe to populate from
+    // concurrent readers. Throws std::runtime_error if an intermediate
+    // factor would exceed the state-space cap.
     std::vector<double> posterior(std::size_t query_var,
                                   const std::map<std::size_t, std::int32_t>& evidence) const;
+
+    // Reference implementation: exact posterior by enumeration of the full
+    // joint over the free variables. Used by the equivalence tests and the
+    // kernel benchmarks; same validation and error behaviour as the
+    // original posterior(). Throws std::runtime_error if the state space
+    // exceeds the (tiny) enumeration cap.
+    std::vector<double> posterior_enumerate(
+        std::size_t query_var,
+        const std::map<std::size_t, std::int32_t>& evidence) const;
+
+    // Number of memoized posterior queries (diagnostics / tests).
+    std::size_t posterior_cache_size() const;
 
     // Variables in a valid topological order.
     const std::vector<std::size_t>& topological_order() const noexcept {
@@ -57,10 +77,15 @@ public:
     bool fitted() const noexcept { return fitted_; }
 
 private:
+    struct PosteriorCache; // shared_mutex-guarded memo map (bayes_net.cpp)
+
     std::size_t parent_configuration(std::size_t var,
                                      const Assignment& assignment) const;
     void recompute_topological_order();
     void check_assignment(const Assignment& assignment) const;
+    void check_query(std::size_t query_var,
+                     const std::map<std::size_t, std::int32_t>& evidence) const;
+    void invalidate_posterior_cache();
 
     std::vector<std::int32_t> cardinalities_;
     std::vector<std::vector<std::size_t>> parents_;
@@ -68,6 +93,10 @@ private:
     std::vector<std::vector<double>> cpt_;
     std::vector<std::size_t> topo_order_;
     bool fitted_ = false;
+    // Replaced wholesale (never mutated through a shared handle) on
+    // fit()/set_parents(), so copies of the network each keep a cache
+    // consistent with their own parameters.
+    std::shared_ptr<PosteriorCache> posterior_cache_;
 };
 
 // Chow-Liu structure learning: the maximum-spanning tree over pairwise

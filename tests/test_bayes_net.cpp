@@ -106,6 +106,100 @@ TEST(BayesNet, PosteriorValidation) {
     EXPECT_THROW(unfitted.posterior(0, {}), std::logic_error);
 }
 
+// Random DAG over `n` variables with mixed cardinalities: each variable may
+// take parents among lower-numbered variables, fitted on random rows. Small
+// enough for the enumeration reference to stay cheap.
+BayesianNetwork random_network(std::size_t n, std::uint64_t seed) {
+    stats::Rng rng(seed);
+    std::vector<std::int32_t> cards;
+    for (std::size_t v = 0; v < n; ++v)
+        cards.push_back(2 + static_cast<std::int32_t>(rng.uniform_index(2))); // 2..3
+    BayesianNetwork net(cards);
+    for (std::size_t v = 1; v < n; ++v) {
+        std::vector<std::size_t> parents;
+        for (std::size_t p = 0; p < v; ++p)
+            if (rng.bernoulli(0.4)) parents.push_back(p);
+        if (parents.size() > 3) parents.resize(3);
+        net.set_parents(v, parents);
+    }
+    std::vector<Assignment> rows;
+    for (int i = 0; i < 500; ++i) {
+        Assignment row;
+        for (std::int32_t c : cards)
+            row.push_back(static_cast<std::int32_t>(
+                rng.uniform_index(static_cast<std::size_t>(c))));
+        rows.push_back(row);
+    }
+    net.fit(rows, 1.0);
+    return net;
+}
+
+TEST(BayesNet, VariableEliminationMatchesEnumerationOnRandomNetworks) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const BayesianNetwork net = random_network(6, seed);
+        stats::Rng rng(100 + seed);
+        for (int trial = 0; trial < 20; ++trial) {
+            const std::size_t query = rng.uniform_index(net.num_variables());
+            std::map<std::size_t, std::int32_t> evidence;
+            for (std::size_t v = 0; v < net.num_variables(); ++v) {
+                if (v == query || !rng.bernoulli(0.4)) continue;
+                evidence[v] = static_cast<std::int32_t>(rng.uniform_index(
+                    static_cast<std::size_t>(net.cardinality(v))));
+            }
+            const auto ve = net.posterior(query, evidence);
+            const auto enumerated = net.posterior_enumerate(query, evidence);
+            ASSERT_EQ(ve.size(), enumerated.size());
+            for (std::size_t q = 0; q < ve.size(); ++q)
+                EXPECT_NEAR(ve[q], enumerated[q], 1e-12)
+                    << "seed " << seed << " trial " << trial << " q " << q;
+        }
+    }
+}
+
+TEST(BayesNet, PosteriorCacheReturnsIdenticalValues) {
+    const BayesianNetwork net = fitted_chain(2000);
+    EXPECT_EQ(net.posterior_cache_size(), 0u);
+    const auto first = net.posterior(0, {{2, 1}});
+    EXPECT_EQ(net.posterior_cache_size(), 1u);
+    const auto second = net.posterior(0, {{2, 1}});
+    EXPECT_EQ(net.posterior_cache_size(), 1u); // hit, not a new entry
+    for (std::size_t q = 0; q < first.size(); ++q)
+        EXPECT_EQ(first[q], second[q]); // bitwise: served from the cache
+    // Distinct evidence is a distinct entry.
+    net.posterior(0, {{2, 0}});
+    EXPECT_EQ(net.posterior_cache_size(), 2u);
+}
+
+TEST(BayesNet, PosteriorCacheInvalidatedByRefit) {
+    BayesianNetwork net({2, 2, 2});
+    net.set_parents(1, {0});
+    net.set_parents(2, {1});
+    stats::Rng rng(21);
+    net.fit(chain_rows(5000, rng), 0.5);
+    const auto before = net.posterior(0, {{2, 1}});
+    EXPECT_EQ(net.posterior_cache_size(), 1u);
+    // Refit on fresh rows: the cache must not serve stale posteriors.
+    net.fit(chain_rows(5000, rng), 0.5);
+    EXPECT_EQ(net.posterior_cache_size(), 0u);
+    const auto after = net.posterior(0, {{2, 1}});
+    EXPECT_NE(before[1], after[1]); // different sample, different CPTs
+}
+
+TEST(BayesNet, PosteriorCopyKeepsIndependentCache) {
+    BayesianNetwork net = fitted_chain(2000);
+    net.posterior(0, {{2, 1}});
+    BayesianNetwork copy = net;
+    stats::Rng rng(22);
+    copy.fit(chain_rows(2000, rng), 0.5);
+    // The refit copy answers from its own parameters while the original's
+    // cached answer is untouched.
+    const auto original = net.posterior(0, {{2, 1}});
+    const auto refit = copy.posterior(0, {{2, 1}});
+    EXPECT_NEAR(original[1], net.posterior_enumerate(0, {{2, 1}})[1], 1e-12);
+    EXPECT_NEAR(refit[1], copy.posterior_enumerate(0, {{2, 1}})[1], 1e-12);
+    EXPECT_NE(original[1], refit[1]);
+}
+
 TEST(MutualInformation, IndependentIsZeroDependentIsPositive) {
     stats::Rng rng(3);
     std::vector<Assignment> rows;

@@ -63,6 +63,132 @@ TEST(Knn, ApproximatesSmoothFunction) {
         EXPECT_NEAR(knn.predict(std::vector<double>{x}), std::sin(x), 0.1);
 }
 
+// The KD-tree contract: bit-identical to the brute-force reference for any
+// query, including exact distance ties (broken by training index) and the
+// k > n degenerate case. EXPECT_EQ on raw doubles, no tolerance.
+std::vector<double> predict_all(KnnRegressor& knn,
+                                const std::vector<std::vector<double>>& queries,
+                                KnnRegressor::Algorithm algorithm) {
+    knn.set_algorithm(algorithm);
+    std::vector<double> out;
+    out.reserve(queries.size());
+    for (const auto& q : queries) out.push_back(knn.predict(q));
+    return out;
+}
+
+TEST(Knn, KdTreeMatchesBruteForceOnRandomData) {
+    Rng rng(11);
+    std::vector<std::vector<double>> rows;
+    std::vector<double> targets;
+    for (int i = 0; i < 2000; ++i) {
+        rows.push_back({rng.normal(), rng.normal(), rng.uniform(0.0, 3.0),
+                        rng.lognormal(0.0, 0.5)});
+        targets.push_back(rng.normal(0.0, 10.0));
+    }
+    std::vector<std::vector<double>> queries;
+    for (int i = 0; i < 300; ++i)
+        queries.push_back({rng.normal(), rng.normal(), rng.uniform(0.0, 3.0),
+                           rng.lognormal(0.0, 0.5)});
+
+    for (const std::size_t k : {1u, 5u, 17u}) {
+        KnnRegressor knn(k);
+        knn.fit(rows, targets);
+        const auto brute =
+            predict_all(knn, queries, KnnRegressor::Algorithm::kBruteForce);
+        const auto tree =
+            predict_all(knn, queries, KnnRegressor::Algorithm::kKdTree);
+        for (std::size_t i = 0; i < queries.size(); ++i)
+            EXPECT_EQ(brute[i], tree[i]) << "k=" << k << " query " << i;
+    }
+}
+
+TEST(Knn, KdTreeMatchesBruteForceUnderDistanceTies) {
+    // Integer lattice with many duplicated points: every query sits at the
+    // same distance from whole groups of training points, so the selected
+    // set is decided purely by the index tie-break.
+    std::vector<std::vector<double>> rows;
+    std::vector<double> targets;
+    Rng rng(12);
+    for (int rep = 0; rep < 4; ++rep)
+        for (int x = 0; x < 6; ++x)
+            for (int y = 0; y < 6; ++y) {
+                rows.push_back({static_cast<double>(x), static_cast<double>(y)});
+                targets.push_back(rng.normal(0.0, 5.0));
+            }
+    KnnRegressor knn(7);
+    knn.fit(rows, targets);
+    std::vector<std::vector<double>> queries;
+    for (int x = 0; x < 6; ++x)
+        for (int y = 0; y < 6; ++y) {
+            queries.push_back({static_cast<double>(x), static_cast<double>(y)});
+            queries.push_back({x + 0.5, y + 0.5}); // equidistant from 4 corners
+        }
+    const auto brute =
+        predict_all(knn, queries, KnnRegressor::Algorithm::kBruteForce);
+    const auto tree = predict_all(knn, queries, KnnRegressor::Algorithm::kKdTree);
+    for (std::size_t i = 0; i < queries.size(); ++i)
+        EXPECT_EQ(brute[i], tree[i]) << "query " << i;
+}
+
+TEST(Knn, KdTreeMatchesBruteForceWhenKExceedsN) {
+    Rng rng(13);
+    std::vector<std::vector<double>> rows;
+    std::vector<double> targets;
+    for (int i = 0; i < 9; ++i) {
+        rows.push_back({rng.normal(), rng.normal()});
+        targets.push_back(rng.normal());
+    }
+    KnnRegressor knn(50); // k far larger than n = 9
+    knn.fit(rows, targets);
+    const std::vector<std::vector<double>> queries{
+        {0.0, 0.0}, {1.0, -1.0}, {3.0, 3.0}};
+    const auto brute =
+        predict_all(knn, queries, KnnRegressor::Algorithm::kBruteForce);
+    const auto tree = predict_all(knn, queries, KnnRegressor::Algorithm::kKdTree);
+    for (std::size_t i = 0; i < queries.size(); ++i)
+        EXPECT_EQ(brute[i], tree[i]);
+}
+
+TEST(Knn, KdTreeMatchesBruteForceWeighted) {
+    Rng rng(14);
+    std::vector<std::vector<double>> rows;
+    std::vector<double> targets;
+    for (int i = 0; i < 500; ++i) {
+        rows.push_back({rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0),
+                        rng.uniform(0.0, 1.0)});
+        targets.push_back(rng.normal(0.0, 2.0));
+    }
+    KnnRegressor knn(9);
+    knn.set_weighted(true);
+    knn.fit(rows, targets);
+    std::vector<std::vector<double>> queries;
+    for (int i = 0; i < 100; ++i)
+        queries.push_back({rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0),
+                           rng.uniform(0.0, 1.0)});
+    const auto brute =
+        predict_all(knn, queries, KnnRegressor::Algorithm::kBruteForce);
+    const auto tree = predict_all(knn, queries, KnnRegressor::Algorithm::kKdTree);
+    for (std::size_t i = 0; i < queries.size(); ++i)
+        EXPECT_EQ(brute[i], tree[i]);
+}
+
+TEST(Knn, PredictBatchMatchesPredict) {
+    Rng rng(15);
+    std::vector<std::vector<double>> rows;
+    std::vector<double> targets;
+    for (int i = 0; i < 1000; ++i) {
+        rows.push_back({rng.normal(), rng.normal()});
+        targets.push_back(rng.normal());
+    }
+    KnnRegressor knn(5);
+    knn.fit(rows, targets);
+    std::vector<std::vector<double>> queries;
+    for (int i = 0; i < 200; ++i) queries.push_back({rng.normal(), rng.normal()});
+    const std::vector<double> batch = knn.predict_batch(queries);
+    for (std::size_t i = 0; i < queries.size(); ++i)
+        EXPECT_EQ(batch[i], knn.predict(queries[i]));
+}
+
 TEST(Knn, InputValidation) {
     EXPECT_THROW(KnnRegressor(0), std::invalid_argument);
     KnnRegressor knn(3);
