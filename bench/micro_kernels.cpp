@@ -282,37 +282,33 @@ int main(int argc, char** argv) {
     print_row("bootstrap", "serial", "parallel", boot_row);
 
     // ---- outputs ---------------------------------------------------------
-    std::FILE* json = std::fopen("BENCH_kernels.json", "w");
-    if (json != nullptr) {
-        std::fprintf(
-            json,
-            "{\n"
-            "  \"threads\": %zu,\n"
-            "  \"mode\": \"%s\",\n"
-            "  \"knn\": {\"n\": %zu, \"queries\": %zu, \"brute_ms\": %.3f,"
-            " \"kdtree_ms\": %.3f, \"speedup\": %.3f, \"identical\": %s},\n"
-            "  \"cbn\": {\"queries\": %zu, \"enumeration_ms\": %.3f,"
-            " \"ve_ms\": %.3f, \"cached_ms\": %.3f, \"speedup\": %.3f,"
-            " \"identical\": %s},\n"
-            "  \"qhat\": {\"tuples\": %zu, \"decisions\": %zu,"
-            " \"per_call_ms\": %.3f, \"matrix_ms\": %.3f, \"speedup\": %.3f,"
-            " \"identical\": %s},\n"
-            "  \"bootstrap\": {\"replicates\": %d, \"serial_ms\": %.3f,"
-            " \"parallel_ms\": %.3f, \"speedup\": %.3f, \"identical\": %s}\n"
-            "}\n",
-            threads, small ? "small" : "full", knn_n, knn_queries,
-            knn_row.baseline_ms, knn_row.optimized_ms, knn_row.speedup(),
-            knn_row.identical ? "true" : "false", bn_queries.size(),
-            cbn_row.baseline_ms, cbn_row.optimized_ms, cached_ms,
-            cbn_row.speedup(), cbn_row.identical ? "true" : "false",
-            trace.size(), env.num_decisions(), qhat_row.baseline_ms,
-            qhat_row.optimized_ms, qhat_row.speedup(),
-            qhat_row.identical ? "true" : "false", replicates,
-            boot_row.baseline_ms, boot_row.optimized_ms, boot_row.speedup(),
-            boot_row.identical ? "true" : "false");
-        std::fclose(json);
-        std::printf("\nwrote BENCH_kernels.json\n");
-    }
+    obs::Report report =
+        bench::make_bench_report("micro_kernels", small ? "small" : "full");
+    report.set("knn", "n", static_cast<std::uint64_t>(knn_n));
+    report.set("knn", "queries", static_cast<std::uint64_t>(knn_queries));
+    report.set("knn", "brute_ms", knn_row.baseline_ms);
+    report.set("knn", "kdtree_ms", knn_row.optimized_ms);
+    report.set("knn", "speedup", knn_row.speedup());
+    report.set("knn", "identical", knn_row.identical);
+    report.set("cbn", "queries", static_cast<std::uint64_t>(bn_queries.size()));
+    report.set("cbn", "enumeration_ms", cbn_row.baseline_ms);
+    report.set("cbn", "ve_ms", cbn_row.optimized_ms);
+    report.set("cbn", "cached_ms", cached_ms);
+    report.set("cbn", "speedup", cbn_row.speedup());
+    report.set("cbn", "identical", cbn_row.identical);
+    report.set("qhat", "tuples", static_cast<std::uint64_t>(trace.size()));
+    report.set("qhat", "decisions",
+               static_cast<std::uint64_t>(env.num_decisions()));
+    report.set("qhat", "per_call_ms", qhat_row.baseline_ms);
+    report.set("qhat", "matrix_ms", qhat_row.optimized_ms);
+    report.set("qhat", "speedup", qhat_row.speedup());
+    report.set("qhat", "identical", qhat_row.identical);
+    report.set("bootstrap", "replicates", replicates);
+    report.set("bootstrap", "serial_ms", boot_row.baseline_ms);
+    report.set("bootstrap", "parallel_ms", boot_row.optimized_ms);
+    report.set("bootstrap", "speedup", boot_row.speedup());
+    report.set("bootstrap", "identical", boot_row.identical);
+    bench::write_bench_json(std::move(report), "BENCH_kernels.json");
 
     if (fingerprint_path != nullptr) {
         std::FILE* fp = std::fopen(fingerprint_path, "w");
@@ -325,6 +321,21 @@ int main(int argc, char** argv) {
             std::fprintf(fp, "qhat %.17g\n", qhat_checksum_matrix);
             std::fprintf(fp, "bootstrap %.17g %.17g %.17g\n", ci_parallel.point,
                          ci_parallel.lower, ci_parallel.upper);
+#if DRE_OBS_ENABLED
+            // Work counters that are per-item deterministic sums — totals
+            // must byte-match for any DRE_THREADS. Timing- or
+            // chunk-geometry-dependent metrics (par.*, span durations)
+            // deliberately stay out.
+            for (const char* name :
+                 {"cbn.cache_hits", "cbn.cache_misses", "knn.queries",
+                  "knn.nodes_pruned", "knn.leaf_points_scanned",
+                  "estimators.zero_prob_skips",
+                  "estimators.switch_model_fallbacks"}) {
+                std::fprintf(fp, "obs %s %llu\n", name,
+                             static_cast<unsigned long long>(
+                                 obs::registry().counter(name).value()));
+            }
+#endif
             std::fclose(fp);
             std::printf("wrote fingerprint to %s\n", fingerprint_path);
         }

@@ -172,25 +172,18 @@ int main() {
     }
     print_row("Evaluator::compare (8 pol)", cmp, threads);
 
-    std::FILE* json = std::fopen("BENCH_parallel.json", "w");
-    if (json != nullptr) {
-        std::fprintf(
-            json,
-            "{\n"
-            "  \"threads\": %zu,\n"
-            "  \"bootstrap_ci\": {\"serial_ms\": %.3f, \"parallel_ms\": %.3f,"
-            " \"speedup\": %.3f, \"bit_identical\": %s},\n"
-            "  \"bootstrap_breakdown\": {\"resample_ms\": %.3f,"
-            " \"estimate_ms\": %.3f, \"quantile_ms\": %.3f},\n"
-            "  \"evaluator_compare\": {\"serial_ms\": %.3f, \"parallel_ms\": %.3f,"
-            " \"speedup\": %.3f, \"bit_identical\": %s}\n"
-            "}\n",
-            threads, boot.serial_ms, boot.parallel_ms, boot.speedup(),
-            boot.identical ? "true" : "false", resample_ms, estimate_ms,
-            quantile_ms, cmp.serial_ms, cmp.parallel_ms, cmp.speedup(),
-            cmp.identical ? "true" : "false");
-        std::fclose(json);
-        std::printf("wrote BENCH_parallel.json\n");
-    }
+    obs::Report report = bench::make_bench_report("micro_parallel");
+    report.set("bootstrap_ci", "serial_ms", boot.serial_ms);
+    report.set("bootstrap_ci", "parallel_ms", boot.parallel_ms);
+    report.set("bootstrap_ci", "speedup", boot.speedup());
+    report.set("bootstrap_ci", "bit_identical", boot.identical);
+    report.set("bootstrap_breakdown", "resample_ms", resample_ms);
+    report.set("bootstrap_breakdown", "estimate_ms", estimate_ms);
+    report.set("bootstrap_breakdown", "quantile_ms", quantile_ms);
+    report.set("evaluator_compare", "serial_ms", cmp.serial_ms);
+    report.set("evaluator_compare", "parallel_ms", cmp.parallel_ms);
+    report.set("evaluator_compare", "speedup", cmp.speedup());
+    report.set("evaluator_compare", "bit_identical", cmp.identical);
+    bench::write_bench_json(std::move(report), "BENCH_parallel.json");
     return boot.identical && cmp.identical ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 
 #include "core/environment.h"
 #include "core/evaluator.h"
+#include "obs/obs.h"
 
 using namespace dre;
 
@@ -59,21 +60,33 @@ int main() {
     const core::Evaluator evaluator(trace, config, rng.split());
     const core::PolicyEvaluation result = evaluator.evaluate(new_policy);
 
-    std::printf("\nestimates of V(new policy):\n");
-    std::printf("  direct method (DM)   %8.4f\n", result.dm.value);
-    std::printf("  IPS                  %8.4f\n", result.ips.value);
-    std::printf("  self-normalized IPS  %8.4f\n", result.snips.value);
-    std::printf("  doubly robust (DR)   %8.4f", result.dr.value);
-    if (result.dr_ci)
-        std::printf("   95%% CI [%.4f, %.4f]", result.dr_ci->lower,
-                    result.dr_ci->upper);
-    std::printf("\n  effective sample size %.0f of %zu\n",
-                result.overlap.effective_sample_size, trace.size());
-
     // 4. Ground truth (only the simulator can do this).
     const double truth = core::true_policy_value(world, new_policy, 200000, rng);
-    std::printf("\nground truth V(new policy) = %.4f\n", truth);
-    std::printf("DR relative error          = %.2f%%\n",
-                100.0 * core::relative_error(truth, result.dr.value));
+
+    // Diagnostics go through the same obs::Report the CLI uses, so the
+    // example's output format matches `dre_eval` exactly.
+    obs::Report out;
+    out.set("estimates of V(new policy)", "direct method (DM)", result.dm.value);
+    out.set("estimates of V(new policy)", "IPS", result.ips.value);
+    out.set("estimates of V(new policy)", "self-normalized IPS",
+            result.snips.value);
+    if (result.dr_ci) {
+        char dr_row[128];
+        std::snprintf(dr_row, sizeof(dr_row), "%10.4f   95%% CI [%.4f, %.4f]",
+                      result.dr.value, result.dr_ci->lower,
+                      result.dr_ci->upper);
+        out.set("estimates of V(new policy)", "doubly robust (DR)", dr_row);
+    } else {
+        out.set("estimates of V(new policy)", "doubly robust (DR)",
+                result.dr.value);
+    }
+    out.set("estimates of V(new policy)", "effective sample size",
+            result.overlap.effective_sample_size);
+    out.set("ground truth", "V(new policy)", truth);
+    char err_row[64];
+    std::snprintf(err_row, sizeof(err_row), "%.2f%%",
+                  100.0 * core::relative_error(truth, result.dr.value));
+    out.set("ground truth", "DR relative error", err_row);
+    out.print(stdout);
     return 0;
 }

@@ -18,6 +18,7 @@
 #include "core/policy.h"
 #include "netsim/assignment_env.h"
 #include "netsim/server.h"
+#include "obs/obs.h"
 #include "relay/scenario.h"
 #include "stats/rng.h"
 
@@ -25,21 +26,26 @@ using namespace dre;
 
 namespace {
 
-void report(const char* title, const std::vector<core::AuditFinding>& findings) {
-    std::printf("\n--- %s ---\n", title);
+// Each audit becomes one section of a shared obs::Report, so the doctor's
+// findings render (and serialize) in the same format as `dre_eval --audit`.
+void report(obs::Report& out, const char* title,
+            const std::vector<core::AuditFinding>& findings) {
     if (findings.empty()) {
-        std::printf("  audit: no pitfalls detected\n");
+        out.set(title, "audit", "no pitfalls detected");
         return;
     }
-    for (const auto& f : findings)
-        std::printf("  [%s] %s\n      %s\n", core::to_string(f.severity),
-                    f.code.c_str(), f.message.c_str());
+    for (const auto& f : findings) {
+        const std::string key =
+            std::string("[") + core::to_string(f.severity) + "] " + f.code;
+        out.set(title, key, f.message);
+    }
 }
 
 } // namespace
 
 int main() {
     stats::Rng rng(64);
+    obs::Report out;
     const netsim::ServerSelectionEnv env(3, 3, 11);
     const core::DeterministicPolicy target(
         3, [](const ClientContext& c) {
@@ -51,13 +57,13 @@ int main() {
         3, [](const ClientContext&) { return Decision{0}; });
     const core::EpsilonGreedyPolicy honest(base, 0.3);
     const Trace healthy = core::collect_trace(env, honest, 1500, rng);
-    report("honest randomized logs", core::audit_trace(healthy, &target));
+    report(out, "honest randomized logs", core::audit_trace(healthy, &target));
 
     // 2. The same world logged by the deterministic production policy.
     Trace deterministic = core::collect_trace(env, honest, 1500, rng);
     for (std::size_t i = 0; i < deterministic.size(); ++i)
         deterministic[i].propensity = 1.0; // "we always pick what we pick"
-    report("deterministic production logs",
+    report(out, "deterministic production logs",
            core::audit_trace(deterministic, &target));
 
     // 3. Decision-reward coupling: a herding dispatcher slowly saturates its
@@ -72,7 +78,7 @@ int main() {
         2, [](const ClientContext&) { return Decision{0}; });
     const core::EpsilonGreedyPolicy herding(herd_base, 0.2);
     const Trace coupled_trace = coupled.run(herding, 1200, rng);
-    report("self-induced load coupling", core::audit_trace(coupled_trace));
+    report(out, "self-induced load coupling", core::audit_trace(coupled_trace));
 
     // 4. VIA's hidden confounder: NAT drives both the relay decision and the
     // reward, but the evaluator's trace never recorded NAT-ness.
@@ -81,8 +87,9 @@ int main() {
     const auto nat_logging = relay::make_nat_logging_policy(world, 0.1);
     const Trace nat_blind = relay::without_nat_feature(
         core::collect_trace(relay_env, *nat_logging, 1500, rng));
-    report("hidden NAT confounder (VIA, Fig. 3)",
+    report(out, "hidden NAT confounder (VIA, Fig. 3)",
            core::audit_trace(nat_blind));
+    out.print(stdout);
     std::printf(
         "\nThe confounded trace passes every statistical check: once the\n"
         "NAT flag is gone, nothing in the logs distinguishes it from an\n"

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "obs/obs.h"
 #include "stats/summary.h"
 
 namespace dre::core {
@@ -41,10 +42,17 @@ double value_under_policy(const Policy& policy, const ClientContext& context,
                           std::size_t k, const Q& q) {
     const std::vector<double> probs = policy.action_probabilities(context);
     double value = 0.0;
+    std::uint64_t skips = 0;
     for (std::size_t d = 0; d < probs.size(); ++d) {
-        if (probs[d] == 0.0) continue;
+        if (probs[d] == 0.0) {
+            ++skips;
+            continue;
+        }
         value += probs[d] * q(k, context, d);
     }
+    // One flush per tuple (not per decision): a per-item sum, so the total
+    // is identical for any thread count or chunking.
+    if (skips != 0) DRE_COUNTER_ADD("estimators.zero_prob_skips", skips);
     return value;
 }
 
@@ -129,10 +137,13 @@ EstimateResult clipped_doubly_robust_impl(const Trace& trace,
                       [&](std::size_t k, const LoggedTuple& t) {
                           const double dm_part =
                               value_under_policy(new_policy, t.context, k, q);
-                          const double weight = std::min(
+                          const double raw_weight =
                               new_policy.probability(t.context, t.decision) /
-                                  t.propensity,
-                              options.weight_clip);
+                              t.propensity;
+                          if (raw_weight > options.weight_clip)
+                              DRE_COUNTER_INC("estimators.weight_clipped");
+                          const double weight =
+                              std::min(raw_weight, options.weight_clip);
                           return dm_part +
                                  weight * (t.reward -
                                            q(k, t.context,
@@ -154,12 +165,15 @@ EstimateResult switch_doubly_robust_impl(const Trace& trace,
                               new_policy.probability(t.context, t.decision) /
                               t.propensity;
                           double contribution = dm_part;
-                          if (weight <= options.switch_threshold)
+                          if (weight <= options.switch_threshold) {
                               contribution +=
                                   weight *
                                   (t.reward -
                                    q(k, t.context,
                                      static_cast<std::size_t>(t.decision)));
+                          } else {
+                              DRE_COUNTER_INC("estimators.switch_model_fallbacks");
+                          }
                           return contribution;
                       }),
         "SWITCH-DR");
@@ -249,6 +263,8 @@ EstimateResult clipped_ips(const Trace& trace, const Policy& new_policy,
                           const double weight =
                               new_policy.probability(t.context, t.decision) /
                               t.propensity;
+                          if (weight > options.weight_clip)
+                              DRE_COUNTER_INC("estimators.weight_clipped");
                           return std::min(weight, options.weight_clip) * t.reward;
                       }),
         "clipped-IPS");

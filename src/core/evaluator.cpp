@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "obs/obs.h"
 
 namespace dre::core {
 
@@ -38,18 +39,53 @@ const RewardModel& Evaluator::reward_model() const {
 
 PolicyEvaluation Evaluator::evaluate_with(const Policy& new_policy,
                                           stats::Rng& rng) const {
+    DRE_SPAN("evaluator.evaluate");
+#if DRE_OBS_ENABLED
+    const std::uint64_t eval_start_ns = obs::now_ns();
+#endif
     PolicyEvaluation out;
-    out.dm = direct_method(evaluation_trace_, new_policy, qhat_);
-    out.ips = inverse_propensity(evaluation_trace_, new_policy);
-    out.snips = self_normalized_ips(evaluation_trace_, new_policy);
-    out.dr = doubly_robust(evaluation_trace_, new_policy, qhat_);
-    out.switch_dr = switch_doubly_robust(evaluation_trace_, new_policy, qhat_,
-                                         config_.estimator_options);
-    out.overlap = overlap_diagnostics(evaluation_trace_, new_policy);
+    {
+        DRE_SPAN("evaluator.dm");
+        out.dm = direct_method(evaluation_trace_, new_policy, qhat_);
+    }
+    {
+        DRE_SPAN("evaluator.ips");
+        out.ips = inverse_propensity(evaluation_trace_, new_policy);
+    }
+    {
+        DRE_SPAN("evaluator.snips");
+        out.snips = self_normalized_ips(evaluation_trace_, new_policy);
+    }
+    {
+        DRE_SPAN("evaluator.dr");
+        out.dr = doubly_robust(evaluation_trace_, new_policy, qhat_);
+    }
+    {
+        DRE_SPAN("evaluator.switch_dr");
+        out.switch_dr = switch_doubly_robust(evaluation_trace_, new_policy,
+                                             qhat_, config_.estimator_options);
+    }
+    {
+        DRE_SPAN("evaluator.overlap");
+        out.overlap = overlap_diagnostics(evaluation_trace_, new_policy);
+    }
     if (config_.ci_replicates > 0) {
+        DRE_SPAN("evaluator.dr_ci");
         out.dr_ci = estimate_confidence_interval(out.dr, rng, config_.ci_replicates,
                                                  config_.ci_level);
     }
+#if DRE_OBS_ENABLED
+    // Throughput across the five estimator passes (six trace sweeps plus
+    // diagnostics); timing-derived, so diagnostics-only — never fingerprinted.
+    const double elapsed_s =
+        static_cast<double>(obs::now_ns() - eval_start_ns) / 1e9;
+    if (elapsed_s > 0.0) {
+        DRE_GAUGE_SET("evaluator.tuples_per_sec",
+                      static_cast<double>(evaluation_trace_.size()) / elapsed_s);
+    }
+    DRE_COUNTER_ADD("evaluator.tuples_evaluated", evaluation_trace_.size());
+    DRE_COUNTER_INC("evaluator.policies_evaluated");
+#endif
     return out;
 }
 
@@ -66,6 +102,7 @@ Evaluator::Comparison Evaluator::compare(
     // One advance of the shared generator, then a split stream per policy:
     // the evaluations are independent of each other and of the thread
     // count, so they can run concurrently yet stay bit-reproducible.
+    DRE_SPAN("evaluator.compare");
     const stats::Rng base = rng_.split();
     Comparison comparison;
     comparison.evaluations.resize(policies.size());

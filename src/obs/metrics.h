@@ -1,0 +1,216 @@
+// Metric primitives for `dre::obs`: named counters, gauges, and histograms
+// behind a process-global registry.
+//
+// Design constraints (see DESIGN.md §8):
+//
+//  * The hot path pays one relaxed atomic per event. Counters shard their
+//    cells per thread slot (cache-line padded), so concurrent increments
+//    from the dre::par pool never bounce a line between cores; the shards
+//    are summed only on scrape.
+//  * Observability is read-only with respect to results: nothing in this
+//    header produces a value the evaluation pipeline consumes, so the
+//    DRE_THREADS=1-vs-8 bit-identity contract is untouched.
+//  * Metric objects are registered once and never destroyed (the registry
+//    leaks by design), so instrumentation sites may cache `Counter&`
+//    references in function-local statics without lifetime hazards.
+//
+// Instrumentation sites should use the DRE_COUNTER_* / DRE_GAUGE_SET /
+// DRE_HIST_RECORD macros from obs/obs.h, which compile to nothing when the
+// library is configured with DRE_OBS_ENABLED=0.
+#ifndef DRE_OBS_METRICS_H
+#define DRE_OBS_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dre::obs {
+
+// Number of cache-line-padded cells per counter. Threads hash onto cells by
+// a process-unique slot id, so up to kShards threads increment without any
+// sharing; beyond that, slots wrap and contention stays bounded.
+inline constexpr std::size_t kShards = 16;
+
+// The calling thread's shard slot (assigned on first use, stable for the
+// thread's lifetime).
+inline std::size_t shard_index() noexcept {
+    static std::atomic<std::size_t> next_slot{0};
+    thread_local const std::size_t slot =
+        next_slot.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return slot;
+}
+
+// Monotonically increasing event count.
+class Counter {
+public:
+    Counter() = default;
+    Counter(const Counter&) = delete;
+    Counter& operator=(const Counter&) = delete;
+
+    void add(std::uint64_t n = 1) noexcept {
+        shards_[shard_index()].value.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const noexcept {
+        std::uint64_t total = 0;
+        for (const Cell& cell : shards_)
+            total += cell.value.load(std::memory_order_relaxed);
+        return total;
+    }
+
+    void reset() noexcept {
+        for (Cell& cell : shards_) cell.value.store(0, std::memory_order_relaxed);
+    }
+
+private:
+    struct alignas(64) Cell {
+        std::atomic<std::uint64_t> value{0};
+    };
+    std::array<Cell, kShards> shards_{};
+};
+
+// Last-writer-wins instantaneous value (tuples/sec, queue depth, ESS).
+class Gauge {
+public:
+    Gauge() = default;
+    Gauge(const Gauge&) = delete;
+    Gauge& operator=(const Gauge&) = delete;
+
+    void set(double value) noexcept {
+        value_.store(value, std::memory_order_relaxed);
+    }
+    double value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+// Power-of-two exponential histogram over non-negative values. Bucket 0
+// covers [0, 1); bucket i >= 1 covers [2^(i-1), 2^i). Quantiles interpolate
+// linearly inside a bucket and are clamped to the observed [min, max], so
+// they are estimates with bounded relative error, not exact order
+// statistics — cheap enough to record from concurrent hot paths.
+class Histogram {
+public:
+    static constexpr std::size_t kBuckets = 64;
+
+    Histogram() = default;
+    Histogram(const Histogram&) = delete;
+    Histogram& operator=(const Histogram&) = delete;
+
+    void record(double value) noexcept;
+
+    std::uint64_t count() const noexcept {
+        return count_.load(std::memory_order_relaxed);
+    }
+    double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+    double min() const noexcept;
+    double max() const noexcept;
+    double mean() const noexcept;
+    // Approximate p-quantile (p in [0, 1]); 0 when empty.
+    double quantile(double p) const noexcept;
+    void reset() noexcept;
+
+private:
+    static std::size_t bucket_index(double value) noexcept;
+
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+    std::atomic<double> min_{0.0};
+    std::atomic<double> max_{0.0};
+    std::atomic<bool> any_{false};
+};
+
+// Aggregated profile for one span name: count / total / duration histogram
+// (mean and p99 derive from these on scrape).
+struct SpanStat {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> total_ns{0};
+    Histogram duration_ns;
+
+    void record(std::uint64_t ns) noexcept {
+        count.fetch_add(1, std::memory_order_relaxed);
+        total_ns.fetch_add(ns, std::memory_order_relaxed);
+        duration_ns.record(static_cast<double>(ns));
+    }
+    void reset() noexcept {
+        count.store(0, std::memory_order_relaxed);
+        total_ns.store(0, std::memory_order_relaxed);
+        duration_ns.reset();
+    }
+};
+
+// --- Scrape-time snapshots -------------------------------------------------
+
+struct CounterSample {
+    std::string name;
+    std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+    std::string name;
+    double value = 0.0;
+};
+
+struct HistogramSample {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0, min = 0.0, max = 0.0, mean = 0.0;
+    double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+};
+
+struct SpanSample {
+    std::string name;
+    std::uint64_t count = 0;
+    double total_ms = 0.0, mean_ms = 0.0, p50_ms = 0.0, p99_ms = 0.0;
+};
+
+// Process-global name -> metric map. Lookup takes a mutex, so
+// instrumentation sites cache the returned reference in a function-local
+// static (the DRE_* macros do this) and the steady-state cost is the metric
+// update alone. Metrics live for the life of the process; reset() zeroes
+// values but never invalidates references.
+class Registry {
+public:
+    static Registry& instance();
+
+    Counter& counter(std::string_view name);
+    Gauge& gauge(std::string_view name);
+    Histogram& histogram(std::string_view name);
+    SpanStat& span_stat(std::string_view name);
+
+    // Zero every metric (objects and references stay valid).
+    void reset();
+
+    // Sorted-by-name snapshots for the report sink.
+    std::vector<CounterSample> counters() const;
+    std::vector<GaugeSample> gauges() const;
+    std::vector<HistogramSample> histograms() const;
+    std::vector<SpanSample> spans() const;
+
+private:
+    Registry() = default;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+    std::map<std::string, std::unique_ptr<SpanStat>, std::less<>> span_stats_;
+};
+
+inline Registry& registry() { return Registry::instance(); }
+
+} // namespace dre::obs
+
+#endif // DRE_OBS_METRICS_H

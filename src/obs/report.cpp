@@ -1,0 +1,381 @@
+#include "obs/report.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+#ifndef DRE_OBS_ENABLED
+#define DRE_OBS_ENABLED 1
+#endif
+
+namespace dre::obs {
+namespace {
+
+void append_double(std::string* out, double v) {
+    if (!std::isfinite(v)) {
+        // JSON has no Infinity/NaN literals.
+        out->append("null");
+        return;
+    }
+    char buffer[40];
+    // Shortest round-trippable-enough form; integers print without ".0".
+    if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+        std::fabs(v) < 1e15) {
+        std::snprintf(buffer, sizeof(buffer), "%" PRId64,
+                      static_cast<std::int64_t>(v));
+    } else {
+        std::snprintf(buffer, sizeof(buffer), "%.10g", v);
+    }
+    out->append(buffer);
+}
+
+} // namespace
+
+std::string JsonWriter::escape(std::string_view text) {
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buffer[8];
+                    std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                                  static_cast<unsigned>(c));
+                    out += buffer;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+void JsonWriter::comma_for_value() {
+    if (after_key_) {
+        after_key_ = false;
+        return;
+    }
+    if (!has_element_.empty()) {
+        if (has_element_.back()) out_->push_back(',');
+        has_element_.back() = true;
+    }
+}
+
+void JsonWriter::begin_object() {
+    comma_for_value();
+    out_->push_back('{');
+    has_element_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+    has_element_.pop_back();
+    out_->push_back('}');
+}
+
+void JsonWriter::begin_array() {
+    comma_for_value();
+    out_->push_back('[');
+    has_element_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+    has_element_.pop_back();
+    out_->push_back(']');
+}
+
+void JsonWriter::key(std::string_view name) {
+    if (!has_element_.empty()) {
+        if (has_element_.back()) out_->push_back(',');
+        has_element_.back() = true;
+    }
+    out_->push_back('"');
+    out_->append(escape(name));
+    out_->append("\":");
+    after_key_ = true;
+}
+
+void JsonWriter::value(double v) {
+    comma_for_value();
+    append_double(out_, v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+    comma_for_value();
+    char buffer[24];
+    std::snprintf(buffer, sizeof(buffer), "%" PRIu64, v);
+    out_->append(buffer);
+}
+
+void JsonWriter::value(std::int64_t v) {
+    comma_for_value();
+    char buffer[24];
+    std::snprintf(buffer, sizeof(buffer), "%" PRId64, v);
+    out_->append(buffer);
+}
+
+void JsonWriter::value(bool v) {
+    comma_for_value();
+    out_->append(v ? "true" : "false");
+}
+
+void JsonWriter::value(std::string_view v) {
+    comma_for_value();
+    out_->push_back('"');
+    out_->append(escape(v));
+    out_->push_back('"');
+}
+
+void JsonWriter::raw_value(std::string_view json) {
+    comma_for_value();
+    out_->append(json);
+}
+
+// --- Report ----------------------------------------------------------------
+
+Report::Section& Report::section(std::string_view name) {
+    for (Section& s : sections_)
+        if (s.name == name) return s;
+    sections_.push_back({std::string(name), {}});
+    return sections_.back();
+}
+
+void Report::set_value(std::string_view section_name, std::string_view key,
+                       Value v) {
+    Section& s = section(section_name);
+    for (auto& [existing, value] : s.entries) {
+        if (existing == key) {
+            value = std::move(v);
+            return;
+        }
+    }
+    s.entries.emplace_back(std::string(key), std::move(v));
+}
+
+void Report::set(std::string_view section, std::string_view key, double value) {
+    Value v;
+    v.kind = Value::Kind::kDouble;
+    v.d = value;
+    set_value(section, key, std::move(v));
+}
+
+void Report::set(std::string_view section, std::string_view key,
+                 std::uint64_t value) {
+    Value v;
+    v.kind = Value::Kind::kUint;
+    v.u = value;
+    set_value(section, key, std::move(v));
+}
+
+void Report::set(std::string_view section, std::string_view key,
+                 std::int64_t value) {
+    Value v;
+    v.kind = Value::Kind::kInt;
+    v.i = value;
+    set_value(section, key, std::move(v));
+}
+
+void Report::set(std::string_view section, std::string_view key, bool value) {
+    Value v;
+    v.kind = Value::Kind::kBool;
+    v.b = value;
+    set_value(section, key, std::move(v));
+}
+
+void Report::set(std::string_view section, std::string_view key,
+                 std::string_view value) {
+    Value v;
+    v.kind = Value::Kind::kString;
+    v.s = std::string(value);
+    set_value(section, key, std::move(v));
+}
+
+void Report::set_raw_json(std::string_view section, std::string_view key,
+                          std::string raw) {
+    Value v;
+    v.kind = Value::Kind::kRawJson;
+    v.s = std::move(raw);
+    set_value(section, key, std::move(v));
+}
+
+std::string Report::to_json() const {
+    std::string out;
+    JsonWriter json(&out);
+    const auto emit = [&](const Value& v) {
+        switch (v.kind) {
+            case Value::Kind::kDouble: json.value(v.d); break;
+            case Value::Kind::kInt: json.value(v.i); break;
+            case Value::Kind::kUint: json.value(v.u); break;
+            case Value::Kind::kBool: json.value(v.b); break;
+            case Value::Kind::kString: json.value(std::string_view(v.s)); break;
+            case Value::Kind::kRawJson: json.raw_value(v.s); break;
+        }
+    };
+    json.begin_object();
+    // Top-level scalars (section "") first, then named sections as objects.
+    for (const Section& s : sections_) {
+        if (!s.name.empty()) continue;
+        for (const auto& [key, value] : s.entries) {
+            json.key(key);
+            emit(value);
+        }
+    }
+    for (const Section& s : sections_) {
+        if (s.name.empty()) continue;
+        json.key(s.name);
+        json.begin_object();
+        for (const auto& [key, value] : s.entries) {
+            json.key(key);
+            emit(value);
+        }
+        json.end_object();
+    }
+    json.end_object();
+    out.push_back('\n');
+    return out;
+}
+
+void Report::print(std::FILE* out) const {
+    for (const Section& s : sections_) {
+        if (!s.name.empty()) std::fprintf(out, "\n%s:\n", s.name.c_str());
+        for (const auto& [key, value] : s.entries) {
+            switch (value.kind) {
+                case Value::Kind::kDouble:
+                    std::fprintf(out, "  %-28s %10.4f\n", key.c_str(), value.d);
+                    break;
+                case Value::Kind::kInt:
+                    std::fprintf(out, "  %-28s %10" PRId64 "\n", key.c_str(),
+                                 value.i);
+                    break;
+                case Value::Kind::kUint:
+                    std::fprintf(out, "  %-28s %10" PRIu64 "\n", key.c_str(),
+                                 value.u);
+                    break;
+                case Value::Kind::kBool:
+                    std::fprintf(out, "  %-28s %10s\n", key.c_str(),
+                                 value.b ? "yes" : "no");
+                    break;
+                case Value::Kind::kString:
+                    std::fprintf(out, "  %-28s %s\n", key.c_str(),
+                                 value.s.c_str());
+                    break;
+                case Value::Kind::kRawJson:
+                    break; // machine-only payload
+            }
+        }
+    }
+}
+
+bool Report::write_json_file(const std::string& path) const {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) return false;
+    const std::string json = to_json();
+    const bool ok = std::fwrite(json.data(), 1, json.size(), file) == json.size();
+    return std::fclose(file) == 0 && ok;
+}
+
+Report Report::from_registry() {
+    Report report;
+    report.set("", "obs_enabled", DRE_OBS_ENABLED != 0);
+    const Registry& reg = registry();
+    for (const CounterSample& c : reg.counters())
+        report.set("counters", c.name, std::uint64_t{c.value});
+    for (const GaugeSample& g : reg.gauges()) report.set("gauges", g.name, g.value);
+    for (const HistogramSample& h : reg.histograms()) {
+        report.set("histograms", h.name + ".count", std::uint64_t{h.count});
+        report.set("histograms", h.name + ".mean", h.mean);
+        report.set("histograms", h.name + ".p99", h.p99);
+        report.set("histograms", h.name + ".max", h.max);
+    }
+    for (const SpanSample& s : reg.spans()) {
+        report.set("spans", s.name + ".count", std::uint64_t{s.count});
+        report.set("spans", s.name + ".total_ms", s.total_ms);
+        report.set("spans", s.name + ".mean_ms", s.mean_ms);
+        report.set("spans", s.name + ".p99_ms", s.p99_ms);
+    }
+    return report;
+}
+
+std::string registry_json() {
+    const Registry& reg = registry();
+    std::string out;
+    JsonWriter json(&out);
+    json.begin_object();
+    json.key("obs_enabled");
+    json.value(DRE_OBS_ENABLED != 0);
+    json.key("counters");
+    json.begin_object();
+    for (const CounterSample& c : reg.counters()) {
+        json.key(c.name);
+        json.value(std::uint64_t{c.value});
+    }
+    json.end_object();
+    json.key("gauges");
+    json.begin_object();
+    for (const GaugeSample& g : reg.gauges()) {
+        json.key(g.name);
+        json.value(g.value);
+    }
+    json.end_object();
+    json.key("histograms");
+    json.begin_object();
+    for (const HistogramSample& h : reg.histograms()) {
+        json.key(h.name);
+        json.begin_object();
+        json.key("count");
+        json.value(std::uint64_t{h.count});
+        json.key("sum");
+        json.value(h.sum);
+        json.key("min");
+        json.value(h.min);
+        json.key("max");
+        json.value(h.max);
+        json.key("mean");
+        json.value(h.mean);
+        json.key("p50");
+        json.value(h.p50);
+        json.key("p90");
+        json.value(h.p90);
+        json.key("p99");
+        json.value(h.p99);
+        json.end_object();
+    }
+    json.end_object();
+    json.key("spans");
+    json.begin_object();
+    for (const SpanSample& s : reg.spans()) {
+        json.key(s.name);
+        json.begin_object();
+        json.key("count");
+        json.value(std::uint64_t{s.count});
+        json.key("total_ms");
+        json.value(s.total_ms);
+        json.key("mean_ms");
+        json.value(s.mean_ms);
+        json.key("p50_ms");
+        json.value(s.p50_ms);
+        json.key("p99_ms");
+        json.value(s.p99_ms);
+        json.end_object();
+    }
+    json.end_object();
+    json.end_object();
+    out.push_back('\n');
+    return out;
+}
+
+bool write_registry_json_file(const std::string& path) {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) return false;
+    const std::string json = registry_json();
+    const bool ok = std::fwrite(json.data(), 1, json.size(), file) == json.size();
+    return std::fclose(file) == 0 && ok;
+}
+
+} // namespace dre::obs

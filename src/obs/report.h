@@ -1,0 +1,115 @@
+// Report sink for `dre::obs`.
+//
+// Two pieces:
+//
+//  * JsonWriter — a minimal streaming JSON serializer (objects, arrays,
+//    escaped strings, automatic commas). Shared by the registry report, the
+//    chrome-trace exporter, and the bench harness writer so every JSON
+//    artifact in the repo comes out of one implementation.
+//
+//  * Report — an ordered section -> key -> value document with two
+//    renderers: aligned human-readable text (the one format shared by the
+//    dre_eval CLI and the examples) and JSON. `Report::from_registry()`
+//    snapshots every registered metric; `registry_json()` is the raw nested
+//    form written by `--obs-out`.
+#ifndef DRE_OBS_REPORT_H
+#define DRE_OBS_REPORT_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dre::obs {
+
+class JsonWriter {
+public:
+    // Appends to `out` (not owned).
+    explicit JsonWriter(std::string* out) : out_(out) {}
+
+    void begin_object();
+    void end_object();
+    void begin_array();
+    void end_array();
+    void key(std::string_view name);
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void value(bool v);
+    void value(std::string_view v);
+    // Splice a pre-serialized JSON document in value position.
+    void raw_value(std::string_view json);
+
+    static std::string escape(std::string_view text);
+
+private:
+    void comma_for_value();
+
+    std::string* out_;
+    // One entry per open container: whether it already holds an element.
+    std::vector<bool> has_element_;
+    bool after_key_ = false;
+};
+
+// Ordered two-level document. Section "" holds top-level scalars (emitted
+// before the named sections in JSON; skipped as a heading in text).
+class Report {
+public:
+    void set(std::string_view section, std::string_view key, double value);
+    void set(std::string_view section, std::string_view key, std::uint64_t value);
+    void set(std::string_view section, std::string_view key, std::int64_t value);
+    void set(std::string_view section, std::string_view key, int value) {
+        set(section, key, static_cast<std::int64_t>(value));
+    }
+    void set(std::string_view section, std::string_view key, bool value);
+    void set(std::string_view section, std::string_view key, std::string_view value);
+    void set(std::string_view section, std::string_view key, const char* value) {
+        set(section, key, std::string_view(value));
+    }
+    // Pre-serialized JSON (e.g. registry_json()) emitted verbatim in JSON
+    // output; rendered as "<json>" placeholder-free text is skipped.
+    void set_raw_json(std::string_view section, std::string_view key,
+                      std::string raw);
+
+    std::string to_json() const;
+    // Aligned text: "section:" headings, "  key  value" rows.
+    void print(std::FILE* out = stdout) const;
+    bool write_json_file(const std::string& path) const;
+
+    // Snapshot of every registered metric (counters, gauges, histograms,
+    // span profile), one Report section per metric kind.
+    static Report from_registry();
+
+private:
+    struct Value {
+        enum class Kind { kDouble, kInt, kUint, kBool, kString, kRawJson };
+        Kind kind = Kind::kDouble;
+        double d = 0.0;
+        std::int64_t i = 0;
+        std::uint64_t u = 0;
+        bool b = false;
+        std::string s;
+    };
+    struct Section {
+        std::string name;
+        std::vector<std::pair<std::string, Value>> entries;
+    };
+
+    Section& section(std::string_view name);
+    void set_value(std::string_view section_name, std::string_view key, Value v);
+
+    std::vector<Section> sections_;
+};
+
+// The whole registry as nested JSON:
+//   {"obs_enabled": ..., "counters": {...}, "gauges": {...},
+//    "histograms": {name: {count,sum,min,max,mean,p50,p90,p99}},
+//    "spans": {name: {count,total_ms,mean_ms,p50_ms,p99_ms}}}
+std::string registry_json();
+bool write_registry_json_file(const std::string& path);
+
+} // namespace dre::obs
+
+#endif // DRE_OBS_REPORT_H

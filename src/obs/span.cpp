@@ -1,0 +1,149 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "obs/report.h"
+
+namespace dre::obs {
+namespace {
+
+// Hard cap per thread so a forgotten --trace-out on a week-long run cannot
+// exhaust memory; overflow is counted, never silently swallowed.
+constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+std::atomic<bool> g_trace_enabled{false};
+
+struct ThreadBuffer {
+    std::mutex mutex;
+    std::uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+    std::uint64_t dropped = 0;
+};
+
+// All thread buffers ever created. Buffers are shared_ptr-held both here
+// and in each thread's TLS slot, so a pool thread exiting never invalidates
+// an exporter's view. Leaked on purpose (see Registry::instance).
+struct BufferList {
+    std::mutex mutex;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    std::uint32_t next_tid = 0;
+};
+
+BufferList& buffer_list() {
+    static BufferList* const list = new BufferList();
+    return *list;
+}
+
+ThreadBuffer& local_buffer() {
+    thread_local const std::shared_ptr<ThreadBuffer> buffer = [] {
+        auto created = std::make_shared<ThreadBuffer>();
+        BufferList& list = buffer_list();
+        std::lock_guard<std::mutex> lock(list.mutex);
+        created->tid = list.next_tid++;
+        list.buffers.push_back(created);
+        return created;
+    }();
+    return *buffer;
+}
+
+} // namespace
+
+std::uint64_t now_ns() noexcept {
+    static const std::chrono::steady_clock::time_point anchor =
+        std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - anchor)
+            .count());
+}
+
+void set_trace_enabled(bool enabled) noexcept {
+    g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool trace_enabled() noexcept {
+    return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void record_trace_event(const char* name, std::uint64_t start_ns,
+                        std::uint64_t end_ns) noexcept {
+    ThreadBuffer& buffer = local_buffer();
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    if (buffer.events.size() >= kMaxEventsPerThread) {
+        ++buffer.dropped;
+        return;
+    }
+    buffer.events.push_back({name, buffer.tid, start_ns, end_ns});
+}
+
+std::vector<TraceEvent> trace_events() {
+    std::vector<TraceEvent> out;
+    BufferList& list = buffer_list();
+    std::lock_guard<std::mutex> list_lock(list.mutex);
+    for (const auto& buffer : list.buffers) {
+        std::lock_guard<std::mutex> lock(buffer->mutex);
+        out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                  if (a.tid != b.tid) return a.tid < b.tid;
+                  if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+                  return a.end_ns > b.end_ns; // enclosing span first
+              });
+    return out;
+}
+
+void clear_trace_events() {
+    BufferList& list = buffer_list();
+    std::lock_guard<std::mutex> list_lock(list.mutex);
+    for (const auto& buffer : list.buffers) {
+        std::lock_guard<std::mutex> lock(buffer->mutex);
+        buffer->events.clear();
+        buffer->dropped = 0;
+    }
+}
+
+std::string chrome_trace_json() {
+    const std::vector<TraceEvent> events = trace_events();
+    std::string out;
+    out.reserve(events.size() * 96 + 64);
+    JsonWriter json(&out);
+    json.begin_object();
+    json.key("displayTimeUnit");
+    json.value(std::string_view("ms"));
+    json.key("traceEvents");
+    json.begin_array();
+    for (const TraceEvent& event : events) {
+        json.begin_object();
+        json.key("name");
+        json.value(std::string_view(event.name));
+        json.key("ph");
+        json.value(std::string_view("X"));
+        json.key("pid");
+        json.value(std::int64_t{0});
+        json.key("tid");
+        json.value(static_cast<std::int64_t>(event.tid));
+        json.key("ts");
+        json.value(static_cast<double>(event.start_ns) / 1e3);
+        json.key("dur");
+        json.value(static_cast<double>(event.end_ns - event.start_ns) / 1e3);
+        json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    out.push_back('\n');
+    return out;
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) return false;
+    const std::string json = chrome_trace_json();
+    const bool ok = std::fwrite(json.data(), 1, json.size(), file) == json.size();
+    return std::fclose(file) == 0 && ok;
+}
+
+} // namespace dre::obs

@@ -1,0 +1,83 @@
+// Scoped tracing for `dre::obs`.
+//
+// `DRE_SPAN("knn.query")` (obs/obs.h) opens an RAII span: on destruction the
+// duration is folded into the span's aggregated profile (count / total /
+// histogram -> mean / p99 on scrape), and — only when tracing has been
+// switched on with set_trace_enabled(true) — a (name, tid, start, end)
+// event is appended to a per-thread trace buffer. The buffers export as
+// chrome://tracing JSON (load trace.json at chrome://tracing or
+// ui.perfetto.dev).
+//
+// Cost model: profile recording is three relaxed atomics plus two
+// steady_clock reads per span, so spans belong around coarse units (a query
+// batch, an estimator pass, a bootstrap chunk), never per tuple. Trace
+// events additionally take an uncontended per-thread mutex, paid only while
+// tracing is on.
+#ifndef DRE_OBS_SPAN_H
+#define DRE_OBS_SPAN_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dre::obs {
+
+// Nanoseconds since the first call in this process (steady clock).
+std::uint64_t now_ns() noexcept;
+
+// Global switch for trace-event collection (the aggregated span profile is
+// always on). Off by default; `dre_eval --trace-out` and the bench
+// harnesses flip it.
+void set_trace_enabled(bool enabled) noexcept;
+bool trace_enabled() noexcept;
+
+struct TraceEvent {
+    const char* name = nullptr; // string literal from the DRE_SPAN site
+    std::uint32_t tid = 0;      // process-local thread id (not the OS tid)
+    std::uint64_t start_ns = 0;
+    std::uint64_t end_ns = 0;
+};
+
+// Append one completed span to the calling thread's buffer (obs internal;
+// instrumentation goes through ScopedSpan).
+void record_trace_event(const char* name, std::uint64_t start_ns,
+                        std::uint64_t end_ns) noexcept;
+
+// Snapshot of all threads' events, sorted by (tid, start, -end) so a parent
+// span always precedes its children.
+std::vector<TraceEvent> trace_events();
+
+// Drop all buffered events (the buffers themselves persist).
+void clear_trace_events();
+
+// chrome://tracing JSON ({"traceEvents": [...]}, complete "X" events,
+// timestamps in microseconds).
+std::string chrome_trace_json();
+bool write_chrome_trace_file(const std::string& path);
+
+// RAII span. Use via DRE_SPAN so the SpanStat lookup happens once per call
+// site; `name` must outlive the process (string literals do).
+class ScopedSpan {
+public:
+    ScopedSpan(const char* name, SpanStat& stat) noexcept
+        : name_(name), stat_(stat), start_ns_(now_ns()) {}
+    ~ScopedSpan() {
+        const std::uint64_t end = now_ns();
+        stat_.record(end - start_ns_);
+        if (trace_enabled()) record_trace_event(name_, start_ns_, end);
+    }
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+private:
+    const char* name_;
+    SpanStat& stat_;
+    std::uint64_t start_ns_;
+};
+
+} // namespace dre::obs
+
+#endif // DRE_OBS_SPAN_H

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "obs/obs.h"
 #include "stats/summary.h"
 
 namespace dre::stats {
@@ -40,6 +41,8 @@ ConfidenceInterval bootstrap_ci(std::span<const double> sample,
     if (level <= 0.0 || level >= 1.0)
         throw std::invalid_argument("bootstrap_ci: level outside (0,1)");
 
+    DRE_SPAN("bootstrap.ci");
+
     ConfidenceInterval ci;
     ci.level = level;
     ci.point = statistic(sample);
@@ -62,12 +65,36 @@ ConfidenceInterval bootstrap_ci(std::span<const double> sample,
         b_count,
         [&](std::size_t begin, std::size_t end) {
             std::vector<double> resample(n); // one buffer per batch, reused
+#if DRE_OBS_ENABLED
+            // Where replicate time goes: drawing the resample vs computing
+            // the statistic. Accumulated locally, flushed once per chunk;
+            // timing-derived, so diagnostics-only, but the replicate *count*
+            // is a per-item sum and stays thread-count deterministic.
+            std::uint64_t resample_ns = 0, statistic_ns = 0;
+#endif
             for (std::size_t b = begin; b < end; ++b) {
                 Rng replicate_rng = base.split(b);
+#if DRE_OBS_ENABLED
+                const std::uint64_t t0 = obs::now_ns();
+#endif
                 for (std::size_t i = 0; i < n; ++i)
                     resample[i] = sample[replicate_rng.uniform_index(n)];
+#if DRE_OBS_ENABLED
+                const std::uint64_t t1 = obs::now_ns();
+#endif
                 replicate_values[b] = statistic(resample);
+#if DRE_OBS_ENABLED
+                const std::uint64_t t2 = obs::now_ns();
+                resample_ns += t1 - t0;
+                statistic_ns += t2 - t1;
+                DRE_HIST_RECORD("bootstrap.replicate_ns", t2 - t0);
+#endif
             }
+#if DRE_OBS_ENABLED
+            DRE_COUNTER_ADD("bootstrap.replicates", end - begin);
+            DRE_COUNTER_ADD("bootstrap.resample_ns", resample_ns);
+            DRE_COUNTER_ADD("bootstrap.statistic_ns", statistic_ns);
+#endif
         },
         /*min_grain=*/kReplicateGrain);
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "obs/obs.h"
 #include "stats/summary.h"
 
 namespace dre::stats {
@@ -181,10 +182,12 @@ void KnnRegressor::nearest_brute(std::span<const double> query, std::size_t k,
 
 void KnnRegressor::search_node(std::uint32_t node, std::span<const double> query,
                                std::size_t k, std::vector<Neighbor>& heap,
-                               std::vector<double>& offsets,
-                               double cell_d2) const {
+                               std::vector<double>& offsets, double cell_d2,
+                               QueryStats& stats) const {
     const std::int32_t axis = node_axis_[node];
     if (axis < 0) {
+        ++stats.leaf_scans;
+        stats.leaf_points += node_end_[node] - node_begin_[node];
         for (std::uint32_t slot = node_begin_[node]; slot < node_end_[node];
              ++slot) {
             double d2 = 0.0;
@@ -212,7 +215,7 @@ void KnnRegressor::search_node(std::uint32_t node, std::span<const double> query
     const std::uint32_t near = diff < 0.0 ? node_left_[node] : node_right_[node];
     const std::uint32_t far = diff < 0.0 ? node_right_[node] : node_left_[node];
     // The near child shares this node's cell bound.
-    search_node(near, query, k, heap, offsets, cell_d2);
+    search_node(near, query, k, heap, offsets, cell_d2, stats);
     // Far-side lower bound (Arya–Mount incremental distance): replace this
     // axis's contribution to the cell distance with the offset to the
     // splitting hyperplane. Every far-side point is at least `far_d2` away.
@@ -224,17 +227,20 @@ void KnnRegressor::search_node(std::uint32_t node, std::span<const double> query
     const double far_d2 = cell_d2 - old_offset * old_offset + diff * diff;
     if (heap.size() < k || far_d2 <= heap.front().first) {
         offsets[a] = diff;
-        search_node(far, query, k, heap, offsets, far_d2);
+        search_node(far, query, k, heap, offsets, far_d2, stats);
         offsets[a] = old_offset;
+    } else {
+        ++stats.nodes_pruned;
     }
 }
 
 void KnnRegressor::nearest_kdtree(std::span<const double> query, std::size_t k,
                                   std::vector<Neighbor>& heap,
-                                  std::vector<double>& offsets) const {
+                                  std::vector<double>& offsets,
+                                  QueryStats& stats) const {
     heap.clear();
     offsets.assign(dims_, 0.0);
-    search_node(0, query, k, heap, offsets, 0.0);
+    search_node(0, query, k, heap, offsets, 0.0, stats);
     std::sort(heap.begin(), heap.end());
 }
 
@@ -283,11 +289,25 @@ double KnnRegressor::predict(std::span<const double> features) const {
                        (algorithm_ == Algorithm::kAuto &&
                         targets_.size() < kAutoBruteThreshold) ||
                        dims_ == 0;
+    QueryStats stats;
     if (brute) {
         nearest_brute(s.query, k, s.heap);
     } else {
-        nearest_kdtree(s.query, k, s.heap, s.offsets);
+        nearest_kdtree(s.query, k, s.heap, s.offsets, stats);
     }
+#if DRE_OBS_ENABLED
+    // One flush per query, not per node/point: the per-query sums are pure
+    // functions of (tree, query), so the totals match for any thread count
+    // — they are safe to include in the determinism fingerprint.
+    DRE_COUNTER_INC("knn.queries");
+    if (brute) {
+        DRE_COUNTER_INC("knn.brute_force_queries");
+    } else {
+        DRE_COUNTER_ADD("knn.leaf_scans", stats.leaf_scans);
+        DRE_COUNTER_ADD("knn.leaf_points_scanned", stats.leaf_points);
+        DRE_COUNTER_ADD("knn.nodes_pruned", stats.nodes_pruned);
+    }
+#endif
     return reduce_neighbors(s.heap);
 }
 

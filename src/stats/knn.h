@@ -58,6 +58,15 @@ private:
     // which is exactly the tie-break both query paths implement.
     using Neighbor = std::pair<double, std::uint32_t>;
 
+    // Per-query traversal work, accumulated locally during the search and
+    // flushed to dre::obs once per query. Every field is a pure function of
+    // (tree, query), so the totals are identical for any thread count.
+    struct QueryStats {
+        std::uint64_t leaf_scans = 0;    // leaf nodes visited
+        std::uint64_t leaf_points = 0;   // points distance-tested in leaves
+        std::uint64_t nodes_pruned = 0;  // far subtrees skipped by the bound
+    };
+
     void standardize_into(std::span<const double> features,
                           std::vector<double>& out) const;
     void build_tree();
@@ -67,13 +76,15 @@ private:
                        std::vector<Neighbor>& heap) const;
     void nearest_kdtree(std::span<const double> query, std::size_t k,
                         std::vector<Neighbor>& heap,
-                        std::vector<double>& offsets) const;
+                        std::vector<double>& offsets,
+                        QueryStats& stats) const;
     // `cell_d2` is a lower bound on the squared distance from the query to
     // this node's cell, maintained incrementally (Arya–Mount): `offsets[a]`
     // holds the per-axis offset already contributing to `cell_d2`.
     void search_node(std::uint32_t node, std::span<const double> query,
                      std::size_t k, std::vector<Neighbor>& heap,
-                     std::vector<double>& offsets, double cell_d2) const;
+                     std::vector<double>& offsets, double cell_d2,
+                     QueryStats& stats) const;
     double reduce_neighbors(const std::vector<Neighbor>& neighbors) const;
 
     std::size_t k_;

@@ -1,12 +1,15 @@
 #include "wise/bayes_net.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <functional>
 #include <limits>
 #include <mutex>
 #include <shared_mutex>
 #include <stdexcept>
+
+#include "obs/obs.h"
 
 namespace dre::wise {
 namespace {
@@ -45,6 +48,10 @@ struct BayesianNetwork::PosteriorCache {
     std::unordered_map<std::vector<std::int64_t>, std::vector<double>,
                        PosteriorKeyHash>
         map;
+    // Per-network hit/miss accounting (the registry's cbn.* counters are
+    // process-global). Relaxed: scrape-side statistics only.
+    std::atomic<std::size_t> hits{0};
+    std::atomic<std::size_t> misses{0};
 };
 
 BayesianNetwork::BayesianNetwork(std::vector<std::int32_t> cardinalities)
@@ -207,6 +214,7 @@ void BayesianNetwork::check_query(
 }
 
 void BayesianNetwork::invalidate_posterior_cache() {
+    DRE_COUNTER_INC("cbn.cache_invalidations");
     posterior_cache_ = std::make_shared<PosteriorCache>();
 }
 
@@ -214,6 +222,16 @@ std::size_t BayesianNetwork::posterior_cache_size() const {
     const std::shared_ptr<PosteriorCache> cache = posterior_cache_;
     std::shared_lock<std::shared_mutex> lock(cache->mutex);
     return cache->map.size();
+}
+
+BayesianNetwork::CacheStats BayesianNetwork::posterior_cache_stats() const {
+    const std::shared_ptr<PosteriorCache> cache = posterior_cache_;
+    CacheStats stats;
+    stats.hits = cache->hits.load(std::memory_order_relaxed);
+    stats.misses = cache->misses.load(std::memory_order_relaxed);
+    std::shared_lock<std::shared_mutex> lock(cache->mutex);
+    stats.size = cache->map.size();
+    return stats;
 }
 
 std::vector<double> BayesianNetwork::posterior_enumerate(
@@ -280,8 +298,15 @@ std::vector<double> BayesianNetwork::posterior(
     {
         std::shared_lock<std::shared_mutex> lock(cache->mutex);
         const auto it = cache->map.find(key);
-        if (it != cache->map.end()) return it->second;
+        if (it != cache->map.end()) {
+            cache->hits.fetch_add(1, std::memory_order_relaxed);
+            DRE_COUNTER_INC("cbn.cache_hits");
+            return it->second;
+        }
     }
+    cache->misses.fetch_add(1, std::memory_order_relaxed);
+    DRE_COUNTER_INC("cbn.cache_misses");
+    DRE_SPAN("cbn.posterior_ve");
 
     // --- Variable elimination --------------------------------------------
     // Evidence-reduced values per variable; kFree marks a free variable.
@@ -318,6 +343,7 @@ std::vector<double> BayesianNetwork::posterior(
             throw std::runtime_error(
                 "BayesianNetwork::posterior: state space too large");
         f.table.resize(static_cast<std::size_t>(size));
+        DRE_HIST_RECORD("cbn.ve_factor_cells", f.table.size());
         for (std::size_t v : f.vars) values[v] = 0;
         for (std::size_t idx = 0; idx < f.table.size(); ++idx) {
             f.table[idx] = eval(values);
@@ -412,6 +438,7 @@ std::vector<double> BayesianNetwork::posterior(
             throw std::runtime_error(
                 "BayesianNetwork::posterior: state space too large");
         summed.table.assign(static_cast<std::size_t>(out_size), 0.0);
+        DRE_HIST_RECORD("cbn.ve_factor_cells", summed.table.size());
 
         // Odometer over the product scope (u included); each cell of the
         // product accumulates into the u-summed output slot.

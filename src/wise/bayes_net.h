@@ -69,6 +69,16 @@ public:
     // Number of memoized posterior queries (diagnostics / tests).
     std::size_t posterior_cache_size() const;
 
+    // Hit/miss accounting for the posterior memo cache. Counts accumulate
+    // across posterior() calls and reset — together with the cache itself —
+    // on fit() / set_parents().
+    struct CacheStats {
+        std::size_t hits = 0;
+        std::size_t misses = 0;
+        std::size_t size = 0;
+    };
+    CacheStats posterior_cache_stats() const;
+
     // Variables in a valid topological order.
     const std::vector<std::size_t>& topological_order() const noexcept {
         return topo_order_;

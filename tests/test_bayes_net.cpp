@@ -170,6 +170,41 @@ TEST(BayesNet, PosteriorCacheReturnsIdenticalValues) {
     EXPECT_EQ(net.posterior_cache_size(), 2u);
 }
 
+TEST(BayesNet, PosteriorCacheStatsCountHitsAndResetOnRefit) {
+    BayesianNetwork net = fitted_chain(2000);
+    BayesianNetwork::CacheStats stats = net.posterior_cache_stats();
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.misses, 0u);
+    EXPECT_EQ(stats.size, 0u);
+
+    net.posterior(0, {{2, 1}}); // cold: one miss fills the cache
+    stats = net.posterior_cache_stats();
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.size, 1u);
+
+    net.posterior(0, {{2, 1}}); // repeats of the same query hit
+    net.posterior(0, {{2, 1}});
+    stats = net.posterior_cache_stats();
+    EXPECT_EQ(stats.hits, 2u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.size, 1u);
+
+    net.posterior(0, {{2, 0}}); // distinct evidence is a fresh miss
+    stats = net.posterior_cache_stats();
+    EXPECT_EQ(stats.hits, 2u);
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.size, 2u);
+
+    // Refit drops the cache and its accounting together.
+    stats::Rng rng(23);
+    net.fit(chain_rows(2000, rng), 0.5);
+    stats = net.posterior_cache_stats();
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.misses, 0u);
+    EXPECT_EQ(stats.size, 0u);
+}
+
 TEST(BayesNet, PosteriorCacheInvalidatedByRefit) {
     BayesianNetwork net({2, 2, 2});
     net.set_parents(1, {0});

@@ -23,6 +23,10 @@
 //   --compare <policy-spec>   treat <policy-spec> as the incumbent and
 //                             certify whether the main policy improves on
 //                             it (paired DR lift with a bootstrap CI)
+//   --obs-out <file>          write the dre::obs metric registry (counters,
+//                             gauges, histograms, span profile) as JSON
+//   --trace-out <file>        collect spans as a chrome://tracing JSON file
+//                             (open at chrome://tracing or ui.perfetto.dev)
 //   --seed <n>                RNG seed (default 1)
 //
 // The trace CSV format is the library's own (see dre::write_csv):
@@ -39,6 +43,7 @@
 #include "core/quantile_estimators.h"
 #include "core/drift.h"
 #include "core/subgroup.h"
+#include "obs/obs.h"
 #include "trace/csv.h"
 
 using namespace dre;
@@ -50,7 +55,8 @@ namespace {
                  "usage: %s <trace.csv> <policy-spec> [--estimate-propensities] "
                  "[--cross-fit] [--model tabular|linear|knn] [--ci N] "
                  "[--quantile q] [--by-group i] [--check-drift] [--audit] "
-                 "[--compare policy-spec] [--seed n]\n",
+                 "[--compare policy-spec] [--obs-out file] [--trace-out file] "
+                 "[--seed n]\n",
                  argv0);
     std::exit(2);
 }
@@ -95,6 +101,7 @@ int main(int argc, char** argv) {
         bool check_drift = false;
         bool run_audit = false;
         std::string compare_spec;
+        std::string obs_out, trace_out;
         std::uint64_t seed = 1;
         for (int i = 3; i < argc; ++i) {
             const std::string arg = argv[i];
@@ -121,6 +128,13 @@ int main(int argc, char** argv) {
                 run_audit = true;
             } else if (arg == "--compare") {
                 compare_spec = next("--compare");
+            } else if (arg == "--obs-out") {
+                obs_out = next("--obs-out");
+            } else if (arg == "--trace-out") {
+                trace_out = next("--trace-out");
+                // Collection is off by default; only a requested export
+                // pays the per-span trace-buffer cost.
+                obs::set_trace_enabled(true);
             } else if (arg == "--seed") {
                 seed = std::stoull(next("--seed"));
             } else {
@@ -166,31 +180,42 @@ int main(int argc, char** argv) {
         const core::Evaluator evaluator(trace, config, stats::Rng(seed));
         const core::PolicyEvaluation result = evaluator.evaluate(*policy);
 
-        std::printf("\npolicy %s:\n", policy_spec.c_str());
-        std::printf("  DM        %10.4f\n", result.dm.value);
-        std::printf("  IPS       %10.4f\n", result.ips.value);
-        std::printf("  SNIPS     %10.4f\n", result.snips.value);
-        std::printf("  SWITCH-DR %10.4f\n", result.switch_dr.value);
-        std::printf("  DR        %10.4f", result.dr.value);
-        if (result.dr_ci)
-            std::printf("   %.0f%% CI [%.4f, %.4f]", 100.0 * result.dr_ci->level,
-                        result.dr_ci->lower, result.dr_ci->upper);
-        std::printf("\n");
-        std::printf("\ndiagnostics:\n");
-        std::printf("  effective sample size  %10.1f (%.1f%% of trace)\n",
-                    result.overlap.effective_sample_size,
-                    100.0 * result.overlap.effective_sample_fraction);
-        std::printf("  mean importance weight %10.3f (should be ~1)\n",
-                    result.overlap.mean_weight);
-        std::printf("  max importance weight  %10.3f\n", result.overlap.max_weight);
-        std::printf("  zero-weight tuples     %9.1f%%\n",
-                    100.0 * result.overlap.zero_weight_fraction);
+        // Result document assembled as an obs::Report so the CLI, the
+        // examples, and any embedded JSON all share one renderer.
+        obs::Report out;
+        const std::string policy_section = "policy " + policy_spec;
+        out.set(policy_section, "DM", result.dm.value);
+        out.set(policy_section, "IPS", result.ips.value);
+        out.set(policy_section, "SNIPS", result.snips.value);
+        out.set(policy_section, "SWITCH-DR", result.switch_dr.value);
+        if (result.dr_ci) {
+            char dr_row[128];
+            std::snprintf(dr_row, sizeof(dr_row),
+                          "%10.4f   %.0f%% CI [%.4f, %.4f]", result.dr.value,
+                          100.0 * result.dr_ci->level, result.dr_ci->lower,
+                          result.dr_ci->upper);
+            out.set(policy_section, "DR", dr_row);
+        } else {
+            out.set(policy_section, "DR", result.dr.value);
+        }
+        out.set("diagnostics", "effective sample size",
+                result.overlap.effective_sample_size);
+        out.set("diagnostics", "effective sample %",
+                100.0 * result.overlap.effective_sample_fraction);
+        out.set("diagnostics", "mean importance weight",
+                result.overlap.mean_weight);
+        out.set("diagnostics", "max importance weight",
+                result.overlap.max_weight);
+        out.set("diagnostics", "zero-weight tuples %",
+                100.0 * result.overlap.zero_weight_fraction);
 
         if (quantile_q >= 0.0) {
             const double q = core::off_policy_quantile(
                 evaluator.evaluation_trace(), *policy, quantile_q);
-            std::printf("  reward %.0f%%-quantile     %10.4f\n",
-                        100.0 * quantile_q, q);
+            char label[64];
+            std::snprintf(label, sizeof(label), "reward %.0f%%-quantile",
+                          100.0 * quantile_q);
+            out.set("diagnostics", label, q);
         }
 
         if (!compare_spec.empty()) {
@@ -199,17 +224,22 @@ int main(int argc, char** argv) {
             const core::ImprovementReport report = core::certify_improvement(
                 evaluator.evaluation_trace(), *incumbent, *policy,
                 evaluator.reward_model(), certify_rng);
-            std::printf("\nvs incumbent %s:\n", compare_spec.c_str());
-            std::printf("  incumbent DR  %10.4f\n", report.incumbent_value);
-            std::printf("  candidate DR  %10.4f\n", report.candidate_value);
-            std::printf("  lift          %10.4f   %.0f%% CI [%.4f, %.4f]\n",
-                        report.estimated_lift, 100.0 * report.lift_ci.level,
-                        report.lift_ci.lower, report.lift_ci.upper);
-            std::printf("  verdict: %s\n",
-                        report.certified
-                            ? "CERTIFIED better (CI excludes zero)"
-                            : "not certified (CI includes zero or negative)");
+            const std::string compare_section = "vs incumbent " + compare_spec;
+            out.set(compare_section, "incumbent DR", report.incumbent_value);
+            out.set(compare_section, "candidate DR", report.candidate_value);
+            char lift_row[128];
+            std::snprintf(lift_row, sizeof(lift_row),
+                          "%10.4f   %.0f%% CI [%.4f, %.4f]",
+                          report.estimated_lift, 100.0 * report.lift_ci.level,
+                          report.lift_ci.lower, report.lift_ci.upper);
+            out.set(compare_section, "lift", lift_row);
+            out.set(compare_section, "verdict",
+                    report.certified
+                        ? "CERTIFIED better (CI excludes zero)"
+                        : "not certified (CI includes zero or negative)");
         }
+
+        out.print(stdout);
 
         if (group_index >= 0) {
             const auto groups = core::subgroup_analysis(
@@ -224,6 +254,21 @@ int main(int argc, char** argv) {
                             static_cast<long long>(g.group), g.tuples,
                             g.dr.value, g.overlap.effective_sample_size,
                             g.reliable ? "yes" : "NO");
+        }
+
+        if (!obs_out.empty()) {
+            if (obs::write_registry_json_file(obs_out))
+                std::printf("\nwrote obs report to %s\n", obs_out.c_str());
+            else
+                std::fprintf(stderr, "failed to write %s\n", obs_out.c_str());
+        }
+        if (!trace_out.empty()) {
+            if (obs::write_chrome_trace_file(trace_out))
+                std::printf("wrote chrome trace to %s (load at "
+                            "chrome://tracing)\n",
+                            trace_out.c_str());
+            else
+                std::fprintf(stderr, "failed to write %s\n", trace_out.c_str());
         }
         return 0;
     } catch (const std::exception& e) {
