@@ -399,4 +399,39 @@ EstimateResult self_normalized_doubly_robust(const Trace& trace,
     return self_normalized_doubly_robust_impl(trace, new_policy, MatrixQ{&qhat});
 }
 
+void fill_estimator_chunk(const Trace& chunk, const Policy& new_policy,
+                          const PredictionMatrix& qhat,
+                          const EstimatorOptions& options, EstimatorChunk& out) {
+    if (!(options.switch_threshold > 0.0))
+        throw std::invalid_argument("fill_estimator_chunk: threshold must be > 0");
+    check_matrix(chunk, new_policy, qhat);
+    const std::size_t n = chunk.size();
+    out.dm.resize(n);
+    out.ips.resize(n);
+    out.dr.resize(n);
+    out.switch_dr.resize(n);
+    out.weights.resize(n);
+    const MatrixQ q{&qhat};
+    // Serial by design: the caller (evaluate_streaming) already runs one
+    // chunk per pool task. Each expression below is copied verbatim from
+    // the per-estimator loops above, so per-tuple values match bit-for-bit.
+    for (std::size_t k = 0; k < n; ++k) {
+        const LoggedTuple& t = chunk[k];
+        const double dm_part = value_under_policy(new_policy, t.context, k, q);
+        const double weight =
+            new_policy.probability(t.context, t.decision) / t.propensity;
+        const double qd = q(k, t.context, static_cast<std::size_t>(t.decision));
+        out.dm[k] = dm_part;
+        out.weights[k] = weight;
+        out.ips[k] = weight * t.reward;
+        out.dr[k] = dm_part + weight * (t.reward - qd);
+        if (weight <= options.switch_threshold) {
+            out.switch_dr[k] = dm_part + weight * (t.reward - qd);
+        } else {
+            DRE_COUNTER_INC("estimators.switch_model_fallbacks");
+            out.switch_dr[k] = dm_part;
+        }
+    }
+}
+
 } // namespace dre::core

@@ -71,8 +71,14 @@ PolicyEvaluation Evaluator::evaluate_with(const Policy& new_policy,
     }
     if (config_.ci_replicates > 0) {
         DRE_SPAN("evaluator.dr_ci");
-        out.dr_ci = estimate_confidence_interval(out.dr, rng, config_.ci_replicates,
-                                                 config_.ci_level);
+        // Chunk-keyed bootstrap (not the classic full-sample resampler):
+        // the streaming path (core/streaming.h) folds the same per-chunk
+        // partials with the same split streams, so in-memory and
+        // out-of-core CIs are bit-identical by construction.
+        out.dr_ci = stats::chunked_bootstrap_mean_ci(out.dr.per_tuple,
+                                                     out.dr.value, rng,
+                                                     config_.ci_replicates,
+                                                     config_.ci_level);
     }
 #if DRE_OBS_ENABLED
     // Throughput across the five estimator passes (six trace sweeps plus

@@ -238,31 +238,6 @@ void parallel_for_chunked(std::size_t n,
 
 namespace {
 
-// Mean-only Welford state mirroring stats::Accumulator's add/merge
-// arithmetic exactly (dre_par cannot depend on dre_stats: dre_stats links
-// against this library).
-struct MeanState {
-    std::size_t n = 0;
-    double mean = 0.0;
-
-    void add(double x) noexcept {
-        ++n;
-        mean += (x - mean) / static_cast<double>(n);
-    }
-    void merge(const MeanState& other) noexcept {
-        if (other.n == 0) return;
-        if (n == 0) {
-            *this = other;
-            return;
-        }
-        const auto total = static_cast<double>(n + other.n);
-        mean = (mean * static_cast<double>(n) +
-                other.mean * static_cast<double>(other.n)) /
-               total;
-        n += other.n;
-    }
-};
-
 template <typename Partial, typename PerChunk>
 std::vector<Partial> chunk_partials(std::size_t n, const PerChunk& per_chunk) {
     const std::size_t chunks = (n + kReduceChunk - 1) / kReduceChunk;

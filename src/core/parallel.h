@@ -154,6 +154,34 @@ auto parallel_map(std::size_t n, Fn&& fn)
 // combined in chunk order, so the value depends only on the input. For
 // inputs of at most one chunk they degenerate to the plain serial fold.
 
+// Mean-only Welford state mirroring stats::Accumulator's add/merge
+// arithmetic exactly (dre_par cannot depend on dre_stats: dre_stats links
+// against this library). Public because the out-of-core evaluation path
+// (core/streaming.cpp) reproduces chunked_mean by folding the same states
+// over chunks it never holds simultaneously — sharing the arithmetic here
+// is what makes the two paths bit-identical.
+struct MeanState {
+    std::size_t n = 0;
+    double mean = 0.0;
+
+    void add(double x) noexcept {
+        ++n;
+        mean += (x - mean) / static_cast<double>(n);
+    }
+    void merge(const MeanState& other) noexcept {
+        if (other.n == 0) return;
+        if (n == 0) {
+            *this = other;
+            return;
+        }
+        const auto total = static_cast<double>(n + other.n);
+        mean = (mean * static_cast<double>(n) +
+                other.mean * static_cast<double>(other.n)) /
+               total;
+        n += other.n;
+    }
+};
+
 // Ordered chunk-wise sum (left fold within chunks, chunk partials combined
 // left to right).
 double chunked_sum(std::span<const double> xs);

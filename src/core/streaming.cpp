@@ -1,0 +1,183 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "core/estimators.h"
+#include "core/parallel.h"
+#include "core/qhat.h"
+#include "obs/obs.h"
+#include "stats/bootstrap.h"
+#include "stats/summary.h"
+
+namespace dre::core {
+
+void TraceTupleSource::read(std::uint64_t begin, std::uint64_t count,
+                            std::vector<LoggedTuple>& out) const {
+    out.clear();
+    if (begin + count > trace_->size())
+        throw std::out_of_range("TraceTupleSource: read past end of trace");
+    out.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        out.push_back((*trace_)[begin + i]);
+}
+
+namespace {
+
+// Everything evaluate_streaming keeps per in-flight chunk. Folded into the
+// running totals strictly in chunk order, then discarded.
+struct ChunkResult {
+    par::MeanState dm, ips, dr, switch_dr;
+    double weight_sum = 0.0;
+    double weighted_reward_sum = 0.0; // Σ w_k r_k (SNIPS numerator)
+    std::vector<double> weights;      // for the in-order overlap fold
+    std::vector<double> boot_partials; // per-replicate DR resample sums
+};
+
+} // namespace
+
+PolicyEvaluation evaluate_streaming(const TupleSource& source,
+                                    const RewardModel& model,
+                                    const Policy& policy,
+                                    const StreamingOptions& options,
+                                    stats::Rng rng) {
+    DRE_SPAN("evaluator.stream");
+    const std::uint64_t n = source.num_tuples();
+    if (n == 0) throw std::invalid_argument("evaluate_streaming: empty source");
+    if (model.num_decisions() != policy.num_decisions())
+        throw std::invalid_argument(
+            "evaluate_streaming: model/policy decision-space mismatch");
+    if (source.num_decisions() > policy.num_decisions())
+        throw std::invalid_argument(
+            "evaluate_streaming: source uses decisions outside policy space");
+
+    // RNG protocol matches Evaluator::evaluate_with: the generator advances
+    // exactly once — inside the bootstrap — and only when a CI is on.
+    std::optional<stats::ChunkedMeanBootstrap> bootstrap;
+    if (options.ci_replicates > 0)
+        bootstrap.emplace(rng.split(), options.ci_replicates, options.ci_level);
+
+    // Chunk geometry is the *global tuple index* over kReduceChunk — the
+    // same boundaries par::chunked_mean/chunked_sum use on the in-memory
+    // arrays, and deliberately decoupled from row-group and shard layout.
+    const std::uint64_t chunks =
+        (n + par::kReduceChunk - 1) / par::kReduceChunk;
+    const std::size_t wave =
+        options.wave_chunks != 0
+            ? options.wave_chunks
+            : std::max<std::size_t>(4 * par::thread_count(), 1);
+
+    // Running totals, each folded exactly as its in-memory counterpart:
+    // MeanState merges for the chunked means, left-fold sums for SNIPS.
+    par::MeanState dm_total, ips_total, dr_total, switch_total;
+    double weight_total = 0.0, weighted_reward_total = 0.0;
+    // Overlap diagnostics: the same serial folds overlap_diagnostics() runs
+    // over the full weight vector, carried across chunks in index order.
+    double o_sum = 0.0, o_sum_sq = 0.0, o_max = 0.0;
+    std::size_t o_zeros = 0;
+    stats::Accumulator weight_acc; // mirrors stats::variance(weights)
+
+    std::vector<ChunkResult> wave_results(
+        static_cast<std::size_t>(std::min<std::uint64_t>(wave, chunks)));
+    for (std::uint64_t wave_begin = 0; wave_begin < chunks;
+         wave_begin += wave) {
+        const auto count = static_cast<std::size_t>(
+            std::min<std::uint64_t>(wave, chunks - wave_begin));
+        par::parallel_for(count, [&](std::size_t i) {
+            DRE_SPAN("evaluator.stream_chunk");
+            const std::uint64_t c = wave_begin + i;
+            const std::uint64_t begin = c * par::kReduceChunk;
+            const std::uint64_t len =
+                std::min<std::uint64_t>(par::kReduceChunk, n - begin);
+            std::vector<LoggedTuple> buffer;
+            source.read(begin, len, buffer);
+            if (buffer.size() != len)
+                throw std::runtime_error(
+                    "evaluate_streaming: source returned a short chunk");
+            const Trace chunk(std::move(buffer));
+            // Chunk-local q̂ block. build() inlines serially inside a pool
+            // task and each slot is a pure function of (model, tuple, d),
+            // so the block equals the matching rows of the full matrix.
+            const PredictionMatrix qhat = PredictionMatrix::build(model, chunk);
+            EstimatorChunk ec;
+            fill_estimator_chunk(chunk, policy, qhat,
+                                 options.estimator_options, ec);
+            ChunkResult r;
+            for (double x : ec.dm) r.dm.add(x);
+            for (double x : ec.ips) r.ips.add(x);
+            for (double x : ec.dr) r.dr.add(x);
+            for (double x : ec.switch_dr) r.switch_dr.add(x);
+            double w_sum = 0.0, wr_sum = 0.0;
+            for (double w : ec.weights) w_sum += w;
+            for (double x : ec.ips) wr_sum += x;
+            r.weight_sum = w_sum;
+            r.weighted_reward_sum = wr_sum;
+            if (bootstrap)
+                r.boot_partials = bootstrap->chunk_partials(c, ec.dr);
+            r.weights = std::move(ec.weights);
+            wave_results[i] = std::move(r);
+#if DRE_OBS_ENABLED
+            DRE_COUNTER_INC("evaluator.chunks_streamed");
+            DRE_COUNTER_ADD("evaluator.tuples_streamed", len);
+#endif
+        });
+        // In-order merge: the only sequencing point, and the reason results
+        // cannot depend on thread count or chunk completion order.
+        for (std::size_t i = 0; i < count; ++i) {
+            ChunkResult& r = wave_results[i];
+            dm_total.merge(r.dm);
+            ips_total.merge(r.ips);
+            dr_total.merge(r.dr);
+            switch_total.merge(r.switch_dr);
+            weight_total += r.weight_sum;
+            weighted_reward_total += r.weighted_reward_sum;
+            for (double w : r.weights) {
+                o_sum += w;
+                o_sum_sq += w * w;
+                o_max = std::max(o_max, w);
+                if (w == 0.0) ++o_zeros;
+                weight_acc.add(w);
+            }
+            if (bootstrap) bootstrap->merge(r.boot_partials);
+            r = ChunkResult{}; // release chunk memory before the next wave
+        }
+    }
+
+    PolicyEvaluation out;
+    out.dm.value = dm_total.mean;
+    out.dm.estimator = "DM";
+    out.ips.value = ips_total.mean;
+    out.ips.estimator = "IPS";
+    out.snips.estimator = "SNIPS";
+    out.snips.value =
+        weight_total <= 0.0 ? 0.0 : weighted_reward_total / weight_total;
+    out.dr.value = dr_total.mean;
+    out.dr.estimator = "DR";
+    out.switch_dr.value = switch_total.mean;
+    out.switch_dr.estimator = "SWITCH-DR";
+
+    OverlapDiagnostics& diag = out.overlap;
+    const auto dn = static_cast<double>(n);
+    diag.n = static_cast<std::size_t>(n);
+    diag.max_weight = o_max;
+    diag.mean_weight = o_sum / dn;
+    diag.effective_sample_size =
+        o_sum_sq > 0.0 ? o_sum * o_sum / o_sum_sq : 0.0;
+    diag.effective_sample_fraction = diag.effective_sample_size / dn;
+    const double var = weight_acc.variance();
+    diag.weight_cv =
+        diag.mean_weight > 0.0 ? std::sqrt(var) / diag.mean_weight : 0.0;
+    diag.zero_weight_fraction = static_cast<double>(o_zeros) / dn;
+    DRE_GAUGE_SET("estimators.effective_sample_size",
+                  diag.effective_sample_size);
+    DRE_GAUGE_SET("estimators.effective_sample_fraction",
+                  diag.effective_sample_fraction);
+
+    if (bootstrap) out.dr_ci = bootstrap->finalize(n, out.dr.value);
+    return out;
+}
+
+} // namespace dre::core

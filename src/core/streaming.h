@@ -1,0 +1,88 @@
+// Out-of-core streaming evaluation (the dre::store integration point).
+//
+// `evaluate_streaming` runs the full Evaluator estimator suite (DM, IPS,
+// SNIPS, DR, SWITCH-DR, overlap diagnostics, DR bootstrap CI) over a
+// TupleSource without ever materializing the trace: tuples are pulled one
+// reduction chunk (par::kReduceChunk) at a time, each chunk builds its own
+// PredictionMatrix block and per-tuple estimator contributions, and the
+// chunk partials are folded *in chunk order* into the running totals.
+//
+// Determinism contract (DESIGN.md §9): the chunk geometry is the global
+// tuple index — independent of thread count, row-group size, and shard
+// split — and every reduction uses exactly the arithmetic of the in-memory
+// path (par::MeanState partials merged left-to-right, left-fold sums,
+// serial-order overlap folds, and the chunk-keyed bootstrap of
+// stats::ChunkedMeanBootstrap). Point estimates AND bootstrap CIs are
+// therefore bit-identical to Evaluator::evaluate on the same tuples, for
+// any DRE_THREADS and any shard layout. Memory is O(chunks-in-flight ×
+// chunk), not O(trace).
+#ifndef DRE_CORE_STREAMING_H
+#define DRE_CORE_STREAMING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/policy.h"
+#include "core/reward_model.h"
+#include "stats/rng.h"
+#include "trace/trace.h"
+
+namespace dre::core {
+
+// Random-access tuple supplier. Implementations must be safe for
+// concurrent read() calls from pool threads (the store-backed source and
+// the in-memory adapter below both are).
+class TupleSource {
+public:
+    virtual ~TupleSource() = default;
+    virtual std::uint64_t num_tuples() const = 0;
+    virtual std::size_t num_decisions() const = 0;
+    // Append tuples [begin, begin + count) to `out` (cleared first).
+    virtual void read(std::uint64_t begin, std::uint64_t count,
+                      std::vector<LoggedTuple>& out) const = 0;
+};
+
+// Adapter over an in-memory Trace (reference semantics — the trace must
+// outlive the source). Used by tests to prove streaming == in-memory.
+class TraceTupleSource final : public TupleSource {
+public:
+    explicit TraceTupleSource(const Trace& trace) : trace_(&trace) {}
+    std::uint64_t num_tuples() const override { return trace_->size(); }
+    std::size_t num_decisions() const override {
+        return trace_->num_decisions();
+    }
+    void read(std::uint64_t begin, std::uint64_t count,
+              std::vector<LoggedTuple>& out) const override;
+
+private:
+    const Trace* trace_;
+};
+
+struct StreamingOptions {
+    EstimatorOptions estimator_options;
+    // Bootstrap CI settings for the DR estimate (0 replicates disables the
+    // CI, mirroring EvaluationConfig).
+    int ci_replicates = 0;
+    double ci_level = 0.95;
+    // Chunks resident per pipeline wave (each ≤ par::kReduceChunk tuples).
+    // 0 = auto (4 × pool threads). Bounds peak memory; never affects
+    // results.
+    std::size_t wave_chunks = 0;
+};
+
+// Streams `source` through `model` and `policy`. The model must already be
+// fitted (fit on a bounded sample for true out-of-core runs, or reuse
+// Evaluator::reward_model() when comparing paths). The returned
+// PolicyEvaluation matches Evaluator::evaluate bit-for-bit except that the
+// per-tuple contribution vectors are left empty — they are exactly what
+// streaming refuses to materialize.
+PolicyEvaluation evaluate_streaming(const TupleSource& source,
+                                    const RewardModel& model,
+                                    const Policy& policy,
+                                    const StreamingOptions& options,
+                                    stats::Rng rng);
+
+} // namespace dre::core
+
+#endif // DRE_CORE_STREAMING_H

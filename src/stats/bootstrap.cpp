@@ -115,4 +115,86 @@ ConfidenceInterval bootstrap_mean_ci(std::span<const double> sample, Rng& rng,
         replicates, level);
 }
 
+ChunkedMeanBootstrap::ChunkedMeanBootstrap(Rng base, int replicates,
+                                           double level)
+    : base_(base), replicates_(replicates), level_(level) {
+    if (replicates < 2)
+        throw std::invalid_argument("ChunkedMeanBootstrap: need >= 2 replicates");
+    if (level <= 0.0 || level >= 1.0)
+        throw std::invalid_argument("ChunkedMeanBootstrap: level outside (0,1)");
+    sums_.assign(static_cast<std::size_t>(replicates), 0.0);
+}
+
+std::vector<double> ChunkedMeanBootstrap::chunk_partials(
+    std::uint64_t chunk_id, std::span<const double> values) const {
+    const auto b_count = static_cast<std::size_t>(replicates_);
+    std::vector<double> partials(b_count, 0.0);
+    const std::size_t m = values.size();
+    if (m == 0) return partials;
+    // Pure child stream per (chunk, replicate): the partial depends only on
+    // the base generator, the chunk id, and the chunk's values.
+    const Rng chunk_base = base_.split(chunk_id);
+    for (std::size_t b = 0; b < b_count; ++b) {
+        Rng replicate_rng = chunk_base.split(b);
+        double sum = 0.0;
+        for (std::size_t i = 0; i < m; ++i)
+            sum += values[replicate_rng.uniform_index(m)];
+        partials[b] = sum;
+    }
+#if DRE_OBS_ENABLED
+    DRE_COUNTER_INC("bootstrap.chunk_partials");
+    DRE_COUNTER_ADD("bootstrap.chunked_resamples", b_count * m);
+#endif
+    return partials;
+}
+
+void ChunkedMeanBootstrap::merge(std::span<const double> partials) {
+    if (partials.size() != sums_.size())
+        throw std::invalid_argument(
+            "ChunkedMeanBootstrap: partial count != replicates");
+    for (std::size_t b = 0; b < sums_.size(); ++b) sums_[b] += partials[b];
+}
+
+ConfidenceInterval ChunkedMeanBootstrap::finalize(std::uint64_t total_n,
+                                                  double point) const {
+    if (total_n == 0)
+        throw std::invalid_argument("ChunkedMeanBootstrap: empty sample");
+    ConfidenceInterval ci;
+    ci.level = level_;
+    ci.point = point;
+    std::vector<double> replicate_values(sums_.size());
+    for (std::size_t b = 0; b < sums_.size(); ++b)
+        replicate_values[b] = sums_[b] / static_cast<double>(total_n);
+    const double alpha = 1.0 - level_;
+    ci.lower = quantile_select(replicate_values, alpha / 2.0);
+    const auto lower_rank = static_cast<std::size_t>(
+        (alpha / 2.0) * static_cast<double>(sums_.size() - 1));
+    ci.upper = quantile_select(replicate_values, 1.0 - alpha / 2.0, lower_rank);
+    return ci;
+}
+
+ConfidenceInterval chunked_bootstrap_mean_ci(std::span<const double> sample,
+                                             double point, Rng& rng,
+                                             int replicates, double level) {
+    if (sample.empty())
+        throw std::invalid_argument("chunked_bootstrap_mean_ci: empty sample");
+    DRE_SPAN("bootstrap.chunked_ci");
+    ChunkedMeanBootstrap bootstrap(rng.split(), replicates, level);
+    const std::size_t chunks =
+        (sample.size() + par::kReduceChunk - 1) / par::kReduceChunk;
+    // Partials per chunk in parallel (each is a pure function of its chunk
+    // id), merged strictly in chunk order below.
+    std::vector<std::vector<double>> partials(chunks);
+    par::parallel_for(chunks, [&](std::size_t c) {
+        const std::size_t begin = c * par::kReduceChunk;
+        const std::size_t end =
+            std::min(begin + par::kReduceChunk, sample.size());
+        partials[c] =
+            bootstrap.chunk_partials(c, sample.subspan(begin, end - begin));
+    });
+    for (const std::vector<double>& p : partials) bootstrap.merge(p);
+    return bootstrap.finalize(sample.size(), point);
+}
+
 } // namespace dre::stats
+

@@ -2,6 +2,7 @@
 #ifndef DRE_STATS_BOOTSTRAP_H
 #define DRE_STATS_BOOTSTRAP_H
 
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
@@ -34,6 +35,69 @@ ConfidenceInterval bootstrap_ci(std::span<const double> sample,
 // Convenience: CI for the mean.
 ConfidenceInterval bootstrap_mean_ci(std::span<const double> sample, Rng& rng,
                                      int replicates = 1000, double level = 0.95);
+
+// ---------------------------------------------------------------------------
+// Chunk-keyed streaming bootstrap for the mean.
+//
+// The classic percentile bootstrap above draws n indices over the whole
+// sample per replicate, which requires random access to all n values — a
+// non-starter for out-of-core evaluation. This variant stratifies each
+// replicate by fixed-size chunk (par::kReduceChunk, the deterministic
+// reduction geometry): replicate b resamples chunk c within itself using
+// the pure child stream base.split(c).split(b), producing one partial sum
+// per (chunk, replicate). Partials are folded in chunk order, and the
+// replicate mean is (fold of partial sums) / n.
+//
+// Consequences:
+//  * O(replicates) streaming state — chunks can be visited one at a time
+//    and discarded;
+//  * results depend only on (base rng, chunk geometry, values), never on
+//    thread count, shard layout, or visit interleaving (merge order is
+//    enforced by the caller feeding chunks in order);
+//  * the in-memory and streaming paths share this exact code, so their
+//    CIs are bit-identical by construction.
+//
+// Statistically this is a stratified bootstrap (resampling within blocks
+// of ≤ 4096 consecutive tuples): each replicate still draws n tuples with
+// replacement, with the count per block fixed at the block size.
+// ---------------------------------------------------------------------------
+class ChunkedMeanBootstrap {
+public:
+    // `base` should be a fresh split of the caller's generator. Throws
+    // std::invalid_argument for replicates < 2 or level outside (0, 1).
+    ChunkedMeanBootstrap(Rng base, int replicates, double level);
+
+    int replicates() const noexcept { return replicates_; }
+
+    // Per-replicate resample sums of `values` (the chunk's per-tuple
+    // contributions). Pure function of (base, chunk_id, values) — safe to
+    // call concurrently for different chunks.
+    std::vector<double> chunk_partials(std::uint64_t chunk_id,
+                                       std::span<const double> values) const;
+
+    // Fold one chunk's partials into the running replicate sums. Chunks
+    // MUST be merged in chunk-id order (0, 1, 2, …).
+    void merge(std::span<const double> partials);
+
+    // Percentile interval over the replicate means; `point` is the caller's
+    // full-sample statistic (reported verbatim, not recomputed).
+    ConfidenceInterval finalize(std::uint64_t total_n, double point) const;
+
+private:
+    Rng base_;
+    int replicates_;
+    double level_;
+    std::vector<double> sums_; // per-replicate running resample sums
+};
+
+// In-memory convenience wrapper: chunk the sample, compute partials in
+// parallel (dre::par), merge in order, finalize. Advances `rng` once (the
+// same protocol as bootstrap_ci), so a streaming run that splits its rng
+// identically produces the identical interval.
+ConfidenceInterval chunked_bootstrap_mean_ci(std::span<const double> sample,
+                                             double point, Rng& rng,
+                                             int replicates = 1000,
+                                             double level = 0.95);
 
 } // namespace dre::stats
 

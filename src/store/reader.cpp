@@ -1,0 +1,409 @@
+#include "store/reader.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <list>
+#include <mutex>
+#include <stdexcept>
+
+#include "obs/obs.h"
+#include "store/crc32c.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DRE_STORE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define DRE_STORE_HAVE_MMAP 0
+#endif
+
+namespace dre::store {
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+    throw std::runtime_error("drt " + path + ": " + what);
+}
+
+std::string hex32(std::uint32_t v) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%08x", v);
+    return buf;
+}
+
+RowGroupView make_view(const StoreSchema& schema, const unsigned char* base,
+                       std::size_t rows) {
+    const RowGroupLayout layout = RowGroupLayout::compute(schema, rows);
+    RowGroupView v;
+    v.rows = rows;
+    // The offsets are 8-aligned by construction and the base is either a
+    // page-aligned mapping or a heap buffer, so the casts are aligned.
+    v.decision = {reinterpret_cast<const std::int32_t*>(base + layout.decision_off),
+                  rows};
+    v.reward = {reinterpret_cast<const double*>(base + layout.reward_off), rows};
+    v.propensity = {reinterpret_cast<const double*>(base + layout.propensity_off),
+                    rows};
+    v.state = {reinterpret_cast<const std::int32_t*>(base + layout.state_off),
+               rows};
+    v.numeric.reserve(schema.numeric_dims);
+    for (std::uint32_t j = 0; j < schema.numeric_dims; ++j)
+        v.numeric.push_back(
+            {reinterpret_cast<const double*>(base + layout.numeric_col_off(j)),
+             rows});
+    v.categorical.reserve(schema.categorical_dims);
+    for (std::uint32_t j = 0; j < schema.categorical_dims; ++j)
+        v.categorical.push_back({reinterpret_cast<const std::int32_t*>(
+                                     base + layout.categorical_col_off(j)),
+                                 rows});
+    return v;
+}
+
+} // namespace
+
+struct StoreReader::Impl {
+    std::string path;
+    Options options;
+    IoMode mode = IoMode::kPread;
+    StoreHeader header;
+    std::vector<RowGroupInfo> groups;
+    std::vector<std::uint64_t> row_offset; // prefix sums; size groups+1
+    std::uint64_t file_size = 0;
+
+    // mmap backend
+    const unsigned char* map_base = nullptr;
+    std::unique_ptr<std::atomic<bool>[]> validated; // lazy CRC memo
+
+    // pread backend
+#if DRE_STORE_HAVE_MMAP
+    int fd = -1;
+#else
+    std::FILE* file = nullptr;
+#endif
+    mutable std::mutex cache_mutex;
+    using CacheEntry =
+        std::pair<std::size_t, std::shared_ptr<const std::vector<unsigned char>>>;
+    mutable std::list<CacheEntry> cache; // front = most recent
+
+    ~Impl() {
+#if DRE_STORE_HAVE_MMAP
+        if (map_base != nullptr)
+            ::munmap(const_cast<unsigned char*>(map_base), file_size);
+        if (fd >= 0) ::close(fd);
+#else
+        if (file != nullptr) std::fclose(file);
+#endif
+    }
+
+    // Positional read of exactly `size` bytes (used for open-time metadata
+    // in pread mode, and for row-group fetches).
+    void pread_exact(std::uint64_t offset, void* dst, std::size_t size) const {
+#if DRE_STORE_HAVE_MMAP
+        std::size_t done = 0;
+        while (done < size) {
+            const ::ssize_t got =
+                ::pread(fd, static_cast<char*>(dst) + done, size - done,
+                        static_cast<::off_t>(offset + done));
+            if (got < 0) {
+                if (errno == EINTR) continue;
+                fail(path, std::string("read failed: ") + std::strerror(errno));
+            }
+            if (got == 0) fail(path, "unexpected end of file (truncated)");
+            done += static_cast<std::size_t>(got);
+        }
+#else
+        std::lock_guard<std::mutex> lock(cache_mutex);
+        if (std::fseek(file, static_cast<long>(offset), SEEK_SET) != 0 ||
+            std::fread(dst, 1, size, file) != size)
+            fail(path, "unexpected end of file (truncated)");
+#endif
+    }
+
+    const unsigned char* group_base_mmap(std::size_t g) const {
+        return map_base + groups[g].offset;
+    }
+
+    void check_group_crc(std::size_t g, const unsigned char* bytes,
+                         std::size_t size) const {
+        const std::uint32_t got = crc32c(bytes, size);
+        if (got != groups[g].crc) {
+            DRE_COUNTER_INC("store.checksum_failures");
+            fail(path, "row group " + std::to_string(g) +
+                           " checksum mismatch (expected " +
+                           hex32(groups[g].crc) + ", got " + hex32(got) + ")");
+        }
+#if DRE_OBS_ENABLED
+        DRE_COUNTER_INC("store.row_groups_decoded");
+        DRE_COUNTER_ADD("store.bytes_read", size);
+#endif
+    }
+};
+
+StoreReader::StoreReader(const std::string& path, Options options)
+    : impl_(std::make_unique<Impl>()) {
+    DRE_SPAN("store.open");
+    Impl& im = *impl_;
+    im.path = path;
+    im.options = options;
+#if DRE_STORE_HAVE_MMAP
+    im.mode = options.io_mode == IoMode::kPread ? IoMode::kPread : IoMode::kMmap;
+    im.fd = ::open(path.c_str(), O_RDONLY);
+    if (im.fd < 0)
+        fail(path, std::string("cannot open: ") + std::strerror(errno));
+    struct ::stat st;
+    if (::fstat(im.fd, &st) != 0)
+        fail(path, std::string("stat failed: ") + std::strerror(errno));
+    im.file_size = static_cast<std::uint64_t>(st.st_size);
+#else
+    im.mode = IoMode::kPread;
+    im.file = std::fopen(path.c_str(), "rb");
+    if (im.file == nullptr)
+        fail(path, std::string("cannot open: ") + std::strerror(errno));
+    std::fseek(im.file, 0, SEEK_END);
+    im.file_size = static_cast<std::uint64_t>(std::ftell(im.file));
+#endif
+    if (im.file_size < kHeaderBytes + kTailBytes)
+        fail(path, "file too small to be a .drt trace (truncated?)");
+
+#if DRE_STORE_HAVE_MMAP
+    if (im.mode == IoMode::kMmap) {
+        void* map = ::mmap(nullptr, im.file_size, PROT_READ, MAP_SHARED,
+                           im.fd, 0);
+        if (map == MAP_FAILED)
+            fail(path, std::string("mmap failed: ") + std::strerror(errno));
+        im.map_base = static_cast<const unsigned char*>(map);
+    }
+#endif
+
+    // Header.
+    unsigned char header[kHeaderBytes];
+    if (im.map_base != nullptr)
+        std::memcpy(header, im.map_base, kHeaderBytes);
+    else
+        im.pread_exact(0, header, kHeaderBytes);
+    if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0)
+        fail(path, "bad magic (not a .drt file)");
+    im.header = decode_header(header);
+    if (im.header.endian_check != kEndianCheck)
+        fail(path, "endianness mismatch (file written on a foreign-endian host)");
+    if (im.header.version != kFormatVersion)
+        fail(path, "unsupported format version " +
+                       std::to_string(im.header.version) + " (reader supports " +
+                       std::to_string(kFormatVersion) + ")");
+    if (im.header.row_group_rows == 0)
+        fail(path, "corrupt header: zero row-group size");
+
+    // Tail.
+    unsigned char tail[kTailBytes];
+    if (im.map_base != nullptr)
+        std::memcpy(tail, im.map_base + im.file_size - kTailBytes, kTailBytes);
+    else
+        im.pread_exact(im.file_size - kTailBytes, tail, kTailBytes);
+    if (std::memcmp(tail + sizeof(std::uint64_t), kEndMagic,
+                    sizeof(kEndMagic)) != 0)
+        fail(path, "missing end magic (file truncated or not finalized)");
+    std::size_t pos = 0;
+    const auto footer_offset = decode_value<std::uint64_t>(tail, pos);
+    if (footer_offset < kHeaderBytes ||
+        footer_offset + kFooterFixedBytes + kTailBytes > im.file_size)
+        fail(path, "footer offset out of bounds (truncated footer)");
+
+    // Footer index.
+    std::uint64_t group_count = 0;
+    {
+        unsigned char count_bytes[sizeof(std::uint64_t)];
+        if (im.map_base != nullptr)
+            std::memcpy(count_bytes, im.map_base + footer_offset,
+                        sizeof(count_bytes));
+        else
+            im.pread_exact(footer_offset, count_bytes, sizeof(count_bytes));
+        std::size_t p = 0;
+        group_count = decode_value<std::uint64_t>(count_bytes, p);
+    }
+    const std::uint64_t max_groups =
+        (im.file_size - kTailBytes - footer_offset - kFooterFixedBytes) /
+        kFooterEntryBytes;
+    if (group_count > max_groups)
+        fail(path, "truncated footer (index claims " +
+                       std::to_string(group_count) + " row groups)");
+    const std::size_t footer_size = footer_bytes(group_count);
+    std::vector<unsigned char> footer(footer_size);
+    if (im.map_base != nullptr)
+        std::memcpy(footer.data(), im.map_base + footer_offset, footer_size);
+    else
+        im.pread_exact(footer_offset, footer.data(), footer_size);
+    const std::size_t crc_pos = footer_size - 2 * sizeof(std::uint32_t);
+    std::size_t p = crc_pos;
+    const auto expected_crc = decode_value<std::uint32_t>(footer.data(), p);
+    const std::uint32_t got_crc = crc32c(footer.data(), crc_pos);
+    if (got_crc != expected_crc) {
+        DRE_COUNTER_INC("store.checksum_failures");
+        fail(path, "footer checksum mismatch (expected " + hex32(expected_crc) +
+                       ", got " + hex32(got_crc) + ")");
+    }
+
+    im.groups.resize(group_count);
+    im.row_offset.assign(group_count + 1, 0);
+    p = sizeof(std::uint64_t);
+    std::uint64_t rows_total = 0;
+    for (std::uint64_t g = 0; g < group_count; ++g) {
+        RowGroupInfo& info = im.groups[g];
+        info.offset = decode_value<std::uint64_t>(footer.data(), p);
+        info.rows = decode_value<std::uint32_t>(footer.data(), p);
+        info.crc = decode_value<std::uint32_t>(footer.data(), p);
+        const RowGroupLayout layout =
+            RowGroupLayout::compute(im.header.schema, info.rows);
+        if (info.rows == 0 || info.rows > im.header.row_group_rows ||
+            info.offset < kHeaderBytes ||
+            info.offset + layout.bytes > footer_offset)
+            fail(path, "corrupt row-group index entry " + std::to_string(g));
+        rows_total += info.rows;
+        im.row_offset[g + 1] = rows_total;
+    }
+    if (rows_total != im.header.num_tuples)
+        fail(path, "header/index tuple count mismatch (header says " +
+                       std::to_string(im.header.num_tuples) + ", index sums to " +
+                       std::to_string(rows_total) + ")");
+    if (im.mode == IoMode::kMmap) {
+        im.validated =
+            std::make_unique<std::atomic<bool>[]>(std::max<std::size_t>(
+                static_cast<std::size_t>(group_count), 1));
+        for (std::uint64_t g = 0; g < group_count; ++g)
+            im.validated[g].store(false, std::memory_order_relaxed);
+    }
+}
+
+StoreReader::~StoreReader() = default;
+
+const std::string& StoreReader::path() const noexcept { return impl_->path; }
+StoreReader::IoMode StoreReader::io_mode() const noexcept { return impl_->mode; }
+StoreSchema StoreReader::schema() const noexcept { return impl_->header.schema; }
+std::uint32_t StoreReader::row_group_rows() const noexcept {
+    return impl_->header.row_group_rows;
+}
+std::size_t StoreReader::num_decisions() const noexcept {
+    return impl_->header.num_decisions;
+}
+std::uint64_t StoreReader::num_tuples() const noexcept {
+    return impl_->header.num_tuples;
+}
+std::size_t StoreReader::num_row_groups() const noexcept {
+    return impl_->groups.size();
+}
+
+RowGroupInfo StoreReader::row_group_info(std::size_t group) const {
+    if (group >= impl_->groups.size())
+        fail(impl_->path, "row group " + std::to_string(group) +
+                              " out of range (file has " +
+                              std::to_string(impl_->groups.size()) + ")");
+    return impl_->groups[group];
+}
+
+StoreReader::RowGroup StoreReader::row_group(std::size_t group) const {
+    const Impl& im = *impl_;
+    if (group >= im.groups.size())
+        fail(im.path, "row group " + std::to_string(group) +
+                          " out of range (file has " +
+                          std::to_string(im.groups.size()) + ")");
+    const RowGroupInfo& info = im.groups[group];
+    RowGroup out;
+    if (im.mode == IoMode::kMmap) {
+        const unsigned char* base = im.group_base_mmap(group);
+        // Validate lazily, once. The flag is a monotonic latch: a benign
+        // double validation under a race costs a re-scan, never corruption.
+        if (!im.validated[group].load(std::memory_order_acquire)) {
+            const RowGroupLayout layout =
+                RowGroupLayout::compute(im.header.schema, info.rows);
+            im.check_group_crc(group, base, layout.bytes);
+            im.validated[group].store(true, std::memory_order_release);
+        }
+        out.view_ = make_view(im.header.schema, base, info.rows);
+        return out;
+    }
+    // pread backend: serve from (or fill) the LRU cache. The lock covers the
+    // fetch too — correctness first; the mmap backend is the concurrent
+    // scan path.
+    std::lock_guard<std::mutex> lock(im.cache_mutex);
+    for (auto it = im.cache.begin(); it != im.cache.end(); ++it) {
+        if (it->first == group) {
+            im.cache.splice(im.cache.begin(), im.cache, it);
+            out.pinned_ = im.cache.front().second;
+            out.view_ =
+                make_view(im.header.schema, out.pinned_->data(), info.rows);
+#if DRE_OBS_ENABLED
+            DRE_COUNTER_INC("store.cache_hits");
+#endif
+            return out;
+        }
+    }
+#if DRE_OBS_ENABLED
+    DRE_COUNTER_INC("store.cache_misses");
+#endif
+    const RowGroupLayout layout =
+        RowGroupLayout::compute(im.header.schema, info.rows);
+    auto buffer = std::make_shared<std::vector<unsigned char>>(layout.bytes);
+    im.pread_exact(info.offset, buffer->data(), layout.bytes);
+    im.check_group_crc(group, buffer->data(), layout.bytes);
+    im.cache.emplace_front(group, buffer);
+    const std::size_t capacity = std::max<std::size_t>(
+        im.options.pread_cache_groups, 1);
+    while (im.cache.size() > capacity) im.cache.pop_back();
+    out.pinned_ = std::move(buffer);
+    out.view_ = make_view(im.header.schema, out.pinned_->data(), info.rows);
+    return out;
+}
+
+void StoreReader::read_rows(std::uint64_t begin, std::uint64_t count,
+                            std::vector<LoggedTuple>& out) const {
+    const Impl& im = *impl_;
+    out.clear();
+    if (begin + count > im.header.num_tuples)
+        fail(im.path, "read_rows range [" + std::to_string(begin) + ", " +
+                          std::to_string(begin + count) + ") exceeds " +
+                          std::to_string(im.header.num_tuples) + " tuples");
+    if (count == 0) return;
+    out.reserve(count);
+    // First group containing `begin`.
+    const auto it = std::upper_bound(im.row_offset.begin(), im.row_offset.end(),
+                                     begin);
+    std::size_t g = static_cast<std::size_t>(it - im.row_offset.begin()) - 1;
+    std::uint64_t row = begin;
+    const std::uint64_t end = begin + count;
+    const std::uint32_t nd = im.header.schema.numeric_dims;
+    const std::uint32_t cd = im.header.schema.categorical_dims;
+    while (row < end) {
+        const RowGroup rg = row_group(g);
+        const RowGroupView& v = rg.view();
+        const std::uint64_t group_begin = im.row_offset[g];
+        const std::size_t lo = static_cast<std::size_t>(row - group_begin);
+        const std::size_t hi = static_cast<std::size_t>(
+            std::min<std::uint64_t>(end - group_begin, v.rows));
+        for (std::size_t k = lo; k < hi; ++k) {
+            LoggedTuple t;
+            t.decision = v.decision[k];
+            t.reward = v.reward[k];
+            t.propensity = v.propensity[k];
+            t.state = v.state[k];
+            t.context.numeric.resize(nd);
+            for (std::uint32_t j = 0; j < nd; ++j)
+                t.context.numeric[j] = v.numeric[j][k];
+            t.context.categorical.resize(cd);
+            for (std::uint32_t j = 0; j < cd; ++j)
+                t.context.categorical[j] = v.categorical[j][k];
+            out.push_back(std::move(t));
+        }
+        row = group_begin + hi;
+        ++g;
+    }
+}
+
+Trace StoreReader::read_all() const {
+    std::vector<LoggedTuple> tuples;
+    read_rows(0, num_tuples(), tuples);
+    return Trace(std::move(tuples));
+}
+
+} // namespace dre::store

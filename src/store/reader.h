@@ -1,0 +1,94 @@
+// StoreReader — validating, zero-copy .drt consumer.
+//
+// Opening a file validates the magic, version, endian check, tail, and the
+// checksummed footer index up front; row-group payload CRCs are validated
+// lazily on first access (and remembered), so opening a multi-gigabyte
+// shard is O(footer) while corruption is still always caught before any
+// tuple from the damaged group is surfaced. Every validation failure is a
+// descriptive std::runtime_error naming the file (and row group) — corrupt
+// input is never undefined behavior.
+//
+// Two I/O backends sit behind the same interface:
+//  * kMmap (default where available): the file is mapped once and row
+//    groups are zero-copy spans into the mapping — scans touch the page
+//    cache directly and concurrent readers share it.
+//  * kPread: positional reads into an LRU cache of `pread_cache_groups`
+//    decoded row groups — the portable fallback, and the backend that
+//    gives a hard, configurable memory bound for out-of-core runs.
+#ifndef DRE_STORE_READER_H
+#define DRE_STORE_READER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/format.h"
+#include "trace/trace.h"
+
+namespace dre::store {
+
+enum class IoMode {
+    kAuto,  // mmap where the platform supports it, else pread
+    kMmap,
+    kPread,
+};
+
+// Namespace-scope (not nested) so it is complete where constructor default
+// arguments need it; spelled StoreReader::Options at call sites.
+struct StoreReaderOptions {
+    IoMode io_mode = IoMode::kAuto;
+    // LRU capacity (in row groups) for the pread backend; ignored by
+    // mmap. Small by design: this is the out-of-core memory bound.
+    std::size_t pread_cache_groups = 4;
+};
+
+class StoreReader {
+public:
+    using IoMode = store::IoMode;
+    using Options = StoreReaderOptions;
+
+    explicit StoreReader(const std::string& path, Options options = {});
+    ~StoreReader();
+    StoreReader(const StoreReader&) = delete;
+    StoreReader& operator=(const StoreReader&) = delete;
+
+    const std::string& path() const noexcept;
+    IoMode io_mode() const noexcept; // resolved backend (never kAuto)
+    StoreSchema schema() const noexcept;
+    std::uint32_t row_group_rows() const noexcept;
+    std::size_t num_decisions() const noexcept;
+    std::uint64_t num_tuples() const noexcept;
+    std::size_t num_row_groups() const noexcept;
+    RowGroupInfo row_group_info(std::size_t group) const;
+
+    // Pinned, CRC-validated access to one row group. The handle keeps the
+    // underlying bytes alive (mapping or cache buffer) for its lifetime.
+    class RowGroup {
+    public:
+        const RowGroupView& view() const noexcept { return view_; }
+
+    private:
+        friend class StoreReader;
+        std::shared_ptr<const std::vector<unsigned char>> pinned_; // pread
+        RowGroupView view_;
+    };
+
+    // Thread-safe; throws std::runtime_error naming the group on checksum
+    // mismatch or a short read.
+    RowGroup row_group(std::size_t group) const;
+
+    // Appends `count` tuples starting at global row `begin` to `out`
+    // (cleared first). Thread-safe.
+    void read_rows(std::uint64_t begin, std::uint64_t count,
+                   std::vector<LoggedTuple>& out) const;
+    Trace read_all() const;
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace dre::store
+
+#endif // DRE_STORE_READER_H

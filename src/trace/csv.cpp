@@ -22,6 +22,40 @@ std::vector<std::string> split_row(const std::string& line) {
     throw std::runtime_error("csv line " + std::to_string(line_number) + ": " + what);
 }
 
+// Checked numeric parsing. Bare std::stod/std::stol would silently accept
+// trailing garbage ("1.5abc" → 1.5) and throw context-free errors on junk;
+// these reject anything but a complete numeric cell so the error surfaces
+// through fail(line_number, …) with the offending cell quoted.
+double parse_double_cell(const std::string& cell, const char* column) {
+    std::size_t consumed = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(cell, &consumed);
+    } catch (const std::exception&) {
+        throw std::runtime_error(std::string(column) + " cell '" + cell +
+                                 "' is not a number");
+    }
+    if (consumed != cell.size())
+        throw std::runtime_error(std::string(column) + " cell '" + cell +
+                                 "' has trailing garbage");
+    return value;
+}
+
+long parse_long_cell(const std::string& cell, const char* column) {
+    std::size_t consumed = 0;
+    long value = 0;
+    try {
+        value = std::stol(cell, &consumed);
+    } catch (const std::exception&) {
+        throw std::runtime_error(std::string(column) + " cell '" + cell +
+                                 "' is not an integer");
+    }
+    if (consumed != cell.size())
+        throw std::runtime_error(std::string(column) + " cell '" + cell +
+                                 "' has trailing garbage");
+    return value;
+}
+
 } // namespace
 
 void write_csv(const Trace& trace, std::ostream& out) {
@@ -49,10 +83,31 @@ void write_csv(const Trace& trace, std::ostream& out) {
 }
 
 void write_csv_file(const Trace& trace, const std::string& path) {
-    std::ofstream out(path);
-    if (!out) throw std::runtime_error("write_csv_file: cannot open " + path);
-    write_csv(trace, out);
-    if (!out) throw std::runtime_error("write_csv_file: write failed for " + path);
+    // Write to a sibling temp file and rename into place so a crash or a
+    // write error mid-stream never leaves a truncated file at `path`.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp);
+        if (!out) throw std::runtime_error("write_csv_file: cannot open " + tmp);
+        try {
+            write_csv(trace, out);
+        } catch (...) {
+            out.close();
+            std::remove(tmp.c_str());
+            throw;
+        }
+        out.flush();
+        if (!out) {
+            out.close();
+            std::remove(tmp.c_str());
+            throw std::runtime_error("write_csv_file: write failed for " + tmp);
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("write_csv_file: cannot rename " + tmp +
+                                 " to " + path);
+    }
 }
 
 Trace read_csv(std::istream& in) {
@@ -84,17 +139,21 @@ Trace read_csv(std::istream& in) {
             fail(line_number, "wrong cell count");
         LoggedTuple tuple;
         try {
-            tuple.decision = static_cast<Decision>(std::stol(cells[0]));
-            tuple.reward = std::stod(cells[1]);
-            tuple.propensity = std::stod(cells[2]);
-            tuple.state = static_cast<std::int32_t>(std::stol(cells[3]));
+            tuple.decision =
+                static_cast<Decision>(parse_long_cell(cells[0], "decision"));
+            tuple.reward = parse_double_cell(cells[1], "reward");
+            tuple.propensity = parse_double_cell(cells[2], "propensity");
+            tuple.state =
+                static_cast<std::int32_t>(parse_long_cell(cells[3], "state"));
             tuple.context.numeric.reserve(numeric_dims);
             for (std::size_t i = 0; i < numeric_dims; ++i)
-                tuple.context.numeric.push_back(std::stod(cells[4 + i]));
+                tuple.context.numeric.push_back(
+                    parse_double_cell(cells[4 + i], "numeric context"));
             tuple.context.categorical.reserve(categorical_dims);
             for (std::size_t i = 0; i < categorical_dims; ++i)
-                tuple.context.categorical.push_back(
-                    static_cast<std::int32_t>(std::stol(cells[4 + numeric_dims + i])));
+                tuple.context.categorical.push_back(static_cast<std::int32_t>(
+                    parse_long_cell(cells[4 + numeric_dims + i],
+                                    "categorical context")));
         } catch (const std::exception& e) {
             fail(line_number, e.what());
         }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "stats/rng.h"
@@ -73,7 +75,38 @@ TEST(Csv, RejectsWrongCellCount) {
 TEST(Csv, RejectsNonNumericCells) {
     std::stringstream bad(
         "decision,reward,propensity,state,n0\n1,abc,0.5,0,1.0\n");
-    EXPECT_THROW(read_csv(bad), std::runtime_error);
+    try {
+        read_csv(bad);
+        FAIL() << "expected rejection";
+    } catch (const std::runtime_error& e) {
+        // The error names the line, the column, and the offending cell.
+        const std::string what = e.what();
+        EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+        EXPECT_NE(what.find("reward"), std::string::npos) << what;
+        EXPECT_NE(what.find("'abc'"), std::string::npos) << what;
+    }
+}
+
+TEST(Csv, RejectsTrailingGarbageInNumericCells) {
+    // std::stod would happily parse "1.5abc" as 1.5; the checked parser
+    // must reject the whole cell instead of silently truncating it.
+    std::stringstream bad_double(
+        "decision,reward,propensity,state,n0\n1,1.5abc,0.5,0,1.0\n");
+    try {
+        read_csv(bad_double);
+        FAIL() << "expected rejection";
+    } catch (const std::runtime_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+        EXPECT_NE(what.find("trailing garbage"), std::string::npos) << what;
+    }
+
+    std::stringstream bad_long(
+        "decision,reward,propensity,state,n0\n1x,2.0,0.5,0,1.0\n");
+    EXPECT_THROW(read_csv(bad_long), std::runtime_error);
+    std::stringstream bad_context(
+        "decision,reward,propensity,state,c0\n1,2.0,0.5,0,3.7\n");
+    EXPECT_THROW(read_csv(bad_context), std::runtime_error);
 }
 
 TEST(Csv, RejectsHeterogeneousSchemaOnWrite) {
@@ -101,6 +134,33 @@ TEST(Csv, SkipsBlankLines) {
     std::stringstream in("decision,reward,propensity,state,n0\n1,2.0,0.5,0,1.0\n\n");
     const Trace parsed = read_csv(in);
     EXPECT_EQ(parsed.size(), 1u);
+}
+
+TEST(Csv, FileWriteIsAtomic) {
+    // write_csv_file goes through <path>.tmp + rename: no temp file may
+    // survive a successful write, and a failed write must leave neither
+    // the temp file nor a clobbered target behind.
+    const Trace original = sample_trace();
+    const std::string path = testing::TempDir() + "dre_csv_atomic.csv";
+    write_csv_file(original, path);
+    std::ifstream tmp_gone(path + ".tmp");
+    EXPECT_FALSE(tmp_gone.good());
+    EXPECT_EQ(read_csv_file(path).size(), original.size());
+
+    // Heterogeneous schema makes write_csv throw mid-stream; the
+    // previously-written good file must survive untouched.
+    Trace broken;
+    LoggedTuple a;
+    a.context.numeric = {1.0};
+    broken.add(a);
+    LoggedTuple b;
+    b.context.numeric = {1.0, 2.0};
+    broken.add(b);
+    EXPECT_THROW(write_csv_file(broken, path), std::invalid_argument);
+    std::ifstream tmp_cleaned(path + ".tmp");
+    EXPECT_FALSE(tmp_cleaned.good());
+    EXPECT_EQ(read_csv_file(path).size(), original.size());
+    std::remove(path.c_str());
 }
 
 } // namespace

@@ -1,7 +1,12 @@
-// dre_eval — evaluate a candidate policy against a logged trace CSV.
+// dre_eval — evaluate a candidate policy against a logged trace.
 //
 // Usage:
-//   dre_eval <trace.csv> <policy-spec> [options]
+//   dre_eval <trace> <policy-spec> [options]
+//   dre_eval convert <input> <output> [--shards N] [--row-group-rows M]
+//
+// <trace> / <input> may be a CSV file, a single binary columnar store
+// (*.drt, see store/format.h), or a shard-set prefix expanding to every
+// matching `<prefix>*.drt` in lexicographic order.
 //
 // Policy specs:
 //   constant:<d>        always choose decision d
@@ -28,22 +33,38 @@
 //   --trace-out <file>        collect spans as a chrome://tracing JSON file
 //                             (open at chrome://tracing or ui.perfetto.dev)
 //   --seed <n>                RNG seed (default 1)
+//   --streaming               out-of-core evaluation: stream row groups
+//                             through the estimators instead of loading the
+//                             trace (bit-identical results; .drt input only)
+//   --fit-sample <n>          rows read in-memory to fit the reward model /
+//                             greedy policy under --streaming (default 100000)
+//   --io mmap|pread           I/O backend for .drt input (default: auto)
+//
+// convert moves traces between formats and shard layouts: CSV <-> .drt in
+// either direction, and .drt -> N shards via --shards (output treated as a
+// prefix, producing <output>00000.drt ...).
 //
 // The trace CSV format is the library's own (see dre::write_csv):
 //   decision,reward,propensity,state,n0,...,c0,...
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/audit.h"
 #include "core/evaluator.h"
 #include "core/policy_learning.h"
 #include "core/quantile_estimators.h"
 #include "core/drift.h"
+#include "core/streaming.h"
 #include "core/subgroup.h"
 #include "obs/obs.h"
+#include "store/reader.h"
+#include "store/sharded.h"
+#include "store/writer.h"
 #include "trace/csv.h"
 
 using namespace dre;
@@ -52,13 +73,124 @@ namespace {
 
 [[noreturn]] void usage(const char* argv0) {
     std::fprintf(stderr,
-                 "usage: %s <trace.csv> <policy-spec> [--estimate-propensities] "
+                 "usage: %s <trace.csv|trace.drt|shard-prefix> <policy-spec> "
+                 "[--estimate-propensities] "
                  "[--cross-fit] [--model tabular|linear|knn] [--ci N] "
                  "[--quantile q] [--by-group i] [--check-drift] [--audit] "
                  "[--compare policy-spec] [--obs-out file] [--trace-out file] "
-                 "[--seed n]\n",
-                 argv0);
+                 "[--seed n] [--streaming] [--fit-sample n] [--io mmap|pread]\n"
+                 "       %s convert <input> <output> [--shards N] "
+                 "[--row-group-rows M]\n",
+                 argv0, argv0);
     std::exit(2);
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+    const std::size_t n = std::strlen(suffix);
+    return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+// Expands a .drt path or a shard prefix to the ordered shard list.
+std::vector<std::string> resolve_shards(const std::string& path) {
+    if (ends_with(path, ".drt")) return {path};
+    std::vector<std::string> shards = store::find_shards(path);
+    if (shards.empty())
+        throw std::runtime_error("no .drt shards match prefix " + path);
+    return shards;
+}
+
+bool is_store_input(const std::string& path) {
+    return !ends_with(path, ".csv");
+}
+
+// Loads any accepted input format fully into memory.
+Trace load_trace(const std::string& path, store::StoreReader::Options options) {
+    if (!is_store_input(path)) return read_csv_file(path);
+    return store::ShardedStore(resolve_shards(path), options).read_all();
+}
+
+int run_convert(int argc, char** argv) {
+    if (argc < 4) usage(argv[0]);
+    const std::string in_path = argv[2];
+    const std::string out_path = argv[3];
+    std::size_t shards = 0;
+    store::StoreWriter::Options writer_options;
+    for (int i = 4; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&](const char* what) -> std::string {
+            if (i + 1 >= argc)
+                throw std::invalid_argument(std::string(what) + " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--shards") {
+            shards = static_cast<std::size_t>(std::stoul(next("--shards")));
+        } else if (arg == "--row-group-rows") {
+            writer_options.row_group_rows = static_cast<std::uint32_t>(
+                std::stoul(next("--row-group-rows")));
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    if (ends_with(out_path, ".csv")) {
+        if (shards != 0)
+            throw std::invalid_argument("--shards only applies to .drt output");
+        const Trace trace = load_trace(in_path, {});
+        write_csv_file(trace, out_path);
+        std::printf("wrote %zu tuples to %s\n", trace.size(), out_path.c_str());
+        return 0;
+    }
+
+    if (shards > 0) {
+        // Output is a shard prefix. Store input streams shard-to-shard in
+        // bounded batches; CSV input is already in memory from parsing.
+        std::vector<std::string> out_shards;
+        if (is_store_input(in_path)) {
+            const store::ShardedStore in(resolve_shards(in_path));
+            out_shards = store::split_store(in, out_path, shards, writer_options);
+        } else {
+            const Trace trace = read_csv_file(in_path);
+            const std::uint64_t n = trace.size();
+            const store::StoreSchema schema =
+                trace.empty()
+                    ? store::StoreSchema{0, 0}
+                    : store::StoreSchema{static_cast<std::uint32_t>(
+                                      trace[0].context.numeric_dims()),
+                                  static_cast<std::uint32_t>(
+                                      trace[0].context.categorical_dims())};
+            for (std::size_t s = 0; s < shards; ++s) {
+                char suffix[16];
+                std::snprintf(suffix, sizeof(suffix), "%05zu.drt", s);
+                const std::string path = out_path + suffix;
+                store::StoreWriter writer(path, schema, writer_options);
+                for (std::uint64_t r = n * s / shards;
+                     r < n * (s + 1) / shards; ++r)
+                    writer.append(trace[static_cast<std::size_t>(r)]);
+                writer.finalize();
+                out_shards.push_back(path);
+            }
+        }
+        for (const std::string& s : out_shards)
+            std::printf("wrote shard %s\n", s.c_str());
+        return 0;
+    }
+
+    if (!ends_with(out_path, ".drt"))
+        throw std::invalid_argument(
+            "output must end in .csv or .drt (or pass --shards N with a "
+            "prefix)");
+    if (is_store_input(in_path)) {
+        const store::ShardedStore in(resolve_shards(in_path));
+        store::concat_stores(in, out_path, writer_options);
+        std::printf("wrote %llu tuples to %s\n",
+                    static_cast<unsigned long long>(in.num_tuples()),
+                    out_path.c_str());
+    } else {
+        const Trace trace = read_csv_file(in_path);
+        store::write_store_file(trace, out_path, writer_options);
+        std::printf("wrote %zu tuples to %s\n", trace.size(), out_path.c_str());
+    }
+    return 0;
 }
 
 core::RewardModelKind parse_model_kind(const std::string& name) {
@@ -68,9 +200,12 @@ core::RewardModelKind parse_model_kind(const std::string& name) {
     throw std::invalid_argument("unknown model kind: " + name);
 }
 
+// `decisions` is passed explicitly rather than derived from the trace: a
+// streaming run fits on a bounded sample whose max decision may undershoot
+// the full trace's decision space.
 std::shared_ptr<core::Policy> parse_policy(const std::string& spec,
-                                           const Trace& trace) {
-    const std::size_t decisions = trace.num_decisions();
+                                           const Trace& trace,
+                                           std::size_t decisions) {
     if (spec == "uniform")
         return std::make_shared<core::UniformRandomPolicy>(decisions);
     if (spec.rfind("constant:", 0) == 0) {
@@ -90,6 +225,14 @@ std::shared_ptr<core::Policy> parse_policy(const std::string& spec,
 } // namespace
 
 int main(int argc, char** argv) {
+    if (argc >= 2 && std::strcmp(argv[1], "convert") == 0) {
+        try {
+            return run_convert(argc, argv);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    }
     if (argc < 3) usage(argv[0]);
     try {
         const std::string path = argv[1];
@@ -100,6 +243,9 @@ int main(int argc, char** argv) {
         long group_index = -1;
         bool check_drift = false;
         bool run_audit = false;
+        bool streaming = false;
+        std::uint64_t fit_sample = 100000;
+        store::StoreReader::Options reader_options;
         std::string compare_spec;
         std::string obs_out, trace_out;
         std::uint64_t seed = 1;
@@ -137,12 +283,114 @@ int main(int argc, char** argv) {
                 obs::set_trace_enabled(true);
             } else if (arg == "--seed") {
                 seed = std::stoull(next("--seed"));
+            } else if (arg == "--streaming") {
+                streaming = true;
+            } else if (arg == "--fit-sample") {
+                fit_sample = std::stoull(next("--fit-sample"));
+            } else if (arg == "--io") {
+                const std::string mode = next("--io");
+                if (mode == "mmap") {
+                    reader_options.io_mode = store::IoMode::kMmap;
+                } else if (mode == "pread") {
+                    reader_options.io_mode = store::IoMode::kPread;
+                } else {
+                    throw std::invalid_argument("--io must be mmap or pread");
+                }
             } else {
                 usage(argv[0]);
             }
         }
 
-        const Trace trace = read_csv_file(path);
+        if (streaming) {
+            // The streaming path never materializes the trace, so every
+            // option that needs random access to all tuples is out.
+            if (config.cross_fit || config.estimate_propensities ||
+                run_audit || check_drift || group_index >= 0 ||
+                quantile_q >= 0.0 || !compare_spec.empty())
+                throw std::invalid_argument(
+                    "--streaming supports only --model/--ci/--seed/"
+                    "--fit-sample/--io (the other analyses need the full "
+                    "trace in memory)");
+            if (!is_store_input(path))
+                throw std::invalid_argument(
+                    "--streaming needs .drt input (run `dre_eval convert` "
+                    "first)");
+
+            const store::ShardedStore shards(resolve_shards(path),
+                                             reader_options);
+            const std::uint64_t n = shards.num_tuples();
+            if (n == 0) throw std::runtime_error("trace is empty");
+            const std::size_t decisions = shards.num_decisions();
+            std::printf("trace: %llu tuples, %zu decisions, %zu shard(s), "
+                        "streaming\n",
+                        static_cast<unsigned long long>(n), decisions,
+                        shards.num_shards());
+
+            // Fit model + greedy policy on a bounded in-memory prefix; the
+            // evaluation itself streams the whole trace.
+            std::vector<LoggedTuple> head;
+            shards.read_rows(0, std::min<std::uint64_t>(fit_sample, n), head);
+            const Trace fit_trace(std::move(head));
+            const auto policy = parse_policy(policy_spec, fit_trace, decisions);
+            const auto model = core::fit_reward_model(config.reward_model,
+                                                      decisions, fit_trace);
+
+            core::StreamingOptions stream_options;
+            stream_options.estimator_options = config.estimator_options;
+            stream_options.ci_replicates = config.ci_replicates;
+            stream_options.ci_level = config.ci_level;
+            const store::StoreTupleSource source(shards);
+            const core::PolicyEvaluation result = core::evaluate_streaming(
+                source, *model, *policy, stream_options, stats::Rng(seed));
+
+            obs::Report out;
+            const std::string policy_section = "policy " + policy_spec;
+            out.set(policy_section, "DM", result.dm.value);
+            out.set(policy_section, "IPS", result.ips.value);
+            out.set(policy_section, "SNIPS", result.snips.value);
+            out.set(policy_section, "SWITCH-DR", result.switch_dr.value);
+            if (result.dr_ci) {
+                char dr_row[128];
+                std::snprintf(dr_row, sizeof(dr_row),
+                              "%10.4f   %.0f%% CI [%.4f, %.4f]",
+                              result.dr.value, 100.0 * result.dr_ci->level,
+                              result.dr_ci->lower, result.dr_ci->upper);
+                out.set(policy_section, "DR", dr_row);
+            } else {
+                out.set(policy_section, "DR", result.dr.value);
+            }
+            out.set("diagnostics", "effective sample size",
+                    result.overlap.effective_sample_size);
+            out.set("diagnostics", "effective sample %",
+                    100.0 * result.overlap.effective_sample_fraction);
+            out.set("diagnostics", "mean importance weight",
+                    result.overlap.mean_weight);
+            out.set("diagnostics", "max importance weight",
+                    result.overlap.max_weight);
+            out.set("diagnostics", "zero-weight tuples %",
+                    100.0 * result.overlap.zero_weight_fraction);
+            out.print(stdout);
+
+            if (!obs_out.empty()) {
+                if (obs::write_registry_json_file(obs_out))
+                    std::printf("\nwrote obs report to %s\n", obs_out.c_str());
+                else
+                    std::fprintf(stderr, "failed to write %s\n",
+                                 obs_out.c_str());
+            }
+            if (!trace_out.empty()) {
+                if (obs::write_chrome_trace_file(trace_out))
+                    std::printf("wrote chrome trace to %s (load at "
+                                "chrome://tracing)\n",
+                                trace_out.c_str());
+                else
+                    std::fprintf(stderr, "failed to write %s\n",
+                                 trace_out.c_str());
+            }
+            return 0;
+        }
+
+        const Trace trace = load_trace(path, reader_options);
         if (trace.empty()) throw std::runtime_error("trace is empty");
         std::printf("trace: %zu tuples, %zu decisions\n", trace.size(),
                     trace.num_decisions());
@@ -163,7 +411,8 @@ int main(int argc, char** argv) {
             }
         }
 
-        const auto policy = parse_policy(policy_spec, trace);
+        const auto policy =
+            parse_policy(policy_spec, trace, trace.num_decisions());
 
         if (run_audit) {
             const auto findings = core::audit_trace(trace, policy.get());
@@ -219,7 +468,8 @@ int main(int argc, char** argv) {
         }
 
         if (!compare_spec.empty()) {
-            const auto incumbent = parse_policy(compare_spec, trace);
+            const auto incumbent =
+                parse_policy(compare_spec, trace, trace.num_decisions());
             stats::Rng certify_rng(seed + 1);
             const core::ImprovementReport report = core::certify_improvement(
                 evaluator.evaluation_trace(), *incumbent, *policy,
