@@ -243,6 +243,33 @@ int main(int argc, char** argv) {
                 streamed.dr_ci->upper);
     std::printf("FP OOC-DR %.17g\n", outofcore.dr.value);
 
+    // --- Hardened streaming overhead --------------------------------------
+    // Same clean trace through evaluate_streaming_guarded in quarantine
+    // mode: per-tuple validation plus quarantine bookkeeping must stay
+    // cheap, and on clean data the result must match strict streaming
+    // bit for bit (with nothing quarantined).
+    core::StreamingOptions guarded_options = stream_options;
+    guarded_options.on_error = core::FailureMode::kQuarantine;
+    const auto guarded_start = std::chrono::steady_clock::now();
+    const core::StreamingResult guarded = core::evaluate_streaming_guarded(
+        source, evaluator.reward_model(), policy, guarded_options,
+        stats::Rng(99));
+    const double guarded_ms = elapsed_ms(guarded_start);
+    bool guarded_identical =
+        guarded.quarantine.empty() &&
+        same_estimate("guarded DR", guarded.evaluation.dr.value,
+                      streamed.dr.value) &&
+        same_estimate("guarded DR CI lo", guarded.evaluation.dr_ci->lower,
+                      streamed.dr_ci->lower) &&
+        same_estimate("guarded DR CI hi", guarded.evaluation.dr_ci->upper,
+                      streamed.dr_ci->upper);
+    std::printf("guard    quarantine-mode streaming %.1f ms   overhead %.2fx "
+                "vs strict   %s\n",
+                guarded_ms, guarded_ms / outofcore_ms,
+                guarded_identical ? "bit-identical, 0 quarantined"
+                                  : "OUTPUTS DIFFER (BUG)");
+    identical &= guarded_identical;
+
     obs::Report report =
         bench::make_bench_report("micro_store", small ? "small" : "full");
     report.set("ingest", "rows", static_cast<std::uint64_t>(n));
@@ -257,6 +284,8 @@ int main(int argc, char** argv) {
     report.set("eval", "streaming_ms", outofcore_ms);
     report.set("eval", "in_memory_ms", in_memory_ms);
     report.set("eval", "streaming_overhead", outofcore_ms / in_memory_ms);
+    report.set("eval", "guarded_ms", guarded_ms);
+    report.set("eval", "guarded_overhead", guarded_ms / outofcore_ms);
     report.set("eval", "bit_identical", identical);
     report.set("rss", "after_ingest_mib", rss_after_ingest);
     report.set("rss", "after_streaming_mib", rss_after_streaming);

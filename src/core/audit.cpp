@@ -8,6 +8,7 @@
 #include "core/diagnostics.h"
 #include "core/drift.h"
 #include "stats/hypothesis.h"
+#include "trace/validate.h"
 
 namespace dre::core {
 
@@ -33,6 +34,33 @@ std::vector<double> column(const Trace& trace, std::size_t begin, std::size_t en
     out.reserve(end - begin);
     for (std::size_t i = begin; i < end; ++i) out.push_back(get(trace[i]));
     return out;
+}
+
+// Structural defects via the shared trace/validate.h classifier, reported
+// under its reason codes (propensities are handled by check_propensities
+// below, which adds IPS-specific context to the same code).
+void check_structure(const Trace& trace, std::vector<AuditFinding>& findings) {
+    const auto counts = count_defects(trace, trace.num_decisions());
+    const struct {
+        const char* code;
+        const char* what;
+    } kStructural[] = {
+        {reason_code(TupleDefect::kNonFiniteReward),
+         "NaN/Inf rewards poison every estimator sum"},
+        {reason_code(TupleDefect::kNonFiniteContext),
+         "NaN/Inf context features break reward models and matching"},
+        {reason_code(TupleDefect::kDecisionOutOfRange),
+         "decisions outside the trace's decision space index nothing"},
+    };
+    for (const auto& s : kStructural) {
+        const auto it = counts.find(s.code);
+        if (it == counts.end()) continue;
+        add(findings, AuditSeverity::kCritical, s.code,
+            format("%.0f tuples are structurally invalid (",
+                   static_cast<double>(it->second)) +
+                s.code + "): " + s.what,
+            static_cast<double>(it->second));
+    }
 }
 
 void check_propensities(const Trace& trace, const AuditOptions& options,
@@ -203,6 +231,7 @@ std::vector<AuditFinding> audit_trace(const Trace& trace, const Policy* target,
         throw std::invalid_argument("audit_trace needs a non-empty trace");
 
     std::vector<AuditFinding> findings;
+    check_structure(trace, findings);
     check_propensities(trace, options, findings);
     // A critical structural defect (invalid or degenerate propensities)
     // makes the statistical machinery itself unsound — the library's other

@@ -7,6 +7,9 @@
 // findings, one per detected pitfall:
 //
 //   invalid-propensity      logged propensities outside (0, 1]
+//   non-finite-reward       NaN/Inf rewards (poisons every estimator sum)
+//   non-finite-context      NaN/Inf numeric context features
+//   decision-out-of-range   decision ids outside the trace's decision space
 //   deterministic-logging   every propensity is 1 — no off-policy support
 //   thin-support            propensities close enough to 0 to blow up IPS
 //   low-ess                 effective sample size collapses for the target
@@ -23,6 +26,12 @@
 //
 // Findings are advisory: each carries the measured statistic so the caller
 // can apply their own thresholds. The dre_eval CLI exposes this as --audit.
+//
+// The structural codes (invalid-propensity, non-finite-reward,
+// non-finite-context, decision-out-of-range) are the trace/validate.h
+// reason codes verbatim — the same strings the hardened load and streaming
+// paths put in a QuarantineReport, so a quarantined run and an audit of
+// the same trace agree on what was wrong.
 #ifndef DRE_CORE_AUDIT_H
 #define DRE_CORE_AUDIT_H
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "fault/fault.h"
+
 namespace dre::core {
 
 double Environment::expected_reward(const ClientContext& context, Decision d,
@@ -20,6 +22,7 @@ Trace collect_trace(const Environment& env, const Policy& logging_policy,
     Trace trace;
     trace.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
+        DRE_FAULT_INJECT("env.step", i, 0);
         LoggedTuple t;
         t.context = env.sample_context(rng);
         const std::vector<double> probs =
@@ -39,6 +42,7 @@ Trace collect_trace(const Environment& env, const HistoryPolicy& logging_policy,
     Trace trace;
     trace.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
+        DRE_FAULT_INJECT("env.step", i, 0);
         LoggedTuple t;
         t.context = env.sample_context(rng);
         const std::vector<double> probs =

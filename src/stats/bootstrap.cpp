@@ -148,6 +148,13 @@ std::vector<double> ChunkedMeanBootstrap::chunk_partials(
     return partials;
 }
 
+void ChunkedMeanBootstrap::restore_sums(std::span<const double> sums) {
+    if (sums.size() != sums_.size())
+        throw std::invalid_argument(
+            "ChunkedMeanBootstrap: restored sum count != replicates");
+    sums_.assign(sums.begin(), sums.end());
+}
+
 void ChunkedMeanBootstrap::merge(std::span<const double> partials) {
     if (partials.size() != sums_.size())
         throw std::invalid_argument(

@@ -83,6 +83,16 @@ public:
     // full-sample statistic (reported verbatim, not recomputed).
     ConfidenceInterval finalize(std::uint64_t total_n, double point) const;
 
+    // Checkpoint/resume support. The base generator never advances after
+    // construction (chunk_partials derives pure child streams), so a
+    // resumed bootstrap is reconstructed from the same seed and the running
+    // replicate sums are restored verbatim via restore_sums(). base_rng()
+    // lets the checkpoint record the base state and verify the resumed run
+    // was seeded identically.
+    const Rng& base_rng() const noexcept { return base_; }
+    std::span<const double> replicate_sums() const noexcept { return sums_; }
+    void restore_sums(std::span<const double> sums);
+
 private:
     Rng base_;
     int replicates_;

@@ -165,4 +165,14 @@ Rng Rng::split(std::uint64_t stream_id) const noexcept {
     return Rng{s};
 }
 
+std::array<std::uint64_t, 4> Rng::state() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+}
+
+Rng Rng::from_state(const std::array<std::uint64_t, 4>& words) noexcept {
+    Rng rng;
+    for (std::size_t i = 0; i < 4; ++i) rng.state_[i] = words[i];
+    return rng;
+}
+
 } // namespace dre::stats

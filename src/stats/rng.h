@@ -7,6 +7,7 @@
 #ifndef DRE_STATS_RNG_H
 #define DRE_STATS_RNG_H
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <stdexcept>
@@ -85,6 +86,13 @@ public:
     static constexpr result_type min() noexcept { return 0; }
     static constexpr result_type max() noexcept { return ~0ull; }
     result_type operator()() noexcept { return next_u64(); }
+
+    // Raw generator words, for checkpoint/resume: from_state(state()) is an
+    // exact clone. The Marsaglia normal() cache is NOT captured — exact for
+    // every generator that has not buffered a normal draw, which covers the
+    // split()/uniform() protocols the evaluation paths use.
+    std::array<std::uint64_t, 4> state() const noexcept;
+    static Rng from_state(const std::array<std::uint64_t, 4>& words) noexcept;
 
 private:
     std::uint64_t state_[4];

@@ -30,6 +30,26 @@ public:
     double max() const noexcept { return max_; }
     double sum() const noexcept { return sum_; }
 
+    // Full internal state, for checkpoint/resume: from_state(state()) is a
+    // bit-exact clone (the moments are copied verbatim, not recomputed).
+    struct State {
+        std::size_t n = 0;
+        double mean = 0.0, m2 = 0.0, sum = 0.0;
+        double min = std::numeric_limits<double>::infinity();
+        double max = -std::numeric_limits<double>::infinity();
+    };
+    State state() const noexcept { return {n_, mean_, m2_, sum_, min_, max_}; }
+    static Accumulator from_state(const State& s) noexcept {
+        Accumulator a;
+        a.n_ = s.n;
+        a.mean_ = s.mean;
+        a.m2_ = s.m2;
+        a.sum_ = s.sum;
+        a.min_ = s.min;
+        a.max_ = s.max;
+        return a;
+    }
+
 private:
     std::size_t n_ = 0;
     double mean_ = 0.0;

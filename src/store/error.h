@@ -1,0 +1,57 @@
+// Typed store errors with a retry-oriented classification.
+//
+// Every failure the .drt stack can surface carries a fault::FaultKind:
+//
+//   kTransient   the operation may succeed if repeated (EINTR/EAGAIN/EIO
+//                class errnos, injected transient faults). StoreReader's
+//                retry policy absorbs these up to `max_attempts`.
+//   kPermanent   repeating is futile (missing file, malformed header,
+//                truncation, out-of-range request).
+//   kCorruption  the bytes are present but wrong (CRC mismatch, injected
+//                corruption). Never retried; the quarantine path in
+//                core::evaluate_streaming can skip the damaged row group.
+//
+// StoreError derives from std::runtime_error, so existing catch sites keep
+// working; hardened consumers catch StoreError and branch on kind()/group().
+#ifndef DRE_STORE_ERROR_H
+#define DRE_STORE_ERROR_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "fault/fault.h"
+
+namespace dre::store {
+
+using ErrorKind = fault::FaultKind;
+
+class StoreError : public std::runtime_error {
+public:
+    // `group` is the file-local row-group index, or -1 when the failure is
+    // not attributable to one (open/header/footer errors).
+    StoreError(ErrorKind kind, const std::string& message,
+               std::int64_t group = -1)
+        : std::runtime_error(message), kind_(kind), group_(group) {}
+
+    ErrorKind kind() const noexcept { return kind_; }
+    std::int64_t group() const noexcept { return group_; }
+
+    // Stable reason code shared with core::QuarantineReport.
+    const char* reason_code() const noexcept {
+        switch (kind_) {
+            case ErrorKind::kTransient: return "store-io-transient";
+            case ErrorKind::kPermanent: return "store-io-permanent";
+            case ErrorKind::kCorruption: return "store-corruption";
+        }
+        return "store-error";
+    }
+
+private:
+    ErrorKind kind_;
+    std::int64_t group_;
+};
+
+} // namespace dre::store
+
+#endif // DRE_STORE_ERROR_H

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <list>
 #include <mutex>
 #include <stdexcept>
 
+#include "fault/fault.h"
 #include "obs/obs.h"
 #include "store/crc32c.h"
 
@@ -25,8 +27,18 @@
 namespace dre::store {
 namespace {
 
-[[noreturn]] void fail(const std::string& path, const std::string& what) {
-    throw std::runtime_error("drt " + path + ": " + what);
+[[noreturn]] void fail(const std::string& path, const std::string& what,
+                       ErrorKind kind = ErrorKind::kPermanent,
+                       std::int64_t group = -1) {
+    throw StoreError(kind, "drt " + path + ": " + what, group);
+}
+
+// Errnos worth a bounded retry: scheduler/resource blips and the I/O-error
+// class a flaky disk or network filesystem produces. Everything else
+// (ENOENT, EBADF, EACCES, ...) is permanent.
+bool transient_errno(int err) noexcept {
+    return err == EAGAIN || err == EWOULDBLOCK || err == EIO ||
+           err == ENOMEM || err == ENOBUFS;
 }
 
 std::string hex32(std::uint32_t v) {
@@ -98,6 +110,17 @@ struct StoreReader::Impl {
 #endif
     }
 
+    // Deterministic virtual backoff: computed and recorded, never slept —
+    // retries must not perturb bit-reproducible runs.
+    void record_retry(int attempt) const {
+        const double backoff_ms =
+            options.retry.backoff_base_ms *
+            std::pow(options.retry.backoff_multiplier, attempt);
+        (void)backoff_ms;
+        DRE_COUNTER_INC("store.retries");
+        DRE_HIST_RECORD("store.retry_backoff_ms", backoff_ms);
+    }
+
     // Positional read of exactly `size` bytes (used for open-time metadata
     // in pread mode, and for row-group fetches).
     void pread_exact(std::uint64_t offset, void* dst, std::size_t size) const {
@@ -109,7 +132,9 @@ struct StoreReader::Impl {
                         static_cast<::off_t>(offset + done));
             if (got < 0) {
                 if (errno == EINTR) continue;
-                fail(path, std::string("read failed: ") + std::strerror(errno));
+                fail(path, std::string("read failed: ") + std::strerror(errno),
+                     transient_errno(errno) ? ErrorKind::kTransient
+                                            : ErrorKind::kPermanent);
             }
             if (got == 0) fail(path, "unexpected end of file (truncated)");
             done += static_cast<std::size_t>(got);
@@ -131,14 +156,75 @@ struct StoreReader::Impl {
         const std::uint32_t got = crc32c(bytes, size);
         if (got != groups[g].crc) {
             DRE_COUNTER_INC("store.checksum_failures");
-            fail(path, "row group " + std::to_string(g) +
-                           " checksum mismatch (expected " +
-                           hex32(groups[g].crc) + ", got " + hex32(got) + ")");
+            fail(path,
+                 "row group " + std::to_string(g) +
+                     " checksum mismatch (expected " + hex32(groups[g].crc) +
+                     ", got " + hex32(got) + ")",
+                 ErrorKind::kCorruption, static_cast<std::int64_t>(g));
         }
 #if DRE_OBS_ENABLED
         DRE_COUNTER_INC("store.row_groups_decoded");
         DRE_COUNTER_ADD("store.bytes_read", size);
 #endif
+    }
+
+    // One fetch attempt (no retries). Throws FaultError from the injection
+    // points and StoreError from real failures.
+    RowGroup fetch_group(std::size_t group, std::uint64_t attempt) const {
+        const RowGroupInfo& info = groups[group];
+        const std::uint64_t fault_index = options.fault_group_offset + group;
+        DRE_FAULT_INJECT("store.read", fault_index, attempt);
+        DRE_FAULT_INJECT("store.crc", fault_index, attempt);
+        RowGroup out;
+        if (mode == IoMode::kMmap) {
+            const unsigned char* base = group_base_mmap(group);
+            // Validate lazily, once. The flag is a monotonic latch: a benign
+            // double validation under a race costs a re-scan, never
+            // corruption.
+            if (!validated[group].load(std::memory_order_acquire)) {
+                const RowGroupLayout layout =
+                    RowGroupLayout::compute(header.schema, info.rows);
+                check_group_crc(group, base, layout.bytes);
+                validated[group].store(true, std::memory_order_release);
+            }
+            out.view_ = make_view(header.schema, base, info.rows);
+            return out;
+        }
+        // pread backend: serve from (or fill) the LRU cache. The lock covers
+        // the fetch too — correctness first; the mmap backend is the
+        // concurrent scan path.
+        std::lock_guard<std::mutex> lock(cache_mutex);
+        for (auto it = cache.begin(); it != cache.end(); ++it) {
+            if (it->first == group) {
+                cache.splice(cache.begin(), cache, it);
+                out.pinned_ = cache.front().second;
+                out.view_ =
+                    make_view(header.schema, out.pinned_->data(), info.rows);
+#if DRE_OBS_ENABLED
+                DRE_COUNTER_INC("store.cache_hits");
+#endif
+                return out;
+            }
+        }
+#if DRE_OBS_ENABLED
+        DRE_COUNTER_INC("store.cache_misses");
+#endif
+        const RowGroupLayout layout =
+            RowGroupLayout::compute(header.schema, info.rows);
+        auto buffer = std::make_shared<std::vector<unsigned char>>(layout.bytes);
+        pread_exact(info.offset, buffer->data(), layout.bytes);
+        check_group_crc(group, buffer->data(), layout.bytes);
+        // Capacity 0 caches nothing: the handle's shared_ptr is the only
+        // owner and the buffer dies with the last handle. Eviction below
+        // likewise never invalidates a live handle (see reader.h).
+        const std::size_t capacity = options.pread_cache_groups;
+        if (capacity > 0) {
+            cache.emplace_front(group, buffer);
+            while (cache.size() > capacity) cache.pop_back();
+        }
+        out.pinned_ = std::move(buffer);
+        out.view_ = make_view(header.schema, out.pinned_->data(), info.rows);
+        return out;
     }
 };
 
@@ -148,11 +234,34 @@ StoreReader::StoreReader(const std::string& path, Options options)
     Impl& im = *impl_;
     im.path = path;
     im.options = options;
+
+    // `store.open` fault point, keyed by the shard index so a schedule hits
+    // the same shard for any open order. Transient open faults are retried
+    // under the same bounded policy as row-group reads.
+    {
+        const int max_attempts = std::max(1, im.options.retry.max_attempts);
+        for (int attempt = 0;; ++attempt) {
+            try {
+                DRE_FAULT_INJECT("store.open", im.options.fault_shard_index,
+                                 attempt);
+                break;
+            } catch (const fault::FaultError& e) {
+                if (e.kind() != ErrorKind::kTransient ||
+                    attempt + 1 >= max_attempts)
+                    fail(path, std::string("open failed: ") + e.what(),
+                         e.kind());
+                im.record_retry(attempt);
+            }
+        }
+    }
+
 #if DRE_STORE_HAVE_MMAP
     im.mode = options.io_mode == IoMode::kPread ? IoMode::kPread : IoMode::kMmap;
     im.fd = ::open(path.c_str(), O_RDONLY);
     if (im.fd < 0)
-        fail(path, std::string("cannot open: ") + std::strerror(errno));
+        fail(path, std::string("cannot open: ") + std::strerror(errno),
+             transient_errno(errno) ? ErrorKind::kTransient
+                                    : ErrorKind::kPermanent);
     struct ::stat st;
     if (::fstat(im.fd, &st) != 0)
         fail(path, std::string("stat failed: ") + std::strerror(errno));
@@ -241,8 +350,10 @@ StoreReader::StoreReader(const std::string& path, Options options)
     const std::uint32_t got_crc = crc32c(footer.data(), crc_pos);
     if (got_crc != expected_crc) {
         DRE_COUNTER_INC("store.checksum_failures");
-        fail(path, "footer checksum mismatch (expected " + hex32(expected_crc) +
-                       ", got " + hex32(got_crc) + ")");
+        fail(path,
+             "footer checksum mismatch (expected " + hex32(expected_crc) +
+                 ", got " + hex32(got_crc) + ")",
+             ErrorKind::kCorruption);
     }
 
     im.groups.resize(group_count);
@@ -302,58 +413,39 @@ RowGroupInfo StoreReader::row_group_info(std::size_t group) const {
     return impl_->groups[group];
 }
 
+std::uint64_t StoreReader::row_group_offset(std::size_t group) const {
+    if (group >= impl_->groups.size())
+        fail(impl_->path, "row group " + std::to_string(group) +
+                              " out of range (file has " +
+                              std::to_string(impl_->groups.size()) + ")");
+    return impl_->row_offset[group];
+}
+
 StoreReader::RowGroup StoreReader::row_group(std::size_t group) const {
     const Impl& im = *impl_;
     if (group >= im.groups.size())
         fail(im.path, "row group " + std::to_string(group) +
                           " out of range (file has " +
                           std::to_string(im.groups.size()) + ")");
-    const RowGroupInfo& info = im.groups[group];
-    RowGroup out;
-    if (im.mode == IoMode::kMmap) {
-        const unsigned char* base = im.group_base_mmap(group);
-        // Validate lazily, once. The flag is a monotonic latch: a benign
-        // double validation under a race costs a re-scan, never corruption.
-        if (!im.validated[group].load(std::memory_order_acquire)) {
-            const RowGroupLayout layout =
-                RowGroupLayout::compute(im.header.schema, info.rows);
-            im.check_group_crc(group, base, layout.bytes);
-            im.validated[group].store(true, std::memory_order_release);
-        }
-        out.view_ = make_view(im.header.schema, base, info.rows);
-        return out;
-    }
-    // pread backend: serve from (or fill) the LRU cache. The lock covers the
-    // fetch too — correctness first; the mmap backend is the concurrent
-    // scan path.
-    std::lock_guard<std::mutex> lock(im.cache_mutex);
-    for (auto it = im.cache.begin(); it != im.cache.end(); ++it) {
-        if (it->first == group) {
-            im.cache.splice(im.cache.begin(), im.cache, it);
-            out.pinned_ = im.cache.front().second;
-            out.view_ =
-                make_view(im.header.schema, out.pinned_->data(), info.rows);
-#if DRE_OBS_ENABLED
-            DRE_COUNTER_INC("store.cache_hits");
-#endif
-            return out;
+    // Bounded retries for transient failures (real or injected); permanent
+    // and corruption errors propagate on first sight.
+    const int max_attempts = std::max(1, im.options.retry.max_attempts);
+    for (int attempt = 0;; ++attempt) {
+        try {
+            return im.fetch_group(group, static_cast<std::uint64_t>(attempt));
+        } catch (const fault::FaultError& e) {
+            if (e.kind() != ErrorKind::kTransient || attempt + 1 >= max_attempts)
+                throw StoreError(e.kind(),
+                                 "drt " + im.path + ": row group " +
+                                     std::to_string(group) + ": " + e.what(),
+                                 static_cast<std::int64_t>(group));
+            im.record_retry(attempt);
+        } catch (const StoreError& e) {
+            if (e.kind() != ErrorKind::kTransient || attempt + 1 >= max_attempts)
+                throw;
+            im.record_retry(attempt);
         }
     }
-#if DRE_OBS_ENABLED
-    DRE_COUNTER_INC("store.cache_misses");
-#endif
-    const RowGroupLayout layout =
-        RowGroupLayout::compute(im.header.schema, info.rows);
-    auto buffer = std::make_shared<std::vector<unsigned char>>(layout.bytes);
-    im.pread_exact(info.offset, buffer->data(), layout.bytes);
-    im.check_group_crc(group, buffer->data(), layout.bytes);
-    im.cache.emplace_front(group, buffer);
-    const std::size_t capacity = std::max<std::size_t>(
-        im.options.pread_cache_groups, 1);
-    while (im.cache.size() > capacity) im.cache.pop_back();
-    out.pinned_ = std::move(buffer);
-    out.view_ = make_view(im.header.schema, out.pinned_->data(), info.rows);
-    return out;
 }
 
 void StoreReader::read_rows(std::uint64_t begin, std::uint64_t count,
@@ -372,8 +464,6 @@ void StoreReader::read_rows(std::uint64_t begin, std::uint64_t count,
     std::size_t g = static_cast<std::size_t>(it - im.row_offset.begin()) - 1;
     std::uint64_t row = begin;
     const std::uint64_t end = begin + count;
-    const std::uint32_t nd = im.header.schema.numeric_dims;
-    const std::uint32_t cd = im.header.schema.categorical_dims;
     while (row < end) {
         const RowGroup rg = row_group(g);
         const RowGroupView& v = rg.view();
@@ -381,22 +471,64 @@ void StoreReader::read_rows(std::uint64_t begin, std::uint64_t count,
         const std::size_t lo = static_cast<std::size_t>(row - group_begin);
         const std::size_t hi = static_cast<std::size_t>(
             std::min<std::uint64_t>(end - group_begin, v.rows));
-        for (std::size_t k = lo; k < hi; ++k) {
-            LoggedTuple t;
-            t.decision = v.decision[k];
-            t.reward = v.reward[k];
-            t.propensity = v.propensity[k];
-            t.state = v.state[k];
-            t.context.numeric.resize(nd);
-            for (std::uint32_t j = 0; j < nd; ++j)
-                t.context.numeric[j] = v.numeric[j][k];
-            t.context.categorical.resize(cd);
-            for (std::uint32_t j = 0; j < cd; ++j)
-                t.context.categorical[j] = v.categorical[j][k];
-            out.push_back(std::move(t));
+        append_rows(v, lo, hi, out);
+        row = group_begin + hi;
+        ++g;
+    }
+}
+
+void StoreReader::read_rows_tolerant(std::uint64_t begin, std::uint64_t count,
+                                     std::vector<LoggedTuple>& out,
+                                     std::vector<ReadFailure>& failures) const {
+    const Impl& im = *impl_;
+    out.clear();
+    if (begin + count > im.header.num_tuples)
+        fail(im.path, "read_rows range [" + std::to_string(begin) + ", " +
+                          std::to_string(begin + count) + ") exceeds " +
+                          std::to_string(im.header.num_tuples) + " tuples");
+    if (count == 0) return;
+    out.reserve(count);
+    const auto it = std::upper_bound(im.row_offset.begin(), im.row_offset.end(),
+                                     begin);
+    std::size_t g = static_cast<std::size_t>(it - im.row_offset.begin()) - 1;
+    std::uint64_t row = begin;
+    const std::uint64_t end = begin + count;
+    while (row < end) {
+        const std::uint64_t group_begin = im.row_offset[g];
+        const std::size_t lo = static_cast<std::size_t>(row - group_begin);
+        const std::size_t hi = static_cast<std::size_t>(std::min<std::uint64_t>(
+            end - group_begin, im.groups[g].rows));
+        try {
+            const RowGroup rg = row_group(g);
+            append_rows(rg.view(), lo, hi, out);
+        } catch (const StoreError& e) {
+            failures.push_back({group_begin + lo,
+                                static_cast<std::uint64_t>(hi - lo),
+                                e.reason_code(), e.what()});
         }
         row = group_begin + hi;
         ++g;
+    }
+}
+
+void StoreReader::append_rows(const RowGroupView& v, std::size_t lo,
+                              std::size_t hi,
+                              std::vector<LoggedTuple>& out) const {
+    const std::uint32_t nd = impl_->header.schema.numeric_dims;
+    const std::uint32_t cd = impl_->header.schema.categorical_dims;
+    for (std::size_t k = lo; k < hi; ++k) {
+        LoggedTuple t;
+        t.decision = v.decision[k];
+        t.reward = v.reward[k];
+        t.propensity = v.propensity[k];
+        t.state = v.state[k];
+        t.context.numeric.resize(nd);
+        for (std::uint32_t j = 0; j < nd; ++j)
+            t.context.numeric[j] = v.numeric[j][k];
+        t.context.categorical.resize(cd);
+        for (std::uint32_t j = 0; j < cd; ++j)
+            t.context.categorical[j] = v.categorical[j][k];
+        out.push_back(std::move(t));
     }
 }
 

@@ -5,8 +5,9 @@
 // lazily on first access (and remembered), so opening a multi-gigabyte
 // shard is O(footer) while corruption is still always caught before any
 // tuple from the damaged group is surfaced. Every validation failure is a
-// descriptive std::runtime_error naming the file (and row group) — corrupt
-// input is never undefined behavior.
+// descriptive StoreError (a std::runtime_error carrying a
+// transient/permanent/corruption classification and the row group) naming
+// the file — corrupt input is never undefined behavior.
 //
 // Two I/O backends sit behind the same interface:
 //  * kMmap (default where available): the file is mapped once and row
@@ -15,6 +16,21 @@
 //  * kPread: positional reads into an LRU cache of `pread_cache_groups`
 //    decoded row groups — the portable fallback, and the backend that
 //    gives a hard, configurable memory bound for out-of-core runs.
+//
+// Retry policy: transient failures (EINTR is absorbed inside the syscall
+// loop; EAGAIN/EIO-class errnos and injected `store.read`/`store.crc`
+// transient faults surface as StoreError kTransient) are retried up to
+// `retry.max_attempts` with a *virtual* exponential backoff — the delay is
+// computed deterministically and recorded in the
+// `store.retry_backoff_ms` histogram, never slept, so hardened runs stay
+// bit-reproducible and fast. Permanent and corruption errors are thrown
+// immediately.
+//
+// Fault points (see fault/fault.h): `store.open` keyed by
+// `fault_shard_index`, `store.read` and `store.crc` keyed by
+// `fault_group_offset + local group id` — ShardedStore fills both so the
+// logical index is global across a shard set and the schedule is identical
+// for every DRE_THREADS.
 #ifndef DRE_STORE_READER_H
 #define DRE_STORE_READER_H
 
@@ -23,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "store/error.h"
 #include "store/format.h"
 #include "trace/trace.h"
 
@@ -34,13 +51,43 @@ enum class IoMode {
     kPread,
 };
 
+// Bounded-attempt retry with deterministic virtual backoff for transient
+// row-group failures. backoff(attempt) = base * multiplier^attempt, in
+// virtual milliseconds (recorded, not slept).
+struct StoreRetryPolicy {
+    int max_attempts = 3; // total tries per row-group fetch (>= 1)
+    double backoff_base_ms = 1.0;
+    double backoff_multiplier = 2.0;
+};
+
 // Namespace-scope (not nested) so it is complete where constructor default
 // arguments need it; spelled StoreReader::Options at call sites.
 struct StoreReaderOptions {
     IoMode io_mode = IoMode::kAuto;
-    // LRU capacity (in row groups) for the pread backend; ignored by
-    // mmap. Small by design: this is the out-of-core memory bound.
+    // LRU capacity (in decoded row groups) for the pread backend; ignored
+    // by mmap. Small by design: this is the out-of-core memory bound. The
+    // pread backend's peak memory is
+    //   (pread_cache_groups + live RowGroup handles) x row-group bytes
+    // — a handle pins its group's buffer via shared_ptr, so eviction while
+    // a handle is alive never invalidates it; the buffer is freed when the
+    // last handle drops. `pread_cache_groups = 0` is valid and caches
+    // nothing: every fetch decodes afresh and only handle-pinned buffers
+    // stay resident.
     std::size_t pread_cache_groups = 4;
+    StoreRetryPolicy retry;
+    // Logical fault-point indices (see the header comment). Defaults suit
+    // a standalone single file; ShardedStore overrides per shard.
+    std::uint64_t fault_shard_index = 0;
+    std::uint64_t fault_group_offset = 0;
+};
+
+// One unreadable sub-range recorded by read_rows_tolerant.
+struct ReadFailure {
+    std::uint64_t begin = 0;  // first affected row (caller coordinates)
+    std::uint64_t count = 0;  // affected rows
+    const char* reason = "";  // stable code, e.g. "store-corruption"
+    std::string detail;       // the underlying error text
+    std::int64_t shard = -1;  // filled by ShardedStore; -1 = single file
 };
 
 class StoreReader {
@@ -61,9 +108,12 @@ public:
     std::uint64_t num_tuples() const noexcept;
     std::size_t num_row_groups() const noexcept;
     RowGroupInfo row_group_info(std::size_t group) const;
+    // Global row of the first tuple in `group` (prefix sums).
+    std::uint64_t row_group_offset(std::size_t group) const;
 
     // Pinned, CRC-validated access to one row group. The handle keeps the
-    // underlying bytes alive (mapping or cache buffer) for its lifetime.
+    // underlying bytes alive (mapping or cache buffer) for its lifetime —
+    // including across LRU eviction of the group it refers to.
     class RowGroup {
     public:
         const RowGroupView& view() const noexcept { return view_; }
@@ -74,18 +124,31 @@ public:
         RowGroupView view_;
     };
 
-    // Thread-safe; throws std::runtime_error naming the group on checksum
-    // mismatch or a short read.
+    // Thread-safe; throws StoreError naming the group on checksum mismatch
+    // (kCorruption), a short read (kPermanent), or a transient failure that
+    // survived the retry policy (kTransient).
     RowGroup row_group(std::size_t group) const;
 
     // Appends `count` tuples starting at global row `begin` to `out`
     // (cleared first). Thread-safe.
     void read_rows(std::uint64_t begin, std::uint64_t count,
                    std::vector<LoggedTuple>& out) const;
+
+    // Fault-tolerant variant: appends the tuples of every readable row
+    // group intersecting [begin, begin + count) and records each damaged
+    // group's intersection in `failures` (appended, in row order) instead
+    // of throwing. The retry policy still runs first — only errors that
+    // survive it are recorded. Range errors still throw (caller bug).
+    void read_rows_tolerant(std::uint64_t begin, std::uint64_t count,
+                            std::vector<LoggedTuple>& out,
+                            std::vector<ReadFailure>& failures) const;
+
     Trace read_all() const;
 
 private:
     struct Impl;
+    void append_rows(const RowGroupView& view, std::size_t lo, std::size_t hi,
+                     std::vector<LoggedTuple>& out) const;
     std::unique_ptr<Impl> impl_;
 };
 

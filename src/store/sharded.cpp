@@ -15,8 +15,16 @@ ShardedStore::ShardedStore(std::vector<std::string> paths,
     shards_.reserve(paths.size());
     row_offset_.reserve(paths.size() + 1);
     row_offset_.push_back(0);
+    // Fault-point indices are global across the shard set (shard index for
+    // store.open, cumulative row-group id for store.read/store.crc), so a
+    // seeded schedule addresses "the 7th row group of the logical trace"
+    // regardless of how it is sharded or which thread touches it.
+    std::uint64_t group_offset = 0;
     for (const std::string& path : paths) {
+        options.fault_shard_index = shards_.size();
+        options.fault_group_offset = group_offset;
         auto reader = std::make_unique<StoreReader>(path, options);
+        group_offset += reader->num_row_groups();
         if (!shards_.empty() && !(reader->schema() == shards_[0]->schema()))
             throw std::runtime_error(
                 "ShardedStore: shard " + path + " schema (" +
@@ -68,6 +76,44 @@ void ShardedStore::read_rows(std::uint64_t begin, std::uint64_t count,
         shards_[s]->read_rows(local_begin, local_end - local_begin,
                               shard_rows);
         for (LoggedTuple& t : shard_rows) out.push_back(std::move(t));
+        row = shard_begin + local_end;
+        ++s;
+    }
+}
+
+void ShardedStore::read_rows_tolerant(std::uint64_t begin, std::uint64_t count,
+                                      std::vector<LoggedTuple>& out,
+                                      std::vector<ReadFailure>& failures) const {
+    out.clear();
+    if (begin + count > num_tuples())
+        throw std::out_of_range(
+            "ShardedStore: read_rows range [" + std::to_string(begin) + ", " +
+            std::to_string(begin + count) + ") exceeds " +
+            std::to_string(num_tuples()) + " tuples");
+    if (count == 0) return;
+    out.reserve(count);
+    const auto it =
+        std::upper_bound(row_offset_.begin(), row_offset_.end(), begin);
+    std::size_t s = static_cast<std::size_t>(it - row_offset_.begin()) - 1;
+    std::uint64_t row = begin;
+    const std::uint64_t end = begin + count;
+    std::vector<LoggedTuple> shard_rows;
+    std::vector<ReadFailure> shard_failures;
+    while (row < end) {
+        const std::uint64_t shard_begin = row_offset_[s];
+        const std::uint64_t local_begin = row - shard_begin;
+        const std::uint64_t local_end =
+            std::min<std::uint64_t>(end - shard_begin,
+                                    shards_[s]->num_tuples());
+        shard_failures.clear();
+        shards_[s]->read_rows_tolerant(local_begin, local_end - local_begin,
+                                       shard_rows, shard_failures);
+        for (LoggedTuple& t : shard_rows) out.push_back(std::move(t));
+        for (ReadFailure& f : shard_failures) {
+            f.begin += shard_begin; // shard-local -> global coordinates
+            f.shard = static_cast<std::int64_t>(s);
+            failures.push_back(std::move(f));
+        }
         row = shard_begin + local_end;
         ++s;
     }

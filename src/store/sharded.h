@@ -47,6 +47,14 @@ public:
     // (cleared first), crossing shard boundaries as needed. Thread-safe.
     void read_rows(std::uint64_t begin, std::uint64_t count,
                    std::vector<LoggedTuple>& out) const;
+
+    // Fault-tolerant variant: damaged row groups are skipped (after each
+    // shard's retry policy runs) and recorded in `failures` (appended, in
+    // global row order, begin/count in global coordinates, shard filled).
+    void read_rows_tolerant(std::uint64_t begin, std::uint64_t count,
+                            std::vector<LoggedTuple>& out,
+                            std::vector<ReadFailure>& failures) const;
+
     Trace read_all() const;
 
 private:
@@ -67,6 +75,18 @@ public:
     void read(std::uint64_t begin, std::uint64_t count,
               std::vector<LoggedTuple>& out) const override {
         store_->read_rows(begin, count, out);
+    }
+    // Sub-range recovery: damaged row groups become TupleReadFailure
+    // entries (with the shard attributed) instead of aborting the chunk.
+    void read_tolerant(
+        std::uint64_t begin, std::uint64_t count,
+        std::vector<LoggedTuple>& out,
+        std::vector<core::TupleReadFailure>& failures) const override {
+        std::vector<ReadFailure> store_failures;
+        store_->read_rows_tolerant(begin, count, out, store_failures);
+        for (ReadFailure& f : store_failures)
+            failures.push_back(
+                {f.begin, f.count, f.reason, std::move(f.detail), f.shard});
     }
 
 private:

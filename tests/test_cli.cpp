@@ -1,7 +1,11 @@
 // End-to-end smoke tests of the dre_eval CLI against a generated trace.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
 #include <string>
 
 #include "core/environment.h"
@@ -47,6 +51,36 @@ int run_cli(const std::string& args) {
                                 " > /dev/null 2>&1";
     const int status = std::system(command.c_str());
     return WEXITSTATUS(status);
+}
+
+// Like run_cli but with an environment prefix (e.g. "DRE_THREADS=8") and
+// stderr captured to a file so tests can assert on the error: line.
+int run_cli_env(const std::string& env, const std::string& args,
+                const std::string& stderr_path) {
+    const std::string command = env + " " + std::string(DRE_EVAL_PATH) + " " +
+                                args + " > /dev/null 2> " + stderr_path;
+    const int status = std::system(command.c_str());
+    return WEXITSTATUS(status);
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+// A .drt copy of the CSV fixture with small row groups, so fault points
+// that address row groups have several indices to hit.
+std::string fixture_drt() {
+    static const std::string path = [] {
+        const std::string p = testing::TempDir() + "dre_cli_fixture.drt";
+        const int rc = run_cli("convert " + fixture_csv() + " " + p +
+                               " --row-group-rows 128");
+        if (rc != 0) ADD_FAILURE() << "convert exited " << rc;
+        return p;
+    }();
+    return path;
 }
 
 TEST(Cli, EvaluatesConstantPolicy) {
@@ -107,6 +141,95 @@ TEST(Cli, RejectsBadInvocations) {
     EXPECT_NE(run_cli(fixture_csv() + " constant:99"), 0);       // bad decision
     EXPECT_NE(run_cli(fixture_csv() + " nonsense"), 0);          // bad spec
     EXPECT_NE(run_cli(fixture_csv() + " uniform --model alien"), 0);
+}
+
+// Exit codes partition failures: 2 = bad arguments, 3 = bad input. The
+// distinction is what lets a retry wrapper tell "fix the command line"
+// apart from "the trace is damaged".
+TEST(Cli, ExitCodesDistinguishArgumentAndInputErrors) {
+    EXPECT_EQ(run_cli(fixture_csv() + " uniform --alien-flag"), 2);
+    EXPECT_EQ(run_cli(fixture_csv() + " uniform --fault-spec bogus"), 2);
+    EXPECT_EQ(run_cli(fixture_csv() +
+                      " uniform --fault-spec store.read:kind=martian"),
+              2);
+    // Streaming-only flags without --streaming are usage errors.
+    EXPECT_EQ(run_cli(fixture_drt() + " uniform --on-error quarantine"), 2);
+    EXPECT_EQ(run_cli(fixture_drt() + " uniform --resume --checkpoint " +
+                      testing::TempDir() + "dre_cli_nock.bin"),
+              2);
+    // Missing / unreadable input is an input error, not a usage error.
+    EXPECT_EQ(run_cli("/nonexistent.csv uniform"), 3);
+    EXPECT_EQ(run_cli("/nonexistent-prefix- uniform --streaming"), 3);
+}
+
+// Load-path validation: defective tuples are rejected at read time with
+// the same reason codes the audit linter and QuarantineReport use.
+TEST(Cli, RejectsDefectiveTraceWithSharedReasonCodes) {
+    CliEnv env;
+    stats::Rng rng(2);
+    core::UniformRandomPolicy logging(3);
+    Trace trace = core::collect_trace(env, logging, 50, rng);
+    trace[7].reward = std::numeric_limits<double>::quiet_NaN();
+    const std::string p = testing::TempDir() + "dre_cli_defective.csv";
+    write_csv_file(trace, p);
+    const std::string err = testing::TempDir() + "dre_cli_deferr.txt";
+    EXPECT_EQ(run_cli_env("", p + " uniform", err), 3);
+    EXPECT_NE(slurp(err).find("non-finite-reward"), std::string::npos);
+}
+
+TEST(Cli, ErrorsAreOneLineOnStderr) {
+    const std::string err = testing::TempDir() + "dre_cli_err.txt";
+    ASSERT_EQ(run_cli_env("", "/nonexistent.csv uniform", err), 3);
+    const std::string text = slurp(err);
+    EXPECT_EQ(text.compare(0, 7, "error: "), 0) << text;
+    EXPECT_EQ(text.find('\n'), text.size() - 1) << text;
+}
+
+#if DRE_FAULT_ENABLED
+// The chaos path end to end: a seeded corruption fault under --streaming
+// quarantines one row group, exits 0, and writes a quarantine report that
+// is byte-identical across DRE_THREADS settings. The same fault under
+// strict mode aborts with the input-error exit code.
+TEST(Cli, StreamingQuarantineIsByteIdenticalAcrossThreads) {
+    const std::string base =
+        fixture_drt() +
+        " uniform --streaming --ci 50 --seed 7"
+        " --fault-spec store.read:nth=2,kind=corruption --on-error quarantine"
+        " --quarantine-out ";
+    const std::string q1 = testing::TempDir() + "dre_cli_q1.txt";
+    const std::string q8 = testing::TempDir() + "dre_cli_q8.txt";
+    const std::string err = testing::TempDir() + "dre_cli_qerr.txt";
+    ASSERT_EQ(run_cli_env("DRE_THREADS=1", base + q1, err), 0);
+    ASSERT_EQ(run_cli_env("DRE_THREADS=8", base + q8, err), 0);
+
+    const std::string report = slurp(q1);
+    EXPECT_EQ(report, slurp(q8));
+    EXPECT_NE(report.find("store-corruption"), std::string::npos) << report;
+    EXPECT_NE(report.find("quarantined"), std::string::npos) << report;
+
+    EXPECT_EQ(run_cli(fixture_drt() +
+                      " uniform --streaming --seed 7"
+                      " --fault-spec store.read:nth=2,kind=corruption"
+                      " --on-error strict"),
+              3);
+}
+
+#endif // DRE_FAULT_ENABLED
+
+// Checkpointing is orthogonal to fault injection, so this runs in
+// DRE_FAULT_ENABLED=OFF builds too.
+TEST(Cli, CheckpointThenResumeSucceeds) {
+    const std::string ck = testing::TempDir() + "dre_cli_ck.bin";
+    std::remove(ck.c_str());
+    const std::string args = fixture_drt() +
+                             " uniform --streaming --ci 50 --seed 11"
+                             " --checkpoint " + ck;
+    ASSERT_EQ(run_cli(args), 0);
+    // Resume from the completed checkpoint replays the reduction verbatim;
+    // a resume against a missing file silently starts fresh.
+    EXPECT_EQ(run_cli(args + " --resume"), 0);
+    std::remove(ck.c_str());
+    EXPECT_EQ(run_cli(args + " --resume"), 0);
 }
 
 } // namespace

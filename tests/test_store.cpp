@@ -231,6 +231,73 @@ TEST(ShardedStoreTest, SplitAndConcatPreserveGlobalOrder) {
     expect_bitwise_equal(StoreReader(merged).read_all(), trace);
 }
 
+// --- pread LRU cache bound (reader.h documents the memory model) --------
+
+TEST(StoreReaderTest, PreadLruHandleSurvivesEvictionMidIteration) {
+    TempDir tmp;
+    const Trace trace = cdn_trace(600); // 5 groups at 128 rows
+    const std::string path = tmp.path("lru.drt");
+    write_store_file(trace, path, StoreWriter::Options{128});
+
+    StoreReader::Options options;
+    options.io_mode = IoMode::kPread;
+    options.pread_cache_groups = 1; // every new group evicts the previous
+    const StoreReader reader(path, options);
+    ASSERT_EQ(reader.io_mode(), IoMode::kPread);
+    ASSERT_GE(reader.num_row_groups(), 4u);
+
+    // Pin group 0, then march the cache through every other group — group 0
+    // is evicted immediately, but the handle keeps its buffer alive and
+    // bit-exact for the rest of the iteration.
+    const StoreReader::RowGroup pinned = reader.row_group(0);
+    const double first_reward = pinned.view().reward[0];
+    const double* stable_ptr = pinned.view().reward.data();
+    for (std::size_t g = 1; g < reader.num_row_groups(); ++g) {
+        const StoreReader::RowGroup other = reader.row_group(g);
+        EXPECT_EQ(other.view().rows,
+                  reader.row_group_info(g).rows);
+    }
+    EXPECT_EQ(pinned.view().reward.data(), stable_ptr);
+    for (std::size_t i = 0; i < pinned.view().rows; ++i)
+        EXPECT_EQ(std::memcmp(&pinned.view().reward[i], &trace[i].reward,
+                              sizeof(double)),
+                  0)
+            << "row " << i;
+    EXPECT_EQ(pinned.view().reward[0], first_reward);
+
+    // Re-fetching the evicted group decodes afresh and matches bitwise.
+    const StoreReader::RowGroup again = reader.row_group(0);
+    for (std::size_t i = 0; i < again.view().rows; ++i)
+        EXPECT_EQ(again.view().reward[i], pinned.view().reward[i]);
+}
+
+TEST(StoreReaderTest, PreadCacheCapacityZeroStillReadsCorrectly) {
+    TempDir tmp;
+    const Trace trace = cdn_trace(500);
+    const std::string path = tmp.path("nocache.drt");
+    write_store_file(trace, path, StoreWriter::Options{128});
+
+    StoreReader::Options options;
+    options.io_mode = IoMode::kPread;
+    options.pread_cache_groups = 0; // caches nothing; handles pin buffers
+    const StoreReader reader(path, options);
+
+    std::vector<LoggedTuple> rows;
+    reader.read_rows(130, 250, rows);
+    ASSERT_EQ(rows.size(), 250u);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        EXPECT_EQ(std::memcmp(&rows[i].reward, &trace[130 + i].reward,
+                              sizeof(double)),
+                  0)
+            << "row " << i;
+    // Repeated fetches of the same group each decode their own buffer.
+    const StoreReader::RowGroup a = reader.row_group(1);
+    const StoreReader::RowGroup b = reader.row_group(1);
+    EXPECT_NE(a.view().reward.data(), b.view().reward.data());
+    for (std::size_t i = 0; i < a.view().rows; ++i)
+        EXPECT_EQ(a.view().reward[i], b.view().reward[i]);
+}
+
 TEST(ShardedStoreTest, MixedSchemasRejected) {
     TempDir tmp;
     write_store_file(cdn_trace(50), tmp.path("shard-00000.drt"));

@@ -39,6 +39,20 @@
 //   --fit-sample <n>          rows read in-memory to fit the reward model /
 //                             greedy policy under --streaming (default 100000)
 //   --io mmap|pread           I/O backend for .drt input (default: auto)
+//   --fault-spec <spec>       arm deterministic fault injection, e.g.
+//                             store.read:p=0.01,kind=transient;store.crc:nth=7
+//                             (seeded by --seed; see fault/fault.h)
+//   --on-error <mode>         streaming failure mode: strict (default,
+//                             first error aborts) | quarantine (skip damaged
+//                             row groups / invalid tuples, report them) |
+//                             degrade (quarantine + coverage-widened CI)
+//   --checkpoint <file>       streaming: write resumable reduction state
+//                             after every wave (atomic tmp+rename)
+//   --resume                  streaming: continue from --checkpoint if the
+//                             file exists (bit-identical to an
+//                             uninterrupted run)
+//   --quarantine-out <file>   write the canonical quarantine report text
+//                             (byte-diffable across thread counts)
 //
 // convert moves traces between formats and shard layouts: CSV <-> .drt in
 // either direction, and .drt -> N shards via --shards (output treated as a
@@ -46,6 +60,14 @@
 //
 // The trace CSV format is the library's own (see dre::write_csv):
 //   decision,reward,propensity,state,n0,...,c0,...
+//
+// Every failure prints exactly one `error: ...` line to stderr and exits
+// with a classified code:
+//   0  success
+//   2  bad arguments (unknown flag, malformed spec, incompatible options)
+//   3  bad input (missing/corrupt trace or store, empty trace, checkpoint
+//      mismatch, I/O failure — injected or real)
+//   4  internal error (anything else)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -61,11 +83,14 @@
 #include "core/drift.h"
 #include "core/streaming.h"
 #include "core/subgroup.h"
+#include "fault/fault.h"
 #include "obs/obs.h"
+#include "store/error.h"
 #include "store/reader.h"
 #include "store/sharded.h"
 #include "store/writer.h"
 #include "trace/csv.h"
+#include "trace/validate.h"
 
 using namespace dre;
 
@@ -78,7 +103,9 @@ namespace {
                  "[--cross-fit] [--model tabular|linear|knn] [--ci N] "
                  "[--quantile q] [--by-group i] [--check-drift] [--audit] "
                  "[--compare policy-spec] [--obs-out file] [--trace-out file] "
-                 "[--seed n] [--streaming] [--fit-sample n] [--io mmap|pread]\n"
+                 "[--seed n] [--streaming] [--fit-sample n] [--io mmap|pread] "
+                 "[--fault-spec spec] [--on-error strict|quarantine|degrade] "
+                 "[--checkpoint file] [--resume] [--quarantine-out file]\n"
                  "       %s convert <input> <output> [--shards N] "
                  "[--row-group-rows M]\n",
                  argv0, argv0);
@@ -222,6 +249,16 @@ std::shared_ptr<core::Policy> parse_policy(const std::string& spec,
     throw std::invalid_argument("unknown policy spec: " + spec);
 }
 
+
+// Classified exit codes (see file comment): one `error:` line to stderr,
+// then 2 for bad arguments, 3 for bad input / I/O, 4 for anything else.
+int report_error(const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr) return 2;
+    if (dynamic_cast<const std::runtime_error*>(&e) != nullptr) return 3;
+    return 4;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -229,8 +266,7 @@ int main(int argc, char** argv) {
         try {
             return run_convert(argc, argv);
         } catch (const std::exception& e) {
-            std::fprintf(stderr, "error: %s\n", e.what());
-            return 1;
+            return report_error(e);
         }
     }
     if (argc < 3) usage(argv[0]);
@@ -248,6 +284,10 @@ int main(int argc, char** argv) {
         store::StoreReader::Options reader_options;
         std::string compare_spec;
         std::string obs_out, trace_out;
+        std::string fault_spec, checkpoint_path, quarantine_out;
+        core::FailureMode on_error = core::FailureMode::kStrict;
+        bool on_error_set = false;
+        bool resume = false;
         std::uint64_t seed = 1;
         for (int i = 3; i < argc; ++i) {
             const std::string arg = argv[i];
@@ -296,10 +336,38 @@ int main(int argc, char** argv) {
                 } else {
                     throw std::invalid_argument("--io must be mmap or pread");
                 }
+            } else if (arg == "--fault-spec") {
+                fault_spec = next("--fault-spec");
+            } else if (arg == "--on-error") {
+                on_error = core::parse_failure_mode(next("--on-error"));
+                on_error_set = true;
+            } else if (arg == "--checkpoint") {
+                checkpoint_path = next("--checkpoint");
+            } else if (arg == "--resume") {
+                resume = true;
+            } else if (arg == "--quarantine-out") {
+                quarantine_out = next("--quarantine-out");
             } else {
                 usage(argv[0]);
             }
         }
+
+        if (!fault_spec.empty()) {
+            // Validate eagerly (a malformed spec is a usage error) and arm
+            // the process-wide injector with the run's seed.
+            fault::Injector::global().configure_spec(fault_spec, seed);
+#if !DRE_FAULT_ENABLED
+            std::fprintf(stderr,
+                         "warning: this build has DRE_FAULT_ENABLED=OFF; "
+                         "--fault-spec is parsed but no fault will fire\n");
+#endif
+        }
+        if (!streaming &&
+            (on_error_set || !checkpoint_path.empty() || resume ||
+             !quarantine_out.empty()))
+            throw std::invalid_argument(
+                "--on-error/--checkpoint/--resume/--quarantine-out require "
+                "--streaming");
 
         if (streaming) {
             // The streaming path never materializes the trace, so every
@@ -327,10 +395,25 @@ int main(int argc, char** argv) {
                         shards.num_shards());
 
             // Fit model + greedy policy on a bounded in-memory prefix; the
-            // evaluation itself streams the whole trace.
+            // evaluation itself streams the whole trace. Tolerant modes
+            // harden the fit read too: damaged row groups are skipped and
+            // defective tuples dropped, so a quarantinable trace does not
+            // abort before the guarded evaluation even starts.
             std::vector<LoggedTuple> head;
-            shards.read_rows(0, std::min<std::uint64_t>(fit_sample, n), head);
-            const Trace fit_trace(std::move(head));
+            const std::uint64_t head_n = std::min<std::uint64_t>(fit_sample, n);
+            if (on_error == core::FailureMode::kStrict) {
+                shards.read_rows(0, head_n, head);
+            } else {
+                std::vector<store::ReadFailure> fit_failures;
+                shards.read_rows_tolerant(0, head_n, head, fit_failures);
+            }
+            Trace fit_trace(std::move(head));
+            if (on_error != core::FailureMode::kStrict)
+                remove_defective_tuples(fit_trace, decisions);
+            if (fit_trace.empty())
+                throw std::runtime_error(
+                    "no usable tuples in the fit sample (trace damage "
+                    "exceeds what quarantine can absorb)");
             const auto policy = parse_policy(policy_spec, fit_trace, decisions);
             const auto model = core::fit_reward_model(config.reward_model,
                                                       decisions, fit_trace);
@@ -339,9 +422,15 @@ int main(int argc, char** argv) {
             stream_options.estimator_options = config.estimator_options;
             stream_options.ci_replicates = config.ci_replicates;
             stream_options.ci_level = config.ci_level;
+            stream_options.on_error = on_error;
+            stream_options.checkpoint_path = checkpoint_path;
+            stream_options.resume = resume;
             const store::StoreTupleSource source(shards);
-            const core::PolicyEvaluation result = core::evaluate_streaming(
-                source, *model, *policy, stream_options, stats::Rng(seed));
+            const core::StreamingResult guarded =
+                core::evaluate_streaming_guarded(source, *model, *policy,
+                                                 stream_options,
+                                                 stats::Rng(seed));
+            const core::PolicyEvaluation& result = guarded.evaluation;
 
             obs::Report out;
             const std::string policy_section = "policy " + policy_spec;
@@ -369,7 +458,30 @@ int main(int argc, char** argv) {
                     result.overlap.max_weight);
             out.set("diagnostics", "zero-weight tuples %",
                     100.0 * result.overlap.zero_weight_fraction);
+            if (!guarded.quarantine.empty()) {
+                out.set("quarantine", "tuples quarantined",
+                        static_cast<double>(
+                            guarded.quarantine.tuples_quarantined));
+                out.set("quarantine", "coverage",
+                        guarded.quarantine.coverage());
+            }
             out.print(stdout);
+            if (!guarded.quarantine.empty()) {
+                std::printf("\n%s", guarded.quarantine.to_text().c_str());
+                if (on_error == core::FailureMode::kDegrade && result.dr_ci)
+                    std::printf("  DR CI is coverage-widened (degrade mode)\n");
+            }
+            if (!quarantine_out.empty()) {
+                const std::string text = guarded.quarantine.to_text();
+                std::FILE* f = std::fopen(quarantine_out.c_str(), "wb");
+                if (f == nullptr ||
+                    std::fwrite(text.data(), 1, text.size(), f) !=
+                        text.size() ||
+                    std::fclose(f) != 0)
+                    throw std::runtime_error("cannot write " + quarantine_out);
+                std::printf("\nwrote quarantine report to %s\n",
+                            quarantine_out.c_str());
+            }
 
             if (!obs_out.empty()) {
                 if (obs::write_registry_json_file(obs_out))
@@ -392,6 +504,22 @@ int main(int argc, char** argv) {
 
         const Trace trace = load_trace(path, reader_options);
         if (trace.empty()) throw std::runtime_error("trace is empty");
+        // Structural validation at read time, with the same reason codes
+        // the audit linter and the streaming QuarantineReport use. The
+        // in-memory estimators need every tuple to be sound, so a
+        // defective trace is rejected here with a per-reason census
+        // instead of failing later inside an estimator.
+        const auto defects = count_defects(trace, trace.num_decisions());
+        if (!defects.empty()) {
+            std::string census;
+            for (const auto& [code, count] : defects) {
+                if (!census.empty()) census += ", ";
+                census += code + ": " + std::to_string(count);
+            }
+            throw std::runtime_error(
+                "trace has defective tuples (" + census +
+                "); use --streaming --on-error quarantine to skip them");
+        }
         std::printf("trace: %zu tuples, %zu decisions\n", trace.size(),
                     trace.num_decisions());
 
@@ -522,7 +650,6 @@ int main(int argc, char** argv) {
         }
         return 0;
     } catch (const std::exception& e) {
-        std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
+        return report_error(e);
     }
 }
