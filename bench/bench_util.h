@@ -19,6 +19,7 @@
 
 #include "core/parallel.h"
 #include "obs/obs.h"
+#include "simd/simd.h"
 #include "stats/hypothesis.h"
 #include "stats/rng.h"
 #include "stats/summary.h"
@@ -132,6 +133,11 @@ inline obs::Report make_bench_report(std::string_view bench_name,
     report.set("", "git", git_describe());
     report.set("", "threads",
                static_cast<std::uint64_t>(par::thread_count()));
+    // Which SIMD tier the CPU offers vs which one dispatch actually picked
+    // (they differ under a DRE_SIMD override) — needed to interpret any
+    // timing in the artifact.
+    report.set("", "isa_detected", simd::level_name(simd::detected_level()));
+    report.set("", "isa_active", simd::level_name(simd::active_level()));
     if (!mode.empty()) report.set("", "mode", mode);
     return report;
 }

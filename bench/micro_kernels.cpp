@@ -34,6 +34,7 @@
 #include "core/policy.h"
 #include "core/qhat.h"
 #include "core/reward_model.h"
+#include "simd/simd.h"
 #include "stats/bootstrap.h"
 #include "stats/knn.h"
 #include "stats/rng.h"
@@ -248,6 +249,39 @@ int main(int argc, char** argv) {
     qhat_row.identical = qhat_checksum_model == qhat_checksum_matrix;
     print_row("qhat", "per-call", "shared-matrix", qhat_row);
 
+    // ---- q̂ fill: scalar ISA vs dispatched SIMD ---------------------------
+    // Same matrix build (k-NN model, KD-tree leaf scans) pinned to the
+    // scalar kernels vs whatever the CPU dispatches to. The canonical
+    // 8-lane contract (src/simd/simd.h) makes the two matrices
+    // byte-identical; only the wall clock moves.
+    const simd::Level native_level = simd::active_level();
+    KernelRow fill_row;
+    simd::set_active_level(simd::Level::kScalar);
+    const core::PredictionMatrix fill_scalar =
+        core::PredictionMatrix::build(model, trace);
+    simd::set_active_level(native_level);
+    const core::PredictionMatrix fill_simd =
+        core::PredictionMatrix::build(model, trace);
+    std::tie(fill_row.baseline_ms, fill_row.optimized_ms) = time_pair_ms(
+        [&] {
+            simd::set_active_level(simd::Level::kScalar);
+            core::PredictionMatrix::build(model, trace);
+        },
+        [&] {
+            simd::set_active_level(native_level);
+            core::PredictionMatrix::build(model, trace);
+        },
+        small ? 3 : 5);
+    simd::set_active_level(native_level);
+    fill_row.identical =
+        fill_scalar.num_tuples() == fill_simd.num_tuples() &&
+        fill_scalar.num_decisions() == fill_simd.num_decisions() &&
+        std::memcmp(fill_scalar.row(0), fill_simd.row(0),
+                    fill_scalar.num_tuples() * fill_scalar.num_decisions() *
+                        sizeof(double)) == 0;
+    print_row("qhat_fill", "scalar-isa",
+              simd::level_name(native_level), fill_row);
+
     // ---- bootstrap_ci: serial vs configured threads ----------------------
     std::vector<double> sample(2000);
     {
@@ -303,6 +337,11 @@ int main(int argc, char** argv) {
     report.set("qhat", "matrix_ms", qhat_row.optimized_ms);
     report.set("qhat", "speedup", qhat_row.speedup());
     report.set("qhat", "identical", qhat_row.identical);
+    report.set("qhat_fill", "level", simd::level_name(native_level));
+    report.set("qhat_fill", "scalar_ms", fill_row.baseline_ms);
+    report.set("qhat_fill", "simd_ms", fill_row.optimized_ms);
+    report.set("qhat_fill", "speedup", fill_row.speedup());
+    report.set("qhat_fill", "identical", fill_row.identical);
     report.set("bootstrap", "replicates", replicates);
     report.set("bootstrap", "serial_ms", boot_row.baseline_ms);
     report.set("bootstrap", "parallel_ms", boot_row.optimized_ms);
@@ -342,7 +381,7 @@ int main(int argc, char** argv) {
     }
 
     return knn_row.identical && cbn_row.identical && qhat_row.identical &&
-                   boot_row.identical
+                   fill_row.identical && boot_row.identical
                ? 0
                : 1;
 }

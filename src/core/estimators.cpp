@@ -6,6 +6,7 @@
 
 #include "core/parallel.h"
 #include "obs/obs.h"
+#include "simd/simd.h"
 #include "stats/summary.h"
 
 namespace dre::core {
@@ -33,22 +34,47 @@ void check_matrix(const Trace& trace, const Policy& new_policy,
         throw std::invalid_argument("estimator: matrix built from a different trace");
 }
 
+// Reusable per-thread probability buffer for the estimator loops. Each
+// parallel task sees its own copy (thread_local), so the hot loops never
+// allocate a distribution per tuple. value_under_policy fills it and
+// leaves trace[k]'s distribution behind, letting callers read
+// probs[t.decision] instead of paying a second policy evaluation.
+std::vector<double>& probs_scratch() {
+    thread_local std::vector<double> scratch;
+    return scratch;
+}
+
 // The model-based estimators are written once against a generic q̂ accessor
-// q(k, context, d) and instantiated twice: reading the RewardModel directly,
-// or reading a PredictionMatrix row. Both instantiations run the same loop
-// with the same skip rule and summation order, so they are bit-identical.
+// and instantiated twice: reading the RewardModel directly, or reading a
+// PredictionMatrix row. Both instantiations execute dre::simd's canonical
+// fixed-8-lane weighted sum (simd.h): the matrix path through the
+// dispatched kernel over the contiguous decision-major row, the model path
+// as the equivalent scalar lane loop that only queries the model at
+// nonzero probabilities (a zero-probability decision contributes exactly
+// +0.0 either way — the two spellings are bit-identical, and so are all
+// dispatch levels).
 template <typename Q>
 double value_under_policy(const Policy& policy, const ClientContext& context,
-                          std::size_t k, const Q& q) {
-    const std::vector<double> probs = policy.action_probabilities(context);
-    double value = 0.0;
+                          std::size_t k, const Q& q,
+                          std::vector<double>& probs) {
+    policy.action_probabilities_into(context, probs);
+    const std::size_t n = probs.size();
     std::uint64_t skips = 0;
-    for (std::size_t d = 0; d < probs.size(); ++d) {
-        if (probs[d] == 0.0) {
-            ++skips;
-            continue;
+    double value;
+    if (const double* row = q.row(k)) {
+        value = simd::ops().weighted_sum_skip_zero(probs.data(), row, n, &skips);
+    } else {
+        double acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+        for (std::size_t d = 0; d < n; ++d) {
+            const double p = probs[d];
+            if (p == 0.0) {
+                ++skips;
+                continue;
+            }
+            acc[d & 7] += p * q(k, context, d);
         }
-        value += probs[d] * q(k, context, d);
+        value = ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+                ((acc[4] + acc[5]) + (acc[6] + acc[7]));
     }
     // One flush per tuple (not per decision): a per-item sum, so the total
     // is identical for any thread count or chunking.
@@ -63,6 +89,8 @@ struct ModelQ {
                       std::size_t d) const {
         return model->predict(context, static_cast<Decision>(d));
     }
+    // No contiguous row: value_under_policy takes the scalar lane loop.
+    const double* row(std::size_t) const { return nullptr; }
 };
 
 // Accessor over the precomputed matrix; the context is ignored because the
@@ -72,6 +100,7 @@ struct MatrixQ {
     double operator()(std::size_t k, const ClientContext&, std::size_t d) const {
         return qhat->at(k, d);
     }
+    const double* row(std::size_t k) const { return qhat->row(k); }
 };
 
 // Fill per_tuple[k] = fn(k, trace[k]) for every tuple, in parallel. Each
@@ -104,7 +133,8 @@ EstimateResult direct_method_impl(const Trace& trace, const Policy& new_policy,
     return average_result(
         per_tuple_map(trace,
                       [&](std::size_t k, const LoggedTuple& t) {
-                          return value_under_policy(new_policy, t.context, k, q);
+                          return value_under_policy(new_policy, t.context, k, q,
+                                                    probs_scratch());
                       }),
         "DM");
 }
@@ -115,10 +145,15 @@ EstimateResult doubly_robust_impl(const Trace& trace, const Policy& new_policy,
     return average_result(
         per_tuple_map(trace,
                       [&](std::size_t k, const LoggedTuple& t) {
-                          const double dm_part =
-                              value_under_policy(new_policy, t.context, k, q);
+                          // probs[t.decision] == probability(t.context,
+                          // t.decision) by the Policy contract; reusing the
+                          // row value_under_policy just filled saves a
+                          // second policy evaluation per tuple.
+                          std::vector<double>& probs = probs_scratch();
+                          const double dm_part = value_under_policy(
+                              new_policy, t.context, k, q, probs);
                           const double weight =
-                              new_policy.probability(t.context, t.decision) /
+                              probs[static_cast<std::size_t>(t.decision)] /
                               t.propensity;
                           return dm_part +
                                  weight * (t.reward -
@@ -135,10 +170,11 @@ EstimateResult clipped_doubly_robust_impl(const Trace& trace,
     return average_result(
         per_tuple_map(trace,
                       [&](std::size_t k, const LoggedTuple& t) {
-                          const double dm_part =
-                              value_under_policy(new_policy, t.context, k, q);
+                          std::vector<double>& probs = probs_scratch();
+                          const double dm_part = value_under_policy(
+                              new_policy, t.context, k, q, probs);
                           const double raw_weight =
-                              new_policy.probability(t.context, t.decision) /
+                              probs[static_cast<std::size_t>(t.decision)] /
                               t.propensity;
                           if (raw_weight > options.weight_clip)
                               DRE_COUNTER_INC("estimators.weight_clipped");
@@ -159,10 +195,11 @@ EstimateResult switch_doubly_robust_impl(const Trace& trace,
     return average_result(
         per_tuple_map(trace,
                       [&](std::size_t k, const LoggedTuple& t) {
-                          const double dm_part =
-                              value_under_policy(new_policy, t.context, k, q);
+                          std::vector<double>& probs = probs_scratch();
+                          const double dm_part = value_under_policy(
+                              new_policy, t.context, k, q, probs);
                           const double weight =
-                              new_policy.probability(t.context, t.decision) /
+                              probs[static_cast<std::size_t>(t.decision)] /
                               t.propensity;
                           double contribution = dm_part;
                           if (weight <= options.switch_threshold) {
@@ -186,10 +223,12 @@ EstimateResult self_normalized_doubly_robust_impl(const Trace& trace,
     const std::size_t n = trace.size();
     std::vector<double> dm_parts(n), corrections(n), weights(n);
     par::parallel_for_chunked(n, [&](std::size_t begin, std::size_t end) {
+        std::vector<double>& probs = probs_scratch();
         for (std::size_t k = begin; k < end; ++k) {
             const LoggedTuple& t = trace[k];
-            dm_parts[k] = value_under_policy(new_policy, t.context, k, q);
-            weights[k] = new_policy.probability(t.context, t.decision) / t.propensity;
+            dm_parts[k] = value_under_policy(new_policy, t.context, k, q, probs);
+            weights[k] =
+                probs[static_cast<std::size_t>(t.decision)] / t.propensity;
             corrections[k] =
                 weights[k] *
                 (t.reward -
@@ -358,9 +397,9 @@ ReplayEstimate matching_replay(const Trace& trace, const Policy& new_policy) {
     std::vector<double> matched(trace.size());
     par::parallel_for_chunked(
         trace.size(), [&](std::size_t begin, std::size_t end) {
+            std::vector<double>& probs = probs_scratch();
             for (std::size_t k = begin; k < end; ++k) {
-                const std::vector<double> probs =
-                    new_policy.action_probabilities(trace[k].context);
+                new_policy.action_probabilities_into(trace[k].context, probs);
                 const auto argmax = static_cast<Decision>(
                     std::max_element(probs.begin(), probs.end()) - probs.begin());
                 matched[k] = argmax == trace[k].decision ? 1.0 : 0.0;
@@ -415,11 +454,13 @@ void fill_estimator_chunk(const Trace& chunk, const Policy& new_policy,
     // Serial by design: the caller (evaluate_streaming) already runs one
     // chunk per pool task. Each expression below is copied verbatim from
     // the per-estimator loops above, so per-tuple values match bit-for-bit.
+    std::vector<double>& probs = probs_scratch();
     for (std::size_t k = 0; k < n; ++k) {
         const LoggedTuple& t = chunk[k];
-        const double dm_part = value_under_policy(new_policy, t.context, k, q);
+        const double dm_part =
+            value_under_policy(new_policy, t.context, k, q, probs);
         const double weight =
-            new_policy.probability(t.context, t.decision) / t.propensity;
+            probs[static_cast<std::size_t>(t.decision)] / t.propensity;
         const double qd = q(k, t.context, static_cast<std::size_t>(t.decision));
         out.dm[k] = dm_part;
         out.weights[k] = weight;

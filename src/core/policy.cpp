@@ -56,6 +56,12 @@ std::vector<double> DeterministicPolicy::action_probabilities(
     return probs;
 }
 
+void DeterministicPolicy::action_probabilities_into(
+    const ClientContext& context, std::vector<double>& out) const {
+    out.assign(num_decisions_, 0.0);
+    out[static_cast<std::size_t>(checked_choice(context))] = 1.0;
+}
+
 double DeterministicPolicy::probability(const ClientContext& context, Decision d) const {
     if (d < 0 || static_cast<std::size_t>(d) >= num_decisions_)
         throw std::out_of_range("DeterministicPolicy::probability: decision out of range");
@@ -71,6 +77,11 @@ UniformRandomPolicy::UniformRandomPolicy(std::size_t num_decisions)
 std::vector<double> UniformRandomPolicy::action_probabilities(
     const ClientContext&) const {
     return std::vector<double>(num_decisions_, 1.0 / static_cast<double>(num_decisions_));
+}
+
+void UniformRandomPolicy::action_probabilities_into(
+    const ClientContext&, std::vector<double>& out) const {
+    out.assign(num_decisions_, 1.0 / static_cast<double>(num_decisions_));
 }
 
 double UniformRandomPolicy::probability(const ClientContext&, Decision d) const {
@@ -93,6 +104,14 @@ std::vector<double> EpsilonGreedyPolicy::action_probabilities(
     const double uniform = epsilon_ / static_cast<double>(probs.size());
     for (double& p : probs) p = (1.0 - epsilon_) * p + uniform;
     return probs;
+}
+
+void EpsilonGreedyPolicy::action_probabilities_into(
+    const ClientContext& context, std::vector<double>& out) const {
+    base_->action_probabilities_into(context, out);
+    // Same mix arithmetic as action_probabilities(), applied in place.
+    const double uniform = epsilon_ / static_cast<double>(out.size());
+    for (double& p : out) p = (1.0 - epsilon_) * p + uniform;
 }
 
 SoftmaxPolicy::SoftmaxPolicy(std::size_t num_decisions, Scorer scorer,

@@ -25,9 +25,23 @@ public:
     virtual std::vector<double> action_probabilities(
         const ClientContext& context) const = 0;
 
+    // Allocation-free variant for the estimator hot loops: fill `out` with
+    // the same distribution, reusing its capacity. The default delegates to
+    // action_probabilities(); policies whose distribution is cheap to
+    // write in place (uniform, one-hot, table rows, epsilon mixes)
+    // override it. Overrides must produce values bit-identical to
+    // action_probabilities() — the estimators rely on the two being
+    // interchangeable.
+    virtual void action_probabilities_into(const ClientContext& context,
+                                           std::vector<double>& out) const {
+        out = action_probabilities(context);
+    }
+
     virtual std::size_t num_decisions() const noexcept = 0;
 
     // mu(d | c). Default implementation indexes action_probabilities().
+    // Overrides must return exactly action_probabilities(context)[d] — the
+    // estimators read either interchangeably.
     virtual double probability(const ClientContext& context, Decision d) const;
 
     // Sample a decision from mu(. | c).
@@ -47,6 +61,8 @@ public:
     DeterministicPolicy(std::size_t num_decisions, Chooser chooser);
 
     std::vector<double> action_probabilities(const ClientContext& context) const override;
+    void action_probabilities_into(const ClientContext& context,
+                                   std::vector<double>& out) const override;
     double probability(const ClientContext& context, Decision d) const override;
     std::size_t num_decisions() const noexcept override { return num_decisions_; }
 
@@ -66,6 +82,8 @@ public:
     explicit UniformRandomPolicy(std::size_t num_decisions);
 
     std::vector<double> action_probabilities(const ClientContext&) const override;
+    void action_probabilities_into(const ClientContext&,
+                                   std::vector<double>& out) const override;
     double probability(const ClientContext&, Decision d) const override;
     std::size_t num_decisions() const noexcept override { return num_decisions_; }
 
@@ -82,6 +100,8 @@ public:
     EpsilonGreedyPolicy(std::shared_ptr<const Policy> base, double epsilon);
 
     std::vector<double> action_probabilities(const ClientContext& context) const override;
+    void action_probabilities_into(const ClientContext& context,
+                                   std::vector<double>& out) const override;
     std::size_t num_decisions() const noexcept override { return base_->num_decisions(); }
 
     double epsilon() const noexcept { return epsilon_; }

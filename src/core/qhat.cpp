@@ -16,16 +16,19 @@ PredictionMatrix PredictionMatrix::build(const RewardModel& model,
     matrix.values_.resize(matrix.num_tuples_ * matrix.num_decisions_);
     const std::size_t num_decisions = matrix.num_decisions_;
     // One chunk task per tuple range; a tuple's whole row is filled by the
-    // task that owns it, so writes are slot-disjoint.
+    // task that owns it, so writes are slot-disjoint. predict_rows lets
+    // the model choose the fill order within the chunk (the k-NN model
+    // goes decision-major so each per-decision KD-tree stays
+    // cache-resident across the batch); every override is bit-identical
+    // to calling predict per (tuple, decision).
     par::parallel_for_chunked(
         trace.size(),
         [&](std::size_t begin, std::size_t end) {
-            for (std::size_t k = begin; k < end; ++k) {
-                double* row = matrix.values_.data() + k * num_decisions;
-                for (std::size_t d = 0; d < num_decisions; ++d)
-                    row[d] = model.predict(trace[k].context,
-                                           static_cast<Decision>(d));
-            }
+            std::vector<const ClientContext*> contexts(end - begin);
+            for (std::size_t k = begin; k < end; ++k)
+                contexts[k - begin] = &trace[k].context;
+            model.predict_rows(contexts.data(), contexts.size(),
+                               matrix.values_.data() + begin * num_decisions);
         },
         /*min_grain=*/16);
     return matrix;

@@ -7,12 +7,16 @@
 namespace dre::core {
 namespace {
 
-std::uint64_t cell_key(const ClientContext& context, Decision d) noexcept {
-    // Mix the decision into the context fingerprint.
-    std::uint64_t h = context_fingerprint(context);
+// Mix the decision into an already-computed context fingerprint. Split out
+// of cell_key so predict_row can fingerprint the context once per row.
+std::uint64_t mix_decision(std::uint64_t h, Decision d) noexcept {
     h ^= 0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(d) +
          (h << 6) + (h >> 2);
     return h;
+}
+
+std::uint64_t cell_key(const ClientContext& context, Decision d) noexcept {
+    return mix_decision(context_fingerprint(context), d);
 }
 
 void check_decision(Decision d, std::size_t n, const char* who) {
@@ -70,6 +74,23 @@ double TabularRewardModel::predict(const ClientContext& context, Decision d) con
     return global_mean_.mean;
 }
 
+void TabularRewardModel::predict_row(const ClientContext& context,
+                                     double* out) const {
+    if (!fitted_)
+        throw std::logic_error("TabularRewardModel::predict_row before fit");
+    const std::uint64_t fp = context_fingerprint(context);
+    for (std::size_t d = 0; d < num_decisions_; ++d) {
+        const auto it =
+            cell_means_.find(mix_decision(fp, static_cast<Decision>(d)));
+        if (it != cell_means_.end()) {
+            out[d] = it->second.mean;
+            continue;
+        }
+        const auto& per_decision = decision_means_[d];
+        out[d] = per_decision.count > 0 ? per_decision.mean : global_mean_.mean;
+    }
+}
+
 LinearRewardModel::LinearRewardModel(std::size_t num_decisions, double l2)
     : num_decisions_(num_decisions), l2_(l2) {
     if (num_decisions_ == 0)
@@ -107,6 +128,15 @@ double LinearRewardModel::predict(const ClientContext& context, Decision d) cons
     const auto index = static_cast<std::size_t>(d);
     if (!has_model_[index]) return global_mean_;
     return per_decision_[index].predict(context.flattened());
+}
+
+void LinearRewardModel::predict_row(const ClientContext& context,
+                                    double* out) const {
+    if (!fitted_)
+        throw std::logic_error("LinearRewardModel::predict_row before fit");
+    const std::vector<double> flat = context.flattened();
+    for (std::size_t d = 0; d < num_decisions_; ++d)
+        out[d] = has_model_[d] ? per_decision_[d].predict(flat) : global_mean_;
 }
 
 KnnRewardModel::KnnRewardModel(std::size_t num_decisions, std::size_t k,
@@ -174,6 +204,47 @@ double KnnRewardModel::predict(const ClientContext& context, Decision d) const {
     const auto index = static_cast<std::size_t>(d);
     if (!has_model_[index]) return global_mean_;
     return per_decision_[index].predict(encode(context));
+}
+
+void KnnRewardModel::predict_row(const ClientContext& context,
+                                 double* out) const {
+    if (!fitted_)
+        throw std::logic_error("KnnRewardModel::predict_row before fit");
+    const std::vector<double> encoded = encode(context);
+    for (std::size_t d = 0; d < num_decisions_; ++d)
+        out[d] = has_model_[d] ? per_decision_[d].predict(encoded) : global_mean_;
+}
+
+void KnnRewardModel::predict_rows(const ClientContext* const* contexts,
+                                  std::size_t count, double* out) const {
+    if (!fitted_)
+        throw std::logic_error("KnnRewardModel::predict_rows before fit");
+    // Batch size bounds the encoded-query scratch (~batch × dims doubles)
+    // so one KD-tree's blocks plus the batch fit in L2 together.
+    constexpr std::size_t kRowBatch = 256;
+    std::vector<std::vector<double>> encoded;
+    encoded.reserve(std::min(count, kRowBatch));
+    for (std::size_t base = 0; base < count; base += kRowBatch) {
+        const std::size_t batch = std::min(kRowBatch, count - base);
+        encoded.clear();
+        for (std::size_t i = 0; i < batch; ++i)
+            encoded.push_back(encode(*contexts[base + i]));
+        // Decision-major: one tree serves the whole batch before the next
+        // tree is touched. Each out[row * num_decisions_ + d] gets exactly
+        // the value predict_row would have written — entries are
+        // independent, so the loop order is invisible in the result.
+        for (std::size_t d = 0; d < num_decisions_; ++d) {
+            double* col = out + base * num_decisions_ + d;
+            if (!has_model_[d]) {
+                for (std::size_t i = 0; i < batch; ++i)
+                    col[i * num_decisions_] = global_mean_;
+                continue;
+            }
+            const stats::KnnRegressor& reg = per_decision_[d];
+            for (std::size_t i = 0; i < batch; ++i)
+                col[i * num_decisions_] = reg.predict(encoded[i]);
+        }
+    }
 }
 
 std::unique_ptr<RewardModel> fit_reward_model(RewardModelKind kind,

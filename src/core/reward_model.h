@@ -26,6 +26,32 @@ public:
     // Predicted reward r^(c, d).
     virtual double predict(const ClientContext& context, Decision d) const = 0;
 
+    // Fill out[0..num_decisions) with predict(context, d) for every d —
+    // the q̂ row-fill hot path (qhat.cpp, streaming). The default loops
+    // predict(); models whose per-context work is worth hoisting out of
+    // the decision loop (fingerprinting, flattening, one-hot encoding)
+    // override it. Overrides must return bit-identical values to the
+    // default loop — PredictionMatrix's "same arithmetic, only faster"
+    // contract depends on it.
+    virtual void predict_row(const ClientContext& context, double* out) const {
+        const std::size_t n = num_decisions();
+        for (std::size_t d = 0; d < n; ++d)
+            out[d] = predict(context, static_cast<Decision>(d));
+    }
+
+    // Fill `count` consecutive rows (row i starts at out + i *
+    // num_decisions()) for contexts[0..count) — the bulk q̂ fill. The
+    // default loops predict_row; models with per-decision state worth
+    // keeping cache-resident across many contexts (e.g. one KD-tree per
+    // decision) override it with a decision-major fill. Same contract as
+    // predict_row: overrides must be bit-identical to the default loop.
+    virtual void predict_rows(const ClientContext* const* contexts,
+                              std::size_t count, double* out) const {
+        const std::size_t n = num_decisions();
+        for (std::size_t i = 0; i < count; ++i)
+            predict_row(*contexts[i], out + i * n);
+    }
+
     virtual std::size_t num_decisions() const noexcept = 0;
 
 protected:
@@ -41,6 +67,9 @@ public:
     ConstantRewardModel(std::size_t num_decisions, double value);
 
     double predict(const ClientContext&, Decision) const override { return value_; }
+    void predict_row(const ClientContext&, double* out) const override {
+        for (std::size_t d = 0; d < num_decisions_; ++d) out[d] = value_;
+    }
     std::size_t num_decisions() const noexcept override { return num_decisions_; }
 
 private:
@@ -75,6 +104,8 @@ public:
     void fit(const Trace& trace);
 
     double predict(const ClientContext& context, Decision d) const override;
+    // Fingerprints the context once instead of once per decision.
+    void predict_row(const ClientContext& context, double* out) const override;
     std::size_t num_decisions() const noexcept override { return num_decisions_; }
 
     // Number of populated (context, decision) cells.
@@ -105,6 +136,8 @@ public:
     void fit(const Trace& trace);
 
     double predict(const ClientContext& context, Decision d) const override;
+    // Flattens the context once instead of once per decision.
+    void predict_row(const ClientContext& context, double* out) const override;
     std::size_t num_decisions() const noexcept override { return num_decisions_; }
 
 private:
@@ -129,6 +162,15 @@ public:
     void fit(const Trace& trace);
 
     double predict(const ClientContext& context, Decision d) const override;
+    // One-hot-encodes the context once instead of once per decision — the
+    // encode() allocation used to dominate small-k row fills.
+    void predict_row(const ClientContext& context, double* out) const override;
+    // Decision-major bulk fill: encodes a batch of contexts up front, then
+    // answers all of them against one per-decision KD-tree before moving
+    // to the next, so each tree's blocks stay cache-resident for the whole
+    // batch instead of being evicted num_decisions times per tuple.
+    void predict_rows(const ClientContext* const* contexts, std::size_t count,
+                      double* out) const override;
     std::size_t num_decisions() const noexcept override { return num_decisions_; }
 
 private:

@@ -1,0 +1,119 @@
+// Internal per-level kernel declarations and the shared canonical helpers.
+//
+// Every kernel's semantics are fixed by the scalar implementation in
+// kernels_scalar.cpp (see simd.h for the lane-blocking contract). The
+// helpers here — the reduce tree and the per-lane tail folds — are the
+// pieces of that contract the vector implementations share verbatim: a
+// vector kernel spills its register lanes to the acc[8] array *in lane
+// order*, folds the ragged tail with the same helper the scalar kernel
+// uses, and reduces with the same tree. That, plus "no FMA anywhere in
+// this library" (enforced by -ffp-contract=off on the target), is what
+// makes every level byte-identical.
+#ifndef DRE_SIMD_KERNELS_H
+#define DRE_SIMD_KERNELS_H
+
+#include <cstddef>
+#include <cstdint>
+
+// x86-64 with a compiler that supports per-function target attributes
+// (GCC/Clang). Everything else runs the scalar level only.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define DRE_SIMD_X86 1
+#else
+#define DRE_SIMD_X86 0
+#endif
+
+namespace dre::simd::detail {
+
+// l2sq_scan tests its early-abort predicate (over a block pair's 16 lanes,
+// or the trailing odd block's 8 — see simd.h) only on every
+// kAbortStride-th dimension (d % kAbortStride == kAbortStride - 1).
+// Per-dimension checks cost about as much as the arithmetic itself on the
+// wide levels; striding keeps the abort's bounded-waste property while
+// restoring the vector levels' arithmetic advantage. Power of two, and
+// part of the cross-level contract: every level strides identically, so
+// per-level work counters still match. An aborted block and a block whose
+// lanes all miss the threshold both contribute no candidates — the caller
+// can't tell them apart, so the stride is invisible to results.
+inline constexpr std::size_t kAbortStride = 4;
+
+// Canonical horizontal reduce: ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)).
+inline double reduce8(const double acc[8]) noexcept {
+    return ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+           ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+}
+
+// Tail folds, shared by every level. `begin` must be a multiple of 8 (the
+// vector body consumed whole blocks), so lane (i mod 8) == i - begin.
+inline void dot8_tail(double acc[8], const double* a, const double* b,
+                      std::size_t begin, std::size_t n) noexcept {
+    for (std::size_t i = begin; i < n; ++i) acc[i & 7] += a[i] * b[i];
+}
+
+inline void weighted_tail(double acc[8], const double* w, const double* x,
+                          std::size_t begin, std::size_t n,
+                          std::uint64_t& zeros) noexcept {
+    for (std::size_t i = begin; i < n; ++i) {
+        const double p = w[i];
+        if (p == 0.0) {
+            ++zeros;
+            continue; // exactly +0.0 contributed; see simd.h
+        }
+        acc[i & 7] += p * x[i];
+    }
+}
+
+inline void gather_sum8_tail(double acc[8], const double* values,
+                             const std::uint32_t* idx, std::size_t begin,
+                             std::size_t n) noexcept {
+    for (std::size_t i = begin; i < n; ++i) acc[i & 7] += values[idx[i]];
+}
+
+// --- Scalar level (the executable specification) ---------------------------
+
+std::uint32_t crc32c_scalar(const void* data, std::size_t size,
+                            std::uint32_t seed);
+std::size_t l2sq_scan_scalar(const double* blocks, std::size_t num_blocks,
+                             std::size_t dims, const double* query,
+                             double worst, double* cand_d2,
+                             std::uint32_t* cand_idx);
+double dot8_scalar(const double* a, const double* b, std::size_t n);
+double weighted_sum_skip_zero_scalar(const double* w, const double* x,
+                                     std::size_t n, std::uint64_t* skips);
+void gather_scalar(const double* values, const std::uint32_t* idx,
+                   std::size_t n, double* out);
+double gather_sum8_scalar(const double* values, const std::uint32_t* idx,
+                          std::size_t n);
+
+#if DRE_SIMD_X86
+
+// --- SSE4.2 level (hardware crc32; 2-lane double vectors) -------------------
+
+std::uint32_t crc32c_sse42(const void* data, std::size_t size,
+                           std::uint32_t seed);
+std::size_t l2sq_scan_sse42(const double* blocks, std::size_t num_blocks,
+                            std::size_t dims, const double* query,
+                            double worst, double* cand_d2,
+                            std::uint32_t* cand_idx);
+double dot8_sse42(const double* a, const double* b, std::size_t n);
+double weighted_sum_skip_zero_sse42(const double* w, const double* x,
+                                    std::size_t n, std::uint64_t* skips);
+
+// --- AVX2 level (4-lane double vectors, gathers; crc32 inherited) -----------
+
+std::size_t l2sq_scan_avx2(const double* blocks, std::size_t num_blocks,
+                           std::size_t dims, const double* query, double worst,
+                           double* cand_d2, std::uint32_t* cand_idx);
+double dot8_avx2(const double* a, const double* b, std::size_t n);
+double weighted_sum_skip_zero_avx2(const double* w, const double* x,
+                                   std::size_t n, std::uint64_t* skips);
+void gather_avx2(const double* values, const std::uint32_t* idx, std::size_t n,
+                 double* out);
+double gather_sum8_avx2(const double* values, const std::uint32_t* idx,
+                        std::size_t n);
+
+#endif // DRE_SIMD_X86
+
+} // namespace dre::simd::detail
+
+#endif // DRE_SIMD_KERNELS_H

@@ -1,0 +1,221 @@
+// AVX2 level: 2 × 4-lane double kernels and gathers (ymm k holds lanes
+// {4k .. 4k+3}); the CRC pointer is inherited from the SSE4.2 level in
+// dispatch.cpp. Same canonical 8-lane arithmetic as the scalar spec — see
+// kernels.h.
+#include "simd/kernels.h"
+
+#if DRE_SIMD_X86
+
+#include <immintrin.h>
+
+#include <bit>
+
+#define DRE_TARGET_AVX2 __attribute__((target("avx2")))
+
+namespace dre::simd::detail {
+namespace {
+
+// All-lanes-enabled gather. The masked form with an explicit zero source is
+// semantically identical to the plain intrinsic but avoids GCC's
+// maybe-uninitialized warning on _mm256_undefined_pd.
+DRE_TARGET_AVX2
+inline __m256d gather4(const double* values, const std::uint32_t* idx) {
+    const __m128i vi =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx));
+    const __m256d all = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+    return _mm256_mask_i32gather_pd(_mm256_setzero_pd(), values, vi, all, 8);
+}
+
+} // namespace
+
+DRE_TARGET_AVX2
+std::size_t l2sq_scan_avx2(const double* blocks, std::size_t num_blocks,
+                           std::size_t dims, const double* query, double worst,
+                           double* cand_d2, std::uint32_t* cand_idx) {
+    const __m256d worst_v = _mm256_set1_pd(worst);
+    std::size_t count = 0;
+    std::size_t b = 0;
+    // Paired blocks (see the scalar spec): 4 independent accumulator
+    // chains instead of 2, which halves the vaddpd latency floor this
+    // loop is bound by. Abandon predicate covers all 16 lanes of the pair.
+    for (; b + 2 <= num_blocks; b += 2) {
+        const double* blk0 = blocks + b * dims * 8;
+        const double* blk1 = blk0 + dims * 8;
+        __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+        __m256d acc2 = _mm256_setzero_pd(), acc3 = _mm256_setzero_pd();
+        bool aborted = false;
+        for (std::size_t d = 0; d < dims; ++d) {
+            const __m256d q = _mm256_set1_pd(query[d]);
+            const double* c0 = blk0 + d * 8;
+            const double* c1 = blk1 + d * 8;
+            const __m256d d0 = _mm256_sub_pd(_mm256_loadu_pd(c0), q);
+            const __m256d d1 = _mm256_sub_pd(_mm256_loadu_pd(c0 + 4), q);
+            const __m256d d2 = _mm256_sub_pd(_mm256_loadu_pd(c1), q);
+            const __m256d d3 = _mm256_sub_pd(_mm256_loadu_pd(c1 + 4), q);
+            acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(d0, d0));
+            acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(d1, d1));
+            acc2 = _mm256_add_pd(acc2, _mm256_mul_pd(d2, d2));
+            acc3 = _mm256_add_pd(acc3, _mm256_mul_pd(d3, d3));
+            if ((d & (kAbortStride - 1)) == kAbortStride - 1) {
+                const int m = _mm256_movemask_pd(
+                                  _mm256_cmp_pd(acc0, worst_v, _CMP_GT_OQ)) &
+                              _mm256_movemask_pd(
+                                  _mm256_cmp_pd(acc1, worst_v, _CMP_GT_OQ)) &
+                              _mm256_movemask_pd(
+                                  _mm256_cmp_pd(acc2, worst_v, _CMP_GT_OQ)) &
+                              _mm256_movemask_pd(
+                                  _mm256_cmp_pd(acc3, worst_v, _CMP_GT_OQ));
+                if (m == 0xf) {
+                    aborted = true;
+                    break;
+                }
+            }
+        }
+        if (aborted) continue;
+        const unsigned m0 = static_cast<unsigned>(
+            _mm256_movemask_pd(_mm256_cmp_pd(acc0, worst_v, _CMP_LE_OQ)));
+        const unsigned m1 = static_cast<unsigned>(
+            _mm256_movemask_pd(_mm256_cmp_pd(acc1, worst_v, _CMP_LE_OQ)));
+        const unsigned m2 = static_cast<unsigned>(
+            _mm256_movemask_pd(_mm256_cmp_pd(acc2, worst_v, _CMP_LE_OQ)));
+        const unsigned m3 = static_cast<unsigned>(
+            _mm256_movemask_pd(_mm256_cmp_pd(acc3, worst_v, _CMP_LE_OQ)));
+        unsigned mask = m0 | (m1 << 4) | (m2 << 8) | (m3 << 12);
+        if (mask == 0) continue;
+        double lanes[16];
+        _mm256_storeu_pd(lanes + 0, acc0);
+        _mm256_storeu_pd(lanes + 4, acc1);
+        _mm256_storeu_pd(lanes + 8, acc2);
+        _mm256_storeu_pd(lanes + 12, acc3);
+        do {
+            const int lane = std::countr_zero(mask);
+            cand_d2[count] = lanes[lane];
+            cand_idx[count] = static_cast<std::uint32_t>(b * 8 + lane);
+            ++count;
+            mask &= mask - 1;
+        } while (mask != 0);
+    }
+    for (; b < num_blocks; ++b) {
+        const double* block = blocks + b * dims * 8;
+        __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+        bool aborted = false;
+        for (std::size_t d = 0; d < dims; ++d) {
+            const __m256d q = _mm256_set1_pd(query[d]);
+            const double* col = block + d * 8;
+            const __m256d d0 = _mm256_sub_pd(_mm256_loadu_pd(col), q);
+            const __m256d d1 = _mm256_sub_pd(_mm256_loadu_pd(col + 4), q);
+            acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(d0, d0));
+            acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(d1, d1));
+            // Strided abandon, same predicate as the scalar spec.
+            if ((d & (kAbortStride - 1)) == kAbortStride - 1) {
+                const int m = _mm256_movemask_pd(
+                                  _mm256_cmp_pd(acc0, worst_v, _CMP_GT_OQ)) &
+                              _mm256_movemask_pd(
+                                  _mm256_cmp_pd(acc1, worst_v, _CMP_GT_OQ));
+                if (m == 0xf) {
+                    aborted = true;
+                    break;
+                }
+            }
+        }
+        if (aborted) continue;
+        // Candidate mask: ordered LE per lane (NaN lanes never qualify),
+        // ymm k holding lanes {4k .. 4k+3}.
+        const unsigned m0 = static_cast<unsigned>(
+            _mm256_movemask_pd(_mm256_cmp_pd(acc0, worst_v, _CMP_LE_OQ)));
+        const unsigned m1 = static_cast<unsigned>(
+            _mm256_movemask_pd(_mm256_cmp_pd(acc1, worst_v, _CMP_LE_OQ)));
+        unsigned mask = m0 | (m1 << 4);
+        if (mask == 0) continue;
+        double lanes[8];
+        _mm256_storeu_pd(lanes + 0, acc0);
+        _mm256_storeu_pd(lanes + 4, acc1);
+        do {
+            const int lane = std::countr_zero(mask);
+            cand_d2[count] = lanes[lane];
+            cand_idx[count] = static_cast<std::uint32_t>(b * 8 + lane);
+            ++count;
+            mask &= mask - 1;
+        } while (mask != 0);
+    }
+    return count;
+}
+
+DRE_TARGET_AVX2
+double dot8_avx2(const double* a, const double* b, std::size_t n) {
+    __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        acc0 = _mm256_add_pd(
+            acc0, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+        acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(_mm256_loadu_pd(a + i + 4),
+                                                 _mm256_loadu_pd(b + i + 4)));
+    }
+    double lanes[8];
+    _mm256_storeu_pd(lanes + 0, acc0);
+    _mm256_storeu_pd(lanes + 4, acc1);
+    dot8_tail(lanes, a, b, i, n);
+    return reduce8(lanes);
+}
+
+DRE_TARGET_AVX2
+double weighted_sum_skip_zero_avx2(const double* w, const double* x,
+                                   std::size_t n, std::uint64_t* skips) {
+    const __m256d zero = _mm256_setzero_pd();
+    __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+    std::uint64_t zeros = 0;
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256d w0 = _mm256_loadu_pd(w + i);
+        const __m256d w1 = _mm256_loadu_pd(w + i + 4);
+        // Mask-after-multiply; NEQ_UQ / EQ_OQ — same NaN and +0.0 semantics
+        // as the SSE4.2 level (documented there and in simd.h).
+        const __m256d nz0 = _mm256_cmp_pd(w0, zero, _CMP_NEQ_UQ);
+        const __m256d nz1 = _mm256_cmp_pd(w1, zero, _CMP_NEQ_UQ);
+        acc0 = _mm256_add_pd(
+            acc0, _mm256_and_pd(nz0, _mm256_mul_pd(w0, _mm256_loadu_pd(x + i))));
+        acc1 = _mm256_add_pd(
+            acc1,
+            _mm256_and_pd(nz1, _mm256_mul_pd(w1, _mm256_loadu_pd(x + i + 4))));
+        const int eq =
+            _mm256_movemask_pd(_mm256_cmp_pd(w0, zero, _CMP_EQ_OQ)) |
+            _mm256_movemask_pd(_mm256_cmp_pd(w1, zero, _CMP_EQ_OQ)) << 4;
+        zeros += static_cast<std::uint64_t>(
+            std::popcount(static_cast<unsigned>(eq)));
+    }
+    double lanes[8];
+    _mm256_storeu_pd(lanes + 0, acc0);
+    _mm256_storeu_pd(lanes + 4, acc1);
+    weighted_tail(lanes, w, x, i, n, zeros);
+    if (skips != nullptr) *skips += zeros;
+    return reduce8(lanes);
+}
+
+DRE_TARGET_AVX2
+void gather_avx2(const double* values, const std::uint32_t* idx, std::size_t n,
+                 double* out) {
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        _mm256_storeu_pd(out + i, gather4(values, idx + i));
+    for (; i < n; ++i) out[i] = values[idx[i]];
+}
+
+DRE_TARGET_AVX2
+double gather_sum8_avx2(const double* values, const std::uint32_t* idx,
+                        std::size_t n) {
+    __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        acc0 = _mm256_add_pd(acc0, gather4(values, idx + i));
+        acc1 = _mm256_add_pd(acc1, gather4(values, idx + i + 4));
+    }
+    double lanes[8];
+    _mm256_storeu_pd(lanes + 0, acc0);
+    _mm256_storeu_pd(lanes + 4, acc1);
+    gather_sum8_tail(lanes, values, idx, i, n);
+    return reduce8(lanes);
+}
+
+} // namespace dre::simd::detail
+
+#endif // DRE_SIMD_X86

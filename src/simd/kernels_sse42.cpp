@@ -1,0 +1,327 @@
+// SSE4.2 level: hardware CRC-32C and 4 × 2-lane double kernels.
+//
+// The CRC runs three independent `_mm_crc32_u64` streams per block to cover
+// the instruction's 3-cycle latency, then stitches the streams together with
+// a GF(2) zero-extension operator (the standard crc32_combine construction:
+// CRC is linear over GF(2), so the register after A‖B‖C equals
+// shift(shift(crcA) ^ crcB) ^ crcC where shift() advances a register over a
+// block's worth of zero bytes). The operator is built once by repeated
+// matrix squaring and flattened to byte lookup tables.
+//
+// The FP kernels execute the canonical 8-lane arithmetic on 4 xmm registers
+// (xmm k holds lanes {2k, 2k+1}) — see kernels.h for why that makes them
+// byte-identical to scalar.
+#include "simd/kernels.h"
+
+#if DRE_SIMD_X86
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstring>
+
+#define DRE_TARGET_SSE42 __attribute__((target("sse4.2")))
+
+namespace dre::simd::detail {
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82f63b78u;
+
+// Bytes per interleaved stream. LONG amortizes the combine cost on row-group
+// sized buffers; SHORT mops up medium remainders.
+constexpr std::size_t kLongBlock = 4096;
+constexpr std::size_t kShortBlock = 384;
+
+// The "advance a CRC register over N zero bytes" operator, as 4×256 byte
+// lookup tables. Built from the one-zero-bit operator (in the reflected
+// domain: e0 → poly, ei → e(i-1)) raised to the 8Nth power by repeated
+// squaring.
+struct CrcShift {
+    std::uint32_t table[4][256];
+
+    explicit CrcShift(std::size_t zero_bytes) {
+        std::uint32_t op[32], sq[32];
+        op[0] = kPoly;
+        for (int i = 1; i < 32; ++i) op[i] = 1u << (i - 1);
+        // op currently shifts by 1 bit; square until it shifts by 8*N bits.
+        std::uint64_t bits = static_cast<std::uint64_t>(zero_bytes) * 8;
+        // Decompose: result = op^(bits). Exponentiate by squaring.
+        std::uint32_t result[32];
+        for (int i = 0; i < 32; ++i) result[i] = 1u << i; // identity
+        while (bits != 0) {
+            if (bits & 1u) {
+                for (int i = 0; i < 32; ++i) sq[i] = times(op, result[i]);
+                std::memcpy(result, sq, sizeof(result));
+            }
+            bits >>= 1;
+            if (bits == 0) break;
+            for (int i = 0; i < 32; ++i) sq[i] = times(op, op[i]);
+            std::memcpy(op, sq, sizeof(op));
+        }
+        for (int k = 0; k < 4; ++k)
+            for (std::uint32_t b = 0; b < 256; ++b)
+                table[k][b] = times(result, b << (8 * k));
+    }
+
+    static std::uint32_t times(const std::uint32_t mat[32], std::uint32_t vec) {
+        std::uint32_t sum = 0;
+        for (int i = 0; vec != 0; vec >>= 1, ++i)
+            if (vec & 1u) sum ^= mat[i];
+        return sum;
+    }
+
+    std::uint32_t apply(std::uint32_t crc) const {
+        return table[0][crc & 0xffu] ^ table[1][(crc >> 8) & 0xffu] ^
+               table[2][(crc >> 16) & 0xffu] ^ table[3][crc >> 24];
+    }
+};
+
+const CrcShift& long_shift() {
+    static const CrcShift s(kLongBlock);
+    return s;
+}
+
+const CrcShift& short_shift() {
+    static const CrcShift s(kShortBlock);
+    return s;
+}
+
+} // namespace
+
+DRE_TARGET_SSE42
+std::uint32_t crc32c_sse42(const void* data, std::size_t size,
+                           std::uint32_t seed) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint32_t crc32 = ~seed;
+    while (size > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+        crc32 = _mm_crc32_u8(crc32, *p++);
+        --size;
+    }
+    std::uint64_t crc = crc32;
+    const struct {
+        std::size_t block;
+        const CrcShift* shift;
+    } phases[2] = {{kLongBlock, &long_shift()}, {kShortBlock, &short_shift()}};
+    for (const auto& phase : phases) {
+        const std::size_t block = phase.block;
+        while (size >= 3 * block) {
+            std::uint64_t c0 = crc, c1 = 0, c2 = 0;
+            for (std::size_t i = 0; i < block; i += 8) {
+                std::uint64_t w0, w1, w2;
+                std::memcpy(&w0, p + i, 8);
+                std::memcpy(&w1, p + block + i, 8);
+                std::memcpy(&w2, p + 2 * block + i, 8);
+                c0 = _mm_crc32_u64(c0, w0);
+                c1 = _mm_crc32_u64(c1, w1);
+                c2 = _mm_crc32_u64(c2, w2);
+            }
+            std::uint32_t combined =
+                phase.shift->apply(static_cast<std::uint32_t>(c0)) ^
+                static_cast<std::uint32_t>(c1);
+            combined =
+                phase.shift->apply(combined) ^ static_cast<std::uint32_t>(c2);
+            crc = combined;
+            p += 3 * block;
+            size -= 3 * block;
+        }
+    }
+    while (size >= 8) {
+        std::uint64_t w;
+        std::memcpy(&w, p, 8);
+        crc = _mm_crc32_u64(crc, w);
+        p += 8;
+        size -= 8;
+    }
+    crc32 = static_cast<std::uint32_t>(crc);
+    while (size-- != 0) crc32 = _mm_crc32_u8(crc32, *p++);
+    return ~crc32;
+}
+
+DRE_TARGET_SSE42
+std::size_t l2sq_scan_sse42(const double* blocks, std::size_t num_blocks,
+                            std::size_t dims, const double* query,
+                            double worst, double* cand_d2,
+                            std::uint32_t* cand_idx) {
+    const __m128d worst_v = _mm_set1_pd(worst);
+    std::size_t count = 0;
+    std::size_t b = 0;
+    // Paired blocks (see the scalar spec): 8 independent accumulator
+    // chains; the abandon predicate covers all 16 lanes of the pair.
+    for (; b + 2 <= num_blocks; b += 2) {
+        const double* blk0 = blocks + b * dims * 8;
+        const double* blk1 = blk0 + dims * 8;
+        __m128d acc[8];
+        for (int r = 0; r < 8; ++r) acc[r] = _mm_setzero_pd();
+        bool aborted = false;
+        for (std::size_t d = 0; d < dims; ++d) {
+            const __m128d q = _mm_set1_pd(query[d]);
+            const double* c0 = blk0 + d * 8;
+            const double* c1 = blk1 + d * 8;
+            for (int r = 0; r < 4; ++r) {
+                const __m128d diff = _mm_sub_pd(_mm_loadu_pd(c0 + 2 * r), q);
+                acc[r] = _mm_add_pd(acc[r], _mm_mul_pd(diff, diff));
+            }
+            for (int r = 0; r < 4; ++r) {
+                const __m128d diff = _mm_sub_pd(_mm_loadu_pd(c1 + 2 * r), q);
+                acc[4 + r] = _mm_add_pd(acc[4 + r], _mm_mul_pd(diff, diff));
+            }
+            if ((d & (kAbortStride - 1)) == kAbortStride - 1) {
+                int m = 0x3;
+                for (int r = 0; r < 8; ++r)
+                    m &= _mm_movemask_pd(_mm_cmpgt_pd(acc[r], worst_v));
+                if (m == 0x3) {
+                    aborted = true;
+                    break;
+                }
+            }
+        }
+        if (aborted) continue;
+        unsigned mask = 0;
+        for (int r = 0; r < 8; ++r)
+            mask |= static_cast<unsigned>(
+                        _mm_movemask_pd(_mm_cmple_pd(acc[r], worst_v)))
+                    << (2 * r);
+        if (mask == 0) continue;
+        double lanes[16];
+        for (int r = 0; r < 8; ++r) _mm_storeu_pd(lanes + 2 * r, acc[r]);
+        do {
+            const int lane = std::countr_zero(mask);
+            cand_d2[count] = lanes[lane];
+            cand_idx[count] = static_cast<std::uint32_t>(b * 8 + lane);
+            ++count;
+            mask &= mask - 1;
+        } while (mask != 0);
+    }
+    for (; b < num_blocks; ++b) {
+        const double* block = blocks + b * dims * 8;
+        __m128d acc0 = _mm_setzero_pd(), acc1 = _mm_setzero_pd();
+        __m128d acc2 = _mm_setzero_pd(), acc3 = _mm_setzero_pd();
+        bool aborted = false;
+        for (std::size_t d = 0; d < dims; ++d) {
+            const __m128d q = _mm_set1_pd(query[d]);
+            const double* col = block + d * 8;
+            const __m128d d0 = _mm_sub_pd(_mm_loadu_pd(col), q);
+            const __m128d d1 = _mm_sub_pd(_mm_loadu_pd(col + 2), q);
+            const __m128d d2 = _mm_sub_pd(_mm_loadu_pd(col + 4), q);
+            const __m128d d3 = _mm_sub_pd(_mm_loadu_pd(col + 6), q);
+            acc0 = _mm_add_pd(acc0, _mm_mul_pd(d0, d0));
+            acc1 = _mm_add_pd(acc1, _mm_mul_pd(d1, d1));
+            acc2 = _mm_add_pd(acc2, _mm_mul_pd(d2, d2));
+            acc3 = _mm_add_pd(acc3, _mm_mul_pd(d3, d3));
+            // Ordered GT per lane, abandon only when all 8 exceed — same
+            // strided predicate as the scalar spec (a NaN lane compares
+            // false and blocks the abort).
+            if ((d & (kAbortStride - 1)) == kAbortStride - 1) {
+                const int m = _mm_movemask_pd(_mm_cmpgt_pd(acc0, worst_v)) &
+                              _mm_movemask_pd(_mm_cmpgt_pd(acc1, worst_v)) &
+                              _mm_movemask_pd(_mm_cmpgt_pd(acc2, worst_v)) &
+                              _mm_movemask_pd(_mm_cmpgt_pd(acc3, worst_v));
+                if (m == 0x3) {
+                    aborted = true;
+                    break;
+                }
+            }
+        }
+        if (aborted) continue;
+        // Candidate mask: ordered LE per lane (NaN lanes never qualify),
+        // xmm k holding lanes {2k, 2k+1}.
+        const unsigned m0 = static_cast<unsigned>(
+            _mm_movemask_pd(_mm_cmple_pd(acc0, worst_v)));
+        const unsigned m1 = static_cast<unsigned>(
+            _mm_movemask_pd(_mm_cmple_pd(acc1, worst_v)));
+        const unsigned m2 = static_cast<unsigned>(
+            _mm_movemask_pd(_mm_cmple_pd(acc2, worst_v)));
+        const unsigned m3 = static_cast<unsigned>(
+            _mm_movemask_pd(_mm_cmple_pd(acc3, worst_v)));
+        unsigned mask = m0 | (m1 << 2) | (m2 << 4) | (m3 << 6);
+        if (mask == 0) continue;
+        double lanes[8];
+        _mm_storeu_pd(lanes + 0, acc0);
+        _mm_storeu_pd(lanes + 2, acc1);
+        _mm_storeu_pd(lanes + 4, acc2);
+        _mm_storeu_pd(lanes + 6, acc3);
+        do {
+            const int lane = std::countr_zero(mask);
+            cand_d2[count] = lanes[lane];
+            cand_idx[count] = static_cast<std::uint32_t>(b * 8 + lane);
+            ++count;
+            mask &= mask - 1;
+        } while (mask != 0);
+    }
+    return count;
+}
+
+DRE_TARGET_SSE42
+double dot8_sse42(const double* a, const double* b, std::size_t n) {
+    __m128d acc0 = _mm_setzero_pd(), acc1 = _mm_setzero_pd();
+    __m128d acc2 = _mm_setzero_pd(), acc3 = _mm_setzero_pd();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        acc0 = _mm_add_pd(acc0,
+                          _mm_mul_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i)));
+        acc1 = _mm_add_pd(acc1, _mm_mul_pd(_mm_loadu_pd(a + i + 2),
+                                           _mm_loadu_pd(b + i + 2)));
+        acc2 = _mm_add_pd(acc2, _mm_mul_pd(_mm_loadu_pd(a + i + 4),
+                                           _mm_loadu_pd(b + i + 4)));
+        acc3 = _mm_add_pd(acc3, _mm_mul_pd(_mm_loadu_pd(a + i + 6),
+                                           _mm_loadu_pd(b + i + 6)));
+    }
+    double lanes[8];
+    _mm_storeu_pd(lanes + 0, acc0);
+    _mm_storeu_pd(lanes + 2, acc1);
+    _mm_storeu_pd(lanes + 4, acc2);
+    _mm_storeu_pd(lanes + 6, acc3);
+    dot8_tail(lanes, a, b, i, n);
+    return reduce8(lanes);
+}
+
+DRE_TARGET_SSE42
+double weighted_sum_skip_zero_sse42(const double* w, const double* x,
+                                    std::size_t n, std::uint64_t* skips) {
+    const __m128d zero = _mm_setzero_pd();
+    __m128d acc0 = _mm_setzero_pd(), acc1 = _mm_setzero_pd();
+    __m128d acc2 = _mm_setzero_pd(), acc3 = _mm_setzero_pd();
+    std::uint64_t zeros = 0;
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m128d w0 = _mm_loadu_pd(w + i), w1 = _mm_loadu_pd(w + i + 2);
+        const __m128d w2 = _mm_loadu_pd(w + i + 4),
+                      w3 = _mm_loadu_pd(w + i + 6);
+        // Zero-weight lanes are masked to +0.0 AFTER the multiply, so a
+        // non-finite x under zero weight contributes exactly +0.0 — same
+        // value the scalar skip produces (see simd.h). cmpneq is
+        // unordered-or-unequal: a NaN weight counts as nonzero, matching
+        // the scalar `w != 0.0` path; cmpeq is ordered, so NaN weights are
+        // not counted as skips either.
+        const __m128d nz0 = _mm_cmpneq_pd(w0, zero);
+        const __m128d nz1 = _mm_cmpneq_pd(w1, zero);
+        const __m128d nz2 = _mm_cmpneq_pd(w2, zero);
+        const __m128d nz3 = _mm_cmpneq_pd(w3, zero);
+        acc0 = _mm_add_pd(
+            acc0, _mm_and_pd(nz0, _mm_mul_pd(w0, _mm_loadu_pd(x + i))));
+        acc1 = _mm_add_pd(
+            acc1, _mm_and_pd(nz1, _mm_mul_pd(w1, _mm_loadu_pd(x + i + 2))));
+        acc2 = _mm_add_pd(
+            acc2, _mm_and_pd(nz2, _mm_mul_pd(w2, _mm_loadu_pd(x + i + 4))));
+        acc3 = _mm_add_pd(
+            acc3, _mm_and_pd(nz3, _mm_mul_pd(w3, _mm_loadu_pd(x + i + 6))));
+        const int eq = _mm_movemask_pd(_mm_cmpeq_pd(w0, zero)) |
+                       _mm_movemask_pd(_mm_cmpeq_pd(w1, zero)) << 2 |
+                       _mm_movemask_pd(_mm_cmpeq_pd(w2, zero)) << 4 |
+                       _mm_movemask_pd(_mm_cmpeq_pd(w3, zero)) << 6;
+        zeros += static_cast<std::uint64_t>(std::popcount(
+            static_cast<unsigned>(eq)));
+    }
+    double lanes[8];
+    _mm_storeu_pd(lanes + 0, acc0);
+    _mm_storeu_pd(lanes + 2, acc1);
+    _mm_storeu_pd(lanes + 4, acc2);
+    _mm_storeu_pd(lanes + 6, acc3);
+    weighted_tail(lanes, w, x, i, n, zeros);
+    if (skips != nullptr) *skips += zeros;
+    return reduce8(lanes);
+}
+
+} // namespace dre::simd::detail
+
+#endif // DRE_SIMD_X86

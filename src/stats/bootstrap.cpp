@@ -6,6 +6,7 @@
 
 #include "core/parallel.h"
 #include "obs/obs.h"
+#include "simd/simd.h"
 #include "stats/summary.h"
 
 namespace dre::stats {
@@ -65,6 +66,15 @@ ConfidenceInterval bootstrap_ci(std::span<const double> sample,
         b_count,
         [&](std::size_t begin, std::size_t end) {
             std::vector<double> resample(n); // one buffer per batch, reused
+            // Draw all indices first, then gather in one vectorized pass.
+            // Same draws in the same order, same elements copied, so the
+            // replicate values are bit-identical to the fused loop. The
+            // 32-bit index scratch requires n < 2^31; larger samples (which
+            // would also defeat the gather's int32 indices) keep the plain
+            // fused loop.
+            const bool narrow_idx = n < (std::size_t{1} << 31);
+            std::vector<std::uint32_t> idx(narrow_idx ? n : 0);
+            const simd::Ops& ops = simd::ops();
 #if DRE_OBS_ENABLED
             // Where replicate time goes: drawing the resample vs computing
             // the statistic. Accumulated locally, flushed once per chunk;
@@ -77,8 +87,15 @@ ConfidenceInterval bootstrap_ci(std::span<const double> sample,
 #if DRE_OBS_ENABLED
                 const std::uint64_t t0 = obs::now_ns();
 #endif
-                for (std::size_t i = 0; i < n; ++i)
-                    resample[i] = sample[replicate_rng.uniform_index(n)];
+                if (narrow_idx) {
+                    for (std::size_t i = 0; i < n; ++i)
+                        idx[i] = static_cast<std::uint32_t>(
+                            replicate_rng.uniform_index(n));
+                    ops.gather(sample.data(), idx.data(), n, resample.data());
+                } else {
+                    for (std::size_t i = 0; i < n; ++i)
+                        resample[i] = sample[replicate_rng.uniform_index(n)];
+                }
 #if DRE_OBS_ENABLED
                 const std::uint64_t t1 = obs::now_ns();
 #endif
@@ -134,12 +151,30 @@ std::vector<double> ChunkedMeanBootstrap::chunk_partials(
     // Pure child stream per (chunk, replicate): the partial depends only on
     // the base generator, the chunk id, and the chunk's values.
     const Rng chunk_base = base_.split(chunk_id);
-    for (std::size_t b = 0; b < b_count; ++b) {
-        Rng replicate_rng = chunk_base.split(b);
-        double sum = 0.0;
-        for (std::size_t i = 0; i < m; ++i)
-            sum += values[replicate_rng.uniform_index(m)];
-        partials[b] = sum;
+    // Indices drawn up front, summed with the dispatch layer's canonical
+    // 8-lane accumulator (element i goes to lane i mod 8, fixed reduce
+    // tree) — the same value at every ISA level. Chunks arriving through
+    // chunked_bootstrap_mean_ci are at most par::kReduceChunk values; the
+    // fallback covers direct callers whose chunks outgrow 32-bit indices.
+    if (m < (std::size_t{1} << 31)) {
+        std::vector<std::uint32_t> idx(m);
+        const simd::Ops& ops = simd::ops();
+        for (std::size_t b = 0; b < b_count; ++b) {
+            Rng replicate_rng = chunk_base.split(b);
+            for (std::size_t i = 0; i < m; ++i)
+                idx[i] =
+                    static_cast<std::uint32_t>(replicate_rng.uniform_index(m));
+            partials[b] = ops.gather_sum8(values.data(), idx.data(), m);
+        }
+    } else {
+        for (std::size_t b = 0; b < b_count; ++b) {
+            Rng replicate_rng = chunk_base.split(b);
+            double acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+            for (std::size_t i = 0; i < m; ++i)
+                acc[i & 7] += values[replicate_rng.uniform_index(m)];
+            partials[b] = ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+                          ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+        }
     }
 #if DRE_OBS_ENABLED
     DRE_COUNTER_INC("bootstrap.chunk_partials");

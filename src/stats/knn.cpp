@@ -7,21 +7,42 @@
 
 #include "core/parallel.h"
 #include "obs/obs.h"
+#include "simd/simd.h"
 #include "stats/summary.h"
 
 namespace dre::stats {
 namespace {
 
 // Leaves below this size are scanned linearly; splitting further would cost
-// more in traversal than it saves in distance computations.
-constexpr std::size_t kLeafSize = 16;
+// more in traversal than it saves in distance computations. Sized at
+// sixteen 8-wide SIMD blocks: vectorized leaf scans made distance tests
+// cheap enough that bigger leaves (less traversal) now win — measured on
+// both the 50k-point knn bench and the small per-decision trees in the
+// q̂ fill.
+constexpr std::size_t kLeafSize = 128;
+
+// Slots per kernel call in scan_slots' bulk loop. Bounds the stack-held
+// candidate buffers and re-tightens `worst` between chunks, whatever the
+// scanned range's length.
+constexpr std::uint32_t kScanChunkSlots = 128;
 
 // Training sets below this size answer queries by scan even under kAuto —
 // the tree's traversal overhead only pays off beyond it. Pure performance
 // choice: both paths return bit-identical answers.
 constexpr std::size_t kAutoBruteThreshold = 128;
 
-// Reusable per-thread query state: standardized query, bounded top-k heap.
+// Under kAuto, training sets up to this size skip the KD-tree and answer
+// queries with one blocked kernel scan over all points (scan_slots over the
+// whole array). In moderate dimension the tree prunes little on small point
+// sets — the query visits most leaves anyway — while the linear scan keeps
+// all distance work inside the dispatched kernel, whose strided
+// partial-distance abort does the pruning instead. Bit-identical to the
+// tree path by the same argument as any scan: aborts and the `worst`
+// threshold only skip points that could never enter the heap.
+constexpr std::size_t kAutoScanThreshold = 1024;
+
+// Reusable per-thread query state: standardized query, bounded top-k list
+// (named `heap` historically; offer() now keeps it sorted ascending).
 // Thread-local so concurrent predict_batch tasks never share buffers and no
 // query allocates once the vectors have grown to steady state.
 struct QueryScratch {
@@ -35,19 +56,25 @@ QueryScratch& scratch() {
     return tls_scratch;
 }
 
-// Offer (d2, index) to a max-heap bounded at k entries, keeping the k
-// lexicographically smallest pairs (distance ties broken by index).
-inline void offer(std::vector<std::pair<double, std::uint32_t>>& heap,
+// Offer (d2, index) to `kept`, a bounded top-k list held sorted ascending
+// on the lexicographic (distance, index) order — kept.back() is the worst
+// retained pair. For the small k typical of k-NN regression, insertion
+// into a sorted array beats a binary heap: an accept is a couple of
+// compares plus a short element shift instead of pop_heap + push_heap,
+// and the list needs no final sort before target accumulation.
+inline void offer(std::vector<std::pair<double, std::uint32_t>>& kept,
                   std::size_t k, double d2, std::uint32_t index) {
     const std::pair<double, std::uint32_t> candidate(d2, index);
-    if (heap.size() < k) {
-        heap.push_back(candidate);
-        std::push_heap(heap.begin(), heap.end());
-    } else if (candidate < heap.front()) {
-        std::pop_heap(heap.begin(), heap.end());
-        heap.back() = candidate;
-        std::push_heap(heap.begin(), heap.end());
+    if (kept.size() == k) {
+        if (!(candidate < kept.back())) return;
+    } else {
+        kept.emplace_back();
     }
+    // Shift-insert from the tail; when the list was full, the old worst at
+    // the back is overwritten by the first shift (or by the candidate).
+    std::size_t i = kept.size() - 1;
+    for (; i > 0 && candidate < kept[i - 1]; --i) kept[i] = kept[i - 1];
+    kept[i] = candidate;
 }
 
 } // namespace
@@ -99,6 +126,13 @@ void KnnRegressor::build_tree() {
     node_end_.clear();
 
     const std::size_t n = perm_.size();
+    // Small point sets stay one leaf: queries scan them linearly anyway
+    // (kAutoScanThreshold), so splitting would only shuffle perm_ — and an
+    // identity perm_ lets scan_slots drop exact-distance ties in-kernel
+    // (see the strict-threshold nudge there). Pure tree-shape choice:
+    // results are a function of (point set, query) alone.
+    const bool single_leaf = n <= kAutoScanThreshold;
+    perm_identity_ = single_leaf;
     // Standardized coordinates in original-index order; points_ is
     // re-materialized in tree order afterwards for contiguous leaf scans.
     const std::vector<double> raw = points_;
@@ -116,7 +150,7 @@ void KnnRegressor::build_tree() {
         node_begin_.push_back(begin);
         node_end_.push_back(end);
 
-        if (end - begin <= kLeafSize || dims_ == 0) return id;
+        if (single_leaf || end - begin <= kLeafSize || dims_ == 0) return id;
 
         std::size_t axis = 0;
         double best_extent = -1.0;
@@ -134,7 +168,13 @@ void KnnRegressor::build_tree() {
         }
         if (best_extent <= 0.0) return id; // all points identical: leaf
 
-        const std::uint32_t mid = begin + (end - begin) / 2;
+        // Median split rounded DOWN to a multiple of 8 so every node's
+        // begin stays 8-aligned (root starts at 0) and leaf ranges open on
+        // SIMD block boundaries. Rounding moves at most 7 points across
+        // the split — a pure tree-shape choice: the k nearest neighbours
+        // are a function of (point set, query) alone, so results are
+        // unchanged. size > kLeafSize >= 16 guarantees mid > begin.
+        const std::uint32_t mid = begin + (((end - begin) / 2) & ~7u);
         std::nth_element(perm_.begin() + begin, perm_.begin() + mid,
                          perm_.begin() + end,
                          [&](std::uint32_t a, std::uint32_t b) {
@@ -155,6 +195,22 @@ void KnnRegressor::build_tree() {
     for (std::size_t slot = 0; slot < n; ++slot)
         for (std::size_t d = 0; d < dims_; ++d)
             points_[slot * dims_ + d] = raw[perm_[slot] * dims_ + d];
+
+    // Dimension-major 8-wide blocks over the tree-ordered points for the
+    // SIMD leaf scan (layout documented in knn.h). The last block is padded
+    // with NaN coordinates: a NaN lane accumulates a NaN distance, and the
+    // kernel's ordered compares never report a NaN lane as a candidate (nor
+    // as "exceeds worst", so padding never triggers an abort) — padded
+    // lanes are simply invisible, and every real slot goes through the
+    // kernel with no scalar tail.
+    const std::size_t num_blocks = (n + 7) / 8;
+    blocks_.assign(num_blocks * dims_ * 8,
+                   std::numeric_limits<double>::quiet_NaN());
+    blocked_slots_ = static_cast<std::uint32_t>(num_blocks * 8);
+    for (std::size_t slot = 0; slot < n; ++slot)
+        for (std::size_t d = 0; d < dims_; ++d)
+            blocks_[((slot / 8) * dims_ + d) * 8 + (slot % 8)] =
+                points_[slot * dims_ + d];
 }
 
 void KnnRegressor::standardize_into(std::span<const double> features,
@@ -177,7 +233,75 @@ void KnnRegressor::nearest_brute(std::span<const double> query, std::size_t k,
         }
         offer(heap, k, d2, perm_[slot]);
     }
-    std::sort(heap.begin(), heap.end());
+    // offer() keeps the list sorted ascending — nothing left to order.
+}
+
+void KnnRegressor::scan_slots(std::uint32_t begin, std::uint32_t end,
+                              std::span<const double> query, std::size_t k,
+                              std::vector<Neighbor>& heap) const {
+    const simd::Ops& ops = simd::ops();
+    std::uint32_t slot = begin;
+    // Tree splits keep slot ranges 8-aligned (a ragged `end` only ever
+    // closes the whole array, whose final block is NaN-padded — padded
+    // lanes can never become candidates), so every point is scanned
+    // through the dispatched kernel. The kernel runs the strided
+    // partial-distance exit against the worst kept distance at scan entry
+    // — no abort can drop a would-be candidate, so this is exactly
+    // equivalent to the per-point scan. It returns the candidates
+    // (d² <= worst) in slot order; only those reach offer(), which
+    // re-checks the lexicographic (distance, index) tie-break against the
+    // heap as it tightens — a point with d² > worst at scan entry could
+    // never enter the heap, so skipping it is exact.
+    const std::uint32_t blocked_stop =
+        std::min((end + 7) & ~std::uint32_t{7}, blocked_slots_);
+    double cand_d2[kScanChunkSlots];
+    std::uint32_t cand_idx[kScanChunkSlots];
+    // Cold-heap warm-start: an unfilled heap accepts every point, so a
+    // bulk scan against worst=+inf would return the whole chunk as
+    // candidates and flood offer(). Feed single blocks until the heap
+    // holds k entries; every scan after that runs against a real worst.
+    while (slot < blocked_stop && heap.size() < k) {
+        const double worst = heap.size() < k
+                                 ? std::numeric_limits<double>::infinity()
+                                 : heap.back().first;
+        const std::size_t found =
+            ops.l2sq_scan(blocks_.data() + (slot / 8) * dims_ * 8, 1, dims_,
+                          query.data(), worst, cand_d2, cand_idx);
+        for (std::size_t i = 0; i < found; ++i)
+            offer(heap, k, cand_d2[i], perm_[slot + cand_idx[i]]);
+        slot += 8;
+    }
+    // Bulk scan in bounded chunks: `worst` re-tightens between chunks and
+    // the candidate buffers stay stack-sized however long the range is.
+    // Chunk sizes ramp geometrically — right after the warm-start the
+    // threshold is still loose (it only reflects the first k points), so
+    // small early chunks tighten it cheaply before the big ones run,
+    // keeping the candidate flood reaching offer() short.
+    std::uint32_t ramp_slots = 16;
+    while (slot < blocked_stop) {
+        const std::uint32_t chunk = std::min(blocked_stop - slot, ramp_slots);
+        ramp_slots = std::min(ramp_slots * 2, kScanChunkSlots);
+        double worst = heap.size() < k
+                           ? std::numeric_limits<double>::infinity()
+                           : heap.back().first;
+        // Identity-permutation scans visit points in increasing original-
+        // index order, so every not-yet-scanned point that exactly TIES the
+        // current worst distance loses the (distance, index) tie-break to
+        // whatever already sits in the full heap. Nudging the kernel
+        // threshold one ulp down drops those tied candidates in-kernel —
+        // one-hot feature spaces produce large exact-tie classes that would
+        // otherwise be rejected one offer() at a time. Exact: only points
+        // that could never enter the heap are dropped.
+        if (perm_identity_ && heap.size() == k)
+            worst = std::nextafter(
+                worst, -std::numeric_limits<double>::infinity());
+        const std::size_t found = ops.l2sq_scan(
+            blocks_.data() + (slot / 8) * dims_ * 8, chunk / 8, dims_,
+            query.data(), worst, cand_d2, cand_idx);
+        for (std::size_t i = 0; i < found; ++i)
+            offer(heap, k, cand_d2[i], perm_[slot + cand_idx[i]]);
+        slot += chunk;
+    }
 }
 
 void KnnRegressor::search_node(std::uint32_t node, std::span<const double> query,
@@ -188,26 +312,7 @@ void KnnRegressor::search_node(std::uint32_t node, std::span<const double> query
     if (axis < 0) {
         ++stats.leaf_scans;
         stats.leaf_points += node_end_[node] - node_begin_[node];
-        for (std::uint32_t slot = node_begin_[node]; slot < node_end_[node];
-             ++slot) {
-            double d2 = 0.0;
-            const double* point = points_.data() + slot * dims_;
-            // Strict partial-distance exit: once the running sum exceeds the
-            // current worst, the full distance is strictly worse too, so the
-            // candidate pair (d2, index) could never enter the heap. Ties
-            // (partial == worst) must keep accumulating — the final distance
-            // may equal the worst with a smaller index, which wins.
-            const double worst = heap.size() < k
-                                     ? std::numeric_limits<double>::infinity()
-                                     : heap.front().first;
-            std::size_t d = 0;
-            for (; d < dims_; ++d) {
-                const double diff = point[d] - query[d];
-                d2 += diff * diff;
-                if (d2 > worst) break;
-            }
-            if (d == dims_) offer(heap, k, d2, perm_[slot]);
-        }
+        scan_slots(node_begin_[node], node_end_[node], query, k, heap);
         return;
     }
     const std::size_t a = static_cast<std::size_t>(axis);
@@ -225,7 +330,7 @@ void KnnRegressor::search_node(std::uint32_t node, std::span<const double> query
     // non-strict for exact brute-force equivalence.
     const double old_offset = offsets[a];
     const double far_d2 = cell_d2 - old_offset * old_offset + diff * diff;
-    if (heap.size() < k || far_d2 <= heap.front().first) {
+    if (heap.size() < k || far_d2 <= heap.back().first) {
         offsets[a] = diff;
         search_node(far, query, k, heap, offsets, far_d2, stats);
         offsets[a] = old_offset;
@@ -241,7 +346,7 @@ void KnnRegressor::nearest_kdtree(std::span<const double> query, std::size_t k,
     heap.clear();
     offsets.assign(dims_, 0.0);
     search_node(0, query, k, heap, offsets, 0.0, stats);
-    std::sort(heap.begin(), heap.end());
+    // offer() keeps the list sorted ascending — nothing left to order.
 }
 
 double KnnRegressor::reduce_neighbors(const std::vector<Neighbor>& neighbors) const {
@@ -292,6 +397,15 @@ double KnnRegressor::predict(std::span<const double> features) const {
     QueryStats stats;
     if (brute) {
         nearest_brute(s.query, k, s.heap);
+    } else if (algorithm_ == Algorithm::kAuto &&
+               targets_.size() <= kAutoScanThreshold) {
+        // Small tree: one blocked scan of the whole point set (counted as
+        // a single full-size leaf scan in the traversal stats).
+        s.heap.clear();
+        scan_slots(0, static_cast<std::uint32_t>(perm_.size()), s.query, k,
+                   s.heap);
+        stats.leaf_scans = 1;
+        stats.leaf_points = perm_.size();
     } else {
         nearest_kdtree(s.query, k, s.heap, s.offsets, stats);
     }

@@ -95,11 +95,31 @@ private:
     std::vector<double> feature_mean_;
     std::vector<double> feature_scale_;
 
+    // Fill `heap` with candidates from slots [begin, end): dispatched
+    // 8-wide blocks through dre::simd (tree splits are 8-aligned and the
+    // final block is NaN-padded, so every slot is covered). Exactly
+    // equivalent to the per-point scan.
+    void scan_slots(std::uint32_t begin, std::uint32_t end,
+                    std::span<const double> query, std::size_t k,
+                    std::vector<Neighbor>& heap) const;
+
     // Standardized training points, row-major, reordered so each tree
     // node's points are contiguous (cache-friendly leaf scans).
     std::vector<double> points_;
+    // The same points again in 8-wide dimension-major blocks for the SIMD
+    // leaf scan: block b covers slots [8b, 8b+8) and stores coordinate d of
+    // its lane-th point at blocks_[(b * dims + d) * 8 + lane]. The final
+    // block's lanes past the last point are NaN-padded (never candidates).
+    std::vector<double> blocks_;
+    // First slot NOT covered by blocks_ (= 8 * number of blocks, padding
+    // included), precomputed so the leaf scan never divides by dims_.
+    std::uint32_t blocked_slots_ = 0;
     // perm_[slot] = original training index of the point stored at `slot`.
     std::vector<std::uint32_t> perm_;
+    // True when perm_ is the identity (single-leaf trees): slot order then
+    // equals original-index order, which lets scan_slots drop exact
+    // distance ties in-kernel (they can never win the index tie-break).
+    bool perm_identity_ = false;
     std::vector<double> targets_; // original order
 
     // KD-tree nodes in structure-of-arrays layout (index 0 = root; kNoChild

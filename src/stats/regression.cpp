@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "simd/simd.h"
 #include "stats/matrix.h"
 
 namespace dre::stats {
@@ -47,9 +48,10 @@ double LinearRegression::predict(std::span<const double> features) const {
     if (!fitted_) throw std::logic_error("LinearRegression::predict before fit");
     if (features.size() != weights_.size())
         throw std::invalid_argument("LinearRegression::predict: feature size mismatch");
-    double out = intercept_;
-    for (std::size_t i = 0; i < weights_.size(); ++i) out += weights_[i] * features[i];
-    return out;
+    // Canonical 8-lane dot product from the dispatch layer: identical value
+    // at every ISA level (see src/simd/simd.h).
+    return intercept_ +
+           simd::ops().dot8(weights_.data(), features.data(), weights_.size());
 }
 
 double sigmoid(double z) noexcept {

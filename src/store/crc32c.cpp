@@ -1,65 +1,11 @@
 #include "store/crc32c.h"
 
-#include <array>
-#include <bit>
-#include <cstring>
+#include "simd/simd.h"
 
 namespace dre::store {
-namespace {
-
-// Reflected CRC-32C polynomial.
-constexpr std::uint32_t kPoly = 0x82f63b78u;
-
-struct Tables {
-    // table[0] is the classic byte-at-a-time table; table[k] advances a byte
-    // that sits k positions deeper in the message, enabling 8-byte strides.
-    std::array<std::array<std::uint32_t, 256>, 8> table;
-
-    Tables() {
-        for (std::uint32_t i = 0; i < 256; ++i) {
-            std::uint32_t crc = i;
-            for (int bit = 0; bit < 8; ++bit)
-                crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
-            table[0][i] = crc;
-        }
-        for (std::size_t k = 1; k < 8; ++k)
-            for (std::uint32_t i = 0; i < 256; ++i)
-                table[k][i] =
-                    (table[k - 1][i] >> 8) ^ table[0][table[k - 1][i] & 0xffu];
-    }
-};
-
-const Tables& tables() {
-    static const Tables t;
-    return t;
-}
-
-} // namespace
 
 std::uint32_t crc32c(const void* data, std::size_t size, std::uint32_t seed) {
-    const auto& t = tables().table;
-    const auto* p = static_cast<const unsigned char*>(data);
-    std::uint32_t crc = ~seed;
-    // The 8-byte stride folds two 32-bit words at once; the word-extraction
-    // below assumes little-endian layout, so other hosts take the (equally
-    // correct, slower) byte loop. Cross-endian files are rejected by the
-    // header's endian check anyway (format.h).
-    if constexpr (std::endian::native == std::endian::little) {
-        while (size >= 8) {
-            std::uint32_t lo, hi;
-            std::memcpy(&lo, p, 4);
-            std::memcpy(&hi, p + 4, 4);
-            lo ^= crc;
-            crc = t[7][lo & 0xffu] ^ t[6][(lo >> 8) & 0xffu] ^
-                  t[5][(lo >> 16) & 0xffu] ^ t[4][lo >> 24] ^
-                  t[3][hi & 0xffu] ^ t[2][(hi >> 8) & 0xffu] ^
-                  t[1][(hi >> 16) & 0xffu] ^ t[0][hi >> 24];
-            p += 8;
-            size -= 8;
-        }
-    }
-    while (size-- != 0) crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xffu];
-    return ~crc;
+    return simd::ops().crc32c(data, size, seed);
 }
 
 } // namespace dre::store
