@@ -1,0 +1,251 @@
+// micro_serve — dre::serve latency/throughput and the service-level
+// determinism contract.
+//
+// The bench generates a cdn scenario trace, starts an in-process
+// EvalServer on an ephemeral port, and measures over real sockets:
+//
+//   * byte-identity: the server's Result text must equal the text the
+//     dre_eval code path renders for the same (trace, policy, model, ci,
+//     seed) — computed locally through the identical shared renderer —
+//     and must stay identical across 8 concurrent clients sending the
+//     same request (exit status 1 otherwise);
+//   * cold vs warm cache: the first request pays trace load + reward
+//     model fit + q-hat matrix build; a warm request is only the
+//     estimator passes. warm_over_cold is the resulting throughput
+//     ratio (the acceptance bar is >= 3x);
+//   * a client sweep (1..64 connections, distinct seeds so nothing
+//     coalesces and every request computes): p50/p99 latency and req/s
+//     per level, recorded through obs::Histogram.
+//
+// Results land in BENCH_serve.json. `--small` shrinks the trace and the
+// sweep for smoke runs.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "cdn/scenario.h"
+#include "core/environment.h"
+#include "core/evaluator.h"
+#include "core/policy_learning.h"
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "stats/rng.h"
+#include "trace/csv.h"
+
+using namespace dre;
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+// The text dre_eval would print for this request: same header, same
+// renderer, same RNG discipline as serve::EvalService::evaluate.
+std::string expected_text(const Trace& trace, const serve::EvaluateMsg& m) {
+    core::EvaluationConfig config;
+    config.reward_model = core::parse_reward_model_kind(m.model);
+    const core::Evaluator evaluator(trace, config, stats::Rng(1));
+    const auto policy =
+        core::parse_policy_spec(m.policy, trace, trace.num_decisions());
+    const core::PolicyEvaluation result = evaluator.evaluate_seeded(
+        *policy, stats::Rng(m.seed), static_cast<int>(m.ci_replicates), 0.95);
+    char header[96];
+    std::snprintf(header, sizeof(header), "trace: %zu tuples, %zu decisions\n",
+                  trace.size(), trace.num_decisions());
+    return header + core::make_policy_report(m.policy, result).to_text();
+}
+
+struct SweepResult {
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    double rps = 0.0;
+    std::uint64_t completed = 0;
+};
+
+SweepResult run_sweep(std::uint16_t port, const serve::EvaluateMsg& base,
+                      std::size_t clients, std::size_t requests) {
+    obs::Histogram latency;
+    std::atomic<std::uint64_t> completed{0};
+    const auto wall_start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            serve::Client client(port);
+            for (std::size_t r = 0; r < requests; ++r) {
+                serve::EvaluateMsg m = base;
+                // Distinct seeds: no two in-flight requests share a key,
+                // so nothing coalesces and every request computes.
+                m.seed = 1000 + c * requests + r;
+                const auto start = std::chrono::steady_clock::now();
+                (void)client.evaluate(m);
+                latency.record(elapsed_ms(start));
+                completed.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    const double wall_ms = elapsed_ms(wall_start);
+    SweepResult out;
+    out.p50_ms = latency.p50();
+    out.p99_ms = latency.p99();
+    out.completed = completed.load();
+    out.rps = wall_ms > 0.0
+                  ? static_cast<double>(out.completed) / (wall_ms / 1000.0)
+                  : 0.0;
+    return out;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    bool small = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--small") == 0) small = true;
+
+    bench::print_header("micro_serve — evaluation service latency/throughput");
+
+    const std::size_t n = small ? 2000 : 20000;
+    const std::size_t warm_requests = small ? 8 : 32;
+    const std::size_t sweep_requests = small ? 4 : 16;
+    const std::vector<std::size_t> sweep_clients =
+        small ? std::vector<std::size_t>{1, 8}
+              : std::vector<std::size_t>{1, 2, 4, 8, 16, 32, 64};
+
+    // --- Trace ------------------------------------------------------------
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "dre_micro_serve";
+    fs::create_directories(dir);
+    const std::string trace_path = (dir / "trace.csv").string();
+    cdn::VideoQualityEnv env{cdn::CdnWorldConfig{}};
+    const core::UniformRandomPolicy logging(env.num_decisions());
+    stats::Rng gen_rng(20170807);
+    const Trace trace = core::collect_trace(env, logging, n, gen_rng);
+    write_csv_file(trace, trace_path);
+    std::printf("trace    %zu tuples -> %s\n", trace.size(),
+                trace_path.c_str());
+
+    // A uniform candidate keeps the per-request work to the five estimator
+    // passes over the cached q-hat matrix; the cacheable share (CSV parse,
+    // reward-model fit, q-hat build) then dominates, which is the workload
+    // the shared cache targets. Greedy policies (whose per-tuple argmax is
+    // inherent per-request work) are covered by test_serve and the CI
+    // serve-smoke byte-diff.
+    serve::EvaluateMsg base;
+    base.trace = trace_path;
+    base.policy = "uniform";
+    base.model = "tabular";
+    base.ci_replicates = 0;
+    base.seed = 3;
+
+    obs::Report report =
+        bench::make_bench_report("micro_serve", small ? "small" : "full");
+    bool ok = true;
+
+    // --- Cold vs warm (fresh server: first request pays the builds) -------
+    {
+        serve::EvalServer server;
+        server.start();
+        serve::Client client(server.port());
+
+        const auto cold_start = std::chrono::steady_clock::now();
+        const serve::ResultMsg cold_result = client.evaluate(base);
+        const double cold_ms = elapsed_ms(cold_start);
+
+        obs::Histogram warm;
+        for (std::size_t i = 0; i < warm_requests; ++i) {
+            const auto start = std::chrono::steady_clock::now();
+            const serve::ResultMsg r = client.evaluate(base);
+            warm.record(elapsed_ms(start));
+            if (!r.cache_hit) {
+                std::fprintf(stderr, "FAIL: warm request missed the cache\n");
+                ok = false;
+            }
+        }
+        const double warm_ms = warm.p50();
+        const double warm_over_cold = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
+        std::printf("cache    cold %.2f ms, warm p50 %.2f ms -> warm %.1fx "
+                    "cold throughput\n",
+                    cold_ms, warm_ms, warm_over_cold);
+        report.set("cache", "cold_ms", cold_ms);
+        report.set("cache", "warm_p50_ms", warm_ms);
+        report.set("cache", "warm_p99_ms", warm.p99());
+        report.set("cache", "warm_over_cold", warm_over_cold);
+        if (warm_over_cold < 3.0) {
+            std::fprintf(stderr,
+                         "FAIL: warm throughput %.2fx cold (need >= 3x)\n",
+                         warm_over_cold);
+            ok = false;
+        }
+
+        // --- Byte-identity -----------------------------------------------
+        // Local render through the shared dre_eval code path, then the same
+        // request from 8 concurrent clients: every byte must match.
+        const std::string expected = expected_text(trace, base);
+        bool identical = cold_result.text == expected;
+        std::vector<std::thread> threads;
+        std::vector<std::string> texts(8);
+        for (std::size_t c = 0; c < texts.size(); ++c)
+            threads.emplace_back([&, c] {
+                serve::Client peer(server.port());
+                texts[c] = peer.evaluate(base).text;
+            });
+        for (std::thread& t : threads) t.join();
+        for (const std::string& text : texts) identical &= text == expected;
+        std::printf("identity %s (8 concurrent clients vs CLI renderer)\n",
+                    identical ? "byte-identical" : "MISMATCH");
+        report.set("identity", "byte_identity", identical);
+        report.set("identity", "concurrent_clients",
+                   static_cast<std::uint64_t>(texts.size()));
+        if (!identical) {
+            std::fprintf(stderr, "FAIL: server response diverged\n");
+            ok = false;
+        }
+        server.stop_and_join();
+    }
+
+    // --- Client sweep (warm server, distinct seeds) ------------------------
+    {
+        serve::EvalServer server;
+        server.start();
+        {
+            // Prime the caches so the sweep measures steady state.
+            serve::Client client(server.port());
+            (void)client.evaluate(base);
+        }
+        for (const std::size_t clients : sweep_clients) {
+            const SweepResult r =
+                run_sweep(server.port(), base, clients, sweep_requests);
+            std::printf(
+                "clients  %2zu: p50 %7.2f ms  p99 %7.2f ms  %8.1f req/s\n",
+                clients, r.p50_ms, r.p99_ms, r.rps);
+            const std::string section =
+                "clients_" + std::to_string(clients);
+            report.set(section, "p50_ms", r.p50_ms);
+            report.set(section, "p99_ms", r.p99_ms);
+            report.set(section, "rps", r.rps);
+            report.set(section, "requests", r.completed);
+        }
+        const serve::StatsReplyMsg stats = server.stats_snapshot();
+        report.set("server", "requests_total", stats.requests_total);
+        report.set("server", "coalesced", stats.coalesced);
+        report.set("server", "rejected", stats.rejected);
+        report.set("server", "evaluator_hits", stats.evaluator_hits);
+        report.set("server", "evaluator_misses", stats.evaluator_misses);
+        server.stop_and_join();
+    }
+
+    fs::remove_all(dir);
+    if (!bench::write_bench_json(std::move(report), "BENCH_serve.json"))
+        return 1;
+    return ok ? 0 : 1;
+}

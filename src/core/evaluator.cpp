@@ -1,5 +1,6 @@
 #include "core/evaluator.h"
 
+#include <cstdio>
 #include <stdexcept>
 
 #include "core/parallel.h"
@@ -38,7 +39,8 @@ const RewardModel& Evaluator::reward_model() const {
 }
 
 PolicyEvaluation Evaluator::evaluate_with(const Policy& new_policy,
-                                          stats::Rng& rng) const {
+                                          stats::Rng& rng, int ci_replicates,
+                                          double ci_level) const {
     DRE_SPAN("evaluator.evaluate");
 #if DRE_OBS_ENABLED
     const std::uint64_t eval_start_ns = obs::now_ns();
@@ -69,7 +71,7 @@ PolicyEvaluation Evaluator::evaluate_with(const Policy& new_policy,
         DRE_SPAN("evaluator.overlap");
         out.overlap = overlap_diagnostics(evaluation_trace_, new_policy);
     }
-    if (config_.ci_replicates > 0) {
+    if (ci_replicates > 0) {
         DRE_SPAN("evaluator.dr_ci");
         // Chunk-keyed bootstrap (not the classic full-sample resampler):
         // the streaming path (core/streaming.h) folds the same per-chunk
@@ -77,8 +79,7 @@ PolicyEvaluation Evaluator::evaluate_with(const Policy& new_policy,
         // out-of-core CIs are bit-identical by construction.
         out.dr_ci = stats::chunked_bootstrap_mean_ci(out.dr.per_tuple,
                                                      out.dr.value, rng,
-                                                     config_.ci_replicates,
-                                                     config_.ci_level);
+                                                     ci_replicates, ci_level);
     }
 #if DRE_OBS_ENABLED
     // Throughput across the five estimator passes (six trace sweeps plus
@@ -96,7 +97,17 @@ PolicyEvaluation Evaluator::evaluate_with(const Policy& new_policy,
 }
 
 PolicyEvaluation Evaluator::evaluate(const Policy& new_policy) const {
-    return evaluate_with(new_policy, rng_);
+    return evaluate_with(new_policy, rng_, config_.ci_replicates,
+                         config_.ci_level);
+}
+
+PolicyEvaluation Evaluator::evaluate_seeded(const Policy& new_policy,
+                                            stats::Rng rng, int ci_replicates,
+                                            double ci_level) const {
+    return evaluate_with(new_policy, rng,
+                         ci_replicates < 0 ? config_.ci_replicates
+                                           : ci_replicates,
+                         ci_level < 0.0 ? config_.ci_level : ci_level);
 }
 
 Evaluator::Comparison Evaluator::compare(
@@ -114,7 +125,9 @@ Evaluator::Comparison Evaluator::compare(
     comparison.evaluations.resize(policies.size());
     par::parallel_for(policies.size(), [&](std::size_t i) {
         stats::Rng policy_rng = base.split(i);
-        comparison.evaluations[i] = evaluate_with(*policies[i], policy_rng);
+        comparison.evaluations[i] =
+            evaluate_with(*policies[i], policy_rng, config_.ci_replicates,
+                          config_.ci_level);
     });
     for (std::size_t i = 1; i < comparison.evaluations.size(); ++i) {
         if (comparison.evaluations[i].value() >
@@ -122,6 +135,37 @@ Evaluator::Comparison Evaluator::compare(
             comparison.best_index = i;
     }
     return comparison;
+}
+
+obs::Report make_policy_report(std::string_view policy_spec,
+                               const PolicyEvaluation& result) {
+    obs::Report out;
+    const std::string policy_section = "policy " + std::string(policy_spec);
+    out.set(policy_section, "DM", result.dm.value);
+    out.set(policy_section, "IPS", result.ips.value);
+    out.set(policy_section, "SNIPS", result.snips.value);
+    out.set(policy_section, "SWITCH-DR", result.switch_dr.value);
+    if (result.dr_ci) {
+        char dr_row[128];
+        std::snprintf(dr_row, sizeof(dr_row),
+                      "%10.4f   %.0f%% CI [%.4f, %.4f]", result.dr.value,
+                      100.0 * result.dr_ci->level, result.dr_ci->lower,
+                      result.dr_ci->upper);
+        out.set(policy_section, "DR", dr_row);
+    } else {
+        out.set(policy_section, "DR", result.dr.value);
+    }
+    out.set("diagnostics", "effective sample size",
+            result.overlap.effective_sample_size);
+    out.set("diagnostics", "effective sample %",
+            100.0 * result.overlap.effective_sample_fraction);
+    out.set("diagnostics", "mean importance weight",
+            result.overlap.mean_weight);
+    out.set("diagnostics", "max importance weight",
+            result.overlap.max_weight);
+    out.set("diagnostics", "zero-weight tuples %",
+            100.0 * result.overlap.zero_weight_fraction);
+    return out;
 }
 
 } // namespace dre::core

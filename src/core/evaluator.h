@@ -14,6 +14,7 @@
 #include "core/propensity.h"
 #include "core/qhat.h"
 #include "core/reward_model.h"
+#include "obs/report.h"
 #include "stats/rng.h"
 #include "trace/trace.h"
 
@@ -54,6 +55,20 @@ public:
     // Evaluate one candidate policy.
     PolicyEvaluation evaluate(const Policy& new_policy) const;
 
+    // Evaluate with an explicit caller-owned RNG instead of the shared
+    // mutable stream, so many threads can evaluate on one shared Evaluator
+    // concurrently and the result depends only on the arguments. With
+    // cross_fit and estimate_propensities off, the constructor never draws
+    // from its RNG, so `evaluate_seeded(p, Rng(seed))` on a cached
+    // Evaluator reproduces `Evaluator(trace, config, Rng(seed)).evaluate(p)`
+    // byte for byte — the serve layer's determinism contract rests on this.
+    // Negative ci_replicates/ci_level inherit the config; non-negative
+    // values override per call, so one cached instance answers requests
+    // with different --ci settings.
+    PolicyEvaluation evaluate_seeded(const Policy& new_policy, stats::Rng rng,
+                                     int ci_replicates = -1,
+                                     double ci_level = -1.0) const;
+
     // Evaluate several candidates and return the index of the DR-best one.
     // Candidates are evaluated concurrently (dre::par); each gets its own
     // split RNG stream keyed by its index, so the result is bit-identical
@@ -74,7 +89,8 @@ public:
     const PredictionMatrix& prediction_matrix() const noexcept { return qhat_; }
 
 private:
-    PolicyEvaluation evaluate_with(const Policy& new_policy, stats::Rng& rng) const;
+    PolicyEvaluation evaluate_with(const Policy& new_policy, stats::Rng& rng,
+                                   int ci_replicates, double ci_level) const;
 
     EvaluationConfig config_;
     mutable stats::Rng rng_;
@@ -82,6 +98,14 @@ private:
     std::unique_ptr<RewardModel> model_;
     PredictionMatrix qhat_;      // q̂ over evaluation_trace_ × decisions
 };
+
+// The canonical result document for one policy evaluation: a "policy
+// <spec>" section with the five estimates (DR rendered with its CI when
+// present) and a "diagnostics" section with the overlap numbers. This is
+// what dre_eval prints and what a serve Result frame carries, so server
+// responses are byte-diffable against CLI stdout by construction.
+obs::Report make_policy_report(std::string_view policy_spec,
+                               const PolicyEvaluation& result);
 
 } // namespace dre::core
 

@@ -44,6 +44,32 @@ std::shared_ptr<GreedyModelPolicy> learn_greedy_policy(const Trace& trace,
     return std::make_shared<GreedyModelPolicy>(std::move(model), epsilon);
 }
 
+RewardModelKind parse_reward_model_kind(const std::string& name) {
+    if (name == "tabular") return RewardModelKind::kTabular;
+    if (name == "linear") return RewardModelKind::kLinear;
+    if (name == "knn") return RewardModelKind::kKnn;
+    throw std::invalid_argument("unknown model kind: " + name);
+}
+
+std::shared_ptr<Policy> parse_policy_spec(const std::string& spec,
+                                          const Trace& trace,
+                                          std::size_t decisions) {
+    if (spec == "uniform")
+        return std::make_shared<UniformRandomPolicy>(decisions);
+    if (spec.rfind("constant:", 0) == 0) {
+        const auto d = static_cast<Decision>(std::stol(spec.substr(9)));
+        if (d < 0 || static_cast<std::size_t>(d) >= decisions)
+            throw std::invalid_argument("constant decision outside trace's space");
+        return std::make_shared<DeterministicPolicy>(
+            decisions, [d](const ClientContext&) { return d; });
+    }
+    if (spec.rfind("greedy:", 0) == 0) {
+        const RewardModelKind kind = parse_reward_model_kind(spec.substr(7));
+        return learn_greedy_policy(trace, kind, decisions);
+    }
+    throw std::invalid_argument("unknown policy spec: " + spec);
+}
+
 ImprovementReport certify_improvement(const Trace& trace, const Policy& incumbent,
                                       const Policy& candidate,
                                       const RewardModel& model, stats::Rng& rng,

@@ -10,6 +10,7 @@
 #define DRE_CORE_POLICY_LEARNING_H
 
 #include <memory>
+#include <string>
 
 #include "core/diagnostics.h"
 #include "core/estimators.h"
@@ -44,6 +45,21 @@ std::shared_ptr<GreedyModelPolicy> learn_greedy_policy(const Trace& trace,
                                                        RewardModelKind kind,
                                                        std::size_t num_decisions,
                                                        double epsilon = 0.0);
+
+// The CLI / serve-protocol model vocabulary: "tabular" | "linear" | "knn".
+// Throws std::invalid_argument on anything else.
+RewardModelKind parse_reward_model_kind(const std::string& name);
+
+// Parse a policy spec — "uniform", "constant:<d>", "greedy:<model>" — into
+// a policy over `decisions` arms, fitting on `trace` where the spec needs a
+// model. `decisions` is explicit rather than derived from the trace: a
+// streaming run fits on a bounded sample whose max decision may undershoot
+// the full trace's decision space. Deterministic (no RNG), so the same
+// (spec, trace) pair always yields the same policy — the serve cache keys
+// greedy policies on exactly this pair.
+std::shared_ptr<Policy> parse_policy_spec(const std::string& spec,
+                                          const Trace& trace,
+                                          std::size_t decisions);
 
 // Paired off-policy comparison of a candidate against the incumbent: DR
 // values for both on the same tuples, plus a bootstrap CI on the per-tuple

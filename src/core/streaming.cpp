@@ -646,6 +646,12 @@ StreamingResult evaluate_streaming_guarded(const TupleSource& source,
         state.next_chunk = wave_begin + count;
         if (!options.checkpoint_path.empty())
             write_checkpoint(options.checkpoint_path, hash, state, bootstrap);
+        // Cooperative stop: only at a wave boundary, only after the merge
+        // and checkpoint above, and only when work remains — an interrupt
+        // that lands during the final wave just lets the run finish.
+        if (options.interrupt != nullptr && state.next_chunk < chunks &&
+            options.interrupt->load(std::memory_order_relaxed))
+            throw StreamingInterrupted(state.next_chunk, chunks);
     }
 
 #if DRE_OBS_ENABLED

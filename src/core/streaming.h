@@ -57,8 +57,10 @@
 #ifndef DRE_CORE_STREAMING_H
 #define DRE_CORE_STREAMING_H
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -189,6 +191,35 @@ struct StreamingOptions {
     // Resume from checkpoint_path if the file exists (missing file =>
     // fresh run; present-but-mismatched => std::runtime_error).
     bool resume = false;
+    // Cooperative interruption (SIGINT/SIGTERM handlers set this): checked
+    // once per wave, *after* the wave's in-order merge and checkpoint
+    // flush, so a stop always leaves a complete, resumable state on disk.
+    // The in-flight wave is drained, never abandoned mid-chunk. When the
+    // flag is seen with work remaining, StreamingInterrupted is thrown.
+    const std::atomic<bool>* interrupt = nullptr;
+};
+
+// Raised when StreamingOptions::interrupt turned true with chunks still
+// unprocessed. By construction the last completed wave was merged and (if
+// checkpoint_path is set) flushed, so rerunning with resume=true continues
+// bit-identically from where the interrupt landed.
+class StreamingInterrupted : public std::runtime_error {
+public:
+    StreamingInterrupted(std::uint64_t chunks_completed,
+                         std::uint64_t chunks_total)
+        : std::runtime_error("streaming evaluation interrupted after " +
+                             std::to_string(chunks_completed) + "/" +
+                             std::to_string(chunks_total) + " chunks"),
+          chunks_completed_(chunks_completed), chunks_total_(chunks_total) {}
+
+    std::uint64_t chunks_completed() const noexcept {
+        return chunks_completed_;
+    }
+    std::uint64_t chunks_total() const noexcept { return chunks_total_; }
+
+private:
+    std::uint64_t chunks_completed_;
+    std::uint64_t chunks_total_;
 };
 
 struct StreamingResult {

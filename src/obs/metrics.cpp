@@ -195,9 +195,9 @@ std::vector<HistogramSample> Registry::histograms() const {
         sample.min = histogram->min();
         sample.max = histogram->max();
         sample.mean = histogram->mean();
-        sample.p50 = histogram->quantile(0.50);
-        sample.p90 = histogram->quantile(0.90);
-        sample.p99 = histogram->quantile(0.99);
+        sample.p50 = histogram->p50();
+        sample.p90 = histogram->p90();
+        sample.p99 = histogram->p99();
         out.push_back(std::move(sample));
     }
     return out;

@@ -119,6 +119,12 @@ public:
     double mean() const noexcept;
     // Approximate p-quantile (p in [0, 1]); 0 when empty.
     double quantile(double p) const noexcept;
+    // Named quantile accessors, so consumers (the serve Stats reply, the
+    // loadgen summary, the report sink) share one definition of "p99"
+    // instead of each hard-coding the probability.
+    double p50() const noexcept { return quantile(0.50); }
+    double p90() const noexcept { return quantile(0.90); }
+    double p99() const noexcept { return quantile(0.99); }
     void reset() noexcept;
 
 private:

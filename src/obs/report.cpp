@@ -241,35 +241,48 @@ std::string Report::to_json() const {
     return out;
 }
 
-void Report::print(std::FILE* out) const {
+std::string Report::to_text() const {
+    std::string out;
+    char row[512];
+    const auto append_row = [&](const char* format, const std::string& key,
+                                auto value) {
+        std::snprintf(row, sizeof(row), format, key.c_str(), value);
+        out += row;
+    };
     for (const Section& s : sections_) {
-        if (!s.name.empty()) std::fprintf(out, "\n%s:\n", s.name.c_str());
+        if (!s.name.empty()) {
+            out += '\n';
+            out += s.name;
+            out += ":\n";
+        }
         for (const auto& [key, value] : s.entries) {
             switch (value.kind) {
                 case Value::Kind::kDouble:
-                    std::fprintf(out, "  %-28s %10.4f\n", key.c_str(), value.d);
+                    append_row("  %-28s %10.4f\n", key, value.d);
                     break;
                 case Value::Kind::kInt:
-                    std::fprintf(out, "  %-28s %10" PRId64 "\n", key.c_str(),
-                                 value.i);
+                    append_row("  %-28s %10" PRId64 "\n", key, value.i);
                     break;
                 case Value::Kind::kUint:
-                    std::fprintf(out, "  %-28s %10" PRIu64 "\n", key.c_str(),
-                                 value.u);
+                    append_row("  %-28s %10" PRIu64 "\n", key, value.u);
                     break;
                 case Value::Kind::kBool:
-                    std::fprintf(out, "  %-28s %10s\n", key.c_str(),
-                                 value.b ? "yes" : "no");
+                    append_row("  %-28s %10s\n", key, value.b ? "yes" : "no");
                     break;
                 case Value::Kind::kString:
-                    std::fprintf(out, "  %-28s %s\n", key.c_str(),
-                                 value.s.c_str());
+                    append_row("  %-28s %s\n", key, value.s.c_str());
                     break;
                 case Value::Kind::kRawJson:
                     break; // machine-only payload
             }
         }
     }
+    return out;
+}
+
+void Report::print(std::FILE* out) const {
+    const std::string text = to_text();
+    std::fwrite(text.data(), 1, text.size(), out);
 }
 
 bool Report::write_json_file(const std::string& path) const {

@@ -74,7 +74,10 @@ public:
                       std::string raw);
 
     std::string to_json() const;
-    // Aligned text: "section:" headings, "  key  value" rows.
+    // Aligned text: "section:" headings, "  key  value" rows. print() emits
+    // exactly these bytes — the serve Result payload carries to_text() so a
+    // server response can be byte-diffed against the CLI's stdout.
+    std::string to_text() const;
     void print(std::FILE* out = stdout) const;
     bool write_json_file(const std::string& path) const;
 

@@ -1,0 +1,87 @@
+#include "serve/cache.h"
+
+#include "obs/obs.h"
+
+namespace dre::serve {
+
+template <typename T>
+std::shared_ptr<const T> EvalCache::SlotMap<T>::get_or_build(
+    const std::string& key,
+    const std::function<std::shared_ptr<const T>()>& build, bool* hit,
+    const char* hit_metric, const char* miss_metric) {
+    std::shared_ptr<Slot<T>> slot;
+    {
+        std::shared_lock<std::shared_mutex> read(mutex);
+        auto it = slots.find(key);
+        if (it != slots.end()) slot = it->second;
+    }
+    if (!slot) {
+        std::unique_lock<std::shared_mutex> write(mutex);
+        auto& entry = slots[key];
+        if (!entry) entry = std::make_shared<Slot<T>>();
+        slot = entry;
+    }
+    // A slot that finished building before we arrived is a hit; anything
+    // else — including arriving while another thread builds — is a miss
+    // (we still share that build via the once flag below).
+    const bool was_ready = slot->ready.load(std::memory_order_acquire);
+    if (hit != nullptr) *hit = was_ready;
+    if (was_ready) {
+        counters.hits.fetch_add(1, std::memory_order_relaxed);
+        obs::registry().counter(hit_metric).add();
+    } else {
+        counters.misses.fetch_add(1, std::memory_order_relaxed);
+        obs::registry().counter(miss_metric).add();
+    }
+    std::call_once(slot->once, [&] {
+        // The exception (a malformed spec, a missing file) is captured
+        // into the slot so the once flag still latches: every requester of
+        // this key sees the same deterministic failure instead of one of
+        // them retrying a build that cannot succeed.
+        try {
+            slot->value = build();
+        } catch (...) {
+            slot->error = std::current_exception();
+        }
+        slot->ready.store(true, std::memory_order_release);
+    });
+    if (slot->error) std::rethrow_exception(slot->error);
+    return slot->value;
+}
+
+EvalCache::TracePtr EvalCache::trace(const std::string& key,
+                                     const std::function<TracePtr()>& build,
+                                     bool* hit) {
+    return traces_.get_or_build(key, build, hit, "serve.cache.trace_hits",
+                                "serve.cache.trace_misses");
+}
+
+EvalCache::PolicyPtr EvalCache::policy(const std::string& key,
+                                       const std::function<PolicyPtr()>& build,
+                                       bool* hit) {
+    return policies_.get_or_build(key, build, hit, "serve.cache.policy_hits",
+                                  "serve.cache.policy_misses");
+}
+
+EvalCache::EvaluatorPtr EvalCache::evaluator(
+    const std::string& key, const std::function<EvaluatorPtr()>& build,
+    bool* hit) {
+    return evaluators_.get_or_build(key, build, hit,
+                                    "serve.cache.evaluator_hits",
+                                    "serve.cache.evaluator_misses");
+}
+
+CacheStats EvalCache::stats() const {
+    CacheStats s;
+    s.trace_hits = traces_.counters.hits.load(std::memory_order_relaxed);
+    s.trace_misses = traces_.counters.misses.load(std::memory_order_relaxed);
+    s.policy_hits = policies_.counters.hits.load(std::memory_order_relaxed);
+    s.policy_misses = policies_.counters.misses.load(std::memory_order_relaxed);
+    s.evaluator_hits =
+        evaluators_.counters.hits.load(std::memory_order_relaxed);
+    s.evaluator_misses =
+        evaluators_.counters.misses.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace dre::serve

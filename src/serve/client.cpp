@@ -1,0 +1,113 @@
+#include "serve/client.h"
+
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DRE_SERVE_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define DRE_SERVE_HAVE_SOCKETS 0
+#endif
+
+namespace dre::serve {
+
+#if DRE_SERVE_HAVE_SOCKETS
+
+Client::Client(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        throw std::runtime_error(std::string("serve client: socket: ") +
+                                 std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        const int saved = errno;
+        ::close(fd_);
+        fd_ = -1;
+        throw std::runtime_error(
+            std::string("serve client: connect to 127.0.0.1:") +
+            std::to_string(port) + ": " + std::strerror(saved));
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    send_bytes(encode_hello({kProtocolVersion}));
+    const Frame reply = read_frame();
+    server_version_ = decode_hello(reply).version;
+}
+
+Client::~Client() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send_bytes(const std::vector<unsigned char>& bytes) {
+    std::size_t done = 0;
+    while (done < bytes.size()) {
+        const ::ssize_t sent = ::send(fd_, bytes.data() + done,
+                                      bytes.size() - done, MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EINTR) continue;
+            throw std::runtime_error(std::string("serve client: send: ") +
+                                     std::strerror(errno));
+        }
+        done += static_cast<std::size_t>(sent);
+    }
+}
+
+Frame Client::read_frame() {
+    unsigned char buffer[64 * 1024];
+    for (;;) {
+        if (auto frame = decoder_.next()) return std::move(*frame);
+        const ::ssize_t got = ::recv(fd_, buffer, sizeof(buffer), 0);
+        if (got < 0) {
+            if (errno == EINTR) continue;
+            throw std::runtime_error(std::string("serve client: recv: ") +
+                                     std::strerror(errno));
+        }
+        if (got == 0)
+            throw std::runtime_error("serve client: server closed connection");
+        decoder_.feed(buffer, static_cast<std::size_t>(got));
+    }
+}
+
+ResultMsg Client::evaluate(const EvaluateMsg& request) {
+    send_bytes(encode_evaluate(request));
+    const Frame reply = read_frame();
+    if (reply.kind == MsgKind::kError) {
+        const ErrorMsg err = decode_error(reply);
+        throw ServeError(err.code, err.message);
+    }
+    return decode_result(reply);
+}
+
+StatsReplyMsg Client::stats() {
+    send_bytes(encode_stats_request());
+    return decode_stats_reply(read_frame());
+}
+
+PingMsg Client::ping(std::uint64_t token) {
+    send_bytes(encode_ping({token}));
+    return decode_ping(read_frame());
+}
+
+#else // !DRE_SERVE_HAVE_SOCKETS
+
+Client::Client(std::uint16_t) {
+    throw std::runtime_error("serve client: no socket support on this platform");
+}
+Client::~Client() = default;
+void Client::send_bytes(const std::vector<unsigned char>&) {}
+Frame Client::read_frame() { return {}; }
+ResultMsg Client::evaluate(const EvaluateMsg&) { return {}; }
+StatsReplyMsg Client::stats() { return {}; }
+PingMsg Client::ping(std::uint64_t) { return {}; }
+
+#endif // DRE_SERVE_HAVE_SOCKETS
+
+} // namespace dre::serve

@@ -1,0 +1,58 @@
+// Blocking client for the dre::serve protocol. One Client owns one TCP
+// connection to a local EvalServer; calls are synchronous request/reply
+// and a Client instance is not thread-safe (loadgen gives each client
+// thread its own). An Error reply surfaces as a ServeError carrying the
+// server's classification, so callers can tell backpressure
+// (kOverloaded) apart from a bad request.
+#ifndef DRE_SERVE_CLIENT_H
+#define DRE_SERVE_CLIENT_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace dre::serve {
+
+class ServeError : public std::runtime_error {
+public:
+    ServeError(ErrorCode code, const std::string& message)
+        : std::runtime_error(std::string(to_string(code)) + ": " + message),
+          code_(code) {}
+    ErrorCode code() const noexcept { return code_; }
+
+private:
+    ErrorCode code_;
+};
+
+class Client {
+public:
+    // Connects to 127.0.0.1:<port> and performs the Hello handshake.
+    // Throws std::runtime_error on connection failure, ProtocolError on a
+    // garbled handshake.
+    explicit Client(std::uint16_t port);
+    ~Client();
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    // Round-trips one Evaluate request. Throws ServeError on an Error
+    // reply (kOverloaded = backpressure), ProtocolError on wire garbage.
+    ResultMsg evaluate(const EvaluateMsg& request);
+    StatsReplyMsg stats();
+    PingMsg ping(std::uint64_t token);
+
+    std::uint32_t server_version() const noexcept { return server_version_; }
+
+private:
+    void send_bytes(const std::vector<unsigned char>& bytes);
+    Frame read_frame();
+
+    int fd_ = -1;
+    FrameDecoder decoder_;
+    std::uint32_t server_version_ = 0;
+};
+
+} // namespace dre::serve
+
+#endif // DRE_SERVE_CLIENT_H

@@ -1,0 +1,374 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/obs.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DRE_SERVE_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define DRE_SERVE_HAVE_SOCKETS 0
+#endif
+
+namespace dre::serve {
+
+#if DRE_SERVE_HAVE_SOCKETS
+
+namespace {
+
+[[noreturn]] void fail_errno(const char* what) {
+    throw std::runtime_error(std::string("serve: ") + what + ": " +
+                             std::strerror(errno));
+}
+
+std::string job_key(const EvaluateMsg& m) {
+    return m.trace + '\n' + m.policy + '\n' + m.model + '\n' +
+           std::to_string(m.ci_replicates) + '\n' + std::to_string(m.seed);
+}
+
+} // namespace
+
+struct EvalServer::Session {
+    explicit Session(int fd) : fd(fd) {}
+    ~Session() {
+        if (fd >= 0) ::close(fd);
+    }
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    const int fd;
+    // Latched by whichever side sees the connection die; senders skip
+    // closed sessions. The fd itself is closed only in the destructor
+    // (i.e. after the io thread and every waiter list dropped their
+    // shared_ptr), so a late writer can never hit a reused descriptor.
+    std::atomic<bool> closed{false};
+    FrameDecoder decoder;    // io thread only
+    std::mutex write_mutex;  // serializes io-thread and dispatcher writes
+};
+
+struct EvalServer::Job {
+    std::string key;
+    EvaluateMsg request;
+    std::vector<std::shared_ptr<Session>> waiters;
+    std::chrono::steady_clock::time_point enqueued;
+};
+
+EvalServer::EvalServer(ServerOptions options)
+    : options_(options),
+      service_(options.service),
+      request_ms_(obs::registry().histogram("serve.request_ms")) {}
+
+EvalServer::~EvalServer() {
+    if (started_) stop_and_join();
+}
+
+void EvalServer::start() {
+    if (started_) throw std::runtime_error("serve: already started");
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) fail_errno("socket");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0)
+        fail_errno("bind");
+    if (::listen(listen_fd_, 64) != 0) fail_errno("listen");
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+        0)
+        fail_errno("getsockname");
+    port_ = ntohs(addr.sin_port);
+
+    if (::pipe(wake_pipe_) != 0) fail_errno("pipe");
+
+    started_ = true;
+    stop_.store(false);
+    io_done_.store(false);
+    io_thread_ = std::thread([this] { io_loop(); });
+    dispatch_thread_ = std::thread([this] { dispatch_loop(); });
+}
+
+void EvalServer::request_stop() {
+    stop_.store(true);
+    if (wake_pipe_[1] >= 0) {
+        const char byte = 'x';
+        [[maybe_unused]] const auto n = ::write(wake_pipe_[1], &byte, 1);
+    }
+    queue_cv_.notify_all();
+}
+
+void EvalServer::stop_and_join() {
+    if (!started_) return;
+    request_stop();
+    if (io_thread_.joinable()) io_thread_.join();
+    // The dispatcher drains the queue (replying to every waiter) before it
+    // exits; sessions stay alive until after that join.
+    if (dispatch_thread_.joinable()) dispatch_thread_.join();
+    sessions_.clear();
+    for (int& fd : wake_pipe_) {
+        if (fd >= 0) ::close(fd);
+        fd = -1;
+    }
+    started_ = false;
+}
+
+void EvalServer::send_frame(Session& session,
+                            const std::vector<unsigned char>& bytes) {
+    if (session.closed.load(std::memory_order_acquire)) return;
+    std::lock_guard<std::mutex> lock(session.write_mutex);
+    std::size_t done = 0;
+    while (done < bytes.size()) {
+        const ::ssize_t sent =
+            ::send(session.fd, bytes.data() + done, bytes.size() - done,
+                   MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EINTR) continue;
+            session.closed.store(true, std::memory_order_release);
+            return;
+        }
+        done += static_cast<std::size_t>(sent);
+    }
+    DRE_COUNTER_ADD("serve.bytes_sent", bytes.size());
+}
+
+void EvalServer::admit(const std::shared_ptr<Session>& session,
+                       EvaluateMsg request) {
+    requests_total_.fetch_add(1, std::memory_order_relaxed);
+    DRE_COUNTER_INC("serve.requests_total");
+    std::string key = job_key(request);
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        const auto it = inflight_.find(key);
+        if (it != inflight_.end()) {
+            // Identical request queued or computing: share its one
+            // computation. Attaching under the queue mutex pairs with the
+            // dispatcher claiming waiters under the same mutex, so the
+            // reply cannot be missed.
+            it->second->waiters.push_back(session);
+            coalesced_.fetch_add(1, std::memory_order_relaxed);
+            DRE_COUNTER_INC("serve.requests_coalesced");
+            return;
+        }
+        if (queue_.size() < options_.max_queue) {
+            auto job = std::make_shared<Job>();
+            job->key = std::move(key);
+            job->request = std::move(request);
+            job->waiters.push_back(session);
+            job->enqueued = std::chrono::steady_clock::now();
+            inflight_.emplace(job->key, job);
+            queue_.push_back(std::move(job));
+            DRE_GAUGE_SET("serve.queue_depth",
+                          static_cast<double>(queue_.size()));
+            queue_cv_.notify_one();
+            return;
+        }
+    }
+    // Backpressure: the bounded queue is full and this request matches
+    // nothing in flight. Tell the client immediately instead of buffering
+    // without bound.
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    DRE_COUNTER_INC("serve.requests_rejected");
+    send_frame(*session,
+               encode_error({ErrorCode::kOverloaded,
+                             "queue full (" +
+                                 std::to_string(options_.max_queue) +
+                                 " pending); retry later"}));
+}
+
+void EvalServer::handle_frame(const std::shared_ptr<Session>& session,
+                              const Frame& f) {
+    switch (f.kind) {
+        case MsgKind::kHello: {
+            (void)decode_hello(f); // any version; we answer with ours
+            send_frame(*session, encode_hello({kProtocolVersion}));
+            return;
+        }
+        case MsgKind::kPing: {
+            send_frame(*session, encode_ping(decode_ping(f)));
+            return;
+        }
+        case MsgKind::kStats: {
+            if (!is_stats_request(f))
+                throw ProtocolError("serve: client sent a Stats reply");
+            send_frame(*session, encode_stats_reply(stats_snapshot()));
+            return;
+        }
+        case MsgKind::kEvaluate: {
+            admit(session, decode_evaluate(f));
+            return;
+        }
+        case MsgKind::kResult:
+        case MsgKind::kError:
+            throw ProtocolError("serve: client sent a server-only frame");
+    }
+    throw ProtocolError("serve: unhandled message kind");
+}
+
+void EvalServer::io_loop() {
+    std::vector<pollfd> fds;
+    unsigned char buffer[64 * 1024];
+    while (!stop_.load(std::memory_order_acquire)) {
+        fds.clear();
+        fds.push_back({listen_fd_, POLLIN, 0});
+        fds.push_back({wake_pipe_[0], POLLIN, 0});
+        for (const auto& session : sessions_)
+            fds.push_back({session->fd, POLLIN, 0});
+
+        if (::poll(fds.data(), static_cast<nfds_t>(fds.size()), -1) < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        if (stop_.load(std::memory_order_acquire)) break;
+
+        if ((fds[0].revents & POLLIN) != 0) {
+            const int fd = ::accept(listen_fd_, nullptr, nullptr);
+            if (fd >= 0) {
+                const int one = 1;
+                ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+                sessions_.push_back(std::make_shared<Session>(fd));
+                DRE_COUNTER_INC("serve.connections_accepted");
+            }
+        }
+
+        for (std::size_t i = 2; i < fds.size(); ++i) {
+            const std::shared_ptr<Session>& session = sessions_[i - 2];
+            if ((fds[i].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+            const ::ssize_t got =
+                ::recv(session->fd, buffer, sizeof(buffer), 0);
+            if (got <= 0) {
+                if (got < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+                session->closed.store(true, std::memory_order_release);
+                continue;
+            }
+            DRE_COUNTER_ADD("serve.bytes_received",
+                            static_cast<std::uint64_t>(got));
+            try {
+                session->decoder.feed(buffer,
+                                      static_cast<std::size_t>(got));
+                while (auto frame = session->decoder.next())
+                    handle_frame(session, *frame);
+            } catch (const ProtocolError& e) {
+                send_frame(*session,
+                           encode_error({ErrorCode::kBadFrame, e.what()}));
+                session->closed.store(true, std::memory_order_release);
+            }
+        }
+
+        // Drop closed sessions from the poll set; the shared_ptr (and so
+        // the fd) lives on in any waiter list still holding it.
+        std::erase_if(sessions_, [](const std::shared_ptr<Session>& s) {
+            return s->closed.load(std::memory_order_acquire);
+        });
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    io_done_.store(true, std::memory_order_release);
+    queue_cv_.notify_all();
+}
+
+void EvalServer::dispatch_loop() {
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock, [&] {
+                return !queue_.empty() ||
+                       (stop_.load(std::memory_order_acquire) &&
+                        io_done_.load(std::memory_order_acquire));
+            });
+            if (queue_.empty()) break; // stop requested, io quiet, drained
+            job = queue_.front();
+            queue_.pop_front();
+            DRE_GAUGE_SET("serve.queue_depth",
+                          static_cast<double>(queue_.size()));
+        }
+
+        // Compute outside every lock: one job at a time, internally
+        // parallel on the dre::par pool.
+        std::vector<unsigned char> reply;
+        try {
+            reply = encode_result(service_.evaluate(job->request));
+        } catch (const std::invalid_argument& e) {
+            reply = encode_error({ErrorCode::kBadRequest, e.what()});
+        } catch (const std::runtime_error& e) {
+            reply = encode_error({ErrorCode::kNotFound, e.what()});
+        } catch (const std::exception& e) {
+            reply = encode_error({ErrorCode::kInternal, e.what()});
+        }
+
+        // Claim the waiter list and retire the in-flight key under the
+        // admission mutex: after this, an identical request starts a fresh
+        // job instead of attaching to a finished one.
+        std::vector<std::shared_ptr<Session>> waiters;
+        {
+            std::lock_guard<std::mutex> lock(queue_mutex_);
+            waiters = std::move(job->waiters);
+            inflight_.erase(job->key);
+        }
+        for (const auto& session : waiters) send_frame(*session, reply);
+
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - job->enqueued)
+                .count();
+        request_ms_.record(ms);
+    }
+}
+
+StatsReplyMsg EvalServer::stats_snapshot() {
+    StatsReplyMsg m;
+    m.requests_total = requests_total_.load(std::memory_order_relaxed);
+    m.rejected = rejected_.load(std::memory_order_relaxed);
+    m.coalesced = coalesced_.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        m.queue_depth = queue_.size();
+    }
+    const CacheStats cache = service_.cache_stats();
+    m.evaluator_hits = cache.evaluator_hits;
+    m.evaluator_misses = cache.evaluator_misses;
+    m.policy_hits = cache.policy_hits;
+    m.policy_misses = cache.policy_misses;
+    m.trace_hits = cache.trace_hits;
+    m.trace_misses = cache.trace_misses;
+    m.p50_ms = request_ms_.p50();
+    m.p90_ms = request_ms_.p90();
+    m.p99_ms = request_ms_.p99();
+    return m;
+}
+
+#else // !DRE_SERVE_HAVE_SOCKETS
+
+struct EvalServer::Session {};
+struct EvalServer::Job {};
+
+EvalServer::EvalServer(ServerOptions options)
+    : options_(options),
+      service_(options.service),
+      request_ms_(obs::registry().histogram("serve.request_ms")) {}
+EvalServer::~EvalServer() = default;
+void EvalServer::start() {
+    throw std::runtime_error("serve: no socket support on this platform");
+}
+void EvalServer::request_stop() {}
+void EvalServer::stop_and_join() {}
+void EvalServer::io_loop() {}
+void EvalServer::dispatch_loop() {}
+StatsReplyMsg EvalServer::stats_snapshot() { return {}; }
+
+#endif // DRE_SERVE_HAVE_SOCKETS
+
+} // namespace dre::serve

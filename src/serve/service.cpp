@@ -1,0 +1,127 @@
+#include "serve/service.h"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/policy_learning.h"
+#include "obs/obs.h"
+#include "store/sharded.h"
+#include "trace/csv.h"
+#include "trace/validate.h"
+
+namespace dre::serve {
+namespace {
+
+bool ends_with(const std::string& s, const char* suffix) {
+    const std::size_t n = std::strlen(suffix);
+    return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+// Mirrors dre_eval's input handling: CSV loads directly; .drt paths and
+// shard prefixes open as a ShardedStore (kept alive in the TraceEntry).
+TraceEntry load_entry(const std::string& path,
+                      const store::StoreReaderOptions& options) {
+    TraceEntry entry;
+    if (ends_with(path, ".csv")) {
+        entry.trace = read_csv_file(path);
+    } else {
+        std::vector<std::string> shards;
+        if (ends_with(path, ".drt")) {
+            shards = {path};
+        } else {
+            shards = store::find_shards(path);
+            if (shards.empty())
+                throw std::runtime_error("no .drt shards match prefix " + path);
+        }
+        auto sharded =
+            std::make_shared<const store::ShardedStore>(shards, options);
+        entry.trace = sharded->read_all();
+        entry.store = std::move(sharded);
+    }
+    if (entry.trace.empty()) throw std::runtime_error("trace is empty");
+    // Same structural gate as the CLI: the in-memory estimators need every
+    // tuple sound, so a defective trace is rejected with the same census
+    // message a dre_eval run would print.
+    const auto defects =
+        count_defects(entry.trace, entry.trace.num_decisions());
+    if (!defects.empty()) {
+        std::string census;
+        for (const auto& [code, count] : defects) {
+            if (!census.empty()) census += ", ";
+            census += code + ": " + std::to_string(count);
+        }
+        throw std::runtime_error(
+            "trace has defective tuples (" + census +
+            "); use --streaming --on-error quarantine to skip them");
+    }
+    return entry;
+}
+
+} // namespace
+
+EvalCache::TracePtr EvalService::trace_entry(const std::string& path) {
+    return cache_.trace(path, [&] {
+        DRE_SPAN("serve.load_trace");
+        return std::make_shared<const TraceEntry>(
+            load_entry(path, options_.reader_options));
+    });
+}
+
+ResultMsg EvalService::evaluate(const EvaluateMsg& request) {
+    DRE_SPAN("serve.evaluate");
+    if (request.trace.empty())
+        throw std::invalid_argument("empty trace path");
+    if (request.policy.empty())
+        throw std::invalid_argument("empty policy spec");
+    // Validate the model name before touching the trace, so a bad request
+    // fails fast and never caches anything under a malformed key.
+    const core::RewardModelKind model_kind =
+        core::parse_reward_model_kind(request.model);
+    (void)model_kind;
+
+    const EvalCache::TracePtr entry = trace_entry(request.trace);
+    const Trace& trace = entry->trace;
+
+    const EvalCache::PolicyPtr policy =
+        cache_.policy(request.trace + '\n' + request.policy, [&] {
+            DRE_SPAN("serve.fit_policy");
+            return EvalCache::PolicyPtr(core::parse_policy_spec(
+                request.policy, trace, trace.num_decisions()));
+        });
+
+    bool evaluator_hit = false;
+    const EvalCache::EvaluatorPtr evaluator = cache_.evaluator(
+        request.trace + '\n' + request.model,
+        [&] {
+            DRE_SPAN("serve.fit_evaluator");
+            core::EvaluationConfig config;
+            config.reward_model = core::parse_reward_model_kind(request.model);
+            // cross_fit and estimate_propensities stay off, so this
+            // constructor draws nothing from its RNG and the instance is
+            // seed-independent — see cache.h. CI settings are per-call
+            // overrides on evaluate_seeded, never baked in here.
+            return std::make_shared<const core::Evaluator>(trace, config,
+                                                           stats::Rng(1));
+        },
+        &evaluator_hit);
+
+    const core::PolicyEvaluation result = evaluator->evaluate_seeded(
+        *policy, stats::Rng(request.seed),
+        static_cast<int>(request.ci_replicates), 0.95);
+
+    // The response is the CLI's stdout, byte for byte: header line, then
+    // the shared report renderer.
+    char header[96];
+    std::snprintf(header, sizeof(header), "trace: %zu tuples, %zu decisions\n",
+                  trace.size(), trace.num_decisions());
+    ResultMsg out;
+    out.text = header;
+    out.text += core::make_policy_report(request.policy, result).to_text();
+    out.dr = result.dr.value;
+    out.cache_hit = evaluator_hit;
+    DRE_COUNTER_INC("serve.requests_evaluated");
+    return out;
+}
+
+} // namespace dre::serve

@@ -1,0 +1,58 @@
+// EvalService — the evaluation engine behind the TCP server (and behind
+// in-process tests, which exercise it without sockets).
+//
+// One instance owns the stores, traces, fitted models, and prediction
+// matrices for every trace it has been asked about, via EvalCache. A
+// request is answered by:
+//
+//   1. trace entry for the request path (load once; .drt stores stay open
+//      so their mmaps / shared pread GroupCache are reused),
+//   2. cached policy for (trace, policy spec) — greedy specs fit a reward
+//      model, which is the expensive part,
+//   3. cached Evaluator for (trace, model kind) — reward-model fit plus
+//      the full q̂ PredictionMatrix build,
+//   4. evaluate_seeded(policy, Rng(seed), ci, level) — the only per-request
+//      compute: five estimator passes and (optionally) the bootstrap.
+//
+// The response text is the byte-exact stdout of
+//   dre_eval <trace> <policy> --model <model> [--ci N] --seed S
+// — same header line, same make_policy_report renderer, same RNG
+// discipline — so a client can diff a server response against the CLI and
+// the serve-smoke CI job does exactly that.
+#ifndef DRE_SERVE_SERVICE_H
+#define DRE_SERVE_SERVICE_H
+
+#include <string>
+
+#include "serve/cache.h"
+#include "serve/protocol.h"
+#include "store/reader.h"
+
+namespace dre::serve {
+
+class EvalService {
+public:
+    struct Options {
+        store::StoreReaderOptions reader_options;
+    };
+
+    explicit EvalService(Options options = {}) : options_(options) {}
+
+    // Throws std::invalid_argument for malformed specs (→ kBadRequest),
+    // std::runtime_error for missing/corrupt/empty traces (→ kNotFound),
+    // anything else → kInternal. Thread-safe; concurrent calls share the
+    // caches and the builds inside them.
+    ResultMsg evaluate(const EvaluateMsg& request);
+
+    CacheStats cache_stats() const { return cache_.stats(); }
+
+private:
+    EvalCache::TracePtr trace_entry(const std::string& path);
+
+    Options options_;
+    EvalCache cache_;
+};
+
+} // namespace dre::serve
+
+#endif // DRE_SERVE_SERVICE_H

@@ -1,0 +1,46 @@
+#include "store/group_cache.h"
+
+#include "obs/obs.h"
+
+namespace dre::store {
+
+GroupCache::Buffer GroupCache::lookup(const std::string& path,
+                                      std::size_t group) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->group == group && it->path == path) {
+                entries_.splice(entries_.begin(), entries_, it);
+                hits_.fetch_add(1, std::memory_order_relaxed);
+                DRE_COUNTER_INC("store.cache_hits");
+                return entries_.front().buffer;
+            }
+        }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    DRE_COUNTER_INC("store.cache_misses");
+    return nullptr;
+}
+
+void GroupCache::insert(const std::string& path, std::size_t group,
+                        Buffer buffer) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->group == group && it->path == path) {
+            // A concurrent miss already inserted the same bytes; just
+            // refresh recency.
+            entries_.splice(entries_.begin(), entries_, it);
+            return;
+        }
+    }
+    entries_.push_front({path, group, std::move(buffer)});
+    while (entries_.size() > capacity_) entries_.pop_back();
+}
+
+std::size_t GroupCache::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+} // namespace dre::store

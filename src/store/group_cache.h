@@ -1,0 +1,81 @@
+// GroupCache — a bounded LRU of decoded, CRC-validated row-group buffers,
+// shareable across StoreReaders.
+//
+// The pread backend's out-of-core memory bound is this cache's capacity.
+// Historically every StoreReader owned a private LRU, so a server holding
+// one reader per session (or one per shard) multiplied the bound by the
+// number of connections. Extracting the cache lets ShardedStore create one
+// instance for its whole shard set and lets dre::serve share that instance
+// across every session evaluating the same store — the bound then holds per
+// *store*, as documented, no matter how many clients are connected.
+//
+// Entries are keyed (path, group index), so readers of different files can
+// share one cache without collisions. Buffers are immutable shared_ptrs:
+// eviction never invalidates a RowGroup handle that still pins one.
+//
+// lookup() and insert() are individually thread-safe; the miss-then-fetch
+// window is deliberately outside the lock, so two threads missing the same
+// group may both read it from disk. That duplicate work is benign (both
+// insert identical bytes) and keeps disk I/O out of the shared critical
+// section.
+#ifndef DRE_STORE_GROUP_CACHE_H
+#define DRE_STORE_GROUP_CACHE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dre::store {
+
+class GroupCache {
+public:
+    using Buffer = std::shared_ptr<const std::vector<unsigned char>>;
+
+    // Capacity in decoded row groups; 0 caches nothing (every lookup
+    // misses, insert is a no-op).
+    explicit GroupCache(std::size_t capacity) : capacity_(capacity) {}
+    GroupCache(const GroupCache&) = delete;
+    GroupCache& operator=(const GroupCache&) = delete;
+
+    // The cached buffer for (path, group), moved to the LRU front; null on
+    // miss. Counts a hit or miss either way.
+    Buffer lookup(const std::string& path, std::size_t group);
+
+    // Inserts (or refreshes) an entry and evicts past capacity.
+    void insert(const std::string& path, std::size_t group, Buffer buffer);
+
+    std::size_t capacity() const noexcept { return capacity_; }
+    std::size_t size() const;
+
+    // Obs-independent counters, so tests can assert sharing behavior even
+    // in a DRE_OBS_ENABLED=0 build (the obs counters store.cache_hits /
+    // store.cache_misses are updated alongside these).
+    std::uint64_t hits() const noexcept {
+        return hits_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t misses() const noexcept {
+        return misses_.load(std::memory_order_relaxed);
+    }
+
+private:
+    struct Entry {
+        std::string path;
+        std::size_t group;
+        Buffer buffer;
+    };
+
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::list<Entry> entries_; // front = most recently used
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+} // namespace dre::store
+
+#endif // DRE_STORE_GROUP_CACHE_H

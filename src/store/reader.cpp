@@ -95,10 +95,10 @@ struct StoreReader::Impl {
 #else
     std::FILE* file = nullptr;
 #endif
-    mutable std::mutex cache_mutex;
-    using CacheEntry =
-        std::pair<std::size_t, std::shared_ptr<const std::vector<unsigned char>>>;
-    mutable std::list<CacheEntry> cache; // front = most recent
+    // Decoded-group LRU: either the caller's shared cache or a private one
+    // (see StoreReaderOptions::shared_group_cache).
+    std::shared_ptr<GroupCache> cache;
+    mutable std::mutex io_mutex; // serializes fseek+fread on the FILE* path
 
     ~Impl() {
 #if DRE_STORE_HAVE_MMAP
@@ -140,7 +140,7 @@ struct StoreReader::Impl {
             done += static_cast<std::size_t>(got);
         }
 #else
-        std::lock_guard<std::mutex> lock(cache_mutex);
+        std::lock_guard<std::mutex> lock(io_mutex);
         if (std::fseek(file, static_cast<long>(offset), SEEK_SET) != 0 ||
             std::fread(dst, 1, size, file) != size)
             fail(path, "unexpected end of file (truncated)");
@@ -190,37 +190,22 @@ struct StoreReader::Impl {
             out.view_ = make_view(header.schema, base, info.rows);
             return out;
         }
-        // pread backend: serve from (or fill) the LRU cache. The lock covers
-        // the fetch too — correctness first; the mmap backend is the
-        // concurrent scan path.
-        std::lock_guard<std::mutex> lock(cache_mutex);
-        for (auto it = cache.begin(); it != cache.end(); ++it) {
-            if (it->first == group) {
-                cache.splice(cache.begin(), cache, it);
-                out.pinned_ = cache.front().second;
-                out.view_ =
-                    make_view(header.schema, out.pinned_->data(), info.rows);
-#if DRE_OBS_ENABLED
-                DRE_COUNTER_INC("store.cache_hits");
-#endif
-                return out;
-            }
-        }
-#if DRE_OBS_ENABLED
-        DRE_COUNTER_INC("store.cache_misses");
-#endif
-        const RowGroupLayout layout =
-            RowGroupLayout::compute(header.schema, info.rows);
-        auto buffer = std::make_shared<std::vector<unsigned char>>(layout.bytes);
-        pread_exact(info.offset, buffer->data(), layout.bytes);
-        check_group_crc(group, buffer->data(), layout.bytes);
-        // Capacity 0 caches nothing: the handle's shared_ptr is the only
-        // owner and the buffer dies with the last handle. Eviction below
-        // likewise never invalidates a live handle (see reader.h).
-        const std::size_t capacity = options.pread_cache_groups;
-        if (capacity > 0) {
-            cache.emplace_front(group, buffer);
-            while (cache.size() > capacity) cache.pop_back();
+        // pread backend: serve from (or fill) the group cache. The fetch
+        // runs outside the cache lock, so two threads missing the same
+        // group may both read it — benign duplicate work (see
+        // group_cache.h) that keeps disk I/O off the shared critical
+        // section. Cached buffers were CRC-validated at insert; eviction
+        // never invalidates a live handle (the handle pins its buffer).
+        GroupCache::Buffer buffer = cache->lookup(path, group);
+        if (!buffer) {
+            const RowGroupLayout layout =
+                RowGroupLayout::compute(header.schema, info.rows);
+            auto fresh =
+                std::make_shared<std::vector<unsigned char>>(layout.bytes);
+            pread_exact(info.offset, fresh->data(), layout.bytes);
+            check_group_crc(group, fresh->data(), layout.bytes);
+            buffer = std::move(fresh);
+            cache->insert(path, group, buffer);
         }
         out.pinned_ = std::move(buffer);
         out.view_ = make_view(header.schema, out.pinned_->data(), info.rows);
@@ -234,6 +219,9 @@ StoreReader::StoreReader(const std::string& path, Options options)
     Impl& im = *impl_;
     im.path = path;
     im.options = options;
+    im.cache = options.shared_group_cache
+                   ? options.shared_group_cache
+                   : std::make_shared<GroupCache>(options.pread_cache_groups);
 
     // `store.open` fault point, keyed by the shard index so a schedule hits
     // the same shard for any open order. Transient open faults are retried

@@ -41,6 +41,7 @@
 
 #include "store/error.h"
 #include "store/format.h"
+#include "store/group_cache.h"
 #include "trace/trace.h"
 
 namespace dre::store {
@@ -74,6 +75,12 @@ struct StoreReaderOptions {
     // nothing: every fetch decodes afresh and only handle-pinned buffers
     // stay resident.
     std::size_t pread_cache_groups = 4;
+    // When set, the pread backend serves row groups from this cache instead
+    // of a private one, so its memory bound is shared by every reader using
+    // it (ShardedStore installs one per shard set; dre::serve shares that
+    // across sessions). When null, the reader creates a private GroupCache
+    // of `pread_cache_groups` capacity — the historical behavior.
+    std::shared_ptr<GroupCache> shared_group_cache;
     StoreRetryPolicy retry;
     // Logical fault-point indices (see the header comment). Defaults suit
     // a standalone single file; ShardedStore overrides per shard.

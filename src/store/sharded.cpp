@@ -12,6 +12,12 @@ ShardedStore::ShardedStore(std::vector<std::string> paths,
     if (paths.empty())
         throw std::invalid_argument("ShardedStore: empty shard list");
     std::sort(paths.begin(), paths.end());
+    // One group cache for the whole shard set, so the pread memory bound
+    // (`pread_cache_groups` decoded groups) holds per store rather than per
+    // shard — and per connection, when serve sessions share this store.
+    if (!options.shared_group_cache)
+        options.shared_group_cache =
+            std::make_shared<GroupCache>(options.pread_cache_groups);
     shards_.reserve(paths.size());
     row_offset_.reserve(paths.size() + 1);
     row_offset_.push_back(0);

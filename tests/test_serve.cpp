@@ -1,0 +1,453 @@
+// dre::serve: wire protocol round-trips, shared-cache service semantics,
+// and the live server's determinism contract — byte-identical responses
+// at any client concurrency, admission-control backpressure, request
+// coalescing, and graceful shutdown. The concurrent cases run under TSan
+// in CI (8 client threads against the io + dispatcher threads).
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "cdn/scenario.h"
+#include "core/environment.h"
+#include "core/evaluator.h"
+#include "core/policy.h"
+#include "core/policy_learning.h"
+#include "serve/cache.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "stats/rng.h"
+#include "trace/csv.h"
+
+namespace {
+
+using namespace dre;
+
+class TempDir {
+public:
+    TempDir() {
+        const auto* info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        path_ = std::filesystem::temp_directory_path() /
+                (std::string("dre_serve_") + info->test_suite_name() + "_" +
+                 info->name());
+        std::filesystem::remove_all(path_);
+        std::filesystem::create_directories(path_);
+    }
+    ~TempDir() { std::filesystem::remove_all(path_); }
+    std::string file(const std::string& name) const {
+        return (path_ / name).string();
+    }
+
+private:
+    std::filesystem::path path_;
+};
+
+// A small cdn scenario trace on disk, shared request shapes, and the
+// locally rendered text the server must reproduce byte for byte.
+Trace make_trace(std::size_t n) {
+    cdn::VideoQualityEnv env{cdn::CdnWorldConfig{}};
+    const core::UniformRandomPolicy logging(env.num_decisions());
+    stats::Rng rng(20170807);
+    return core::collect_trace(env, logging, n, rng);
+}
+
+serve::EvaluateMsg make_request(const std::string& trace_path,
+                                const std::string& policy = "greedy:tabular",
+                                std::uint64_t seed = 3) {
+    serve::EvaluateMsg m;
+    m.trace = trace_path;
+    m.policy = policy;
+    m.model = "tabular";
+    m.ci_replicates = 0;
+    m.seed = seed;
+    return m;
+}
+
+// The exact stdout of `dre_eval <trace> <policy> --model M [--ci N]
+// --seed S`, rendered through the same shared code path the CLI uses.
+std::string expected_text(const Trace& trace, const serve::EvaluateMsg& m) {
+    core::EvaluationConfig config;
+    config.reward_model = core::parse_reward_model_kind(m.model);
+    const core::Evaluator evaluator(trace, config, stats::Rng(1));
+    const auto policy =
+        core::parse_policy_spec(m.policy, trace, trace.num_decisions());
+    const core::PolicyEvaluation result = evaluator.evaluate_seeded(
+        *policy, stats::Rng(m.seed), static_cast<int>(m.ci_replicates), 0.95);
+    char header[96];
+    std::snprintf(header, sizeof(header), "trace: %zu tuples, %zu decisions\n",
+                  trace.size(), trace.num_decisions());
+    return header + core::make_policy_report(m.policy, result).to_text();
+}
+
+// --- protocol ---------------------------------------------------------------
+
+TEST(ServeProtocolTest, EvaluateRoundTripsThroughFrameDecoder) {
+    serve::EvaluateMsg m;
+    m.trace = "/data/trace-";
+    m.policy = "greedy:knn";
+    m.model = "knn";
+    m.ci_replicates = 200;
+    m.seed = 42;
+
+    const std::vector<unsigned char> wire = serve::encode_evaluate(m);
+    serve::FrameDecoder decoder;
+    // Feed byte-by-byte: reassembly must not depend on recv boundaries.
+    for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+        decoder.feed(wire.data() + i, 1);
+        EXPECT_FALSE(decoder.next().has_value());
+    }
+    decoder.feed(wire.data() + wire.size() - 1, 1);
+    const auto frame = decoder.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->kind, serve::MsgKind::kEvaluate);
+
+    const serve::EvaluateMsg back = serve::decode_evaluate(*frame);
+    EXPECT_EQ(back.trace, m.trace);
+    EXPECT_EQ(back.policy, m.policy);
+    EXPECT_EQ(back.model, m.model);
+    EXPECT_EQ(back.ci_replicates, m.ci_replicates);
+    EXPECT_EQ(back.seed, m.seed);
+}
+
+TEST(ServeProtocolTest, AllMessageKindsRoundTrip) {
+    serve::FrameDecoder decoder;
+    const auto pump = [&](const std::vector<unsigned char>& wire) {
+        decoder.feed(wire.data(), wire.size());
+        auto frame = decoder.next();
+        EXPECT_TRUE(frame.has_value());
+        return *frame;
+    };
+
+    EXPECT_EQ(serve::decode_hello(pump(serve::encode_hello({7}))).version, 7u);
+    EXPECT_EQ(serve::decode_ping(pump(serve::encode_ping({99}))).token, 99u);
+
+    serve::ResultMsg result;
+    result.text = "trace: 5 tuples, 2 decisions\n";
+    result.dr = -1.25;
+    result.cache_hit = true;
+    const serve::ResultMsg result_back =
+        serve::decode_result(pump(serve::encode_result(result)));
+    EXPECT_EQ(result_back.text, result.text);
+    EXPECT_EQ(result_back.dr, result.dr); // bit-exact through the f64 field
+    EXPECT_TRUE(result_back.cache_hit);
+
+    const serve::Frame stats_request = pump(serve::encode_stats_request());
+    EXPECT_TRUE(serve::is_stats_request(stats_request));
+    serve::StatsReplyMsg stats;
+    stats.requests_total = 10;
+    stats.coalesced = 4;
+    stats.p99_ms = 17.5;
+    const serve::Frame stats_reply = pump(serve::encode_stats_reply(stats));
+    EXPECT_FALSE(serve::is_stats_request(stats_reply));
+    const serve::StatsReplyMsg stats_back =
+        serve::decode_stats_reply(stats_reply);
+    EXPECT_EQ(stats_back.requests_total, 10u);
+    EXPECT_EQ(stats_back.coalesced, 4u);
+    EXPECT_EQ(stats_back.p99_ms, 17.5);
+
+    const serve::ErrorMsg error_back = serve::decode_error(
+        pump(serve::encode_error({serve::ErrorCode::kOverloaded, "queue full"})));
+    EXPECT_EQ(error_back.code, serve::ErrorCode::kOverloaded);
+    EXPECT_EQ(error_back.message, "queue full");
+}
+
+TEST(ServeProtocolTest, MalformedFramesThrow) {
+    serve::FrameDecoder decoder;
+    // Oversized length prefix.
+    const unsigned char huge[] = {0xff, 0xff, 0xff, 0x7f};
+    decoder.feed(huge, sizeof(huge));
+    EXPECT_THROW(decoder.next(), serve::ProtocolError);
+
+    // Unknown message kind.
+    serve::FrameDecoder decoder2;
+    const unsigned char unknown[] = {0x01, 0x00, 0x00, 0x00, 0x77};
+    decoder2.feed(unknown, sizeof(unknown));
+    EXPECT_THROW(decoder2.next(), serve::ProtocolError);
+
+    // Truncated payload: an Evaluate frame cut mid-string.
+    serve::Frame truncated;
+    truncated.kind = serve::MsgKind::kEvaluate;
+    truncated.payload = {0x10, 0x00, 0x00, 0x00, 'x'}; // claims 16 bytes
+    EXPECT_THROW(serve::decode_evaluate(truncated), serve::ProtocolError);
+}
+
+// --- cache + service --------------------------------------------------------
+
+TEST(ServeCacheTest, BuildsOnceCountsHitsAndLatchesErrors) {
+    serve::EvalCache cache;
+    std::atomic<int> builds{0};
+    const auto build = [&] {
+        builds.fetch_add(1);
+        auto entry = std::make_shared<serve::TraceEntry>();
+        entry->trace = make_trace(4);
+        return std::shared_ptr<const serve::TraceEntry>(std::move(entry));
+    };
+
+    bool hit = true;
+    const auto first = cache.trace("k", build, &hit);
+    EXPECT_FALSE(hit);
+    const auto second = cache.trace("k", build, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(first.get(), second.get());
+    EXPECT_EQ(builds.load(), 1);
+    EXPECT_EQ(cache.stats().trace_hits, 1u);
+    EXPECT_EQ(cache.stats().trace_misses, 1u);
+
+    // A failed build is cached like a success: the key keeps throwing the
+    // same error without re-running the builder.
+    std::atomic<int> failed_builds{0};
+    const auto failing = [&]() -> std::shared_ptr<const serve::TraceEntry> {
+        failed_builds.fetch_add(1);
+        throw std::runtime_error("no such trace");
+    };
+    EXPECT_THROW(cache.trace("bad", failing), std::runtime_error);
+    EXPECT_THROW(cache.trace("bad", failing), std::runtime_error);
+    EXPECT_EQ(failed_builds.load(), 1);
+}
+
+TEST(ServeServiceTest, ResponseMatchesCliRenderingAndCachesEvaluator) {
+    TempDir dir;
+    const Trace trace = make_trace(200);
+    const std::string path = dir.file("trace.csv");
+    write_csv_file(trace, path);
+
+    serve::EvalService service;
+    const serve::EvaluateMsg request = make_request(path);
+
+    const serve::ResultMsg first = service.evaluate(request);
+    EXPECT_EQ(first.text, expected_text(trace, request));
+    EXPECT_FALSE(first.cache_hit);
+
+    const serve::ResultMsg second = service.evaluate(request);
+    EXPECT_EQ(second.text, first.text);
+    EXPECT_TRUE(second.cache_hit);
+    EXPECT_EQ(second.dr, first.dr);
+
+    // Same trace + model, different seed and policy: evaluator still hits.
+    const serve::EvaluateMsg other = make_request(path, "uniform", 11);
+    const serve::ResultMsg third = service.evaluate(other);
+    EXPECT_TRUE(third.cache_hit);
+    EXPECT_EQ(third.text, expected_text(trace, other));
+
+    const serve::CacheStats stats = service.cache_stats();
+    EXPECT_EQ(stats.trace_misses, 1u);
+    EXPECT_EQ(stats.evaluator_misses, 1u);
+    EXPECT_EQ(stats.evaluator_hits, 2u);
+}
+
+TEST(ServeServiceTest, BadRequestsClassify) {
+    TempDir dir;
+    write_csv_file(make_trace(20), dir.file("trace.csv"));
+    serve::EvalService service;
+
+    serve::EvaluateMsg bad_model = make_request(dir.file("trace.csv"));
+    bad_model.model = "deep";
+    EXPECT_THROW(service.evaluate(bad_model), std::invalid_argument);
+
+    serve::EvaluateMsg bad_policy = make_request(dir.file("trace.csv"));
+    bad_policy.policy = "sideways:3";
+    EXPECT_THROW(service.evaluate(bad_policy), std::invalid_argument);
+
+    EXPECT_THROW(service.evaluate(make_request(dir.file("missing.csv"))),
+                 std::runtime_error);
+}
+
+// --- live server ------------------------------------------------------------
+
+TEST(ServeServerTest, ConcurrentClientsGetByteIdenticalResponses) {
+    TempDir dir;
+    const Trace trace = make_trace(200);
+    const std::string path = dir.file("trace.csv");
+    write_csv_file(trace, path);
+
+    serve::EvalServer server;
+    server.start();
+
+    const serve::EvaluateMsg shared = make_request(path);
+    const std::string expected_shared = expected_text(trace, shared);
+
+    constexpr std::size_t kClients = 8;
+    constexpr std::size_t kRequests = 4;
+    std::vector<std::string> failures(kClients);
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+            try {
+                serve::Client client(server.port());
+                EXPECT_EQ(client.ping(c + 1).token, c + 1);
+                for (std::size_t r = 0; r < kRequests; ++r) {
+                    // Identical request (exercises coalescing + caches)...
+                    const serve::ResultMsg same = client.evaluate(shared);
+                    if (same.text != expected_shared) {
+                        failures[c] = "shared response diverged";
+                        return;
+                    }
+                    // ...then a client-distinct seed (real computation).
+                    serve::EvaluateMsg own = shared;
+                    own.seed = 100 + c;
+                    const serve::ResultMsg distinct = client.evaluate(own);
+                    if (distinct.text != expected_text(trace, own)) {
+                        failures[c] = "distinct response diverged";
+                        return;
+                    }
+                }
+            } catch (const std::exception& e) {
+                failures[c] = e.what();
+            }
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    for (std::size_t c = 0; c < kClients; ++c)
+        EXPECT_EQ(failures[c], "") << "client " << c;
+
+    const serve::StatsReplyMsg stats = server.stats_snapshot();
+    EXPECT_EQ(stats.requests_total, kClients * kRequests * 2);
+    EXPECT_EQ(stats.rejected, 0u);
+    // One evaluator fit total: every other request shared it.
+    const serve::CacheStats cache = server.service().cache_stats();
+    EXPECT_EQ(cache.evaluator_misses, 1u);
+    EXPECT_GE(cache.evaluator_hits + stats.coalesced,
+              kClients * kRequests * 2 - 1);
+    server.stop_and_join();
+}
+
+TEST(ServeServerTest, ZeroQueueRejectsWithOverloaded) {
+    TempDir dir;
+    const std::string path = dir.file("trace.csv");
+    write_csv_file(make_trace(20), path);
+
+    serve::ServerOptions options;
+    options.max_queue = 0;
+    serve::EvalServer server(options);
+    server.start();
+
+    serve::Client client(server.port());
+    try {
+        (void)client.evaluate(make_request(path));
+        FAIL() << "expected kOverloaded";
+    } catch (const serve::ServeError& e) {
+        EXPECT_EQ(e.code(), serve::ErrorCode::kOverloaded);
+    }
+    EXPECT_EQ(server.stats_snapshot().rejected, 1u);
+    server.stop_and_join();
+}
+
+TEST(ServeServerTest, RequestErrorsClassifyOverTheWire) {
+    TempDir dir;
+    write_csv_file(make_trace(20), dir.file("trace.csv"));
+    serve::EvalServer server;
+    server.start();
+
+    serve::Client client(server.port());
+    try {
+        (void)client.evaluate(make_request(dir.file("missing.csv")));
+        FAIL() << "expected kNotFound";
+    } catch (const serve::ServeError& e) {
+        EXPECT_EQ(e.code(), serve::ErrorCode::kNotFound);
+    }
+    serve::EvaluateMsg bad = make_request(dir.file("trace.csv"));
+    bad.policy = "sideways:3";
+    try {
+        (void)client.evaluate(bad);
+        FAIL() << "expected kBadRequest";
+    } catch (const serve::ServeError& e) {
+        EXPECT_EQ(e.code(), serve::ErrorCode::kBadRequest);
+    }
+    // Errors never poison the connection: the same client keeps working.
+    EXPECT_EQ(client.ping(5).token, 5u);
+    server.stop_and_join();
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+TEST(ServeServerTest, MalformedFrameGetsBadFrameReplyServerSurvives) {
+    serve::EvalServer server;
+    server.start();
+
+    // A raw peer that speaks garbage: an unknown message kind. The server
+    // must answer kBadFrame and close that session — and keep serving
+    // well-formed clients.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    const unsigned char garbage[] = {0x01, 0x00, 0x00, 0x00, 0x77};
+    ASSERT_EQ(::send(fd, garbage, sizeof(garbage), 0),
+              static_cast<ssize_t>(sizeof(garbage)));
+
+    std::vector<unsigned char> reply(256);
+    serve::FrameDecoder decoder;
+    std::optional<serve::Frame> frame;
+    while (!frame) {
+        const ssize_t got = ::recv(fd, reply.data(), reply.size(), 0);
+        ASSERT_GT(got, 0) << "connection closed before the error reply";
+        decoder.feed(reply.data(), static_cast<std::size_t>(got));
+        frame = decoder.next();
+    }
+    EXPECT_EQ(frame->kind, serve::MsgKind::kError);
+    EXPECT_EQ(serve::decode_error(*frame).code, serve::ErrorCode::kBadFrame);
+    ::close(fd);
+
+    serve::Client healthy(server.port());
+    EXPECT_EQ(healthy.ping(5).token, 5u);
+    server.stop_and_join();
+}
+#endif
+
+TEST(ServeServerTest, GracefulStopDrainsQueuedWork) {
+    TempDir dir;
+    const Trace trace = make_trace(400);
+    const std::string path = dir.file("trace.csv");
+    write_csv_file(trace, path);
+
+    serve::EvalServer server;
+    server.start();
+
+    // Queue several distinct requests from independent clients, then stop
+    // while they are likely still queued: every one must get its reply
+    // (stop drains the queue; it never drops admitted work).
+    constexpr std::size_t kClients = 4;
+    std::vector<std::string> failures(kClients);
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+            try {
+                serve::Client client(server.port());
+                serve::EvaluateMsg m = make_request(path, "uniform", 50 + c);
+                const serve::ResultMsg result = client.evaluate(m);
+                if (result.text != expected_text(trace, m))
+                    failures[c] = "response diverged";
+            } catch (const std::exception& e) {
+                failures[c] = e.what();
+            }
+        });
+    }
+    // Stop only once every request has been admitted (the drain guarantee
+    // covers admitted work, not bytes still in a socket buffer).
+    while (server.stats_snapshot().requests_total < kClients)
+        std::this_thread::yield();
+    server.request_stop();
+    for (std::thread& t : threads) t.join();
+    server.stop_and_join();
+    for (std::size_t c = 0; c < kClients; ++c)
+        EXPECT_EQ(failures[c], "") << "client " << c;
+}
+
+} // namespace

@@ -298,6 +298,53 @@ TEST(StoreReaderTest, PreadCacheCapacityZeroStillReadsCorrectly) {
         EXPECT_EQ(a.view().reward[i], b.view().reward[i]);
 }
 
+TEST(StoreReaderTest, SharedGroupCacheSpansReaders) {
+    TempDir tmp;
+    const Trace trace = cdn_trace(600);
+    const std::string path = tmp.path("shared.drt");
+    write_store_file(trace, path, StoreWriter::Options{128});
+
+    StoreReader::Options options;
+    options.io_mode = IoMode::kPread;
+    auto cache = std::make_shared<GroupCache>(2);
+    options.shared_group_cache = cache;
+    const StoreReader a(path, options);
+    const StoreReader b(path, options);
+
+    const StoreReader::RowGroup first = a.row_group(1);
+    EXPECT_EQ(cache->hits(), 0u);
+    EXPECT_EQ(cache->misses(), 1u);
+    // The second reader is served from the first reader's fetch: the same
+    // shared buffer, not a second decode.
+    const StoreReader::RowGroup second = b.row_group(1);
+    EXPECT_EQ(cache->hits(), 1u);
+    EXPECT_EQ(cache->misses(), 1u);
+    EXPECT_EQ(first.view().reward.data(), second.view().reward.data());
+    EXPECT_EQ(cache->size(), 1u);
+}
+
+TEST(ShardedStoreTest, OneGroupCacheBoundsWholeShardSet) {
+    TempDir tmp;
+    const Trace trace = wise_trace(1000);
+    const std::string single = tmp.path("single.drt");
+    write_store_file(trace, single, StoreWriter::Options{128});
+    const auto shard_paths =
+        split_store(ShardedStore({single}), tmp.path("cshard-"), 3,
+                    StoreWriter::Options{128});
+
+    StoreReader::Options options;
+    options.io_mode = IoMode::kPread;
+    options.pread_cache_groups = 2;
+    auto cache = std::make_shared<GroupCache>(2);
+    options.shared_group_cache = cache;
+    const ShardedStore sharded(shard_paths, options);
+    expect_bitwise_equal(sharded.read_all(), trace);
+    // The scan crossed all three shards, but the decoded-group memory
+    // bound held per store: at most 2 resident groups in total.
+    EXPECT_LE(cache->size(), 2u);
+    EXPECT_GT(cache->misses(), 0u);
+}
+
 TEST(ShardedStoreTest, MixedSchemasRejected) {
     TempDir tmp;
     write_store_file(cdn_trace(50), tmp.path("shard-00000.drt"));

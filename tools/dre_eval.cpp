@@ -68,7 +68,12 @@
 //   3  bad input (missing/corrupt trace or store, empty trace, checkpoint
 //      mismatch, I/O failure — injected or real)
 //   4  internal error (anything else)
+//   5  interrupted (--streaming only): SIGINT/SIGTERM landed mid-run; the
+//      in-flight wave was drained and the final checkpoint flushed, so a
+//      rerun with --resume continues bit-identically
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -220,35 +225,12 @@ int run_convert(int argc, char** argv) {
     return 0;
 }
 
-core::RewardModelKind parse_model_kind(const std::string& name) {
-    if (name == "tabular") return core::RewardModelKind::kTabular;
-    if (name == "linear") return core::RewardModelKind::kLinear;
-    if (name == "knn") return core::RewardModelKind::kKnn;
-    throw std::invalid_argument("unknown model kind: " + name);
-}
+// SIGINT/SIGTERM request a graceful stop of the streaming wave loop; the
+// handler just latches the flag (async-signal-safe) and the loop exits at
+// the next wave boundary with its checkpoint already flushed.
+std::atomic<bool> g_interrupted{false};
 
-// `decisions` is passed explicitly rather than derived from the trace: a
-// streaming run fits on a bounded sample whose max decision may undershoot
-// the full trace's decision space.
-std::shared_ptr<core::Policy> parse_policy(const std::string& spec,
-                                           const Trace& trace,
-                                           std::size_t decisions) {
-    if (spec == "uniform")
-        return std::make_shared<core::UniformRandomPolicy>(decisions);
-    if (spec.rfind("constant:", 0) == 0) {
-        const auto d = static_cast<Decision>(std::stol(spec.substr(9)));
-        if (d < 0 || static_cast<std::size_t>(d) >= decisions)
-            throw std::invalid_argument("constant decision outside trace's space");
-        return std::make_shared<core::DeterministicPolicy>(
-            decisions, [d](const ClientContext&) { return d; });
-    }
-    if (spec.rfind("greedy:", 0) == 0) {
-        const core::RewardModelKind kind = parse_model_kind(spec.substr(7));
-        return core::learn_greedy_policy(trace, kind, decisions);
-    }
-    throw std::invalid_argument("unknown policy spec: " + spec);
-}
-
+extern "C" void handle_stop_signal(int) { g_interrupted.store(true); }
 
 // Classified exit codes (see file comment): one `error:` line to stderr,
 // then 2 for bad arguments, 3 for bad input / I/O, 4 for anything else.
@@ -301,7 +283,8 @@ int main(int argc, char** argv) {
             } else if (arg == "--cross-fit") {
                 config.cross_fit = true;
             } else if (arg == "--model") {
-                config.reward_model = parse_model_kind(next("--model"));
+                config.reward_model =
+                    core::parse_reward_model_kind(next("--model"));
             } else if (arg == "--ci") {
                 config.ci_replicates = std::stoi(next("--ci"));
             } else if (arg == "--quantile") {
@@ -414,7 +397,8 @@ int main(int argc, char** argv) {
                 throw std::runtime_error(
                     "no usable tuples in the fit sample (trace damage "
                     "exceeds what quarantine can absorb)");
-            const auto policy = parse_policy(policy_spec, fit_trace, decisions);
+            const auto policy =
+                core::parse_policy_spec(policy_spec, fit_trace, decisions);
             const auto model = core::fit_reward_model(config.reward_model,
                                                       decisions, fit_trace);
 
@@ -425,39 +409,27 @@ int main(int argc, char** argv) {
             stream_options.on_error = on_error;
             stream_options.checkpoint_path = checkpoint_path;
             stream_options.resume = resume;
+            stream_options.interrupt = &g_interrupted;
+            std::signal(SIGINT, handle_stop_signal);
+            std::signal(SIGTERM, handle_stop_signal);
             const store::StoreTupleSource source(shards);
-            const core::StreamingResult guarded =
-                core::evaluate_streaming_guarded(source, *model, *policy,
-                                                 stream_options,
-                                                 stats::Rng(seed));
+            core::StreamingResult guarded;
+            try {
+                guarded = core::evaluate_streaming_guarded(source, *model,
+                                                           *policy,
+                                                           stream_options,
+                                                           stats::Rng(seed));
+            } catch (const core::StreamingInterrupted& e) {
+                std::fprintf(stderr, "interrupted: %s%s\n", e.what(),
+                             checkpoint_path.empty()
+                                 ? ""
+                                 : "; checkpoint flushed, rerun with "
+                                   "--resume to continue");
+                return 5;
+            }
             const core::PolicyEvaluation& result = guarded.evaluation;
 
-            obs::Report out;
-            const std::string policy_section = "policy " + policy_spec;
-            out.set(policy_section, "DM", result.dm.value);
-            out.set(policy_section, "IPS", result.ips.value);
-            out.set(policy_section, "SNIPS", result.snips.value);
-            out.set(policy_section, "SWITCH-DR", result.switch_dr.value);
-            if (result.dr_ci) {
-                char dr_row[128];
-                std::snprintf(dr_row, sizeof(dr_row),
-                              "%10.4f   %.0f%% CI [%.4f, %.4f]",
-                              result.dr.value, 100.0 * result.dr_ci->level,
-                              result.dr_ci->lower, result.dr_ci->upper);
-                out.set(policy_section, "DR", dr_row);
-            } else {
-                out.set(policy_section, "DR", result.dr.value);
-            }
-            out.set("diagnostics", "effective sample size",
-                    result.overlap.effective_sample_size);
-            out.set("diagnostics", "effective sample %",
-                    100.0 * result.overlap.effective_sample_fraction);
-            out.set("diagnostics", "mean importance weight",
-                    result.overlap.mean_weight);
-            out.set("diagnostics", "max importance weight",
-                    result.overlap.max_weight);
-            out.set("diagnostics", "zero-weight tuples %",
-                    100.0 * result.overlap.zero_weight_fraction);
+            obs::Report out = core::make_policy_report(policy_spec, result);
             if (!guarded.quarantine.empty()) {
                 out.set("quarantine", "tuples quarantined",
                         static_cast<double>(
@@ -540,7 +512,7 @@ int main(int argc, char** argv) {
         }
 
         const auto policy =
-            parse_policy(policy_spec, trace, trace.num_decisions());
+            core::parse_policy_spec(policy_spec, trace, trace.num_decisions());
 
         if (run_audit) {
             const auto findings = core::audit_trace(trace, policy.get());
@@ -557,34 +529,9 @@ int main(int argc, char** argv) {
         const core::Evaluator evaluator(trace, config, stats::Rng(seed));
         const core::PolicyEvaluation result = evaluator.evaluate(*policy);
 
-        // Result document assembled as an obs::Report so the CLI, the
-        // examples, and any embedded JSON all share one renderer.
-        obs::Report out;
-        const std::string policy_section = "policy " + policy_spec;
-        out.set(policy_section, "DM", result.dm.value);
-        out.set(policy_section, "IPS", result.ips.value);
-        out.set(policy_section, "SNIPS", result.snips.value);
-        out.set(policy_section, "SWITCH-DR", result.switch_dr.value);
-        if (result.dr_ci) {
-            char dr_row[128];
-            std::snprintf(dr_row, sizeof(dr_row),
-                          "%10.4f   %.0f%% CI [%.4f, %.4f]", result.dr.value,
-                          100.0 * result.dr_ci->level, result.dr_ci->lower,
-                          result.dr_ci->upper);
-            out.set(policy_section, "DR", dr_row);
-        } else {
-            out.set(policy_section, "DR", result.dr.value);
-        }
-        out.set("diagnostics", "effective sample size",
-                result.overlap.effective_sample_size);
-        out.set("diagnostics", "effective sample %",
-                100.0 * result.overlap.effective_sample_fraction);
-        out.set("diagnostics", "mean importance weight",
-                result.overlap.mean_weight);
-        out.set("diagnostics", "max importance weight",
-                result.overlap.max_weight);
-        out.set("diagnostics", "zero-weight tuples %",
-                100.0 * result.overlap.zero_weight_fraction);
+        // Result document rendered by the shared make_policy_report so the
+        // CLI, the examples, and the serve layer all emit identical bytes.
+        obs::Report out = core::make_policy_report(policy_spec, result);
 
         if (quantile_q >= 0.0) {
             const double q = core::off_policy_quantile(
@@ -596,8 +543,8 @@ int main(int argc, char** argv) {
         }
 
         if (!compare_spec.empty()) {
-            const auto incumbent =
-                parse_policy(compare_spec, trace, trace.num_decisions());
+            const auto incumbent = core::parse_policy_spec(
+                compare_spec, trace, trace.num_decisions());
             stats::Rng certify_rng(seed + 1);
             const core::ImprovementReport report = core::certify_improvement(
                 evaluator.evaluation_trace(), *incumbent, *policy,

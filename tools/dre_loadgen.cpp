@@ -1,0 +1,214 @@
+// dre_loadgen — concurrent load generator and correctness prober for a
+// running dre_serve instance.
+//
+// Usage:
+//   dre_loadgen --port <n> <trace> <policy> [options]
+//
+// Options:
+//   --port <n>         server port on 127.0.0.1 (required)
+//   --model <kind>     reward model (tabular | linear | knn; default tabular)
+//   --ci <replicates>  bootstrap CI replicates (default 0 = off)
+//   --seed <n>         base RNG seed (default 1)
+//   --clients <n>      concurrent client connections (default 1)
+//   --requests <n>     requests per client (default 8)
+//   --distinct         vary the seed per request (seed + request index), so
+//                      no two requests coalesce and every one computes;
+//                      default sends identical requests, which exercises
+//                      the shared caches and in-flight coalescing
+//   --small            shorthand for --requests 2
+//   --dump-response    print the first response's text verbatim to stdout
+//                      (and the summary to stderr), so CI can byte-diff a
+//                      server response against `dre_eval` output
+//
+// Every response for the same (trace, policy, model, ci, seed) tuple must
+// be byte-identical — across clients, across repeats, and to the dre_eval
+// CLI. The loadgen verifies the cross-client part itself and exits 1 on
+// any mismatch; per-request latency lands in an obs::Histogram and the
+// summary prints its p50/p90/p99.
+//
+// Exit codes: 0 success, 1 response mismatch, 2 bad arguments, 3 cannot
+// connect.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/client.h"
+
+namespace {
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: dre_loadgen --port N <trace> <policy> [--model kind] "
+                 "[--ci N] [--seed N]\n"
+                 "                   [--clients N] [--requests N] [--distinct] "
+                 "[--small] [--dump-response]\n");
+    return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    using namespace dre;
+
+    int port = -1;
+    std::string trace_path;
+    std::string policy_spec;
+    std::string model = "tabular";
+    std::uint32_t ci_replicates = 0;
+    std::uint64_t seed = 1;
+    std::size_t clients = 1;
+    std::size_t requests = 8;
+    bool distinct = false;
+    bool dump_response = false;
+
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--port" && i + 1 < argc) {
+            port = std::atoi(argv[++i]);
+        } else if (arg == "--model" && i + 1 < argc) {
+            model = argv[++i];
+        } else if (arg == "--ci" && i + 1 < argc) {
+            ci_replicates = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+        } else if (arg == "--seed" && i + 1 < argc) {
+            seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--clients" && i + 1 < argc) {
+            clients = static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else if (arg == "--requests" && i + 1 < argc) {
+            requests = static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else if (arg == "--distinct") {
+            distinct = true;
+        } else if (arg == "--small") {
+            requests = 2;
+        } else if (arg == "--dump-response") {
+            dump_response = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
+            return usage();
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (port <= 0 || port > 65535 || positional.size() != 2) return usage();
+    trace_path = positional[0];
+    policy_spec = positional[1];
+    if (clients == 0 || requests == 0) return usage();
+
+    FILE* const summary = dump_response ? stderr : stdout;
+
+    obs::Histogram latency_ms;
+    std::mutex state_mutex;
+    // request seed -> first response text seen; later responses for the
+    // same seed must match byte for byte, whichever client they came from.
+    std::map<std::uint64_t, std::string> canonical;
+    std::string first_response;
+    std::string failure;
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            try {
+                serve::Client client(static_cast<std::uint16_t>(port));
+                for (std::size_t r = 0; r < requests; ++r) {
+                    serve::EvaluateMsg request;
+                    request.trace = trace_path;
+                    request.policy = policy_spec;
+                    request.model = model;
+                    request.ci_replicates = ci_replicates;
+                    request.seed =
+                        distinct ? seed + c * requests + r : seed;
+                    const auto start = std::chrono::steady_clock::now();
+                    serve::ResultMsg result;
+                    try {
+                        result = client.evaluate(request);
+                    } catch (const serve::ServeError& e) {
+                        if (e.code() == serve::ErrorCode::kOverloaded) {
+                            std::lock_guard<std::mutex> lock(state_mutex);
+                            ++rejected;
+                            continue;
+                        }
+                        throw;
+                    }
+                    const double ms =
+                        std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+                    latency_ms.record(ms);
+                    std::lock_guard<std::mutex> lock(state_mutex);
+                    ++completed;
+                    if (first_response.empty()) first_response = result.text;
+                    auto [it, inserted] =
+                        canonical.emplace(request.seed, result.text);
+                    if (!inserted && it->second != result.text &&
+                        failure.empty())
+                        failure = "responses for seed " +
+                                  std::to_string(request.seed) +
+                                  " differ across requests";
+                }
+            } catch (const std::exception& e) {
+                std::lock_guard<std::mutex> lock(state_mutex);
+                if (failure.empty())
+                    failure = std::string("client ") + std::to_string(c) +
+                              ": " + e.what();
+            }
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - wall_start)
+                               .count();
+
+    if (!failure.empty()) {
+        std::fprintf(stderr, "error: %s\n", failure.c_str());
+        return failure.find("connect") != std::string::npos ? 3 : 1;
+    }
+
+    if (dump_response) std::fwrite(first_response.data(), 1,
+                                   first_response.size(), stdout);
+
+    const double rps = wall_ms > 0.0
+                           ? static_cast<double>(completed) / (wall_ms / 1000.0)
+                           : 0.0;
+    std::fprintf(summary,
+                 "loadgen: %zu clients x %zu requests (%s seeds): "
+                 "%llu ok, %llu rejected in %.1f ms (%.1f req/s)\n",
+                 clients, requests, distinct ? "distinct" : "identical",
+                 static_cast<unsigned long long>(completed),
+                 static_cast<unsigned long long>(rejected), wall_ms, rps);
+    std::fprintf(summary,
+                 "latency ms: p50 %.2f  p90 %.2f  p99 %.2f  (min %.2f max "
+                 "%.2f mean %.2f)\n",
+                 latency_ms.p50(), latency_ms.p90(), latency_ms.p99(),
+                 latency_ms.min(), latency_ms.max(), latency_ms.mean());
+
+    // One Stats round trip so operators see the server-side view too.
+    try {
+        serve::Client client(static_cast<std::uint16_t>(port));
+        const serve::StatsReplyMsg stats = client.stats();
+        std::fprintf(summary,
+                     "server: %llu total (%llu coalesced, %llu rejected), "
+                     "evaluator cache %llu hits / %llu misses, server p50 "
+                     "%.2f ms p99 %.2f ms\n",
+                     static_cast<unsigned long long>(stats.requests_total),
+                     static_cast<unsigned long long>(stats.coalesced),
+                     static_cast<unsigned long long>(stats.rejected),
+                     static_cast<unsigned long long>(stats.evaluator_hits),
+                     static_cast<unsigned long long>(stats.evaluator_misses),
+                     stats.p50_ms, stats.p99_ms);
+    } catch (const std::exception& e) {
+        std::fprintf(summary, "server stats unavailable: %s\n", e.what());
+    }
+    return 0;
+}

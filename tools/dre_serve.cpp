@@ -1,0 +1,126 @@
+// dre_serve — long-running evaluation service over the dre::serve protocol.
+//
+// Usage:
+//   dre_serve [options]
+//
+// Options:
+//   --port <n>        TCP port on 127.0.0.1 (default 0 = kernel-assigned)
+//   --port-file <f>   write the bound port (one line) once listening; lets
+//                     scripts start the server on port 0 and discover the
+//                     ephemeral port without a race
+//   --max-queue <n>   pending unique Evaluate jobs before admission control
+//                     answers kOverloaded (default 64)
+//   --io mmap|pread   I/O backend for .drt traces (default: auto)
+//
+// The process owns the stores, traces, and fitted models for every trace
+// it is asked about (see serve/service.h); responses are byte-identical to
+// the equivalent `dre_eval <trace> <policy> --model M [--ci N] --seed S`
+// run. SIGINT/SIGTERM shut down gracefully: the listener closes, every
+// queued job drains and its waiters get their reply, then the process
+// exits 0.
+//
+// Exit codes: 0 success (including signal-driven shutdown), 2 bad
+// arguments, 3 startup failure (bind/listen).
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "serve/server.h"
+#include "store/reader.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) { g_stop.store(true); }
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: dre_serve [--port N] [--port-file F] [--max-queue N] "
+                 "[--io mmap|pread]\n");
+    return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    using namespace dre;
+
+    serve::ServerOptions options;
+    std::string port_file;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--port" && i + 1 < argc) {
+            options.port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+        } else if (arg == "--port-file" && i + 1 < argc) {
+            port_file = argv[++i];
+        } else if (arg == "--max-queue" && i + 1 < argc) {
+            options.max_queue =
+                static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else if (arg == "--io" && i + 1 < argc) {
+            const std::string mode = argv[++i];
+            if (mode == "mmap") {
+                options.service.reader_options.io_mode = store::IoMode::kMmap;
+            } else if (mode == "pread") {
+                options.service.reader_options.io_mode = store::IoMode::kPread;
+            } else {
+                std::fprintf(stderr, "error: unknown --io mode '%s'\n",
+                             mode.c_str());
+                return 2;
+            }
+        } else {
+            std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
+            return usage();
+        }
+    }
+
+    serve::EvalServer server(options);
+    try {
+        server.start();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 3;
+    }
+
+    if (!port_file.empty()) {
+        // tmp+rename so a watcher never reads a half-written port.
+        const std::string tmp = port_file + ".tmp";
+        if (std::FILE* f = std::fopen(tmp.c_str(), "w")) {
+            std::fprintf(f, "%u\n", static_cast<unsigned>(server.port()));
+            std::fclose(f);
+            std::rename(tmp.c_str(), port_file.c_str());
+        } else {
+            std::fprintf(stderr, "error: cannot write --port-file %s\n",
+                         port_file.c_str());
+            server.stop_and_join();
+            return 3;
+        }
+    }
+
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+
+    std::printf("dre_serve listening on 127.0.0.1:%u (max-queue %zu)\n",
+                static_cast<unsigned>(server.port()), options.max_queue);
+    std::fflush(stdout);
+
+    while (!g_stop.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    // Graceful drain: every admitted request is answered before exit.
+    server.stop_and_join();
+    const serve::StatsReplyMsg stats = server.stats_snapshot();
+    std::printf("dre_serve shut down: %llu requests (%llu coalesced, "
+                "%llu rejected), request p50 %.2f ms p99 %.2f ms\n",
+                static_cast<unsigned long long>(stats.requests_total),
+                static_cast<unsigned long long>(stats.coalesced),
+                static_cast<unsigned long long>(stats.rejected), stats.p50_ms,
+                stats.p99_ms);
+    return 0;
+}
