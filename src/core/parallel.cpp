@@ -131,7 +131,10 @@ void ThreadPool::worker_loop() {
         const std::shared_ptr<Batch> batch = batch_;
         if (batch == nullptr) continue; // batch already drained and cleared
         lock.unlock();
-        drain(*batch);
+        {
+            obs::ScopedTraceContext trace_scope(batch->trace_ctx);
+            drain(*batch);
+        }
         lock.lock();
     }
 }
@@ -148,6 +151,7 @@ void ThreadPool::run(std::size_t n, const std::function<void(std::size_t)>& fn) 
     const auto batch = std::make_shared<Batch>();
     batch->fn = &fn;
     batch->size = n;
+    batch->trace_ctx = obs::current_trace_context();
 #if DRE_OBS_ENABLED
     // Batch geometry diagnostics. Chunk counts depend on the thread count,
     // so these must never feed the determinism fingerprint.

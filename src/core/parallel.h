@@ -34,6 +34,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace_context.h"
+
 namespace dre::par {
 
 // Fixed chunk length for deterministic reductions. Independent of the thread
@@ -71,6 +73,10 @@ private:
     struct Batch {
         const std::function<void(std::size_t)>* fn = nullptr;
         std::size_t size = 0;
+        // The submitting thread's request context; workers adopt it while
+        // draining this batch, so spans opened inside pool tasks attach to
+        // the request that submitted the work (zero when untraced).
+        obs::TraceContext trace_ctx;
         std::atomic<std::size_t> next{0};
         std::atomic<std::size_t> completed{0};
     };

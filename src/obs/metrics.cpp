@@ -33,6 +33,76 @@ void atomic_max(std::atomic<double>& target, double value) noexcept {
 
 } // namespace
 
+double HistogramSnapshot::bucket_lo(std::size_t i) noexcept {
+    return i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+}
+
+double HistogramSnapshot::bucket_hi(std::size_t i) noexcept {
+    return i == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(i));
+}
+
+double HistogramSnapshot::quantile(double p) const noexcept {
+    p = std::clamp(p, 0.0, 1.0);
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : buckets) total += c;
+    if (total == 0) return 0.0;
+    // Rank of the p-quantile observation (1-based). Within the winning
+    // bucket, observations sit at midpoint positions (k - 0.5 for the k-th),
+    // so a bucket that contains the rank interpolates around its occupants
+    // instead of reporting the bucket's upper bound.
+    const double rank = p * static_cast<double>(total - 1) + 1.0;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] == 0) continue;
+        if (static_cast<double>(cumulative + buckets[i]) < rank) {
+            cumulative += buckets[i];
+            continue;
+        }
+        const double lo = bucket_lo(i);
+        const double hi = bucket_hi(i);
+        const double within = std::clamp(
+            (rank - static_cast<double>(cumulative) - 0.5) /
+                static_cast<double>(buckets[i]),
+            0.0, 1.0);
+        const double estimate = lo + within * (hi - lo);
+        return has_extremes ? std::clamp(estimate, min, max) : estimate;
+    }
+    return has_extremes ? max : bucket_hi(buckets.size() - 1);
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) noexcept {
+    const bool was_empty = count == 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i)
+        buckets[i] += other.buckets[i];
+    count += other.count;
+    sum += other.sum;
+    if (other.count == 0) return; // nothing to fold into the extremes
+    if (was_empty) {
+        min = other.min;
+        max = other.max;
+        has_extremes = other.has_extremes;
+    } else {
+        min = std::min(min, other.min);
+        max = std::max(max, other.max);
+        has_extremes = has_extremes && other.has_extremes;
+    }
+}
+
+HistogramSnapshot HistogramSnapshot::delta_since(
+    const HistogramSnapshot& earlier) const noexcept {
+    HistogramSnapshot out;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        out.buckets[i] =
+            buckets[i] >= earlier.buckets[i] ? buckets[i] - earlier.buckets[i]
+                                             : 0;
+        out.count += out.buckets[i];
+    }
+    out.sum = sum - earlier.sum;
+    // A window's true extremes are unknowable from cumulative state; leave
+    // has_extremes false so quantile() relies on bucket interpolation only.
+    return out;
+}
+
 std::size_t Histogram::bucket_index(double value) noexcept {
     if (!(value >= 1.0)) return 0; // negatives/NaN land in the floor bucket
     const double clamped =
@@ -77,33 +147,19 @@ double Histogram::mean() const noexcept {
     return n == 0 ? 0.0 : sum() / static_cast<double>(n);
 }
 
-double Histogram::quantile(double p) const noexcept {
-    p = std::clamp(p, 0.0, 1.0);
-    std::array<std::uint64_t, kBuckets> counts;
-    std::uint64_t total = 0;
+HistogramSnapshot Histogram::snapshot() const noexcept {
+    HistogramSnapshot out;
     for (std::size_t i = 0; i < kBuckets; ++i) {
-        counts[i] = buckets_[i].load(std::memory_order_relaxed);
-        total += counts[i];
+        out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+        out.count += out.buckets[i];
     }
-    if (total == 0) return 0.0;
-    // Rank of the p-quantile observation (1-based), then linear
-    // interpolation within its bucket's [lo, hi) range.
-    const double rank = p * static_cast<double>(total - 1) + 1.0;
-    std::uint64_t cumulative = 0;
-    for (std::size_t i = 0; i < kBuckets; ++i) {
-        if (counts[i] == 0) continue;
-        if (static_cast<double>(cumulative + counts[i]) < rank) {
-            cumulative += counts[i];
-            continue;
-        }
-        const double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
-        const double hi = i == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(i));
-        const double within =
-            (rank - static_cast<double>(cumulative)) / static_cast<double>(counts[i]);
-        const double estimate = lo + within * (hi - lo);
-        return std::clamp(estimate, min(), max());
+    out.sum = sum_.load(std::memory_order_relaxed);
+    out.has_extremes = any_.load(std::memory_order_relaxed);
+    if (out.has_extremes) {
+        out.min = min_.load(std::memory_order_relaxed);
+        out.max = max_.load(std::memory_order_relaxed);
     }
-    return max();
+    return out;
 }
 
 void Histogram::reset() noexcept {
@@ -220,6 +276,26 @@ std::vector<SpanSample> Registry::spans() const {
         sample.p99_ms = span->duration_ns.quantile(0.99) / 1e6;
         out.push_back(std::move(sample));
     }
+    return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+Registry::histogram_snapshots() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, HistogramSnapshot>> out;
+    out.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_)
+        out.emplace_back(name, histogram->snapshot());
+    return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+Registry::span_duration_snapshots() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, HistogramSnapshot>> out;
+    out.reserve(span_stats_.size());
+    for (const auto& [name, span] : span_stats_)
+        out.emplace_back(name, span->duration_ns.snapshot());
     return out;
 }
 

@@ -29,6 +29,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace dre::obs {
@@ -95,14 +96,54 @@ private:
     std::atomic<double> value_{0.0};
 };
 
-// Power-of-two exponential histogram over non-negative values. Bucket 0
-// covers [0, 1); bucket i >= 1 covers [2^(i-1), 2^i). Quantiles interpolate
-// linearly inside a bucket and are clamped to the observed [min, max], so
-// they are estimates with bounded relative error, not exact order
-// statistics — cheap enough to record from concurrent hot paths.
+// Shared bucket geometry for Histogram and HistogramSnapshot: bucket 0
+// covers [0, 1); bucket i >= 1 covers [2^(i-1), 2^i).
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+// A plain-data copy of a Histogram's state at one scrape instant.
+// Snapshots are what the OpenMetrics exposition renders (cumulative `le`
+// buckets need a consistent view) and what the time-series ring diffs:
+// `delta_since(previous)` yields the window's histogram, whose quantiles
+// are the windowed p50/p99. Quantiles place the target rank at bucket
+// midpoints (rank - 0.5 within the winning bucket), so a bucket holding
+// exactly the quantile observation interpolates instead of reporting the
+// bucket's upper bound; when the snapshot carries observed extremes
+// (direct snapshots do, window deltas cannot) the estimate is additionally
+// clamped to [min, max].
+struct HistogramSnapshot {
+    std::array<std::uint64_t, kHistogramBuckets> buckets{};
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0, max = 0.0;
+    bool has_extremes = false; // min/max are trustworthy observed values
+
+    static double bucket_lo(std::size_t i) noexcept;
+    static double bucket_hi(std::size_t i) noexcept;
+
+    double mean() const noexcept {
+        return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+    // Approximate p-quantile (p in [0, 1]); 0 when empty.
+    double quantile(double p) const noexcept;
+    double p50() const noexcept { return quantile(0.50); }
+    double p90() const noexcept { return quantile(0.90); }
+    double p99() const noexcept { return quantile(0.99); }
+
+    // Fold `other` into this snapshot (bucket-wise sums; extremes combine
+    // only if both sides have them).
+    void merge(const HistogramSnapshot& other) noexcept;
+    // The histogram of observations recorded after `earlier` was taken
+    // (counter-style subtraction; extremes are unknowable for a window).
+    HistogramSnapshot delta_since(const HistogramSnapshot& earlier) const noexcept;
+};
+
+// Power-of-two exponential histogram over non-negative values (bucket
+// geometry above). Quantiles are estimates with bounded relative error,
+// not exact order statistics — cheap enough to record from concurrent hot
+// paths.
 class Histogram {
 public:
-    static constexpr std::size_t kBuckets = 64;
+    static constexpr std::size_t kBuckets = kHistogramBuckets;
 
     Histogram() = default;
     Histogram(const Histogram&) = delete;
@@ -117,8 +158,12 @@ public:
     double min() const noexcept;
     double max() const noexcept;
     double mean() const noexcept;
-    // Approximate p-quantile (p in [0, 1]); 0 when empty.
-    double quantile(double p) const noexcept;
+    // Consistent-enough copy of the current state (each field is read
+    // relaxed; the snapshot is a statistics view, not a synchronization).
+    HistogramSnapshot snapshot() const noexcept;
+    // Approximate p-quantile (p in [0, 1]); 0 when empty. Same estimate as
+    // snapshot().quantile(p).
+    double quantile(double p) const noexcept { return snapshot().quantile(p); }
     // Named quantile accessors, so consumers (the serve Stats reply, the
     // loadgen summary, the report sink) share one definition of "p99"
     // instead of each hard-coding the probability.
@@ -204,6 +249,15 @@ public:
     std::vector<GaugeSample> gauges() const;
     std::vector<HistogramSample> histograms() const;
     std::vector<SpanSample> spans() const;
+
+    // Full-bucket snapshots for the OpenMetrics exposition and the
+    // time-series ring (which diffs consecutive snapshots for windowed
+    // quantiles). span_duration_snapshots covers each span profile's
+    // duration histogram (values in nanoseconds).
+    std::vector<std::pair<std::string, HistogramSnapshot>>
+    histogram_snapshots() const;
+    std::vector<std::pair<std::string, HistogramSnapshot>>
+    span_duration_snapshots() const;
 
 private:
     Registry() = default;

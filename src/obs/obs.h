@@ -27,6 +27,7 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/span.h"
+#include "obs/trace_context.h"
 
 #if DRE_OBS_ENABLED
 

@@ -1,0 +1,108 @@
+#include "obs/openmetrics.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace dre::obs {
+namespace {
+
+void append_double(std::string* out, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    *out += buf;
+}
+
+void append_u64(std::string* out, std::uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    *out += buf;
+}
+
+void append_type(std::string* out, const std::string& name, const char* type) {
+    *out += "# TYPE ";
+    *out += name;
+    *out += ' ';
+    *out += type;
+    *out += '\n';
+}
+
+// One histogram family from a snapshot: cumulative le buckets up to the
+// highest occupied one, +Inf, then _sum and _count.
+void append_histogram(std::string* out, const std::string& name,
+                      const HistogramSnapshot& snapshot) {
+    append_type(out, name, "histogram");
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < snapshot.buckets.size(); ++i)
+        if (snapshot.buckets[i] != 0) last = i;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i <= last && snapshot.count != 0; ++i) {
+        cumulative += snapshot.buckets[i];
+        *out += name;
+        *out += "_bucket{le=\"";
+        append_double(out, HistogramSnapshot::bucket_hi(i));
+        *out += "\"} ";
+        append_u64(out, cumulative);
+        *out += '\n';
+    }
+    *out += name;
+    *out += "_bucket{le=\"+Inf\"} ";
+    append_u64(out, snapshot.count);
+    *out += '\n';
+    *out += name;
+    *out += "_sum ";
+    append_double(out, snapshot.sum);
+    *out += '\n';
+    *out += name;
+    *out += "_count ";
+    append_u64(out, snapshot.count);
+    *out += '\n';
+}
+
+} // namespace
+
+std::string openmetrics_name(std::string_view registry_name) {
+    std::string out = "dre_";
+    out.reserve(registry_name.size() + 4);
+    for (const char c : registry_name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+std::string render_openmetrics() {
+    Registry& reg = registry();
+    std::string out;
+    out.reserve(4096);
+
+    for (const CounterSample& c : reg.counters()) {
+        const std::string name = openmetrics_name(c.name);
+        append_type(&out, name, "counter");
+        out += name;
+        out += "_total ";
+        append_u64(&out, c.value);
+        out += '\n';
+    }
+    for (const GaugeSample& g : reg.gauges()) {
+        const std::string name = openmetrics_name(g.name);
+        append_type(&out, name, "gauge");
+        out += name;
+        out += ' ';
+        append_double(&out, g.value);
+        out += '\n';
+    }
+    for (const auto& [raw_name, snapshot] : reg.histogram_snapshots())
+        append_histogram(&out, openmetrics_name(raw_name), snapshot);
+    for (const auto& [raw_name, snapshot] : reg.span_duration_snapshots())
+        append_histogram(&out, openmetrics_name("span." + raw_name + "_ns"),
+                         snapshot);
+
+    out += "# EOF\n";
+    return out;
+}
+
+} // namespace dre::obs

@@ -1,0 +1,38 @@
+// OpenMetrics text exposition for the `dre::obs` registry (DESIGN.md §13).
+//
+// render_openmetrics() serializes every registered metric in the
+// OpenMetrics 1.0 text format, so a Prometheus-compatible scraper pointed
+// at `dre_serve --metrics-port` ingests the registry directly:
+//
+//   * naming: registry names are dotted ("serve.request_ms"); the
+//     exposition prefixes "dre_" and maps every non-[a-zA-Z0-9_] byte to
+//     '_' ("dre_serve_request_ms"). Units stay encoded in the name suffix
+//     (_ms, _ns, _bytes) exactly as registered.
+//   * counters export as `# TYPE <name> counter` with the `_total` sample
+//     suffix; gauges as plain gauges.
+//   * histograms export cumulative `le` buckets on the registry's
+//     power-of-two boundaries (only up to the highest occupied bucket,
+//     plus "+Inf"), then `_sum` and `_count`.
+//   * span profiles export as `dre_span_<name>_ns` histograms of the span
+//     duration in nanoseconds.
+//
+// The document ends with the mandatory `# EOF` terminator. All data comes
+// from registry snapshots — rendering never blocks an instrumentation site
+// beyond the registry map mutex.
+#ifndef DRE_OBS_OPENMETRICS_H
+#define DRE_OBS_OPENMETRICS_H
+
+#include <string>
+#include <string_view>
+
+namespace dre::obs {
+
+// "serve.request_ms" -> "dre_serve_request_ms".
+std::string openmetrics_name(std::string_view registry_name);
+
+// The full exposition document for the process-global registry.
+std::string render_openmetrics();
+
+} // namespace dre::obs
+
+#endif // DRE_OBS_OPENMETRICS_H

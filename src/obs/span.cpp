@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cinttypes>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 
@@ -49,6 +51,27 @@ ThreadBuffer& local_buffer() {
     return *buffer;
 }
 
+// Open traced spans on this thread, innermost last. Only touched while
+// tracing is on (ScopedSpan guards with its span_id_ == 0 sentinel).
+thread_local std::vector<std::uint64_t> t_span_stack;
+
+std::uint64_t allocate_span_id() noexcept {
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void push_event(const TraceEvent& event) noexcept {
+    ThreadBuffer& buffer = local_buffer();
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    if (buffer.events.size() >= kMaxEventsPerThread) {
+        ++buffer.dropped;
+        return;
+    }
+    TraceEvent stamped = event;
+    stamped.tid = buffer.tid;
+    buffer.events.push_back(stamped);
+}
+
 } // namespace
 
 std::uint64_t now_ns() noexcept {
@@ -68,15 +91,41 @@ bool trace_enabled() noexcept {
     return g_trace_enabled.load(std::memory_order_relaxed);
 }
 
+std::uint64_t current_span_id() noexcept {
+    return t_span_stack.empty() ? 0 : t_span_stack.back();
+}
+
+std::uint64_t ScopedSpan::begin_traced_span(
+    std::uint64_t* parent_span_id) noexcept {
+    *parent_span_id = current_span_id();
+    const std::uint64_t id = allocate_span_id();
+    t_span_stack.push_back(id);
+    return id;
+}
+
+void ScopedSpan::end_traced_span() noexcept {
+    if (!t_span_stack.empty()) t_span_stack.pop_back();
+}
+
 void record_trace_event(const char* name, std::uint64_t start_ns,
                         std::uint64_t end_ns) noexcept {
-    ThreadBuffer& buffer = local_buffer();
-    std::lock_guard<std::mutex> lock(buffer.mutex);
-    if (buffer.events.size() >= kMaxEventsPerThread) {
-        ++buffer.dropped;
-        return;
-    }
-    buffer.events.push_back({name, buffer.tid, start_ns, end_ns});
+    record_trace_event(name, start_ns, end_ns,
+                       current_trace_context().trace_id, allocate_span_id(),
+                       current_span_id());
+}
+
+void record_trace_event(const char* name, std::uint64_t start_ns,
+                        std::uint64_t end_ns, std::uint64_t trace_id,
+                        std::uint64_t span_id,
+                        std::uint64_t parent_span_id) noexcept {
+    TraceEvent event;
+    event.name = name;
+    event.start_ns = start_ns;
+    event.end_ns = end_ns;
+    event.trace_id = trace_id;
+    event.span_id = span_id;
+    event.parent_span_id = parent_span_id;
+    push_event(event);
 }
 
 std::vector<TraceEvent> trace_events() {
@@ -106,10 +155,20 @@ void clear_trace_events() {
     }
 }
 
+namespace {
+
+std::string hex_id(std::uint64_t id) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%" PRIx64, id);
+    return buf;
+}
+
+} // namespace
+
 std::string chrome_trace_json() {
     const std::vector<TraceEvent> events = trace_events();
     std::string out;
-    out.reserve(events.size() * 96 + 64);
+    out.reserve(events.size() * 160 + 64);
     JsonWriter json(&out);
     json.begin_object();
     json.key("displayTimeUnit");
@@ -130,6 +189,17 @@ std::string chrome_trace_json() {
         json.value(static_cast<double>(event.start_ns) / 1e3);
         json.key("dur");
         json.value(static_cast<double>(event.end_ns - event.start_ns) / 1e3);
+        // Ids as hex strings: u64 values do not survive a JSON consumer's
+        // double conversion intact.
+        json.key("args");
+        json.begin_object();
+        json.key("trace_id");
+        json.value(std::string_view(hex_id(event.trace_id)));
+        json.key("span_id");
+        json.value(std::string_view(hex_id(event.span_id)));
+        json.key("parent_span_id");
+        json.value(std::string_view(hex_id(event.parent_span_id)));
+        json.end_object();
         json.end_object();
     }
     json.end_array();

@@ -1,0 +1,150 @@
+#include "obs/timeseries.h"
+
+#include <chrono>
+
+#include "obs/span.h"
+
+namespace dre::obs {
+namespace {
+
+double rate_per_sec(std::uint64_t delta, double dt_ms) {
+    return dt_ms > 0.0 ? static_cast<double>(delta) / (dt_ms / 1e3) : 0.0;
+}
+
+} // namespace
+
+TimeSeriesRing::TimeSeriesRing(std::size_t capacity, Clock clock)
+    : capacity_(capacity == 0 ? 1 : capacity), clock_(std::move(clock)) {
+    if (!clock_) clock_ = [] { return now_ns() / 1000000u; };
+    ring_.resize(capacity_);
+}
+
+TimeSeriesRing::~TimeSeriesRing() { stop(); }
+
+std::uint64_t TimeSeriesRing::interval_ms() const noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return interval_ms_;
+}
+
+void TimeSeriesRing::sample_once() {
+    // A disabled build keeps the ring mechanics (timestamps, wrap, the
+    // Timeseries frame) but derives no values — some metrics are registered
+    // by direct registry() calls rather than the gated macros, and the
+    // "telemetry compiles out" contract covers those too.
+#if DRE_OBS_ENABLED
+    Registry& reg = registry();
+    // Scrape outside the ring mutex; the registry has its own.
+    const auto counters = reg.counters();
+    const auto gauges = reg.gauges();
+    const auto histograms = reg.histogram_snapshots();
+    const auto spans = reg.span_duration_snapshots();
+#else
+    const std::vector<CounterSample> counters;
+    const std::vector<GaugeSample> gauges;
+    const std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+    const std::vector<std::pair<std::string, HistogramSnapshot>> spans;
+#endif
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    TimeSeriesSample sample;
+    sample.t_ms = clock_();
+    const double dt_ms =
+        have_previous_ ? static_cast<double>(sample.t_ms - previous_t_ms_)
+                       : 0.0;
+
+    for (const CounterSample& c : counters) {
+        const auto it = previous_counters_.find(c.name);
+        const std::uint64_t prev =
+            it == previous_counters_.end() ? 0 : it->second;
+        const std::uint64_t delta = c.value >= prev ? c.value - prev : 0;
+        sample.values.emplace_back(c.name + ".rate",
+                                   have_previous_ ? rate_per_sec(delta, dt_ms)
+                                                  : 0.0);
+        previous_counters_[c.name] = c.value;
+    }
+    for (const GaugeSample& g : gauges)
+        sample.values.emplace_back(g.name, g.value);
+    for (const auto& [name, snapshot] : histograms) {
+        const auto it = previous_histograms_.find(name);
+        const HistogramSnapshot window = it == previous_histograms_.end()
+                                             ? snapshot
+                                             : snapshot.delta_since(it->second);
+        sample.values.emplace_back(
+            name + ".rate",
+            have_previous_ ? rate_per_sec(window.count, dt_ms) : 0.0);
+        sample.values.emplace_back(name + ".p50", window.p50());
+        sample.values.emplace_back(name + ".p99", window.p99());
+        previous_histograms_[name] = snapshot;
+    }
+    for (const auto& [name, snapshot] : spans) {
+        const auto it = previous_spans_.find(name);
+        const HistogramSnapshot window = it == previous_spans_.end()
+                                             ? snapshot
+                                             : snapshot.delta_since(it->second);
+        sample.values.emplace_back(
+            "span." + name + ".rate",
+            have_previous_ ? rate_per_sec(window.count, dt_ms) : 0.0);
+        sample.values.emplace_back("span." + name + ".p50_ms",
+                                   window.p50() / 1e6);
+        sample.values.emplace_back("span." + name + ".p99_ms",
+                                   window.p99() / 1e6);
+        previous_spans_[name] = snapshot;
+    }
+    have_previous_ = true;
+    previous_t_ms_ = sample.t_ms;
+
+    const std::size_t slot = (start_ + size_) % capacity_;
+    ring_[slot] = std::move(sample);
+    if (size_ < capacity_) {
+        ++size_;
+    } else {
+        start_ = (start_ + 1) % capacity_; // overwrote the oldest
+    }
+}
+
+void TimeSeriesRing::start(std::uint64_t interval_ms) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (sampler_.joinable() || interval_ms == 0) return;
+        interval_ms_ = interval_ms;
+        stop_requested_ = false;
+        sampler_ = std::thread([this] { sampler_loop(); });
+    }
+}
+
+void TimeSeriesRing::stop() {
+    std::thread joinable;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!sampler_.joinable()) return;
+        stop_requested_ = true;
+        stop_cv_.notify_all();
+        joinable = std::move(sampler_);
+        interval_ms_ = 0;
+    }
+    joinable.join();
+}
+
+void TimeSeriesRing::sampler_loop() {
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (stop_requested_) return;
+            stop_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                              [this] { return stop_requested_; });
+            if (stop_requested_) return;
+        }
+        sample_once();
+    }
+}
+
+std::vector<TimeSeriesSample> TimeSeriesRing::snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<TimeSeriesSample> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i)
+        out.push_back(ring_[(start_ + i) % capacity_]);
+    return out;
+}
+
+} // namespace dre::obs

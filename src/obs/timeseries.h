@@ -1,0 +1,98 @@
+// TimeSeriesRing — fixed-capacity recent history of every registered
+// metric (DESIGN.md §13).
+//
+// Each sample() pass walks the registry and derives one row of named
+// scalar series from cumulative state:
+//
+//   counter  c  ->  "<name>.rate"  events/sec over the window since the
+//                   previous sample (0 on the first pass)
+//   gauge    g  ->  "<name>"       the instantaneous value
+//   histogram h ->  "<name>.rate"  records/sec over the window, plus
+//                   "<name>.p50" / "<name>.p99" of the *windowed* delta
+//                   histogram (cumulative snapshots diffed, so the
+//                   quantiles describe the last interval, not all time)
+//   span     s  ->  same as histogram over the span's duration in ms:
+//                   "span.<name>.rate" / ".p50_ms" / ".p99_ms"
+//
+// Rows land in a ring of `capacity` samples (oldest overwritten); the
+// serve layer exposes snapshot() through the Timeseries wire frame and
+// dre_top renders it. The clock is injectable — tests drive sample_once()
+// with a fake millisecond clock and assert fill/wrap/monotonicity without
+// sleeping — and start()/stop() run the same sampling on a background
+// interval thread for production use.
+#ifndef DRE_OBS_TIMESERIES_H
+#define DRE_OBS_TIMESERIES_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dre::obs {
+
+struct TimeSeriesSample {
+    std::uint64_t t_ms = 0; // clock reading when the sample was taken
+    // Sorted by name (std::map iteration order at build time).
+    std::vector<std::pair<std::string, double>> values;
+};
+
+class TimeSeriesRing {
+public:
+    // Milliseconds on an arbitrary monotonic epoch. The default clock is
+    // obs::now_ns()/1e6.
+    using Clock = std::function<std::uint64_t()>;
+
+    explicit TimeSeriesRing(std::size_t capacity, Clock clock = {});
+    ~TimeSeriesRing(); // stop()s the sampler thread if running
+    TimeSeriesRing(const TimeSeriesRing&) = delete;
+    TimeSeriesRing& operator=(const TimeSeriesRing&) = delete;
+
+    std::size_t capacity() const noexcept { return capacity_; }
+    // The interval passed to start() (0 before start / after stop).
+    std::uint64_t interval_ms() const noexcept;
+
+    // Take one sample now (any thread; serialized internally).
+    void sample_once();
+
+    // Spawn the sampler thread, one sample_once() per interval. No-op if
+    // already running.
+    void start(std::uint64_t interval_ms);
+    void stop();
+
+    // Ring contents, oldest first.
+    std::vector<TimeSeriesSample> snapshot() const;
+
+private:
+    void sampler_loop();
+
+    const std::size_t capacity_;
+    Clock clock_;
+
+    mutable std::mutex mutex_;
+    std::vector<TimeSeriesSample> ring_; // ring_[(start_ + i) % capacity_]
+    std::size_t start_ = 0;
+    std::size_t size_ = 0;
+
+    // Previous cumulative state, for window deltas and rates.
+    bool have_previous_ = false;
+    std::uint64_t previous_t_ms_ = 0;
+    std::map<std::string, std::uint64_t> previous_counters_;
+    std::map<std::string, HistogramSnapshot> previous_histograms_;
+    std::map<std::string, HistogramSnapshot> previous_spans_;
+
+    std::condition_variable stop_cv_;
+    bool stop_requested_ = false;
+    std::uint64_t interval_ms_ = 0;
+    std::thread sampler_;
+};
+
+} // namespace dre::obs
+
+#endif // DRE_OBS_TIMESERIES_H

@@ -1,0 +1,37 @@
+#include "obs/trace_context.h"
+
+#include <atomic>
+
+namespace dre::obs {
+namespace {
+
+thread_local TraceContext t_current{};
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+TraceContext current_trace_context() noexcept { return t_current; }
+
+std::uint64_t next_trace_id() noexcept {
+    static std::atomic<std::uint64_t> counter{0};
+    for (;;) {
+        const std::uint64_t id =
+            splitmix64(counter.fetch_add(1, std::memory_order_relaxed));
+        if (id != 0) return id; // splitmix64 maps exactly one input to 0
+    }
+}
+
+ScopedTraceContext::ScopedTraceContext(TraceContext ctx) noexcept
+    : previous_(t_current) {
+    t_current = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_current = previous_; }
+
+} // namespace dre::obs

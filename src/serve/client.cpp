@@ -91,6 +91,11 @@ StatsReplyMsg Client::stats() {
     return decode_stats_reply(read_frame());
 }
 
+TimeseriesReplyMsg Client::timeseries() {
+    send_bytes(encode_timeseries_request());
+    return decode_timeseries_reply(read_frame());
+}
+
 PingMsg Client::ping(std::uint64_t token) {
     send_bytes(encode_ping({token}));
     return decode_ping(read_frame());
@@ -106,6 +111,7 @@ void Client::send_bytes(const std::vector<unsigned char>&) {}
 Frame Client::read_frame() { return {}; }
 ResultMsg Client::evaluate(const EvaluateMsg&) { return {}; }
 StatsReplyMsg Client::stats() { return {}; }
+TimeseriesReplyMsg Client::timeseries() { return {}; }
 PingMsg Client::ping(std::uint64_t) { return {}; }
 
 #endif // DRE_SERVE_HAVE_SOCKETS

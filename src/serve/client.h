@@ -40,6 +40,9 @@ public:
     // reply (kOverloaded = backpressure), ProtocolError on wire garbage.
     ResultMsg evaluate(const EvaluateMsg& request);
     StatsReplyMsg stats();
+    // Server-side telemetry ring, pivoted per series (empty when the
+    // server's sampler is off or the build has observability disabled).
+    TimeseriesReplyMsg timeseries();
     PingMsg ping(std::uint64_t token);
 
     std::uint32_t server_version() const noexcept { return server_version_; }

@@ -19,12 +19,22 @@
 // Message vocabulary (client → server unless noted):
 //
 //   Hello      version handshake; server echoes its own Hello
-//   Evaluate   one evaluation request (trace, policy, model, ci, seed)
-//   Result     server → client: the rendered report + headline DR
+//   Evaluate   one evaluation request (trace, policy, model, ci, seed,
+//              optional trace_id for request-scoped tracing)
+//   Result     server → client: the rendered report + headline DR, plus
+//              the request's trace_id and phase timing breakdown
 //   Stats      empty request; server replies with a StatsReply frame
 //              (also kind kStats) carrying counters and latency quantiles
 //   Ping       liveness probe; server echoes the token back
 //   Error      server → client: classified failure for one request
+//   Timeseries empty request; server replies with a Timeseries frame
+//              carrying the telemetry ring (see obs/timeseries.h)
+//
+// Compatibility rule for the telemetry fields added in protocol v1:
+// they are *optional trailing fields*. Encoders always append them;
+// decoders read them only when bytes remain and otherwise default them to
+// zero — never an error — so a pre-telemetry client or server
+// interoperates unchanged (trace ids are simply absent/zero).
 //
 // The structs below are plain decoded forms; encode_*/decode_* do the
 // byte work. Decoding never trusts lengths: every read is bounds-checked
@@ -53,6 +63,7 @@ enum class MsgKind : std::uint8_t {
     kStats = 4,
     kPing = 5,
     kError = 6,
+    kTimeseries = 7,
 };
 
 enum class ErrorCode : std::uint32_t {
@@ -83,12 +94,24 @@ struct EvaluateMsg {
     std::string model = "tabular";
     std::uint32_t ci_replicates = 0;
     std::uint64_t seed = 1;
+    // Optional trailing field: the client's trace id for request-scoped
+    // tracing. 0 (or absent on the wire) lets the server generate one.
+    std::uint64_t trace_id = 0;
 };
 
 struct ResultMsg {
     std::string text; // exactly the CLI's stdout for the same request
     double dr = 0.0;  // headline number, for clients that skip parsing
     bool cache_hit = false; // evaluator came from the shared cache
+    // Optional trailing telemetry (zeros when the server was built with
+    // DRE_OBS_ENABLED=0 or spoke the pre-telemetry protocol). These are
+    // diagnostics about *this* service of the request — deliberately not
+    // part of `text`, which stays byte-identical to the dre_eval CLI.
+    std::uint64_t trace_id = 0; // echoed (or server-assigned) request id
+    double queue_ms = 0.0;      // admission -> dispatcher pickup
+    double cache_ms = 0.0;      // trace/policy/evaluator cache stage
+    double compute_ms = 0.0;    // evaluate_seeded proper
+    double serialize_ms = 0.0;  // response render + frame encode
 };
 
 struct StatsReplyMsg {
@@ -105,10 +128,39 @@ struct StatsReplyMsg {
     double p50_ms = 0.0;
     double p90_ms = 0.0;
     double p99_ms = 0.0;
+    // Optional trailing telemetry: phase-level quantiles and the journal
+    // line count (zeros from a pre-telemetry or obs-disabled server).
+    std::uint64_t journal_lines = 0;
+    double queue_p50_ms = 0.0;
+    double queue_p99_ms = 0.0;
+    double compute_p50_ms = 0.0;
+    double compute_p99_ms = 0.0;
 };
 
 struct PingMsg {
     std::uint64_t token = 0;
+};
+
+// --- Timeseries ------------------------------------------------------------
+//
+// An empty-payload kTimeseries frame asks for the server's telemetry ring;
+// the reply (same kind) is columnar: per named series, the (t_ms, value)
+// points present in the ring, oldest first. Series whose metric appeared
+// mid-ring simply have fewer points.
+
+struct TimeseriesPoint {
+    std::uint64_t t_ms = 0;
+    double value = 0.0;
+};
+
+struct TimeseriesSeries {
+    std::string name;
+    std::vector<TimeseriesPoint> points;
+};
+
+struct TimeseriesReplyMsg {
+    std::uint64_t interval_ms = 0; // sampling interval (0 = sampler off)
+    std::vector<TimeseriesSeries> series;
 };
 
 struct ErrorMsg {
@@ -188,6 +240,8 @@ std::vector<unsigned char> encode_stats_request();
 std::vector<unsigned char> encode_stats_reply(const StatsReplyMsg& m);
 std::vector<unsigned char> encode_ping(const PingMsg& m);
 std::vector<unsigned char> encode_error(const ErrorMsg& m);
+std::vector<unsigned char> encode_timeseries_request();
+std::vector<unsigned char> encode_timeseries_reply(const TimeseriesReplyMsg& m);
 
 HelloMsg decode_hello(const Frame& f);
 EvaluateMsg decode_evaluate(const Frame& f);
@@ -197,6 +251,9 @@ bool is_stats_request(const Frame& f);
 StatsReplyMsg decode_stats_reply(const Frame& f);
 PingMsg decode_ping(const Frame& f);
 ErrorMsg decode_error(const Frame& f);
+// Same empty-payload convention as Stats.
+bool is_timeseries_request(const Frame& f);
+TimeseriesReplyMsg decode_timeseries_reply(const Frame& f);
 
 const char* to_string(ErrorCode code) noexcept;
 

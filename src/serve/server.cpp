@@ -54,24 +54,61 @@ struct EvalServer::Session {
     std::mutex write_mutex;  // serializes io-thread and dispatcher writes
 };
 
+// One session waiting on a job's computation, tagged with the trace id its
+// own Evaluate frame carries — coalesced waiters share the compute but each
+// Result echoes the waiter's id.
+struct EvalServer::Waiter {
+    std::shared_ptr<Session> session;
+    std::uint64_t trace_id = 0;
+};
+
 struct EvalServer::Job {
     std::string key;
     EvaluateMsg request;
-    std::vector<std::shared_ptr<Session>> waiters;
+    std::vector<Waiter> waiters;
     std::chrono::steady_clock::time_point enqueued;
+    std::uint64_t enqueued_ns = 0; // obs::now_ns at admission (queue wait)
+    std::uint64_t trace_id = 0;    // the admitting request's id
 };
 
 EvalServer::EvalServer(ServerOptions options)
     : options_(options),
       service_(options.service),
+      ring_(options.ts_capacity),
       request_ms_(obs::registry().histogram("serve.request_ms")) {}
 
 EvalServer::~EvalServer() {
     if (started_) stop_and_join();
 }
 
+std::uint16_t EvalServer::metrics_port() const noexcept {
+    return metrics_http_ ? metrics_http_->port() : 0;
+}
+
 void EvalServer::start() {
     if (started_) throw std::runtime_error("serve: already started");
+#if !DRE_OBS_ENABLED
+    // The journal and metrics listener are telemetry surfaces; a build
+    // without observability has nothing to put in them, so configuring
+    // them is a startup error rather than a silently empty file/listener.
+    if (!options_.journal_path.empty())
+        throw std::runtime_error(
+            "serve: --journal requires a DRE_OBS_ENABLED build");
+#endif
+    if (options_.metrics_port >= 0) {
+        metrics_http_ = std::make_unique<MetricsHttpServer>(
+            static_cast<std::uint16_t>(options_.metrics_port));
+        metrics_http_->start(); // throws under DRE_OBS_ENABLED=0
+    }
+    if (!options_.journal_path.empty()) {
+        journal_ = std::make_unique<RequestJournal>(
+            options_.journal_path, options_.journal_threshold_ms);
+        if (!journal_->ok()) {
+            metrics_http_.reset();
+            throw std::runtime_error("serve: cannot open --journal " +
+                                     options_.journal_path);
+        }
+    }
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd_ < 0) fail_errno("socket");
     const int one = 1;
@@ -99,6 +136,9 @@ void EvalServer::start() {
     io_done_.store(false);
     io_thread_ = std::thread([this] { io_loop(); });
     dispatch_thread_ = std::thread([this] { dispatch_loop(); });
+#if DRE_OBS_ENABLED
+    if (options_.ts_interval_ms > 0) ring_.start(options_.ts_interval_ms);
+#endif
 }
 
 void EvalServer::request_stop() {
@@ -112,6 +152,8 @@ void EvalServer::request_stop() {
 
 void EvalServer::stop_and_join() {
     if (!started_) return;
+    ring_.stop();
+    if (metrics_http_) metrics_http_->stop_and_join();
     request_stop();
     if (io_thread_.joinable()) io_thread_.join();
     // The dispatcher drains the queue (replying to every waiter) before it
@@ -148,6 +190,16 @@ void EvalServer::admit(const std::shared_ptr<Session>& session,
                        EvaluateMsg request) {
     requests_total_.fetch_add(1, std::memory_order_relaxed);
     DRE_COUNTER_INC("serve.requests_total");
+    // Every admitted request gets a trace id: the client's if it sent one,
+    // a server-generated one otherwise, so the Result echo and the journal
+    // always correlate. Disabled builds keep the zero — "wire fields
+    // become zeros".
+#if DRE_OBS_ENABLED
+    const std::uint64_t trace_id =
+        request.trace_id != 0 ? request.trace_id : obs::next_trace_id();
+#else
+    const std::uint64_t trace_id = 0;
+#endif
     std::string key = job_key(request);
     {
         std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -157,7 +209,7 @@ void EvalServer::admit(const std::shared_ptr<Session>& session,
             // computation. Attaching under the queue mutex pairs with the
             // dispatcher claiming waiters under the same mutex, so the
             // reply cannot be missed.
-            it->second->waiters.push_back(session);
+            it->second->waiters.push_back(Waiter{session, trace_id});
             coalesced_.fetch_add(1, std::memory_order_relaxed);
             DRE_COUNTER_INC("serve.requests_coalesced");
             return;
@@ -166,8 +218,10 @@ void EvalServer::admit(const std::shared_ptr<Session>& session,
             auto job = std::make_shared<Job>();
             job->key = std::move(key);
             job->request = std::move(request);
-            job->waiters.push_back(session);
+            job->waiters.push_back(Waiter{session, trace_id});
             job->enqueued = std::chrono::steady_clock::now();
+            job->enqueued_ns = obs::now_ns();
+            job->trace_id = trace_id;
             inflight_.emplace(job->key, job);
             queue_.push_back(std::move(job));
             DRE_GAUGE_SET("serve.queue_depth",
@@ -181,6 +235,18 @@ void EvalServer::admit(const std::shared_ptr<Session>& session,
     // without bound.
     rejected_.fetch_add(1, std::memory_order_relaxed);
     DRE_COUNTER_INC("serve.requests_rejected");
+    if (journal_) {
+        JournalRecord rec;
+        rec.trace_id = trace_id;
+        rec.trace = request.trace;
+        rec.policy = request.policy;
+        rec.model = request.model;
+        rec.seed = request.seed;
+        rec.ci_replicates = request.ci_replicates;
+        rec.error_code = "overloaded";
+        rec.error = "queue full";
+        journal_->log(rec);
+    }
     send_frame(*session,
                encode_error({ErrorCode::kOverloaded,
                              "queue full (" +
@@ -208,6 +274,13 @@ void EvalServer::handle_frame(const std::shared_ptr<Session>& session,
         }
         case MsgKind::kEvaluate: {
             admit(session, decode_evaluate(f));
+            return;
+        }
+        case MsgKind::kTimeseries: {
+            if (!is_timeseries_request(f))
+                throw ProtocolError("serve: client sent a Timeseries reply");
+            send_frame(*session,
+                       encode_timeseries_reply(timeseries_snapshot()));
             return;
         }
         case MsgKind::kResult:
@@ -296,35 +369,104 @@ void EvalServer::dispatch_loop() {
                           static_cast<double>(queue_.size()));
         }
 
+        const std::uint64_t dequeue_ns = obs::now_ns();
+        const double queue_ms =
+            static_cast<double>(dequeue_ns - job->enqueued_ns) / 1e6;
+        DRE_HIST_RECORD("serve.queue_ms", queue_ms);
+
         // Compute outside every lock: one job at a time, internally
-        // parallel on the dre::par pool.
-        std::vector<unsigned char> reply;
-        try {
-            reply = encode_result(service_.evaluate(job->request));
-        } catch (const std::invalid_argument& e) {
-            reply = encode_error({ErrorCode::kBadRequest, e.what()});
-        } catch (const std::runtime_error& e) {
-            reply = encode_error({ErrorCode::kNotFound, e.what()});
-        } catch (const std::exception& e) {
-            reply = encode_error({ErrorCode::kInternal, e.what()});
+        // parallel on the dre::par pool. The trace context installed here
+        // propagates into the pool workers via Batch, so every span a
+        // worker opens carries this request's trace id.
+        EvalService::EvalPhases phases;
+        ResultMsg result;
+        ErrorMsg error;
+        bool failed = false;
+        {
+#if DRE_OBS_ENABLED
+            obs::ScopedTraceContext trace_scope(
+                obs::TraceContext{job->trace_id});
+#endif
+            DRE_SPAN("serve.request");
+            if (obs::trace_enabled())
+                obs::record_trace_event("serve.queue_wait", job->enqueued_ns,
+                                        dequeue_ns);
+            try {
+                result = service_.evaluate(job->request, &phases);
+            } catch (const std::invalid_argument& e) {
+                failed = true;
+                error = {ErrorCode::kBadRequest, e.what()};
+            } catch (const std::runtime_error& e) {
+                failed = true;
+                error = {ErrorCode::kNotFound, e.what()};
+            } catch (const std::exception& e) {
+                failed = true;
+                error = {ErrorCode::kInternal, e.what()};
+            }
         }
 
         // Claim the waiter list and retire the in-flight key under the
         // admission mutex: after this, an identical request starts a fresh
         // job instead of attaching to a finished one.
-        std::vector<std::shared_ptr<Session>> waiters;
+        std::vector<Waiter> waiters;
         {
             std::lock_guard<std::mutex> lock(queue_mutex_);
             waiters = std::move(job->waiters);
             inflight_.erase(job->key);
         }
-        for (const auto& session : waiters) send_frame(*session, reply);
 
-        const double ms =
+        const double total_ms =
             std::chrono::duration<double, std::milli>(
                 std::chrono::steady_clock::now() - job->enqueued)
                 .count();
-        request_ms_.record(ms);
+
+        // Journal before replying, so by the time any client holds its
+        // Result the matching journal line is already on disk — the
+        // loadgen/journal cross-check relies on that ordering.
+        if (journal_) {
+            for (std::size_t i = 0; i < waiters.size(); ++i) {
+                JournalRecord rec;
+                rec.trace_id = waiters[i].trace_id;
+                rec.trace = job->request.trace;
+                rec.policy = job->request.policy;
+                rec.model = job->request.model;
+                rec.seed = job->request.seed;
+                rec.ci_replicates = job->request.ci_replicates;
+                rec.total_ms = total_ms;
+                rec.queue_ms = queue_ms;
+                rec.cache_ms = phases.cache_ms;
+                rec.compute_ms = phases.compute_ms;
+                rec.serialize_ms = phases.serialize_ms;
+                rec.trace_hit = phases.trace_hit;
+                rec.policy_hit = phases.policy_hit;
+                rec.evaluator_hit = phases.evaluator_hit;
+                rec.coalesced = i > 0;
+                rec.waiters = waiters.size();
+                if (failed) {
+                    rec.error_code = to_string(error.code);
+                    rec.error = error.message;
+                }
+                journal_->log(rec);
+            }
+        }
+        if (failed) {
+            const std::vector<unsigned char> reply = encode_error(error);
+            for (const auto& w : waiters) send_frame(*w.session, reply);
+        } else {
+            // Each coalesced waiter gets its own Result frame: identical
+            // text/dr bytes, but the telemetry tail echoes the waiter's
+            // trace id so every client can correlate its request.
+            for (const auto& w : waiters) {
+                ResultMsg tailored = result;
+                tailored.trace_id = w.trace_id;
+                tailored.queue_ms = queue_ms;
+                tailored.cache_ms = phases.cache_ms;
+                tailored.compute_ms = phases.compute_ms;
+                tailored.serialize_ms = phases.serialize_ms;
+                send_frame(*w.session, encode_result(tailored));
+            }
+        }
+        request_ms_.record(total_ms);
     }
 }
 
@@ -347,6 +489,35 @@ StatsReplyMsg EvalServer::stats_snapshot() {
     m.p50_ms = request_ms_.p50();
     m.p90_ms = request_ms_.p90();
     m.p99_ms = request_ms_.p99();
+    m.journal_lines = journal_ ? journal_->lines_written() : 0;
+#if DRE_OBS_ENABLED
+    const obs::HistogramSnapshot queue_hist =
+        obs::registry().histogram("serve.queue_ms").snapshot();
+    const obs::HistogramSnapshot compute_hist =
+        obs::registry().histogram("serve.compute_ms").snapshot();
+    m.queue_p50_ms = queue_hist.p50();
+    m.queue_p99_ms = queue_hist.p99();
+    m.compute_p50_ms = compute_hist.p50();
+    m.compute_p99_ms = compute_hist.p99();
+#endif
+    return m;
+}
+
+TimeseriesReplyMsg EvalServer::timeseries_snapshot() {
+    TimeseriesReplyMsg m;
+    m.interval_ms = ring_.interval_ms();
+    // Pivot row-oriented ring samples into per-series point lists, oldest
+    // points first (snapshot() is already oldest-first).
+    std::map<std::string, TimeseriesSeries> by_name;
+    for (const obs::TimeSeriesSample& sample : ring_.snapshot()) {
+        for (const auto& [name, value] : sample.values) {
+            TimeseriesSeries& series = by_name[name];
+            if (series.name.empty()) series.name = name;
+            series.points.push_back(TimeseriesPoint{sample.t_ms, value});
+        }
+    }
+    m.series.reserve(by_name.size());
+    for (auto& [name, series] : by_name) m.series.push_back(std::move(series));
     return m;
 }
 
@@ -354,10 +525,12 @@ StatsReplyMsg EvalServer::stats_snapshot() {
 
 struct EvalServer::Session {};
 struct EvalServer::Job {};
+struct EvalServer::Waiter {};
 
 EvalServer::EvalServer(ServerOptions options)
     : options_(options),
       service_(options.service),
+      ring_(options.ts_capacity),
       request_ms_(obs::registry().histogram("serve.request_ms")) {}
 EvalServer::~EvalServer() = default;
 void EvalServer::start() {
@@ -368,6 +541,8 @@ void EvalServer::stop_and_join() {}
 void EvalServer::io_loop() {}
 void EvalServer::dispatch_loop() {}
 StatsReplyMsg EvalServer::stats_snapshot() { return {}; }
+std::uint16_t EvalServer::metrics_port() const noexcept { return 0; }
+TimeseriesReplyMsg EvalServer::timeseries_snapshot() { return {}; }
 
 #endif // DRE_SERVE_HAVE_SOCKETS
 

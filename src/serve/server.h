@@ -46,6 +46,9 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "serve/journal.h"
+#include "serve/metrics_http.h"
 #include "serve/protocol.h"
 #include "serve/service.h"
 
@@ -56,6 +59,20 @@ struct ServerOptions {
     std::size_t max_queue = 64; // pending unique Evaluate jobs (0 = reject
                                 // everything that cannot coalesce)
     EvalService::Options service;
+
+    // Telemetry pipeline (DESIGN.md §13). All off by default; none of it
+    // touches the evaluation results.
+    int metrics_port = -1; // OpenMetrics HTTP listener: -1 = off, 0 =
+                           // kernel-assigned, else the port. Requires a
+                           // DRE_OBS_ENABLED build — start() throws
+                           // otherwise.
+    std::string journal_path;          // JSONL request journal ("" = off)
+    double journal_threshold_ms = 0.0; // log requests at/above this total
+                                       // latency; errors always log
+    std::uint64_t ts_interval_ms = 1000; // time-series sampling interval
+                                         // (0 = sampler off; the ring still
+                                         // answers Timeseries, just empty)
+    std::size_t ts_capacity = 512; // samples retained in the ring
 };
 
 class EvalServer {
@@ -81,9 +98,21 @@ public:
     EvalService& service() noexcept { return service_; }
     StatsReplyMsg stats_snapshot();
 
+    // The metrics listener's bound port (0 unless options.metrics_port was
+    // >= 0 and start() succeeded).
+    std::uint16_t metrics_port() const noexcept;
+    // The journal, if one was configured (for line counts in tests/tools).
+    const RequestJournal* journal() const noexcept { return journal_.get(); }
+    // The telemetry ring behind the Timeseries frame (tests/bench drive
+    // sample_once() directly).
+    obs::TimeSeriesRing& timeseries_ring() noexcept { return ring_; }
+    // The ring pivoted into the wire form, oldest points first.
+    TimeseriesReplyMsg timeseries_snapshot();
+
 private:
     struct Session;
     struct Job;
+    struct Waiter;
 
     void io_loop();
     void dispatch_loop();
@@ -93,6 +122,9 @@ private:
 
     ServerOptions options_;
     EvalService service_;
+    obs::TimeSeriesRing ring_;
+    std::unique_ptr<RequestJournal> journal_;
+    std::unique_ptr<MetricsHttpServer> metrics_http_;
 
     int listen_fd_ = -1;
     int wake_pipe_[2] = {-1, -1};

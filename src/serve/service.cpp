@@ -60,15 +60,8 @@ TraceEntry load_entry(const std::string& path,
 
 } // namespace
 
-EvalCache::TracePtr EvalService::trace_entry(const std::string& path) {
-    return cache_.trace(path, [&] {
-        DRE_SPAN("serve.load_trace");
-        return std::make_shared<const TraceEntry>(
-            load_entry(path, options_.reader_options));
-    });
-}
-
-ResultMsg EvalService::evaluate(const EvaluateMsg& request) {
+ResultMsg EvalService::evaluate(const EvaluateMsg& request,
+                                EvalPhases* phases) {
     DRE_SPAN("serve.evaluate");
     if (request.trace.empty())
         throw std::invalid_argument("empty trace path");
@@ -80,15 +73,29 @@ ResultMsg EvalService::evaluate(const EvaluateMsg& request) {
         core::parse_reward_model_kind(request.model);
     (void)model_kind;
 
-    const EvalCache::TracePtr entry = trace_entry(request.trace);
+#if DRE_OBS_ENABLED
+    const std::uint64_t cache_start_ns = obs::now_ns();
+#endif
+    bool trace_hit = false;
+    const EvalCache::TracePtr entry = cache_.trace(
+        request.trace,
+        [&] {
+            DRE_SPAN("serve.load_trace");
+            return std::make_shared<const TraceEntry>(
+                load_entry(request.trace, options_.reader_options));
+        },
+        &trace_hit);
     const Trace& trace = entry->trace;
 
-    const EvalCache::PolicyPtr policy =
-        cache_.policy(request.trace + '\n' + request.policy, [&] {
+    bool policy_hit = false;
+    const EvalCache::PolicyPtr policy = cache_.policy(
+        request.trace + '\n' + request.policy,
+        [&] {
             DRE_SPAN("serve.fit_policy");
             return EvalCache::PolicyPtr(core::parse_policy_spec(
                 request.policy, trace, trace.num_decisions()));
-        });
+        },
+        &policy_hit);
 
     bool evaluator_hit = false;
     const EvalCache::EvaluatorPtr evaluator = cache_.evaluator(
@@ -106,9 +113,15 @@ ResultMsg EvalService::evaluate(const EvaluateMsg& request) {
         },
         &evaluator_hit);
 
+#if DRE_OBS_ENABLED
+    const std::uint64_t compute_start_ns = obs::now_ns();
+#endif
     const core::PolicyEvaluation result = evaluator->evaluate_seeded(
         *policy, stats::Rng(request.seed),
         static_cast<int>(request.ci_replicates), 0.95);
+#if DRE_OBS_ENABLED
+    const std::uint64_t render_start_ns = obs::now_ns();
+#endif
 
     // The response is the CLI's stdout, byte for byte: header line, then
     // the shared report renderer.
@@ -121,6 +134,22 @@ ResultMsg EvalService::evaluate(const EvaluateMsg& request) {
     out.dr = result.dr.value;
     out.cache_hit = evaluator_hit;
     DRE_COUNTER_INC("serve.requests_evaluated");
+    if (phases != nullptr) {
+        phases->trace_hit = trace_hit;
+        phases->policy_hit = policy_hit;
+        phases->evaluator_hit = evaluator_hit;
+#if DRE_OBS_ENABLED
+        const std::uint64_t end_ns = obs::now_ns();
+        phases->cache_ms =
+            static_cast<double>(compute_start_ns - cache_start_ns) / 1e6;
+        phases->compute_ms =
+            static_cast<double>(render_start_ns - compute_start_ns) / 1e6;
+        phases->serialize_ms =
+            static_cast<double>(end_ns - render_start_ns) / 1e6;
+        DRE_HIST_RECORD("serve.cache_ms", phases->cache_ms);
+        DRE_HIST_RECORD("serve.compute_ms", phases->compute_ms);
+#endif
+    }
     return out;
 }
 

@@ -36,19 +36,30 @@ public:
         store::StoreReaderOptions reader_options;
     };
 
+    // Per-request phase breakdown for telemetry (Result frame timing tail
+    // and the journal). Filled only when the library is built with
+    // DRE_OBS_ENABLED=1; otherwise everything stays zero, matching the
+    // "wire fields become zeros" contract for disabled builds.
+    struct EvalPhases {
+        double cache_ms = 0.0;     // trace/policy/evaluator cache stage
+        double compute_ms = 0.0;   // evaluate_seeded proper
+        double serialize_ms = 0.0; // report render into ResultMsg::text
+        bool trace_hit = false;
+        bool policy_hit = false;
+        bool evaluator_hit = false;
+    };
+
     explicit EvalService(Options options = {}) : options_(options) {}
 
     // Throws std::invalid_argument for malformed specs (→ kBadRequest),
     // std::runtime_error for missing/corrupt/empty traces (→ kNotFound),
     // anything else → kInternal. Thread-safe; concurrent calls share the
     // caches and the builds inside them.
-    ResultMsg evaluate(const EvaluateMsg& request);
+    ResultMsg evaluate(const EvaluateMsg& request, EvalPhases* phases = nullptr);
 
     CacheStats cache_stats() const { return cache_.stats(); }
 
 private:
-    EvalCache::TracePtr trace_entry(const std::string& path);
-
     Options options_;
     EvalCache cache_;
 };

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -24,8 +25,10 @@
 #include "core/evaluator.h"
 #include "core/policy.h"
 #include "core/policy_learning.h"
+#include "obs/obs.h"
 #include "serve/cache.h"
 #include "serve/client.h"
+#include "serve/metrics_http.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/service.h"
@@ -163,6 +166,114 @@ TEST(ServeProtocolTest, AllMessageKindsRoundTrip) {
         pump(serve::encode_error({serve::ErrorCode::kOverloaded, "queue full"})));
     EXPECT_EQ(error_back.code, serve::ErrorCode::kOverloaded);
     EXPECT_EQ(error_back.message, "queue full");
+}
+
+TEST(ServeProtocolTest, TelemetryTailFieldsRoundTrip) {
+    serve::FrameDecoder decoder;
+    const auto pump = [&](const std::vector<unsigned char>& wire) {
+        decoder.feed(wire.data(), wire.size());
+        auto frame = decoder.next();
+        EXPECT_TRUE(frame.has_value());
+        return *frame;
+    };
+
+    serve::EvaluateMsg req;
+    req.trace = "t.csv";
+    req.policy = "greedy:tabular";
+    req.model = "tabular";
+    req.trace_id = 0x1122334455667788ull;
+    EXPECT_EQ(serve::decode_evaluate(pump(serve::encode_evaluate(req))).trace_id,
+              req.trace_id);
+
+    serve::ResultMsg result;
+    result.text = "x\n";
+    result.trace_id = 42;
+    result.queue_ms = 1.5;
+    result.cache_ms = 0.25;
+    result.compute_ms = 8.75;
+    result.serialize_ms = 0.125;
+    const serve::ResultMsg result_back =
+        serve::decode_result(pump(serve::encode_result(result)));
+    EXPECT_EQ(result_back.trace_id, 42u);
+    EXPECT_EQ(result_back.queue_ms, 1.5);
+    EXPECT_EQ(result_back.cache_ms, 0.25);
+    EXPECT_EQ(result_back.compute_ms, 8.75);
+    EXPECT_EQ(result_back.serialize_ms, 0.125);
+
+    serve::StatsReplyMsg stats;
+    stats.journal_lines = 17;
+    stats.queue_p50_ms = 1.0;
+    stats.queue_p99_ms = 9.0;
+    stats.compute_p50_ms = 2.0;
+    stats.compute_p99_ms = 20.0;
+    const serve::StatsReplyMsg stats_back =
+        serve::decode_stats_reply(pump(serve::encode_stats_reply(stats)));
+    EXPECT_EQ(stats_back.journal_lines, 17u);
+    EXPECT_EQ(stats_back.queue_p50_ms, 1.0);
+    EXPECT_EQ(stats_back.compute_p99_ms, 20.0);
+
+    const serve::Frame ts_request = pump(serve::encode_timeseries_request());
+    EXPECT_TRUE(serve::is_timeseries_request(ts_request));
+    serve::TimeseriesReplyMsg ts;
+    ts.interval_ms = 250;
+    ts.series.push_back({"serve.request_ms.p50", {{1000, 3.5}, {1250, 4.0}}});
+    ts.series.push_back({"serve.queue_depth", {{1000, 0.0}}});
+    const serve::Frame ts_reply = pump(serve::encode_timeseries_reply(ts));
+    EXPECT_FALSE(serve::is_timeseries_request(ts_reply));
+    const serve::TimeseriesReplyMsg ts_back =
+        serve::decode_timeseries_reply(ts_reply);
+    EXPECT_EQ(ts_back.interval_ms, 250u);
+    ASSERT_EQ(ts_back.series.size(), 2u);
+    EXPECT_EQ(ts_back.series[0].name, "serve.request_ms.p50");
+    ASSERT_EQ(ts_back.series[0].points.size(), 2u);
+    EXPECT_EQ(ts_back.series[0].points[1].t_ms, 1250u);
+    EXPECT_EQ(ts_back.series[0].points[1].value, 4.0);
+}
+
+TEST(ServeProtocolTest, PreTelemetryFramesDecodeWithZeroedTail) {
+    // A frame from a pre-telemetry peer simply ends before the optional
+    // fields. Simulate one by truncating a current frame's tail and fixing
+    // its length prefix (u32 LE, covers kind + payload): the decode must
+    // succeed with every telemetry field zero — never throw.
+    const auto truncate_tail = [](std::vector<unsigned char> wire,
+                                  std::size_t tail_bytes) {
+        wire.resize(wire.size() - tail_bytes);
+        const std::uint32_t len =
+            static_cast<std::uint32_t>(wire.size() - 4);
+        wire[0] = static_cast<unsigned char>(len & 0xff);
+        wire[1] = static_cast<unsigned char>((len >> 8) & 0xff);
+        wire[2] = static_cast<unsigned char>((len >> 16) & 0xff);
+        wire[3] = static_cast<unsigned char>((len >> 24) & 0xff);
+        return wire;
+    };
+    const auto pump = [](const std::vector<unsigned char>& wire) {
+        serve::FrameDecoder decoder;
+        decoder.feed(wire.data(), wire.size());
+        auto frame = decoder.next();
+        EXPECT_TRUE(frame.has_value());
+        return *frame;
+    };
+
+    serve::EvaluateMsg req;
+    req.trace = "t.csv";
+    req.policy = "p";
+    req.model = "tabular";
+    req.seed = 9;
+    req.trace_id = 0xffffffffffffffffull;
+    const serve::EvaluateMsg req_back = serve::decode_evaluate(
+        pump(truncate_tail(serve::encode_evaluate(req), 8)));
+    EXPECT_EQ(req_back.trace_id, 0u);
+    EXPECT_EQ(req_back.seed, 9u); // pre-tail fields intact
+
+    serve::ResultMsg result;
+    result.text = "y\n";
+    result.trace_id = 7;
+    result.queue_ms = 3.0;
+    const serve::ResultMsg result_back = serve::decode_result(
+        pump(truncate_tail(serve::encode_result(result), 8 + 4 * 8)));
+    EXPECT_EQ(result_back.text, "y\n");
+    EXPECT_EQ(result_back.trace_id, 0u);
+    EXPECT_EQ(result_back.queue_ms, 0.0);
 }
 
 TEST(ServeProtocolTest, MalformedFramesThrow) {
@@ -448,6 +559,122 @@ TEST(ServeServerTest, GracefulStopDrainsQueuedWork) {
     server.stop_and_join();
     for (std::size_t c = 0; c < kClients; ++c)
         EXPECT_EQ(failures[c], "") << "client " << c;
+}
+
+// --- telemetry pipeline -----------------------------------------------------
+
+TEST(ServeTelemetryTest, ResultTextIsByteIdenticalWithTracingOnAndOff) {
+    // The determinism contract for the telemetry layer: toggling span
+    // tracing must not move a single byte of the Result text.
+    TempDir dir;
+    const std::string path = dir.file("trace.csv");
+    write_csv_file(make_trace(120), path);
+
+    serve::EvalServer server;
+    server.start();
+    serve::Client client(server.port());
+    const serve::EvaluateMsg request = make_request(path);
+
+    const std::string text_off = client.evaluate(request).text;
+    obs::set_trace_enabled(true);
+    const std::string text_on = client.evaluate(request).text;
+    obs::set_trace_enabled(false);
+    const std::string text_off_again = client.evaluate(request).text;
+    server.stop_and_join();
+
+    EXPECT_EQ(text_on, text_off);
+    EXPECT_EQ(text_off_again, text_off);
+}
+
+TEST(ServeTelemetryTest, ServerEchoesTraceIdsAndWritesTheJournal) {
+    TempDir dir;
+    const std::string path = dir.file("trace.csv");
+    write_csv_file(make_trace(120), path);
+    const std::string journal_path = dir.file("journal.jsonl");
+
+    serve::ServerOptions options;
+    options.journal_path = journal_path;
+    options.ts_interval_ms = 0; // sampler quiet; the ring is driven below
+    serve::EvalServer server(options);
+#if !DRE_OBS_ENABLED
+    // A disabled build must refuse the journal outright, not write an
+    // empty file.
+    EXPECT_THROW(server.start(), std::runtime_error);
+    return;
+#else
+    server.start();
+    serve::Client client(server.port());
+
+    serve::EvaluateMsg tagged = make_request(path);
+    tagged.trace_id = 0xabcdef0123456789ull;
+    const serve::ResultMsg echoed = client.evaluate(tagged);
+    EXPECT_EQ(echoed.trace_id, tagged.trace_id);
+    // Phase timings: present, non-negative, and bounded by the total.
+    EXPECT_GE(echoed.queue_ms, 0.0);
+    EXPECT_GE(echoed.compute_ms, 0.0);
+    EXPECT_GT(echoed.compute_ms + echoed.cache_ms + echoed.serialize_ms, 0.0);
+
+    // A request without a client id gets a server-generated one.
+    serve::EvaluateMsg untagged = make_request(path);
+    untagged.seed = 77;
+    EXPECT_NE(client.evaluate(untagged).trace_id, 0u);
+
+    const serve::StatsReplyMsg stats = client.stats();
+    EXPECT_EQ(stats.journal_lines, 2u);
+    server.stop_and_join();
+
+    // The journal holds one JSON line per answered request, and the
+    // client-supplied id appears verbatim (hex form).
+    std::ifstream in(journal_path);
+    ASSERT_TRUE(in.good());
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);)
+        if (!line.empty()) lines.push_back(line);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_NE(lines[0].find("\"trace_id\":\"0xabcdef0123456789\""),
+              std::string::npos);
+    EXPECT_NE(lines[0].find("\"outcome\":\"ok\""), std::string::npos);
+    EXPECT_NE(lines[0].find("\"compute_ms\":"), std::string::npos);
+#endif // DRE_OBS_ENABLED
+}
+
+TEST(ServeTelemetryTest, TimeseriesFrameReturnsTheSampledRing) {
+    TempDir dir;
+    const std::string path = dir.file("trace.csv");
+    write_csv_file(make_trace(120), path);
+
+    serve::ServerOptions options;
+    options.ts_interval_ms = 0; // drive sample_once() deterministically
+    serve::EvalServer server(options);
+    server.start();
+    serve::Client client(server.port());
+    (void)client.evaluate(make_request(path));
+    server.timeseries_ring().sample_once();
+
+    const serve::TimeseriesReplyMsg ts = client.timeseries();
+#if DRE_OBS_ENABLED
+    ASSERT_FALSE(ts.series.empty());
+    bool found_queue_depth = false;
+    for (const serve::TimeseriesSeries& series : ts.series) {
+        ASSERT_FALSE(series.points.empty());
+        if (series.name == "serve.queue_depth") found_queue_depth = true;
+    }
+    EXPECT_TRUE(found_queue_depth);
+#else
+    // Disabled build: the frame still answers, with zero series — the
+    // "wire fields become zeros" contract.
+    EXPECT_TRUE(ts.series.empty());
+#endif
+    server.stop_and_join();
+}
+
+TEST(ServeTelemetryTest, MetricsListenerRefusesToStartWhenObsDisabled) {
+#if !DRE_OBS_ENABLED
+    serve::MetricsHttpServer metrics(0);
+    EXPECT_THROW(metrics.start(), std::runtime_error);
+#else
+    GTEST_SKIP() << "only meaningful in a DRE_OBS_ENABLED=OFF build";
+#endif
 }
 
 } // namespace

@@ -19,6 +19,16 @@
 //   --dump-response    print the first response's text verbatim to stdout
 //                      (and the summary to stderr), so CI can byte-diff a
 //                      server response against `dre_eval` output
+//   --json-out <f>     write the run summary as JSON in the shared bench
+//                      envelope (same shape as BENCH_*.json), including the
+//                      server Stats snapshot
+//
+// Every request carries a client-generated trace id; a telemetry-enabled
+// server must echo that exact id on the Result frame (a disabled or older
+// server echoes 0, which is accepted). A nonzero mismatched echo is a
+// protocol failure — ids printed in the summary line up with the server's
+// --journal records, so a journal line can be traced back to the exact
+// loadgen request that produced it.
 //
 // Every response for the same (trace, policy, model, ci, seed) tuple must
 // be byte-identical — across clients, across repeats, and to the dre_eval
@@ -39,7 +49,9 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 #include "serve/client.h"
 
 namespace {
@@ -49,7 +61,8 @@ int usage() {
                  "usage: dre_loadgen --port N <trace> <policy> [--model kind] "
                  "[--ci N] [--seed N]\n"
                  "                   [--clients N] [--requests N] [--distinct] "
-                 "[--small] [--dump-response]\n");
+                 "[--small] [--dump-response]\n"
+                 "                   [--json-out F]\n");
     return 2;
 }
 
@@ -68,6 +81,7 @@ int main(int argc, char** argv) {
     std::size_t requests = 8;
     bool distinct = false;
     bool dump_response = false;
+    std::string json_out;
 
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
@@ -90,6 +104,8 @@ int main(int argc, char** argv) {
             requests = 2;
         } else if (arg == "--dump-response") {
             dump_response = true;
+        } else if (arg == "--json-out" && i + 1 < argc) {
+            json_out = argv[++i];
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
             return usage();
@@ -113,6 +129,8 @@ int main(int argc, char** argv) {
     std::string failure;
     std::uint64_t completed = 0;
     std::uint64_t rejected = 0;
+    std::uint64_t echo_confirmed = 0; // Result.trace_id == request.trace_id
+    std::uint64_t echo_zero = 0;      // telemetry-disabled or older server
 
     const auto wall_start = std::chrono::steady_clock::now();
     std::vector<std::thread> threads;
@@ -129,6 +147,10 @@ int main(int argc, char** argv) {
                     request.ci_replicates = ci_replicates;
                     request.seed =
                         distinct ? seed + c * requests + r : seed;
+                    // Tag every request with a fresh client-side trace id;
+                    // the server's journal records the same id, so journal
+                    // lines map 1:1 to loadgen requests.
+                    request.trace_id = obs::next_trace_id();
                     const auto start = std::chrono::steady_clock::now();
                     serve::ResultMsg result;
                     try {
@@ -148,6 +170,15 @@ int main(int argc, char** argv) {
                     latency_ms.record(ms);
                     std::lock_guard<std::mutex> lock(state_mutex);
                     ++completed;
+                    if (result.trace_id == request.trace_id) {
+                        ++echo_confirmed;
+                    } else if (result.trace_id == 0) {
+                        ++echo_zero;
+                    } else if (failure.empty()) {
+                        failure = "server echoed a foreign trace id for "
+                                  "request " +
+                                  std::to_string(request.trace_id);
+                    }
                     if (first_response.empty()) first_response = result.text;
                     auto [it, inserted] =
                         canonical.emplace(request.seed, result.text);
@@ -192,11 +223,18 @@ int main(int argc, char** argv) {
                  "%.2f mean %.2f)\n",
                  latency_ms.p50(), latency_ms.p90(), latency_ms.p99(),
                  latency_ms.min(), latency_ms.max(), latency_ms.mean());
+    std::fprintf(summary,
+                 "trace ids: %llu echoed, %llu zero (telemetry off)\n",
+                 static_cast<unsigned long long>(echo_confirmed),
+                 static_cast<unsigned long long>(echo_zero));
 
     // One Stats round trip so operators see the server-side view too.
+    bool have_stats = false;
+    serve::StatsReplyMsg stats;
     try {
         serve::Client client(static_cast<std::uint16_t>(port));
-        const serve::StatsReplyMsg stats = client.stats();
+        stats = client.stats();
+        have_stats = true;
         std::fprintf(summary,
                      "server: %llu total (%llu coalesced, %llu rejected), "
                      "evaluator cache %llu hits / %llu misses, server p50 "
@@ -209,6 +247,46 @@ int main(int argc, char** argv) {
                      stats.p50_ms, stats.p99_ms);
     } catch (const std::exception& e) {
         std::fprintf(summary, "server stats unavailable: %s\n", e.what());
+    }
+
+    if (!json_out.empty()) {
+        obs::Report report = bench::make_bench_report(
+            "loadgen", distinct ? "distinct" : "identical");
+        report.set("config", "trace", trace_path);
+        report.set("config", "policy", policy_spec);
+        report.set("config", "model", model);
+        report.set("config", "ci", static_cast<std::uint64_t>(ci_replicates));
+        report.set("config", "seed", seed);
+        report.set("config", "clients", static_cast<std::uint64_t>(clients));
+        report.set("config", "requests_per_client",
+                   static_cast<std::uint64_t>(requests));
+        report.set("run", "completed", completed);
+        report.set("run", "rejected", rejected);
+        report.set("run", "echo_confirmed", echo_confirmed);
+        report.set("run", "echo_zero", echo_zero);
+        report.set("run", "wall_ms", wall_ms);
+        report.set("run", "rps", rps);
+        report.set("latency", "p50_ms", latency_ms.p50());
+        report.set("latency", "p90_ms", latency_ms.p90());
+        report.set("latency", "p99_ms", latency_ms.p99());
+        report.set("latency", "min_ms", latency_ms.min());
+        report.set("latency", "max_ms", latency_ms.max());
+        report.set("latency", "mean_ms", latency_ms.mean());
+        if (have_stats) {
+            report.set("server", "requests_total", stats.requests_total);
+            report.set("server", "coalesced", stats.coalesced);
+            report.set("server", "rejected", stats.rejected);
+            report.set("server", "evaluator_hits", stats.evaluator_hits);
+            report.set("server", "evaluator_misses", stats.evaluator_misses);
+            report.set("server", "p50_ms", stats.p50_ms);
+            report.set("server", "p99_ms", stats.p99_ms);
+            report.set("server", "queue_p50_ms", stats.queue_p50_ms);
+            report.set("server", "queue_p99_ms", stats.queue_p99_ms);
+            report.set("server", "compute_p50_ms", stats.compute_p50_ms);
+            report.set("server", "compute_p99_ms", stats.compute_p99_ms);
+            report.set("server", "journal_lines", stats.journal_lines);
+        }
+        if (!bench::write_bench_json(std::move(report), json_out)) return 1;
     }
     return 0;
 }

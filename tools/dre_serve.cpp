@@ -12,6 +12,21 @@
 //                     answers kOverloaded (default 64)
 //   --io mmap|pread   I/O backend for .drt traces (default: auto)
 //
+// Telemetry (DESIGN.md §13; all of these need a DRE_OBS_ENABLED build and
+// exit 3 otherwise — a disabled build has nothing to export):
+//   --metrics-port <n>        serve GET /metrics (OpenMetrics text) and
+//                             GET /healthz on 127.0.0.1:<n> (0 = kernel-
+//                             assigned; discover via --metrics-port-file)
+//   --metrics-port-file <f>   write the bound metrics port once listening
+//   --journal <f>             append a JSONL record per answered request
+//   --journal-threshold-ms <x> only journal requests at/above this total
+//                             latency (errors always log; default 0 = all)
+//   --trace-out <f>           enable span tracing; write a chrome://tracing
+//                             JSON file on shutdown
+//   --ts-interval-ms <n>      time-series sampling interval (default 1000,
+//                             0 = sampler off)
+//   --ts-capacity <n>         samples retained in the ring (default 512)
+//
 // The process owns the stores, traces, and fitted models for every trace
 // it is asked about (see serve/service.h); responses are byte-identical to
 // the equivalent `dre_eval <trace> <policy> --model M [--ci N] --seed S`
@@ -30,6 +45,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/obs.h"
 #include "serve/server.h"
 #include "store/reader.h"
 
@@ -42,8 +58,23 @@ extern "C" void handle_stop_signal(int) { g_stop.store(true); }
 int usage() {
     std::fprintf(stderr,
                  "usage: dre_serve [--port N] [--port-file F] [--max-queue N] "
-                 "[--io mmap|pread]\n");
+                 "[--io mmap|pread]\n"
+                 "                 [--metrics-port N] [--metrics-port-file F] "
+                 "[--journal F]\n"
+                 "                 [--journal-threshold-ms X] [--trace-out F] "
+                 "[--ts-interval-ms N]\n"
+                 "                 [--ts-capacity N]\n");
     return 2;
+}
+
+// tmp+rename so a watcher never reads a half-written port.
+bool write_port_file(const std::string& path, unsigned port) {
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "%u\n", port);
+    std::fclose(f);
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
 }
 
 } // namespace
@@ -53,6 +84,8 @@ int main(int argc, char** argv) {
 
     serve::ServerOptions options;
     std::string port_file;
+    std::string metrics_port_file;
+    std::string trace_out;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--port" && i + 1 < argc) {
@@ -61,6 +94,22 @@ int main(int argc, char** argv) {
             port_file = argv[++i];
         } else if (arg == "--max-queue" && i + 1 < argc) {
             options.max_queue =
+                static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else if (arg == "--metrics-port" && i + 1 < argc) {
+            options.metrics_port = std::atoi(argv[++i]);
+        } else if (arg == "--metrics-port-file" && i + 1 < argc) {
+            metrics_port_file = argv[++i];
+        } else if (arg == "--journal" && i + 1 < argc) {
+            options.journal_path = argv[++i];
+        } else if (arg == "--journal-threshold-ms" && i + 1 < argc) {
+            options.journal_threshold_ms = std::atof(argv[++i]);
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+            trace_out = argv[++i];
+        } else if (arg == "--ts-interval-ms" && i + 1 < argc) {
+            options.ts_interval_ms =
+                static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--ts-capacity" && i + 1 < argc) {
+            options.ts_capacity =
                 static_cast<std::size_t>(std::atoll(argv[++i]));
         } else if (arg == "--io" && i + 1 < argc) {
             const std::string mode = argv[++i];
@@ -79,27 +128,38 @@ int main(int argc, char** argv) {
         }
     }
 
+    if (!trace_out.empty()) {
+#if DRE_OBS_ENABLED
+        dre::obs::set_trace_enabled(true);
+#else
+        std::fprintf(stderr,
+                     "error: --trace-out requires a DRE_OBS_ENABLED build\n");
+        return 3;
+#endif
+    }
+
     serve::EvalServer server(options);
     try {
-        server.start();
+        server.start(); // --metrics-port / --journal refusal lands here
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 3;
     }
 
-    if (!port_file.empty()) {
-        // tmp+rename so a watcher never reads a half-written port.
-        const std::string tmp = port_file + ".tmp";
-        if (std::FILE* f = std::fopen(tmp.c_str(), "w")) {
-            std::fprintf(f, "%u\n", static_cast<unsigned>(server.port()));
-            std::fclose(f);
-            std::rename(tmp.c_str(), port_file.c_str());
-        } else {
-            std::fprintf(stderr, "error: cannot write --port-file %s\n",
-                         port_file.c_str());
-            server.stop_and_join();
-            return 3;
-        }
+    if (!port_file.empty() &&
+        !write_port_file(port_file, static_cast<unsigned>(server.port()))) {
+        std::fprintf(stderr, "error: cannot write --port-file %s\n",
+                     port_file.c_str());
+        server.stop_and_join();
+        return 3;
+    }
+    if (!metrics_port_file.empty() &&
+        !write_port_file(metrics_port_file,
+                         static_cast<unsigned>(server.metrics_port()))) {
+        std::fprintf(stderr, "error: cannot write --metrics-port-file %s\n",
+                     metrics_port_file.c_str());
+        server.stop_and_join();
+        return 3;
     }
 
     std::signal(SIGINT, handle_stop_signal);
@@ -107,6 +167,9 @@ int main(int argc, char** argv) {
 
     std::printf("dre_serve listening on 127.0.0.1:%u (max-queue %zu)\n",
                 static_cast<unsigned>(server.port()), options.max_queue);
+    if (server.metrics_port() != 0)
+        std::printf("dre_serve metrics on http://127.0.0.1:%u/metrics\n",
+                    static_cast<unsigned>(server.metrics_port()));
     std::fflush(stdout);
 
     while (!g_stop.load()) {
@@ -115,6 +178,14 @@ int main(int argc, char** argv) {
 
     // Graceful drain: every admitted request is answered before exit.
     server.stop_and_join();
+    if (!trace_out.empty()) {
+        if (dre::obs::write_chrome_trace_file(trace_out)) {
+            std::printf("dre_serve wrote trace to %s\n", trace_out.c_str());
+        } else {
+            std::fprintf(stderr, "error: cannot write --trace-out %s\n",
+                         trace_out.c_str());
+        }
+    }
     const serve::StatsReplyMsg stats = server.stats_snapshot();
     std::printf("dre_serve shut down: %llu requests (%llu coalesced, "
                 "%llu rejected), request p50 %.2f ms p99 %.2f ms\n",
