@@ -98,11 +98,15 @@ int main() {
          {"uniform", "eps-greedy 0.1", "eps-decay ->0.02", "boltzmann T=0.2",
           "exp3 g=0.1", "thompson", "ucb1"}) {
         stats::Accumulator regret, dr_err, ips_err, ess;
+        bandit::BanditRunOptions run_options;
+        run_options.regret_baseline = best;
         for (int run = 0; run < kRuns; ++run) {
             auto agent = make_agent(kind);
             const bandit::BanditRunResult result =
-                bandit::run_bandit(env, *agent, kSteps, rng);
-            regret.add(best - result.average_reward);
+                bandit::run_bandit(env, *agent, kSteps, rng, run_options);
+            // run_bandit now tracks the regret series itself; per-step
+            // regret is total_regret / n (== best - average_reward).
+            regret.add(result.total_regret / static_cast<double>(kSteps));
 
             core::TabularRewardModel model(5);
             model.fit(result.trace);

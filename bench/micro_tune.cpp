@@ -1,0 +1,155 @@
+// micro_tune — dre::tune offline search throughput, online wave latency,
+// and the tuner's thread-count determinism contract.
+//
+// Three measurements over the cdn scenario:
+//   * offline: candidates scored per second by search_policies (fit once
+//     per model kind, DR + chunked bootstrap per candidate);
+//   * online: wall-clock per wave of the closed loop (collect, fit, paired
+//     DR, CI gate, checkpoint-free);
+//   * identity: the offline leaderboard text AND the online promotion
+//     journal are byte-compared between DRE_THREADS=1 and 8 (in-process
+//     via par::set_thread_count). A mismatch prints FAIL and exits
+//     nonzero — this is the bench-smoke gate for the tuner.
+//
+// Results land in BENCH_tune.json. `--small` shrinks trace and wave sizes
+// for smoke runs.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cdn/scenario.h"
+#include "core/environment.h"
+#include "core/parallel.h"
+#include "core/policy.h"
+#include "stats/rng.h"
+#include "tune/candidate.h"
+#include "tune/offline.h"
+#include "tune/tuner.h"
+
+using namespace dre;
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    bool small = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--small") == 0) small = true;
+
+    bench::print_header(
+        "micro_tune — policy search throughput and tuner determinism");
+
+    const std::size_t trace_n = small ? 4000 : 40000;
+    const std::size_t wave_size = small ? 500 : 4000;
+    const std::uint64_t waves = small ? 4 : 8;
+    const int replicates = small ? 100 : 200;
+
+    const cdn::VideoQualityEnv env{cdn::CdnWorldConfig{}};
+
+    tune::CandidateSpace space;
+    space.num_decisions = env.num_decisions();
+    space.epsilons = {0.0, 0.05, 0.1};
+    space.include_constants = true;
+    const std::vector<tune::PolicyCandidate> candidates =
+        tune::enumerate(space);
+
+    obs::Report report =
+        bench::make_bench_report("micro_tune", small ? "small" : "full");
+    report.set("config", "candidates",
+               static_cast<std::uint64_t>(candidates.size()));
+    report.set("config", "trace_tuples", static_cast<std::uint64_t>(trace_n));
+    report.set("config", "wave_size", static_cast<std::uint64_t>(wave_size));
+    report.set("config", "waves", waves);
+    bool ok = true;
+
+    // --- Offline search throughput ----------------------------------------
+    const core::UniformRandomPolicy logging(env.num_decisions());
+    stats::Rng gen_rng(20170807);
+    const Trace trace = core::collect_trace(env, logging, trace_n, gen_rng);
+
+    tune::OfflineSearchOptions offline_options;
+    offline_options.bootstrap_replicates = replicates;
+
+    std::string board_text_mt;
+    {
+        stats::Rng rng(42);
+        const auto start = std::chrono::steady_clock::now();
+        const tune::Leaderboard board =
+            tune::search_policies(trace, candidates, offline_options, rng);
+        const double ms = elapsed_ms(start);
+        board_text_mt = board.to_text();
+        const double per_sec =
+            ms > 0.0 ? static_cast<double>(candidates.size()) / (ms / 1e3)
+                     : 0.0;
+        std::printf("offline  %zu candidates over %zu tuples in %.1f ms "
+                    "(%.1f candidates/s)\n",
+                    candidates.size(), trace.size(), ms, per_sec);
+        std::printf("         best %s\n", board.best().candidate.spec().c_str());
+        report.set("offline", "search_ms", ms);
+        report.set("offline", "candidates_per_sec", per_sec);
+        report.set("offline", "best_spec", board.best().candidate.spec());
+    }
+
+    // --- Online wave latency ----------------------------------------------
+    const tune::EnvWaveSource source(env, wave_size);
+    tune::TuneOptions tune_options;
+    tune_options.waves = waves;
+    tune_options.bootstrap_replicates = replicates;
+
+    std::string journal_mt;
+    {
+        const auto start = std::chrono::steady_clock::now();
+        const tune::TuneResult result =
+            tune::run_tune(source, candidates, tune_options, 4);
+        const double ms = elapsed_ms(start);
+        journal_mt = result.journal_text();
+        const double per_wave = ms / static_cast<double>(result.waves_run);
+        std::printf("online   %llu waves of %zu tuples in %.1f ms "
+                    "(%.1f ms/wave), %llu promotions -> %s\n",
+                    static_cast<unsigned long long>(result.waves_run),
+                    wave_size, ms, per_wave,
+                    static_cast<unsigned long long>(result.promotions),
+                    result.incumbent_spec.c_str());
+        report.set("online", "total_ms", ms);
+        report.set("online", "wave_ms", per_wave);
+        report.set("online", "promotions", result.promotions);
+        report.set("online", "incumbent_spec", result.incumbent_spec);
+    }
+
+    // --- Identity: 1 thread vs the pool -----------------------------------
+    {
+        par::set_thread_count(1);
+        stats::Rng rng(42);
+        const std::string board_1t =
+            tune::search_policies(trace, candidates, offline_options, rng)
+                .to_text();
+        const std::string journal_1t =
+            tune::run_tune(source, candidates, tune_options, 4).journal_text();
+        par::set_thread_count(0);
+
+        const bool identical =
+            board_1t == board_text_mt && journal_1t == journal_mt;
+        std::printf("identity %s (leaderboard + journal, 1 thread vs pool)\n",
+                    identical ? "byte-identical" : "MISMATCH");
+        report.set("identity", "byte_identity", identical);
+        if (!identical) {
+            std::fprintf(stderr,
+                         "FAIL: tuner output depends on thread count\n");
+            ok = false;
+        }
+    }
+
+    if (!bench::write_bench_json(std::move(report), "BENCH_tune.json"))
+        return 1;
+    return ok ? 0 : 1;
+}

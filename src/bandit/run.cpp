@@ -1,6 +1,7 @@
 #include "bandit/run.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -10,9 +11,18 @@ namespace dre::bandit {
 
 BanditRunResult run_bandit(const core::Environment& env, ExplorationAgent& agent,
                            std::size_t n, stats::Rng& rng) {
+    return run_bandit(env, agent, n, rng, BanditRunOptions{});
+}
+
+BanditRunResult run_bandit(const core::Environment& env, ExplorationAgent& agent,
+                           std::size_t n, stats::Rng& rng,
+                           const BanditRunOptions& options) {
     if (n == 0) throw std::invalid_argument("run_bandit needs n > 0");
     if (agent.num_decisions() != env.num_decisions())
         throw std::invalid_argument("agent/environment decision-space mismatch");
+
+    const std::size_t wave_size = options.wave_size == 0 ? n : options.wave_size;
+    const bool track_regret = !std::isnan(options.regret_baseline);
 
     BanditRunResult result;
     result.trace.reserve(n);
@@ -20,6 +30,9 @@ BanditRunResult run_bandit(const core::Environment& env, ExplorationAgent& agent
     result.min_logged_propensity = std::numeric_limits<double>::infinity();
 
     double reward_sum = 0.0;
+    double wave_sum = 0.0;
+    std::size_t wave_steps = 0;
+    double regret_sum = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
         ClientContext context = env.sample_context(rng);
         const std::vector<double> probs = agent.action_probabilities(context);
@@ -39,8 +52,19 @@ BanditRunResult run_bandit(const core::Environment& env, ExplorationAgent& agent
 
         ++result.arm_counts[static_cast<std::size_t>(d)];
         reward_sum += r;
+        wave_sum += r;
+        ++wave_steps;
+        if (track_regret) regret_sum += options.regret_baseline - r;
+        if (wave_steps == wave_size || i + 1 == n) {
+            result.wave_rewards.push_back(wave_sum /
+                                          static_cast<double>(wave_steps));
+            if (track_regret) result.cumulative_regret.push_back(regret_sum);
+            wave_sum = 0.0;
+            wave_steps = 0;
+        }
     }
     result.average_reward = reward_sum / static_cast<double>(n);
+    if (track_regret) result.total_regret = regret_sum;
     return result;
 }
 

@@ -11,6 +11,7 @@
 #define DRE_BANDIT_RUN_H
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "bandit/agents.h"
@@ -20,19 +21,41 @@
 
 namespace dre::bandit {
 
+struct BanditRunOptions {
+    // Steps per reporting wave for `wave_rewards` (0 = one wave covering
+    // the whole run). The final wave may be short when n % wave_size != 0.
+    std::size_t wave_size = 0;
+    // Per-step value of the comparison policy (usually best_fixed_arm_value).
+    // NaN disables the regret series: cumulative_regret stays empty and
+    // total_regret stays NaN.
+    double regret_baseline = std::numeric_limits<double>::quiet_NaN();
+};
+
 struct BanditRunResult {
     Trace trace;                          // logged tuples with exact propensities
     std::vector<std::size_t> arm_counts;  // pulls per decision
     double average_reward = 0.0;          // realized mean reward of the run
     double min_logged_propensity = 0.0;   // support left for off-policy reuse
+    // Mean realized reward per reporting wave (see BanditRunOptions::wave_size).
+    std::vector<double> wave_rewards;
+    // Running sum of (regret_baseline - reward) after each wave, and its
+    // final entry; both populated only when a baseline was supplied. The
+    // per-step regret of a run is total_regret / n.
+    std::vector<double> cumulative_regret;
+    double total_regret = std::numeric_limits<double>::quiet_NaN();
 };
 
 // Play `agent` for `n` sequential clients drawn from `env`. Decisions are
 // sampled from the agent's reported distribution; the agent is updated with
 // each observed reward. Throws std::invalid_argument for n == 0 or a
-// decision-space mismatch between agent and environment.
+// decision-space mismatch between agent and environment. The two-argument
+// overload delegates with default options; results (trace, counts, averages)
+// are bit-identical between the two — options only add reporting series.
 BanditRunResult run_bandit(const core::Environment& env, ExplorationAgent& agent,
                            std::size_t n, stats::Rng& rng);
+BanditRunResult run_bandit(const core::Environment& env, ExplorationAgent& agent,
+                           std::size_t n, stats::Rng& rng,
+                           const BanditRunOptions& options);
 
 // Value of the best *fixed* decision: max_d E_c E[r | c, d], estimated with
 // `clients` Monte-Carlo context draws. The per-step regret of a run is

@@ -1,5 +1,6 @@
 #include "core/policy_learning.h"
 
+#include <charconv>
 #include <stdexcept>
 
 #include "stats/bootstrap.h"
@@ -64,8 +65,29 @@ std::shared_ptr<Policy> parse_policy_spec(const std::string& spec,
             decisions, [d](const ClientContext&) { return d; });
     }
     if (spec.rfind("greedy:", 0) == 0) {
-        const RewardModelKind kind = parse_reward_model_kind(spec.substr(7));
-        return learn_greedy_policy(trace, kind, decisions);
+        // "greedy:<model>" or "greedy:<model>:<epsilon>" — the optional
+        // epsilon uniform-smooths the learned policy so it stays evaluable
+        // when redeployed as a logging policy (the §4.1 shape).
+        const std::string rest = spec.substr(7);
+        const std::size_t colon = rest.find(':');
+        if (colon == std::string::npos) {
+            const RewardModelKind kind = parse_reward_model_kind(rest);
+            return learn_greedy_policy(trace, kind, decisions);
+        }
+        const RewardModelKind kind =
+            parse_reward_model_kind(rest.substr(0, colon));
+        const std::string eps_text = rest.substr(colon + 1);
+        double epsilon = 0.0;
+        const auto [end, ec] = std::from_chars(
+            eps_text.data(), eps_text.data() + eps_text.size(), epsilon);
+        if (ec != std::errc() || end != eps_text.data() + eps_text.size())
+            throw std::invalid_argument("malformed epsilon in policy spec \"" +
+                                        spec + "\": expected a number, got \"" +
+                                        eps_text + "\"");
+        if (!(epsilon >= 0.0 && epsilon <= 1.0))
+            throw std::invalid_argument("epsilon in policy spec \"" + spec +
+                                        "\" outside [0,1]");
+        return learn_greedy_policy(trace, kind, decisions, epsilon);
     }
     throw std::invalid_argument("unknown policy spec: " + spec);
 }

@@ -50,8 +50,11 @@ std::shared_ptr<GreedyModelPolicy> learn_greedy_policy(const Trace& trace,
 // Throws std::invalid_argument on anything else.
 RewardModelKind parse_reward_model_kind(const std::string& name);
 
-// Parse a policy spec — "uniform", "constant:<d>", "greedy:<model>" — into
-// a policy over `decisions` arms, fitting on `trace` where the spec needs a
+// Parse a policy spec — "uniform", "constant:<d>", "greedy:<model>", or
+// "greedy:<model>:<epsilon>" (uniform-smoothed redeploy shape; epsilon must
+// parse fully and lie in [0,1], anything else is std::invalid_argument) —
+// into a policy over `decisions` arms, fitting on `trace` where the spec
+// needs a
 // model. `decisions` is explicit rather than derived from the trace: a
 // streaming run fits on a bounded sample whose max decision may undershoot
 // the full trace's decision space. Deterministic (no RNG), so the same

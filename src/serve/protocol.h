@@ -90,7 +90,7 @@ struct HelloMsg {
 // [--ci <ci_replicates>] --seed <seed>`.
 struct EvaluateMsg {
     std::string trace;           // path or shard prefix, server-side
-    std::string policy;          // uniform | constant:<d> | greedy:<model>
+    std::string policy;          // uniform | constant:<d> | greedy:<model>[:<epsilon>]
     std::string model = "tabular";
     std::uint32_t ci_replicates = 0;
     std::uint64_t seed = 1;

@@ -1,0 +1,297 @@
+#include "tune/candidate.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+namespace dre::tune {
+
+namespace {
+
+const char* model_name(core::RewardModelKind kind) {
+    switch (kind) {
+        case core::RewardModelKind::kTabular: return "tabular";
+        case core::RewardModelKind::kLinear: return "linear";
+        case core::RewardModelKind::kKnn: return "knn";
+    }
+    return "unknown";
+}
+
+// Shortest round-trip decimal rendering, so spec() is canonical (equal
+// doubles -> equal bytes) and parse_candidate_spec(spec()) is exact.
+std::string format_double(double v) {
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    if (ec != std::errc())
+        throw std::invalid_argument("candidate parameter is not renderable");
+    return std::string(buf, ptr);
+}
+
+double parse_double_strict(const std::string& text, const char* what,
+                           const std::string& spec) {
+    double v = 0.0;
+    const auto [ptr, ec] = std::from_chars(text.data(),
+                                           text.data() + text.size(), v);
+    if (ec != std::errc() || ptr != text.data() + text.size())
+        throw std::invalid_argument(std::string("malformed ") + what + " '" +
+                                    text + "' in candidate spec '" + spec +
+                                    "'");
+    return v;
+}
+
+std::vector<std::string> split_fields(const std::string& text) {
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t colon = text.find(':', start);
+        if (colon == std::string::npos) {
+            fields.push_back(text.substr(start));
+            return fields;
+        }
+        fields.push_back(text.substr(start, colon - start));
+        start = colon + 1;
+    }
+}
+
+[[noreturn]] void bad_spec(const std::string& spec, const char* why) {
+    throw std::invalid_argument("bad candidate spec '" + spec + "': " + why);
+}
+
+} // namespace
+
+const char* to_string(CandidateKind kind) noexcept {
+    switch (kind) {
+        case CandidateKind::kGreedy: return "greedy";
+        case CandidateKind::kSoftmax: return "softmax";
+        case CandidateKind::kConstant: return "constant";
+        case CandidateKind::kMixture: return "mix";
+    }
+    return "unknown";
+}
+
+std::string PolicyCandidate::spec() const {
+    switch (kind) {
+        case CandidateKind::kGreedy:
+            if (epsilon == 0.0)
+                return std::string("greedy:") + model_name(model);
+            return std::string("greedy:") + model_name(model) + ":" +
+                   format_double(epsilon);
+        case CandidateKind::kSoftmax:
+            return std::string("softmax:") + model_name(model) + ":" +
+                   format_double(temperature);
+        case CandidateKind::kConstant:
+            return "constant:" + std::to_string(static_cast<long>(arm));
+        case CandidateKind::kMixture:
+            return std::string("mix:") + model_name(model) + ":" +
+                   std::to_string(static_cast<long>(arm)) + ":" +
+                   format_double(mixture_weight);
+    }
+    throw std::invalid_argument("candidate has an unknown kind");
+}
+
+PolicyCandidate parse_candidate_spec(const std::string& spec) {
+    const std::vector<std::string> fields = split_fields(spec);
+    PolicyCandidate c;
+    if (fields[0] == "greedy") {
+        c.kind = CandidateKind::kGreedy;
+        if (fields.size() < 2 || fields.size() > 3)
+            bad_spec(spec, "expected greedy:<model>[:<epsilon>]");
+        c.model = core::parse_reward_model_kind(fields[1]);
+        if (fields.size() == 3)
+            c.epsilon = parse_double_strict(fields[2], "epsilon", spec);
+        if (!(c.epsilon >= 0.0 && c.epsilon <= 1.0))
+            bad_spec(spec, "epsilon outside [0,1]");
+        return c;
+    }
+    if (fields[0] == "softmax") {
+        c.kind = CandidateKind::kSoftmax;
+        if (fields.size() != 3)
+            bad_spec(spec, "expected softmax:<model>:<temperature>");
+        c.model = core::parse_reward_model_kind(fields[1]);
+        c.temperature = parse_double_strict(fields[2], "temperature", spec);
+        if (!(c.temperature > 0.0)) bad_spec(spec, "temperature must be > 0");
+        return c;
+    }
+    if (fields[0] == "constant") {
+        c.kind = CandidateKind::kConstant;
+        if (fields.size() != 2) bad_spec(spec, "expected constant:<arm>");
+        c.arm = static_cast<Decision>(
+            parse_double_strict(fields[1], "arm", spec));
+        return c;
+    }
+    if (fields[0] == "mix") {
+        c.kind = CandidateKind::kMixture;
+        if (fields.size() != 4)
+            bad_spec(spec, "expected mix:<model>:<arm>:<weight>");
+        c.model = core::parse_reward_model_kind(fields[1]);
+        c.arm = static_cast<Decision>(
+            parse_double_strict(fields[2], "arm", spec));
+        c.mixture_weight = parse_double_strict(fields[3], "weight", spec);
+        if (!(c.mixture_weight >= 0.0 && c.mixture_weight <= 1.0))
+            bad_spec(spec, "weight outside [0,1]");
+        return c;
+    }
+    bad_spec(spec, "unknown candidate family");
+}
+
+FittedModels fit_candidate_models(const std::vector<PolicyCandidate>& candidates,
+                                  const Trace& trace, std::size_t decisions) {
+    FittedModels models;
+    for (const PolicyCandidate& c : candidates) {
+        if (c.kind == CandidateKind::kConstant) continue;
+        if (models.count(c.model) != 0) continue;
+        models.emplace(c.model,
+                       std::shared_ptr<const core::RewardModel>(
+                           core::fit_reward_model(c.model, decisions, trace)));
+    }
+    return models;
+}
+
+std::shared_ptr<core::Policy> materialize(const PolicyCandidate& candidate,
+                                          const FittedModels& models,
+                                          std::size_t decisions) {
+    const auto fitted = [&]() -> std::shared_ptr<const core::RewardModel> {
+        const auto it = models.find(candidate.model);
+        if (it == models.end())
+            throw std::invalid_argument(
+                "materialize: no fitted model for candidate " +
+                candidate.spec());
+        return it->second;
+    };
+    const auto check_arm = [&] {
+        if (candidate.arm < 0 ||
+            static_cast<std::size_t>(candidate.arm) >= decisions)
+            throw std::invalid_argument("materialize: arm outside decision "
+                                        "space in candidate " +
+                                        candidate.spec());
+    };
+    switch (candidate.kind) {
+        case CandidateKind::kGreedy:
+            return std::make_shared<core::GreedyModelPolicy>(fitted(),
+                                                             candidate.epsilon);
+        case CandidateKind::kSoftmax: {
+            if (!(candidate.temperature > 0.0))
+                throw std::invalid_argument(
+                    "materialize: softmax temperature must be > 0");
+            // The scorer shares ownership of the fitted model, so the
+            // policy stays valid after the FittedModels map is dropped.
+            std::shared_ptr<const core::RewardModel> model = fitted();
+            return std::make_shared<core::SoftmaxPolicy>(
+                decisions,
+                [model](const ClientContext& context, Decision d) {
+                    return model->predict(context, d);
+                },
+                candidate.temperature);
+        }
+        case CandidateKind::kConstant: {
+            check_arm();
+            const Decision arm = candidate.arm;
+            return std::make_shared<core::DeterministicPolicy>(
+                decisions, [arm](const ClientContext&) { return arm; });
+        }
+        case CandidateKind::kMixture: {
+            check_arm();
+            if (!(candidate.mixture_weight >= 0.0 &&
+                  candidate.mixture_weight <= 1.0))
+                throw std::invalid_argument(
+                    "materialize: mixture weight outside [0,1]");
+            const Decision arm = candidate.arm;
+            auto greedy =
+                std::make_shared<core::GreedyModelPolicy>(fitted(), 0.0);
+            auto pinned = std::make_shared<core::DeterministicPolicy>(
+                decisions, [arm](const ClientContext&) { return arm; });
+            return std::make_shared<core::MixturePolicy>(
+                std::move(greedy), std::move(pinned),
+                candidate.mixture_weight);
+        }
+    }
+    throw std::invalid_argument("materialize: unknown candidate kind");
+}
+
+std::shared_ptr<core::Policy> materialize(const PolicyCandidate& candidate,
+                                          const Trace& trace,
+                                          std::size_t decisions) {
+    return materialize(candidate, fit_candidate_models({candidate}, trace,
+                                                       decisions),
+                       decisions);
+}
+
+std::vector<PolicyCandidate> enumerate(const CandidateSpace& space) {
+    if (space.num_decisions == 0)
+        throw std::invalid_argument("CandidateSpace needs num_decisions > 0");
+    std::vector<PolicyCandidate> out;
+    for (const core::RewardModelKind model : space.models) {
+        for (const double epsilon : space.epsilons) {
+            if (!(epsilon >= 0.0 && epsilon <= 1.0))
+                throw std::invalid_argument(
+                    "CandidateSpace epsilon outside [0,1]");
+            PolicyCandidate c;
+            c.kind = CandidateKind::kGreedy;
+            c.model = model;
+            c.epsilon = epsilon;
+            out.push_back(c);
+        }
+    }
+    for (const core::RewardModelKind model : space.models) {
+        for (const double temperature : space.temperatures) {
+            if (!(temperature > 0.0))
+                throw std::invalid_argument(
+                    "CandidateSpace temperature must be > 0");
+            PolicyCandidate c;
+            c.kind = CandidateKind::kSoftmax;
+            c.model = model;
+            c.temperature = temperature;
+            out.push_back(c);
+        }
+    }
+    if (space.include_constants) {
+        for (std::size_t d = 0; d < space.num_decisions; ++d) {
+            PolicyCandidate c;
+            c.kind = CandidateKind::kConstant;
+            c.arm = static_cast<Decision>(d);
+            out.push_back(c);
+        }
+    }
+    for (const core::RewardModelKind model : space.models) {
+        for (const double weight : space.mixture_weights) {
+            if (!(weight >= 0.0 && weight <= 1.0))
+                throw std::invalid_argument(
+                    "CandidateSpace mixture weight outside [0,1]");
+            PolicyCandidate c;
+            c.kind = CandidateKind::kMixture;
+            c.model = model;
+            c.arm = space.mixture_arm;
+            c.mixture_weight = weight;
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+PolicyCandidate perturb(const PolicyCandidate& candidate,
+                        const CandidateSpace& space, stats::Rng& rng) {
+    PolicyCandidate out = candidate;
+    switch (candidate.kind) {
+        case CandidateKind::kGreedy:
+            out.epsilon = std::clamp(
+                candidate.epsilon + rng.uniform(-0.05, 0.05), 0.0, 1.0);
+            break;
+        case CandidateKind::kSoftmax:
+            out.temperature =
+                std::max(1e-3, candidate.temperature *
+                                   std::exp(rng.uniform(-0.25, 0.25)));
+            break;
+        case CandidateKind::kConstant:
+            out.arm = static_cast<Decision>(
+                rng.uniform_index(space.num_decisions));
+            break;
+        case CandidateKind::kMixture:
+            out.mixture_weight = std::clamp(
+                candidate.mixture_weight + rng.uniform(-0.1, 0.1), 0.0, 1.0);
+            break;
+    }
+    return out;
+}
+
+} // namespace dre::tune

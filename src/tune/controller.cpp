@@ -1,0 +1,68 @@
+#include "tune/controller.h"
+
+#include <stdexcept>
+
+namespace dre::tune {
+
+RecencyWeightedBandit::RecencyWeightedBandit(std::size_t arms,
+                                             const Options& options)
+    : options_(options), scores_(arms, 0.0), counts_(arms, 0) {
+    if (arms == 0)
+        throw std::invalid_argument("RecencyWeightedBandit needs >= 1 arm");
+    if (!(options_.epsilon >= 0.0 && options_.epsilon <= 1.0))
+        throw std::invalid_argument(
+            "RecencyWeightedBandit epsilon outside [0,1]");
+    if (!(options_.alpha > 0.0 && options_.alpha <= 1.0))
+        throw std::invalid_argument(
+            "RecencyWeightedBandit alpha outside (0,1]");
+}
+
+std::size_t RecencyWeightedBandit::propose(stats::Rng& rng) {
+    for (std::size_t a = 0; a < counts_.size(); ++a)
+        if (counts_[a] == 0) return a;
+    // One uniform draw decides both the explore/exploit coin and, on
+    // explore, the arm — keeps the per-wave draw count fixed at one.
+    const double u = rng.uniform();
+    if (u < options_.epsilon) {
+        const double scaled = u / options_.epsilon; // uniform in [0, 1)
+        std::size_t arm = static_cast<std::size_t>(
+            scaled * static_cast<double>(scores_.size()));
+        if (arm >= scores_.size()) arm = scores_.size() - 1;
+        return arm;
+    }
+    return best_arm();
+}
+
+void RecencyWeightedBandit::record(std::size_t arm, double score) {
+    if (arm >= scores_.size())
+        throw std::invalid_argument("RecencyWeightedBandit: arm out of range");
+    if (counts_[arm] == 0)
+        scores_[arm] = score;
+    else
+        scores_[arm] += options_.alpha * (score - scores_[arm]);
+    ++counts_[arm];
+}
+
+std::size_t RecencyWeightedBandit::best_arm() const noexcept {
+    std::size_t best = 0;
+    bool found = false;
+    for (std::size_t a = 0; a < scores_.size(); ++a) {
+        if (counts_[a] == 0) continue;
+        if (!found || scores_[a] > scores_[best]) {
+            best = a;
+            found = true;
+        }
+    }
+    return best;
+}
+
+void RecencyWeightedBandit::restore(std::span<const double> scores,
+                                    std::span<const std::uint64_t> counts) {
+    if (scores.size() != scores_.size() || counts.size() != counts_.size())
+        throw std::invalid_argument(
+            "RecencyWeightedBandit: restore size mismatch");
+    scores_.assign(scores.begin(), scores.end());
+    counts_.assign(counts.begin(), counts.end());
+}
+
+} // namespace dre::tune

@@ -1,0 +1,445 @@
+#include "tune/tuner.h"
+
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <unistd.h>
+
+#include "core/estimators.h"
+#include "core/parallel.h"
+#include "core/qhat.h"
+#include "obs/obs.h"
+#include "stats/bootstrap.h"
+
+namespace dre::tune {
+
+namespace {
+
+// Pure per-wave substreams: base.split(wave).split(substream).
+constexpr std::uint64_t kCollectStream = 0;
+constexpr std::uint64_t kProposeStream = 1;
+constexpr std::uint64_t kGateStream = 2;
+
+// ---------------------------------------------------------------------------
+// Checkpoint file format (host byte order; same-machine resume), the PR-5
+// pattern: magic "DRETUNE1" | u64 config_hash | payload | u64 fnv1a(all
+// preceding bytes). The payload is plain data only — the incumbent policy
+// object is deliberately NOT serialized; resume rebuilds it by replaying
+// the promotion waves (each a pure function of the seed).
+// ---------------------------------------------------------------------------
+
+constexpr char kCheckpointMagic[8] = {'D', 'R', 'E', 'T', 'U', 'N', 'E', '1'};
+
+std::uint64_t fnv1a(const void* data, std::size_t len,
+                    std::uint64_t hash = 1469598103934665603ull) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        hash ^= bytes[i];
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+[[noreturn]] void ckpt_fail(const std::string& what) {
+    throw std::runtime_error("tune checkpoint: " + what);
+}
+
+struct Serializer {
+    std::string buf;
+
+    void u64(std::uint64_t v) { buf.append(reinterpret_cast<const char*>(&v), 8); }
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+    void str(const std::string& s) {
+        u64(s.size());
+        buf.append(s);
+    }
+};
+
+struct Parser {
+    const std::string& buf;
+    std::size_t pos = 0;
+
+    void raw(void* out, std::size_t len) {
+        if (pos + len > buf.size()) ckpt_fail("truncated file");
+        std::memcpy(out, buf.data() + pos, len);
+        pos += len;
+    }
+    std::uint64_t u64() {
+        std::uint64_t v;
+        raw(&v, 8);
+        return v;
+    }
+    double f64() { return std::bit_cast<double>(u64()); }
+    std::string str() {
+        const std::uint64_t len = u64();
+        if (len > buf.size() - pos) ckpt_fail("truncated string");
+        std::string s(buf.data() + pos, static_cast<std::size_t>(len));
+        pos += static_cast<std::size_t>(len);
+        return s;
+    }
+};
+
+// Everything the wave loop carries across waves, checkpointable as a unit.
+struct TuneState {
+    std::uint64_t next_wave = 0;
+    std::uint64_t evaluations = 0;
+    std::uint64_t promotions = 0;
+    bool has_incumbent = false;
+    std::size_t incumbent = 0;
+    std::vector<std::string> journal;
+    std::vector<double> wave_rewards;
+    std::vector<PromotionRecord> promotion_history;
+    std::vector<double> controller_scores;
+    std::vector<std::uint64_t> controller_counts;
+};
+
+std::uint64_t config_hash(std::uint64_t seed,
+                          const std::vector<PolicyCandidate>& candidates,
+                          const TuneOptions& options, std::size_t decisions) {
+    Serializer s;
+    s.u64(seed);
+    s.u64(options.waves);
+    s.u64(decisions);
+    s.u64(par::kReduceChunk);
+    s.u64(candidates.size());
+    for (const PolicyCandidate& c : candidates) s.str(c.spec());
+    s.u64(static_cast<std::uint64_t>(options.eval_model));
+    s.u64(static_cast<std::uint64_t>(options.bootstrap_replicates));
+    s.f64(options.ci_level);
+    s.f64(options.controller.epsilon);
+    s.f64(options.controller.alpha);
+    s.f64(options.redeploy_epsilon);
+    return fnv1a(s.buf.data(), s.buf.size());
+}
+
+void write_checkpoint(const std::string& path, std::uint64_t hash,
+                      const TuneState& state) {
+    Serializer s;
+    s.buf.append(kCheckpointMagic, sizeof kCheckpointMagic);
+    s.u64(hash);
+    s.u64(state.next_wave);
+    s.u64(state.evaluations);
+    s.u64(state.promotions);
+    s.u64(state.has_incumbent ? 1 : 0);
+    s.u64(state.incumbent);
+    s.u64(state.journal.size());
+    for (const std::string& line : state.journal) s.str(line);
+    s.u64(state.wave_rewards.size());
+    for (const double r : state.wave_rewards) s.f64(r);
+    s.u64(state.promotion_history.size());
+    for (const PromotionRecord& rec : state.promotion_history) {
+        s.u64(rec.wave);
+        s.u64(rec.candidate);
+    }
+    s.u64(state.controller_scores.size());
+    for (const double score : state.controller_scores) s.f64(score);
+    s.u64(state.controller_counts.size());
+    for (const std::uint64_t count : state.controller_counts) s.u64(count);
+    s.u64(fnv1a(s.buf.data(), s.buf.size()));
+
+    const std::string tmp = path + ".tmp";
+    std::FILE* file = std::fopen(tmp.c_str(), "wb");
+    if (file == nullptr)
+        ckpt_fail("cannot create " + tmp + ": " + std::strerror(errno));
+    const bool written =
+        std::fwrite(s.buf.data(), 1, s.buf.size(), file) == s.buf.size() &&
+        std::fflush(file) == 0 && ::fsync(::fileno(file)) == 0;
+    if (std::fclose(file) != 0 || !written) {
+        std::remove(tmp.c_str());
+        ckpt_fail("write failed for " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        ckpt_fail("rename failed for " + path + ": " + std::strerror(errno));
+    DRE_COUNTER_INC("tune.checkpoints_written");
+}
+
+// Returns false (state untouched) when the file does not exist; throws on
+// malformed or mismatched content.
+bool load_checkpoint(const std::string& path, std::uint64_t hash,
+                     TuneState& state) {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) return false;
+    std::string buf;
+    char block[1 << 16];
+    std::size_t got;
+    while ((got = std::fread(block, 1, sizeof block, file)) > 0)
+        buf.append(block, got);
+    const bool read_error = std::ferror(file) != 0;
+    std::fclose(file);
+    if (read_error) ckpt_fail("read failed for " + path);
+
+    if (buf.size() < sizeof kCheckpointMagic + 16) ckpt_fail("truncated file");
+    if (std::memcmp(buf.data(), kCheckpointMagic, sizeof kCheckpointMagic) != 0)
+        ckpt_fail(path + " is not a tune checkpoint file");
+    std::uint64_t stored_sum;
+    std::memcpy(&stored_sum, buf.data() + buf.size() - 8, 8);
+    if (fnv1a(buf.data(), buf.size() - 8) != stored_sum)
+        ckpt_fail(path + " is corrupt (checksum mismatch)");
+
+    Parser p{buf, sizeof kCheckpointMagic};
+    if (p.u64() != hash)
+        ckpt_fail(path +
+                  " was written by a run with different candidates, options, "
+                  "or seed — refusing to resume");
+    state.next_wave = p.u64();
+    state.evaluations = p.u64();
+    state.promotions = p.u64();
+    state.has_incumbent = p.u64() != 0;
+    state.incumbent = static_cast<std::size_t>(p.u64());
+    state.journal.clear();
+    for (std::uint64_t i = 0, n = p.u64(); i < n; ++i)
+        state.journal.push_back(p.str());
+    state.wave_rewards.clear();
+    for (std::uint64_t i = 0, n = p.u64(); i < n; ++i)
+        state.wave_rewards.push_back(p.f64());
+    state.promotion_history.clear();
+    for (std::uint64_t i = 0, n = p.u64(); i < n; ++i) {
+        PromotionRecord rec;
+        rec.wave = p.u64();
+        rec.candidate = static_cast<std::size_t>(p.u64());
+        state.promotion_history.push_back(rec);
+    }
+    state.controller_scores.clear();
+    for (std::uint64_t i = 0, n = p.u64(); i < n; ++i)
+        state.controller_scores.push_back(p.f64());
+    state.controller_counts.clear();
+    for (std::uint64_t i = 0, n = p.u64(); i < n; ++i)
+        state.controller_counts.push_back(p.u64());
+    DRE_COUNTER_INC("tune.resumes");
+    return true;
+}
+
+// First half fits, second half scores — an index split, so the geometry is
+// independent of any RNG and identical on a resume replay.
+std::pair<Trace, Trace> index_split(const Trace& trace) {
+    const std::size_t n = trace.size();
+    const std::size_t cut = n / 2;
+    Trace fit, eval;
+    fit.reserve(cut);
+    eval.reserve(n - cut);
+    for (std::size_t i = 0; i < cut; ++i) fit.add(trace[i]);
+    for (std::size_t i = cut; i < n; ++i) eval.add(trace[i]);
+    return {std::move(fit), std::move(eval)};
+}
+
+double mean_reward(const Trace& trace) {
+    double sum = 0.0;
+    for (const LoggedTuple& t : trace) sum += t.reward;
+    return sum / static_cast<double>(trace.size());
+}
+
+std::shared_ptr<const core::Policy> make_logging_policy(
+    const std::shared_ptr<const core::Policy>& incumbent, bool has_incumbent,
+    std::size_t decisions, double redeploy_epsilon) {
+    if (!has_incumbent)
+        return std::make_shared<core::UniformRandomPolicy>(decisions);
+    if (redeploy_epsilon <= 0.0) return incumbent;
+    return std::make_shared<core::EpsilonGreedyPolicy>(incumbent,
+                                                       redeploy_epsilon);
+}
+
+} // namespace
+
+EnvWaveSource::EnvWaveSource(const core::Environment& env,
+                             std::size_t wave_size)
+    : env_(&env), wave_size_(wave_size) {
+    if (wave_size_ < 2)
+        throw std::invalid_argument("EnvWaveSource needs wave_size >= 2");
+}
+
+Trace EnvWaveSource::wave(std::uint64_t wave_index,
+                          const core::Policy& logging_policy,
+                          stats::Rng& rng) const {
+    (void)wave_index; // freshness comes from the per-wave rng stream
+    return core::collect_trace(*env_, logging_policy, wave_size_, rng);
+}
+
+StoreWaveSource::StoreWaveSource(const core::TupleSource& source,
+                                 std::size_t wave_size)
+    : source_(&source), wave_size_(wave_size) {
+    if (wave_size_ < 2)
+        throw std::invalid_argument("StoreWaveSource needs wave_size >= 2");
+    if (source_->num_tuples() < wave_size_)
+        throw std::invalid_argument(
+            "StoreWaveSource: store smaller than one wave");
+}
+
+Trace StoreWaveSource::wave(std::uint64_t wave_index,
+                            const core::Policy& logging_policy,
+                            stats::Rng& rng) const {
+    (void)logging_policy; // historical replay: propensities come from the log
+    (void)rng;
+    const std::uint64_t n = source_->num_tuples();
+    std::uint64_t begin = (wave_index * wave_size_) % n;
+    if (begin + wave_size_ > n) begin = n - wave_size_; // keep waves full
+    std::vector<LoggedTuple> tuples;
+    source_->read(begin, wave_size_, tuples);
+    return Trace(std::move(tuples));
+}
+
+std::string TuneResult::journal_text() const {
+    std::string out;
+    for (const std::string& line : journal) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+TuneResult run_tune(const WaveSource& source,
+                    const std::vector<PolicyCandidate>& candidates,
+                    const TuneOptions& options, std::uint64_t seed) {
+    if (candidates.empty())
+        throw std::invalid_argument("run_tune: no candidates");
+    if (options.waves == 0)
+        throw std::invalid_argument("run_tune: waves must be > 0");
+    if (options.bootstrap_replicates < 2)
+        throw std::invalid_argument(
+            "run_tune: the CI gate needs >= 2 bootstrap replicates");
+    if (!(options.redeploy_epsilon >= 0.0 && options.redeploy_epsilon <= 1.0))
+        throw std::invalid_argument(
+            "run_tune: redeploy_epsilon outside [0,1]");
+
+    const std::size_t decisions = source.num_decisions();
+    const stats::Rng base(seed);
+    const std::uint64_t hash = config_hash(seed, candidates, options,
+                                           decisions);
+
+    RecencyWeightedBandit controller(candidates.size(), options.controller);
+    TuneState state;
+    std::shared_ptr<const core::Policy> incumbent_policy =
+        std::make_shared<core::UniformRandomPolicy>(decisions);
+
+    // Re-materializes the incumbent from one promotion record: re-collect
+    // that wave (pure function of the seed and the promotions before it)
+    // and fit the promoted candidate on its fit half.
+    const auto replay_promotion = [&](const PromotionRecord& rec,
+                                      bool replaying_has_incumbent) {
+        const std::shared_ptr<const core::Policy> logging =
+            make_logging_policy(incumbent_policy, replaying_has_incumbent,
+                                decisions, options.redeploy_epsilon);
+        stats::Rng collect_rng = base.split(rec.wave).split(kCollectStream);
+        const Trace trace = source.wave(rec.wave, *logging, collect_rng);
+        incumbent_policy = materialize(candidates[rec.candidate],
+                                       index_split(trace).first, decisions);
+    };
+
+    if (options.resume && !options.checkpoint_path.empty() &&
+        load_checkpoint(options.checkpoint_path, hash, state)) {
+        controller.restore(state.controller_scores, state.controller_counts);
+        bool has = false;
+        for (const PromotionRecord& rec : state.promotion_history) {
+            replay_promotion(rec, has);
+            has = true;
+        }
+    }
+
+    bool interrupted = false;
+    for (std::uint64_t w = state.next_wave; w < options.waves; ++w) {
+        DRE_SPAN("tune.wave");
+        DRE_COUNTER_INC("tune.waves");
+
+        const std::shared_ptr<const core::Policy> logging =
+            make_logging_policy(incumbent_policy, state.has_incumbent,
+                                decisions, options.redeploy_epsilon);
+        stats::Rng collect_rng = base.split(w).split(kCollectStream);
+        const Trace trace = source.wave(w, *logging, collect_rng);
+        if (trace.size() < 4)
+            throw std::invalid_argument("run_tune: wave too small to split");
+        const double wave_reward = mean_reward(trace);
+
+        stats::Rng propose_rng = base.split(w).split(kProposeStream);
+        const std::size_t proposed = controller.propose(propose_rng);
+        const PolicyCandidate& candidate = candidates[proposed];
+
+        const auto [fit, eval] = index_split(trace);
+        const std::shared_ptr<const core::RewardModel> referee(
+            core::fit_reward_model(options.eval_model, decisions, fit));
+        const core::PredictionMatrix qhat =
+            core::PredictionMatrix::build(*referee, eval);
+        const std::shared_ptr<core::Policy> cand_policy =
+            materialize(candidate, fit, decisions);
+
+        const core::EstimateResult cand_dr =
+            core::doubly_robust(eval, *cand_policy, qhat);
+        const core::EstimateResult inc_dr =
+            core::doubly_robust(eval, *incumbent_policy, qhat);
+        // Paired per-tuple difference: shared clients and rewards cancel,
+        // exactly the certify_improvement gate, with the chunk-keyed
+        // bootstrap so the CI is thread-count independent.
+        std::vector<double> lift(eval.size());
+        for (std::size_t k = 0; k < eval.size(); ++k)
+            lift[k] = cand_dr.per_tuple[k] - inc_dr.per_tuple[k];
+        const double lift_point = cand_dr.value - inc_dr.value;
+        stats::Rng gate_rng = base.split(w).split(kGateStream);
+        const stats::ConfidenceInterval ci = stats::chunked_bootstrap_mean_ci(
+            lift, lift_point, gate_rng, options.bootstrap_replicates,
+            options.ci_level);
+        const bool promote = ci.lower > 0.0;
+
+        controller.record(proposed, cand_dr.value);
+        ++state.evaluations;
+
+        const std::string incumbent_spec =
+            state.has_incumbent ? candidates[state.incumbent].spec()
+                                : std::string("uniform");
+        char line[512];
+        std::snprintf(line, sizeof line,
+                      "wave %llu propose=%zu spec=%s dr=%.17g incumbent=%s "
+                      "lift=%.17g ci=[%.17g, %.17g] decision=%s reward=%.17g",
+                      static_cast<unsigned long long>(w), proposed,
+                      candidate.spec().c_str(), cand_dr.value,
+                      incumbent_spec.c_str(), lift_point, ci.lower, ci.upper,
+                      promote ? "promote" : "hold", wave_reward);
+        state.journal.emplace_back(line);
+        state.wave_rewards.push_back(wave_reward);
+
+        if (promote) {
+            state.has_incumbent = true;
+            state.incumbent = proposed;
+            incumbent_policy = cand_policy;
+            state.promotion_history.push_back({w, proposed});
+            ++state.promotions;
+            DRE_COUNTER_INC("tune.promotions");
+        } else {
+            DRE_COUNTER_INC("tune.holds");
+        }
+
+        state.next_wave = w + 1;
+        state.controller_scores.assign(controller.scores().begin(),
+                                       controller.scores().end());
+        state.controller_counts.assign(controller.counts().begin(),
+                                       controller.counts().end());
+        if (!options.checkpoint_path.empty())
+            write_checkpoint(options.checkpoint_path, hash, state);
+        if (options.interrupt != nullptr && w + 1 < options.waves &&
+            options.interrupt->load()) {
+            interrupted = true;
+            break;
+        }
+    }
+
+    TuneResult result;
+    result.waves_run = state.next_wave;
+    result.evaluations = state.evaluations;
+    result.promotions = state.promotions;
+    result.has_incumbent = state.has_incumbent;
+    result.incumbent = state.incumbent;
+    result.incumbent_spec = state.has_incumbent
+                                ? candidates[state.incumbent].spec()
+                                : std::string("uniform");
+    result.journal = std::move(state.journal);
+    result.wave_rewards = std::move(state.wave_rewards);
+    result.promotion_history = std::move(state.promotion_history);
+    result.controller_scores = std::move(state.controller_scores);
+    result.controller_counts = std::move(state.controller_counts);
+    result.interrupted = interrupted;
+    DRE_GAUGE_SET("tune.promotions_total", result.promotions);
+    return result;
+}
+
+} // namespace dre::tune

@@ -113,5 +113,41 @@ TEST(CertifyImprovement, RejectsWorseCandidate) {
     EXPECT_FALSE(report.certified);
 }
 
+TEST(ParsePolicySpec, GreedyAcceptsOptionalEpsilon) {
+    SplitEnv env;
+    stats::Rng rng(6);
+    UniformRandomPolicy logging(2);
+    const Trace trace = collect_trace(env, logging, 800, rng);
+
+    const auto plain = parse_policy_spec("greedy:linear", trace, 2);
+    const auto smoothed = parse_policy_spec("greedy:linear:0.2", trace, 2);
+    const ClientContext c({0.8}, {});
+    const auto plain_probs = plain->action_probabilities(c);
+    const auto smoothed_probs = smoothed->action_probabilities(c);
+    // Same fitted argmax, epsilon/2 mass shifted to the other arm.
+    EXPECT_DOUBLE_EQ(plain_probs[1], 1.0);
+    EXPECT_DOUBLE_EQ(smoothed_probs[1], 0.8 + 0.1);
+    EXPECT_DOUBLE_EQ(smoothed_probs[0], 0.1);
+    // Zero epsilon spec matches the two-field form exactly.
+    const auto zero = parse_policy_spec("greedy:linear:0", trace, 2);
+    EXPECT_EQ(zero->action_probabilities(c), plain_probs);
+}
+
+TEST(ParsePolicySpec, RejectsMalformedEpsilon) {
+    SplitEnv env;
+    stats::Rng rng(6);
+    UniformRandomPolicy logging(2);
+    const Trace trace = collect_trace(env, logging, 200, rng);
+
+    for (const char* spec :
+         {"greedy:linear:", "greedy:linear:abc", "greedy:linear:0.1x",
+          "greedy:linear:-0.1", "greedy:linear:1.5", "greedy:linear:nan",
+          "greedy:bogus:0.1"}) {
+        EXPECT_THROW((void)parse_policy_spec(spec, trace, 2),
+                     std::invalid_argument)
+            << spec;
+    }
+}
+
 } // namespace
 } // namespace dre::core

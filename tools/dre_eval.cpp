@@ -13,6 +13,8 @@
 //   uniform             uniform over the trace's decision space
 //   greedy:<model>      argmax of a reward model fit on the trace, where
 //                       <model> is tabular | linear | knn
+//   greedy:<model>:<e>  same, uniform-smoothed with epsilon e in [0,1]
+//                       (the redeployable shape: every arm keeps support)
 //
 // Options:
 //   --estimate-propensities   re-estimate mu_old(d|c) from the trace
