@@ -210,6 +210,36 @@ int main(int argc, char** argv) {
             std::fprintf(stderr, "FAIL: server response diverged\n");
             ok = false;
         }
+
+        // --- Retry wrapper overhead (resil) ------------------------------
+        // Same warm-cache request through RetryingClient on a fault-free
+        // server: every attempt succeeds first try, so the delta over the
+        // plain Client is the pure cost of the retry/reconnect wrapper.
+        {
+            serve::RetryingClient retrying(server.port());
+            obs::Histogram wrapped;
+            for (std::size_t i = 0; i < warm_requests; ++i) {
+                const auto start = std::chrono::steady_clock::now();
+                (void)retrying.evaluate(base);
+                wrapped.record(elapsed_ms(start));
+            }
+            const double wrapped_ms = wrapped.p50();
+            const double over_plain =
+                warm_ms > 0.0 ? wrapped_ms / warm_ms : 0.0;
+            std::printf("resil    retrying warm p50 %.2f ms (%.2fx plain "
+                        "client), %llu retries\n",
+                        wrapped_ms, over_plain,
+                        static_cast<unsigned long long>(retrying.retries()));
+            report.set("resil", "retry_warm_p50_ms", wrapped_ms);
+            report.set("resil", "retry_warm_p99_ms", wrapped.p99());
+            report.set("resil", "retry_over_plain", over_plain);
+            report.set("resil", "retries", retrying.retries());
+            if (retrying.retries() != 0) {
+                std::fprintf(stderr,
+                             "FAIL: fault-free run should never retry\n");
+                ok = false;
+            }
+        }
         server.stop_and_join();
     }
 

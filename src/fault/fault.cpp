@@ -29,6 +29,7 @@ FaultKind parse_kind(const std::string& value, const std::string& token) {
     if (value == "transient") return FaultKind::kTransient;
     if (value == "permanent") return FaultKind::kPermanent;
     if (value == "corruption") return FaultKind::kCorruption;
+    if (value == "slow") return FaultKind::kSlow;
     throw std::invalid_argument("fault spec: unknown kind '" + value +
                                 "' in '" + token + "'");
 }
@@ -60,6 +61,7 @@ const char* to_string(FaultKind kind) noexcept {
         case FaultKind::kTransient: return "transient";
         case FaultKind::kPermanent: return "permanent";
         case FaultKind::kCorruption: return "corruption";
+        case FaultKind::kSlow: return "slow";
     }
     return "unknown";
 }
@@ -185,7 +187,9 @@ std::optional<FaultKind> Injector::check(std::string_view point,
 void Injector::maybe_inject(std::string_view point, std::uint64_t index,
                             std::uint64_t attempt) const {
     const std::optional<FaultKind> kind = check(point, index, attempt);
-    if (!kind) return;
+    // Slow faults carry no error to throw; only call sites that consult
+    // fire()/DRE_FAULT_CHECK can slow themselves down.
+    if (!kind || *kind == FaultKind::kSlow) return;
 #if DRE_OBS_ENABLED
     // Runtime-named counters (one per point) — registry lookup is fine
     // here, the fault path is not a hot path.
@@ -197,9 +201,28 @@ void Injector::maybe_inject(std::string_view point, std::uint64_t index,
     throw FaultError(*kind, std::string(point), index);
 }
 
+std::optional<FaultKind> Injector::fire(std::string_view point,
+                                        std::uint64_t index,
+                                        std::uint64_t attempt) const {
+    const std::optional<FaultKind> kind = check(point, index, attempt);
+    if (!kind) return std::nullopt;
+#if DRE_OBS_ENABLED
+    obs::registry().counter("fault.injected").add(1);
+    obs::registry()
+        .counter("fault.injected." + std::string(point))
+        .add(1);
+#endif
+    return kind;
+}
+
 void maybe_inject(std::string_view point, std::uint64_t index,
                   std::uint64_t attempt) {
     Injector::global().maybe_inject(point, index, attempt);
+}
+
+std::optional<FaultKind> fire(std::string_view point, std::uint64_t index,
+                              std::uint64_t attempt) {
+    return Injector::global().fire(point, index, attempt);
 }
 
 } // namespace dre::fault

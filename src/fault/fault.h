@@ -33,17 +33,31 @@
 //                   by the child stream Rng(seed).split(hash(point), index)
 //     nth=<k>       fire exactly at the k-th logical index (1-based)
 //     every=<k>     fire at every k-th logical index (1-based)
-//     kind=<k>      transient | permanent | corruption (default transient)
+//     kind=<k>      transient | permanent | corruption | slow (default
+//                   transient)
 //     attempts=<a>  transient faults keep firing for the first `a` retry
 //                   attempts (default 1: the first retry succeeds); set
 //                   a >= the consumer's retry budget to exhaust it
 //
 // Registered fault points (logical index in parentheses):
-//   store.open   (process-wide open sequence)   StoreReader constructor
-//   store.read   (global row-group id)          row-group fetch, pre-CRC
-//   store.crc    (global row-group id)          row-group CRC validation
-//   stream.chunk (global reduction-chunk id)    evaluate_streaming chunk
-//   env.step     (tuple index)                  collect_trace interaction
+//   store.open    (process-wide open sequence)  StoreReader constructor
+//   store.read    (global row-group id)         row-group fetch, pre-CRC
+//   store.crc     (global row-group id)         row-group CRC validation
+//   stream.chunk  (global reduction-chunk id)   evaluate_streaming chunk
+//   env.step      (tuple index)                 collect_trace interaction
+//   serve.accept  (accept sequence)             EvalServer connection accept
+//   serve.read    (read sequence)               EvalServer session recv
+//   serve.write   (write sequence)              EvalServer frame send
+//   serve.dispatch(dispatched-job sequence)     EvalServer dispatcher pickup
+//
+// The serve.* points are network-side: transient/permanent simulate the
+// peer (or the path to it) dying — the connection is dropped; corruption
+// flips a byte in flight; `kind=slow` is advisory-only and models a slow
+// peer / partial writes: the server feeds reads byte-at-a-time and breaks
+// writes into tiny chunked sends, exercising reassembly on both ends
+// without changing any delivered byte. maybe_inject (the throwing macro)
+// ignores slow faults entirely — only call sites that query the schedule
+// via DRE_FAULT_CHECK can honor them.
 #ifndef DRE_FAULT_FAULT_H
 #define DRE_FAULT_FAULT_H
 
@@ -64,6 +78,7 @@ enum class FaultKind {
     kTransient,  // goes away on retry (once `attempts` is exhausted)
     kPermanent,  // fails every attempt — retrying is futile
     kCorruption, // data is damaged: not retryable, quarantineable
+    kSlow,       // advisory: peer is slow / writes are partial, no error
 };
 
 const char* to_string(FaultKind kind) noexcept;
@@ -123,9 +138,17 @@ public:
                                    std::uint64_t attempt) const noexcept;
 
     // check() + throw FaultError (and bump the obs fault counters) when a
-    // fault fires. The macro below routes here.
+    // fault fires. The macro below routes here. Slow faults are advisory
+    // and never thrown; maybe_inject skips them.
     void maybe_inject(std::string_view point, std::uint64_t index,
                       std::uint64_t attempt) const;
+
+    // check() + bump the obs fault counters, but never throw: the caller
+    // acts on the returned kind itself (drop the connection, chunk the
+    // write, flip a byte). This is the only way slow faults fire. The
+    // DRE_FAULT_CHECK macro routes here.
+    std::optional<FaultKind> fire(std::string_view point, std::uint64_t index,
+                                  std::uint64_t attempt) const;
 
 private:
     Injector() = default;
@@ -133,9 +156,11 @@ private:
     std::uint64_t seed_ = 0;
 };
 
-// Convenience for instrumented code (used by the macro).
+// Convenience for instrumented code (used by the macros).
 void maybe_inject(std::string_view point, std::uint64_t index,
                   std::uint64_t attempt);
+std::optional<FaultKind> fire(std::string_view point, std::uint64_t index,
+                              std::uint64_t attempt);
 
 } // namespace dre::fault
 
@@ -147,6 +172,13 @@ void maybe_inject(std::string_view point, std::uint64_t index,
     ::dre::fault::maybe_inject(point, static_cast<std::uint64_t>(index),      \
                                static_cast<std::uint64_t>(attempt))
 
+// Non-throwing fault point: evaluates to std::optional<FaultKind> so the
+// call site decides how the fault manifests (close the socket, chunk the
+// write, corrupt a byte, feed bytes one at a time).
+#define DRE_FAULT_CHECK(point, index, attempt)                                \
+    ::dre::fault::fire(point, static_cast<std::uint64_t>(index),              \
+                       static_cast<std::uint64_t>(attempt))
+
 #else // !DRE_FAULT_ENABLED
 
 #define DRE_FAULT_INJECT(point, index, attempt)                               \
@@ -154,6 +186,11 @@ void maybe_inject(std::string_view point, std::uint64_t index,
         (void)sizeof(index);                                                  \
         (void)sizeof(attempt);                                                \
     } while (0)
+
+// Always-empty optional; the operands still typecheck but emit no code.
+#define DRE_FAULT_CHECK(point, index, attempt)                                \
+    ((void)sizeof(index), (void)sizeof(attempt),                              \
+     ::std::optional<::dre::fault::FaultKind>{})
 
 #endif // DRE_FAULT_ENABLED
 

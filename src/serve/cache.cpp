@@ -71,6 +71,36 @@ EvalCache::EvaluatorPtr EvalCache::evaluator(
                                     "serve.cache.evaluator_misses");
 }
 
+EvalCache::ResultPtr EvalCache::result(const std::string& key) {
+    std::lock_guard<std::mutex> lock(result_mutex_);
+    const auto it = results_.find(key);
+    if (it == results_.end()) {
+        result_counters_.misses.fetch_add(1, std::memory_order_relaxed);
+        obs::registry().counter("serve.cache.result_misses").add();
+        return nullptr;
+    }
+    result_lru_.splice(result_lru_.begin(), result_lru_, it->second.second);
+    result_counters_.hits.fetch_add(1, std::memory_order_relaxed);
+    obs::registry().counter("serve.cache.result_hits").add();
+    return it->second.first;
+}
+
+void EvalCache::put_result(const std::string& key, ResultPtr value) {
+    std::lock_guard<std::mutex> lock(result_mutex_);
+    const auto it = results_.find(key);
+    if (it != results_.end()) {
+        it->second.first = std::move(value);
+        result_lru_.splice(result_lru_.begin(), result_lru_, it->second.second);
+        return;
+    }
+    result_lru_.push_front(key);
+    results_.emplace(key, std::make_pair(std::move(value), result_lru_.begin()));
+    if (results_.size() > kResultCacheCapacity) {
+        results_.erase(result_lru_.back());
+        result_lru_.pop_back();
+    }
+}
+
 CacheStats EvalCache::stats() const {
     CacheStats s;
     s.trace_hits = traces_.counters.hits.load(std::memory_order_relaxed);
@@ -81,6 +111,8 @@ CacheStats EvalCache::stats() const {
         evaluators_.counters.hits.load(std::memory_order_relaxed);
     s.evaluator_misses =
         evaluators_.counters.misses.load(std::memory_order_relaxed);
+    s.result_hits = result_counters_.hits.load(std::memory_order_relaxed);
+    s.result_misses = result_counters_.misses.load(std::memory_order_relaxed);
     return s;
 }
 

@@ -32,6 +32,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -63,6 +64,15 @@ struct CacheStats {
     std::uint64_t trace_hits = 0, trace_misses = 0;
     std::uint64_t policy_hits = 0, policy_misses = 0;
     std::uint64_t evaluator_hits = 0, evaluator_misses = 0;
+    std::uint64_t result_hits = 0, result_misses = 0;
+};
+
+// One finished non-degraded evaluation, kept for brownout cache-only
+// serving: under overload the io thread can answer a repeat request with
+// these exact bytes without queueing any compute.
+struct CachedResult {
+    std::string text;
+    double dr = 0.0;
 };
 
 class EvalCache {
@@ -83,6 +93,15 @@ public:
     EvaluatorPtr evaluator(const std::string& key,
                            const std::function<EvaluatorPtr()>& build,
                            bool* hit = nullptr);
+
+    // Bounded LRU over finished full-fidelity results, keyed by the
+    // server's job key (trace, policy, model, ci, seed). Unlike the slot
+    // maps above this one is write-through and evicting — it exists so
+    // brownout can serve *something exact* without compute, not to hold
+    // every response ever produced.
+    using ResultPtr = std::shared_ptr<const CachedResult>;
+    ResultPtr result(const std::string& key); // null = miss
+    void put_result(const std::string& key, ResultPtr value);
 
     CacheStats stats() const;
 
@@ -110,6 +129,13 @@ private:
     SlotMap<TraceEntry> traces_;
     SlotMap<core::Policy> policies_;
     SlotMap<core::Evaluator> evaluators_;
+
+    static constexpr std::size_t kResultCacheCapacity = 256;
+    mutable std::mutex result_mutex_;
+    std::list<std::string> result_lru_; // front = most recently used
+    std::map<std::string, std::pair<ResultPtr, std::list<std::string>::iterator>>
+        results_;
+    CacheCounters result_counters_;
 };
 
 } // namespace dre::serve

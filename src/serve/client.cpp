@@ -1,6 +1,9 @@
 #include "serve/client.h"
 
+#include <cmath>
 #include <cstring>
+
+#include "obs/obs.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define DRE_SERVE_HAVE_SOCKETS 1
@@ -115,5 +118,74 @@ TimeseriesReplyMsg Client::timeseries() { return {}; }
 PingMsg Client::ping(std::uint64_t) { return {}; }
 
 #endif // DRE_SERVE_HAVE_SOCKETS
+
+// --- RetryingClient --------------------------------------------------------
+// Platform-independent: it only composes Client, which carries the socket
+// guard itself.
+
+namespace {
+
+bool retryable_code(ErrorCode code) noexcept {
+    switch (code) {
+        case ErrorCode::kOverloaded:
+        case ErrorCode::kInternal:
+        case ErrorCode::kBadFrame:
+            return true;
+        case ErrorCode::kBadRequest:
+        case ErrorCode::kNotFound:
+        case ErrorCode::kDeadlineExceeded:
+            return false;
+    }
+    return false;
+}
+
+} // namespace
+
+RetryingClient::RetryingClient(std::uint16_t port, RetryPolicy policy)
+    : port_(port), policy_(policy) {}
+
+Client& RetryingClient::ensure_connected() {
+    if (!client_) client_ = std::make_unique<Client>(port_);
+    return *client_;
+}
+
+ResultMsg RetryingClient::evaluate(const EvaluateMsg& request) {
+    const int max_attempts = policy_.max_attempts < 1 ? 1 : policy_.max_attempts;
+    for (int attempt = 0;; ++attempt) {
+        bool reconnect = false;
+        try {
+            return ensure_connected().evaluate(request);
+        } catch (const ServeError& e) {
+            // The error reply was well-formed, so the connection is fine —
+            // except after kBadFrame, where the server closes the session.
+            reconnect = e.code() == ErrorCode::kBadFrame;
+            if (!retryable_code(e.code()) || attempt + 1 >= max_attempts) {
+                throw;
+            }
+        } catch (const ProtocolError&) {
+            reconnect = true;
+            if (attempt + 1 >= max_attempts) throw;
+        } catch (const std::runtime_error&) {
+            // Transport-level: connect refused, send/recv error, server
+            // closed the connection mid-reply.
+            reconnect = true;
+            if (attempt + 1 >= max_attempts) throw;
+        }
+        if (reconnect) client_.reset();
+        const double backoff =
+            policy_.backoff_base_ms *
+            std::pow(policy_.backoff_multiplier, attempt);
+        backoff_ms_ += backoff; // virtual: recorded, never slept
+        ++retries_;
+        DRE_COUNTER_INC("serve.retries");
+        DRE_HIST_RECORD("serve.client.retry_backoff_ms", backoff);
+    }
+}
+
+StatsReplyMsg RetryingClient::stats() { return ensure_connected().stats(); }
+
+PingMsg RetryingClient::ping(std::uint64_t token) {
+    return ensure_connected().ping(token);
+}
 
 } // namespace dre::serve

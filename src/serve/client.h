@@ -8,6 +8,7 @@
 #define DRE_SERVE_CLIENT_H
 
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
@@ -54,6 +55,55 @@ private:
     int fd_ = -1;
     FrameDecoder decoder_;
     std::uint32_t server_version_ = 0;
+};
+
+// Client-side retry schedule. Mirrors store::StoreRetryPolicy: the backoff
+// is *virtual* — computed as base * multiplier^attempt and recorded to the
+// serve.client.retry_backoff_ms histogram, never slept — so retry behavior
+// is deterministic and tests never wait on wall clocks. Safe because
+// Evaluate is idempotent by construction: the server keys requests by
+// (trace, policy, model, ci, seed), so a retried request coalesces onto or
+// reproduces the identical computation.
+struct RetryPolicy {
+    int max_attempts = 3; // 1 = no retries
+    double backoff_base_ms = 1.0;
+    double backoff_multiplier = 2.0;
+};
+
+// A Client wrapper that reconnects and retries failed Evaluate calls.
+//
+// Retryable: connection failures (refused/reset/closed — the serve.accept,
+// serve.read, serve.write fault kinds all land here), wire garbage
+// (ProtocolError: the stream is broken, reconnect), and the server's
+// kOverloaded / kInternal / kBadFrame error replies. NOT retryable:
+// kBadRequest and kNotFound (deterministic — the cache latches the same
+// failure), and kDeadlineExceeded (the budget is spent; retrying with the
+// same deadline is futile). The underlying connection is created lazily
+// and replaced after any transport-level failure.
+class RetryingClient {
+public:
+    explicit RetryingClient(std::uint16_t port, RetryPolicy policy = {});
+
+    // Evaluate with retries; rethrows the last failure when the attempt
+    // budget is exhausted.
+    ResultMsg evaluate(const EvaluateMsg& request);
+
+    // Pass-throughs on the current connection (connect on demand, no
+    // retry: these are diagnostics).
+    StatsReplyMsg stats();
+    PingMsg ping(std::uint64_t token);
+
+    std::uint64_t retries() const noexcept { return retries_; }
+    double virtual_backoff_ms() const noexcept { return backoff_ms_; }
+
+private:
+    Client& ensure_connected();
+
+    std::uint16_t port_;
+    RetryPolicy policy_;
+    std::unique_ptr<Client> client_;
+    std::uint64_t retries_ = 0;
+    double backoff_ms_ = 0.0; // cumulative virtual backoff (never slept)
 };
 
 } // namespace dre::serve

@@ -67,6 +67,8 @@ std::string journal_line_json(const JournalRecord& record,
     json.value(record.evaluator_hit);
     json.key("coalesced");
     json.value(record.coalesced);
+    json.key("degraded");
+    json.value(record.degraded);
     json.key("waiters");
     json.value(record.waiters);
     json.key("quarantined");

@@ -12,7 +12,15 @@
 //    "outcome": "ok"|"error", "error_code": "...", "error": "...",
 //    "total_ms": x, "queue_ms": x, "cache_ms": x, "compute_ms": x,
 //    "serialize_ms": x, "trace_hit": b, "policy_hit": b,
-//    "evaluator_hit": b, "coalesced": b, "waiters": N, "quarantined": N}
+//    "evaluator_hit": b, "coalesced": b, "degraded": b, "waiters": N,
+//    "quarantined": N}
+//
+// Exactly-once contract: the server writes one terminal line per admitted
+// request — completed, errored, shed, browned out, deadline-expired, or
+// drained at shutdown — and writes it *before* the reply frame, so a
+// client holding a response can always find the matching line on disk.
+// (A threshold > 0 suppresses fast-success lines by design; accounting
+// runs use threshold 0.)
 //
 // trace_id is hex text, not a JSON number: u64 ids do not survive a
 // consumer's double conversion. Coalesced requests get one line per
@@ -43,6 +51,7 @@ struct JournalRecord {
     bool policy_hit = false;
     bool evaluator_hit = false;
     bool coalesced = false;      // rode on another request's computation
+    bool degraded = false;       // brownout: partial-coverage result
     std::uint64_t waiters = 1;   // sessions served by that computation
     std::uint64_t quarantined = 0; // defective tuples skipped (streaming)
     std::string error_code;      // empty = success

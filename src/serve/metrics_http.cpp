@@ -1,5 +1,6 @@
 #include "serve/metrics_http.h"
 
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <string>
@@ -56,15 +57,28 @@ std::string http_response(const char* status, const char* content_type,
     return out;
 }
 
-// Read until the end of the request headers (or 2s of silence / 8 KiB,
-// whichever comes first) and answer based on the request line alone.
-void serve_one_connection(int fd) {
+// Read until the end of the request headers (or `timeout_ms` total / 8 KiB,
+// whichever comes first) and answer based on the request line alone. The
+// budget is for the whole header read, not per recv — a slow-loris peer
+// trickling one byte per poll interval used to hold the single-threaded
+// listener indefinitely; now it is cut off when the budget elapses and the
+// partial request falls through to the 404 arm.
+void serve_one_connection(int fd, int timeout_ms) {
+    using clock = std::chrono::steady_clock;
+    const clock::time_point deadline =
+        clock::now() + std::chrono::milliseconds(timeout_ms);
     std::string request;
     char buffer[2048];
     while (request.size() < 8192 &&
            request.find("\r\n\r\n") == std::string::npos) {
+        const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - clock::now());
+        if (remaining.count() <= 0) {
+            DRE_COUNTER_INC("serve.metrics_slow_loris_closed");
+            break;
+        }
         pollfd pfd{fd, POLLIN, 0};
-        const int ready = ::poll(&pfd, 1, 2000);
+        const int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
         if (ready <= 0) break;
         const ::ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
         if (got <= 0) {
@@ -97,8 +111,8 @@ void serve_one_connection(int fd) {
 
 } // namespace
 
-MetricsHttpServer::MetricsHttpServer(std::uint16_t port)
-    : requested_port_(port) {}
+MetricsHttpServer::MetricsHttpServer(std::uint16_t port, int request_timeout_ms)
+    : requested_port_(port), request_timeout_ms_(request_timeout_ms) {}
 
 MetricsHttpServer::~MetricsHttpServer() { stop_and_join(); }
 
@@ -164,8 +178,9 @@ void MetricsHttpServer::loop() {
         const int fd = ::accept(listen_fd_, nullptr, nullptr);
         if (fd < 0) continue;
         // Scrapes are serial by design: one cheap response at a time keeps
-        // the listener a single thread with no session state.
-        serve_one_connection(fd);
+        // the listener a single thread with no session state; the per-
+        // connection timeout bounds how long one peer can occupy it.
+        serve_one_connection(fd, request_timeout_ms_);
         ::close(fd);
     }
     ::close(listen_fd_);
@@ -174,8 +189,8 @@ void MetricsHttpServer::loop() {
 
 #else // !DRE_SERVE_HAVE_SOCKETS
 
-MetricsHttpServer::MetricsHttpServer(std::uint16_t port)
-    : requested_port_(port) {}
+MetricsHttpServer::MetricsHttpServer(std::uint16_t port, int request_timeout_ms)
+    : requested_port_(port), request_timeout_ms_(request_timeout_ms) {}
 MetricsHttpServer::~MetricsHttpServer() = default;
 void MetricsHttpServer::start() {
     throw std::runtime_error("serve metrics: no socket support on this platform");

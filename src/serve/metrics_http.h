@@ -28,7 +28,12 @@ namespace dre::serve {
 class MetricsHttpServer {
 public:
     // `port` 0 = kernel-assigned (read back via port() after start()).
-    explicit MetricsHttpServer(std::uint16_t port);
+    // `request_timeout_ms` bounds the *whole* header read per connection —
+    // the slow-loris guard: a peer trickling bytes (or stalling outright)
+    // is cut off and closed once the budget elapses, so one bad client can
+    // hold the single-threaded listener for at most this long.
+    explicit MetricsHttpServer(std::uint16_t port,
+                               int request_timeout_ms = 2000);
     ~MetricsHttpServer(); // stop_and_join() if running
     MetricsHttpServer(const MetricsHttpServer&) = delete;
     MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
@@ -43,6 +48,7 @@ private:
     void loop();
 
     std::uint16_t requested_port_;
+    int request_timeout_ms_;
     std::uint16_t port_ = 0;
     int listen_fd_ = -1;
     int wake_pipe_[2] = {-1, -1};

@@ -169,6 +169,7 @@ std::vector<unsigned char> encode_evaluate(const EvaluateMsg& m) {
     w.u32(m.ci_replicates);
     w.u64(m.seed);
     w.u64(m.trace_id); // optional tail; old decoders never read this far
+    w.u64(m.deadline_ms); // optional tail, after trace_id
     return encode_frame(MsgKind::kEvaluate, w.bytes());
 }
 
@@ -182,8 +183,10 @@ EvaluateMsg decode_evaluate(const Frame& f) {
     m.ci_replicates = r.u32();
     m.seed = r.u64();
     // Optional tail: a pre-telemetry client's frame ends here, which
-    // decodes as trace_id 0 — never an error.
+    // decodes as trace_id 0 — never an error. deadline_ms follows under
+    // the same rule (absent = no deadline).
     if (!r.done()) m.trace_id = r.u64();
+    if (!r.done()) m.deadline_ms = r.u64();
     r.expect_done();
     return m;
 }
@@ -198,6 +201,8 @@ std::vector<unsigned char> encode_result(const ResultMsg& m) {
     w.f64(m.cache_ms);
     w.f64(m.compute_ms);
     w.f64(m.serialize_ms);
+    w.u8(m.degraded ? 1 : 0); // optional resilience tail
+    w.f64(m.coverage);
     return encode_frame(MsgKind::kResult, w.bytes());
 }
 
@@ -214,6 +219,12 @@ ResultMsg decode_result(const Frame& f) {
         m.cache_ms = r.f64();
         m.compute_ms = r.f64();
         m.serialize_ms = r.f64();
+    }
+    // Nested optional tail: pre-resilience frames end above and decode as
+    // a non-degraded, full-coverage result.
+    if (!r.done()) {
+        m.degraded = r.u8() != 0;
+        m.coverage = r.f64();
     }
     r.expect_done();
     return m;
@@ -248,6 +259,10 @@ std::vector<unsigned char> encode_stats_reply(const StatsReplyMsg& m) {
     w.f64(m.queue_p99_ms);
     w.f64(m.compute_p50_ms);
     w.f64(m.compute_p99_ms);
+    w.u64(m.deadline_exceeded); // optional resilience tail
+    w.u64(m.shed);
+    w.u64(m.brownout);
+    w.u64(m.sessions_reaped);
     return encode_frame(MsgKind::kStats, w.bytes());
 }
 
@@ -274,6 +289,12 @@ StatsReplyMsg decode_stats_reply(const Frame& f) {
         m.queue_p99_ms = r.f64();
         m.compute_p50_ms = r.f64();
         m.compute_p99_ms = r.f64();
+    }
+    if (!r.done()) {
+        m.deadline_exceeded = r.u64();
+        m.shed = r.u64();
+        m.brownout = r.u64();
+        m.sessions_reaped = r.u64();
     }
     r.expect_done();
     return m;
@@ -307,7 +328,7 @@ ErrorMsg decode_error(const Frame& f) {
     ErrorMsg m;
     const std::uint32_t code = r.u32();
     if (code < static_cast<std::uint32_t>(ErrorCode::kBadRequest) ||
-        code > static_cast<std::uint32_t>(ErrorCode::kBadFrame))
+        code > static_cast<std::uint32_t>(ErrorCode::kDeadlineExceeded))
         throw ProtocolError("serve: unknown error code " + std::to_string(code));
     m.code = static_cast<ErrorCode>(code);
     m.message = r.str();
@@ -373,6 +394,7 @@ const char* to_string(ErrorCode code) noexcept {
         case ErrorCode::kOverloaded: return "overloaded";
         case ErrorCode::kInternal: return "internal";
         case ErrorCode::kBadFrame: return "bad-frame";
+        case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
     }
     return "unknown";
 }

@@ -72,6 +72,10 @@ enum class ErrorCode : std::uint32_t {
     kOverloaded = 3, // admission control rejected: queue full, retry later
     kInternal = 4,   // anything else; message carries the what()
     kBadFrame = 5,   // frame failed to decode; connection will close
+    kDeadlineExceeded = 6, // the request's deadline passed (shed at
+                           // admission or expired in queue/compute/
+                           // serialize); retrying with the same deadline
+                           // is futile, the client should raise it
 };
 
 class ProtocolError : public std::runtime_error {
@@ -97,6 +101,12 @@ struct EvaluateMsg {
     // Optional trailing field: the client's trace id for request-scoped
     // tracing. 0 (or absent on the wire) lets the server generate one.
     std::uint64_t trace_id = 0;
+    // Optional trailing field (protocol v1, resilience): wall-clock budget
+    // for this request in milliseconds, measured from admission. 0 (or
+    // absent) = no deadline. The server sheds the request at admission if
+    // the budget is provably unmeetable, and answers kDeadlineExceeded the
+    // moment the budget expires in any later phase.
+    std::uint64_t deadline_ms = 0;
 };
 
 struct ResultMsg {
@@ -112,6 +122,15 @@ struct ResultMsg {
     double cache_ms = 0.0;      // trace/policy/evaluator cache stage
     double compute_ms = 0.0;    // evaluate_seeded proper
     double serialize_ms = 0.0;  // response render + frame encode
+    // Optional trailing resilience block. A degraded Result was produced
+    // under overload brownout: estimates come from a prefix sub-trace with
+    // denominators rescaled exactly over the tuples actually evaluated and
+    // DR CI half-widths widened by 1/coverage (the PR 5 degrade-mode
+    // semantics) — never a silently skewed full-trace estimate. Clients
+    // that verify byte-identity must exclude degraded frames (loadgen
+    // does). coverage stays 1.0 for non-degraded responses.
+    bool degraded = false;
+    double coverage = 1.0; // evaluated tuples / full-trace tuples
 };
 
 struct StatsReplyMsg {
@@ -135,6 +154,14 @@ struct StatsReplyMsg {
     double queue_p99_ms = 0.0;
     double compute_p50_ms = 0.0;
     double compute_p99_ms = 0.0;
+    // Optional trailing resilience counters (zeros from a pre-resilience
+    // server): deadline outcomes, admission sheds, brownout responses
+    // (degraded compute + cache-only), and idle sessions reaped by the
+    // io-thread watchdog.
+    std::uint64_t deadline_exceeded = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t brownout = 0;
+    std::uint64_t sessions_reaped = 0;
 };
 
 struct PingMsg {

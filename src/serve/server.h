@@ -31,6 +31,32 @@
 // worker write. Graceful shutdown (request_stop / stop_and_join) stops
 // accepting, drains every queued job, replies to its waiters, and only
 // then tears sessions down.
+//
+// Resilience layer (DESIGN.md §15):
+//   * Deadlines — an Evaluate frame may carry deadline_ms; admission sheds
+//     the request immediately when the queue's EWMA service time says the
+//     budget is unmeetable, the dispatcher answers kDeadlineExceeded when
+//     the budget expires in the queue, and the service checks it at the
+//     cache/compute/serialize phase boundaries.
+//   * Brownout — with brownout_watermark > 0, once the queue reaches the
+//     watermark new unique requests stop being first-class: a repeat of a
+//     finished request is answered inline from the response cache (exact
+//     bytes, no compute, still on the io thread because it is cheap), and
+//     anything else is queued as a *degraded* job evaluated over a
+//     coverage-rescaled prefix sub-trace with honestly widened CIs and an
+//     explicit degraded flag. The queue overflowing max_queue still means
+//     kOverloaded.
+//   * Watchdog — with idle_timeout_ms > 0 the io thread polls with a
+//     finite timeout and reaps sessions that have no outstanding request
+//     and no bytes for the timeout (half-open peers, stalled writers,
+//     clients wedged mid-frame by a corrupted length prefix).
+//   * Fault points serve.accept / serve.read / serve.write /
+//     serve.dispatch let seeded chaos schedules exercise all of the above;
+//     kind=slow degrades io to byte-at-a-time reads / tiny chunked writes
+//     without changing any delivered byte.
+//   * Exactly-once journal — every admitted request produces one terminal
+//     journal line (ok, error, degraded, shed, deadline-exceeded, or
+//     drained at shutdown), written before its reply frame.
 #ifndef DRE_SERVE_SERVER_H
 #define DRE_SERVE_SERVER_H
 
@@ -59,6 +85,16 @@ struct ServerOptions {
     std::size_t max_queue = 64; // pending unique Evaluate jobs (0 = reject
                                 // everything that cannot coalesce)
     EvalService::Options service;
+
+    // Resilience knobs (DESIGN.md §15). All off by default.
+    std::size_t brownout_watermark = 0; // queue depth at/above which new
+                                        // unique requests brown out
+                                        // (0 = brownout off)
+    double brownout_coverage = 0.25; // target fraction of the trace a
+                                     // degraded evaluation covers
+    std::uint64_t idle_timeout_ms = 0; // io watchdog: reap sessions idle
+                                       // this long with nothing in flight
+                                       // (0 = watchdog off)
 
     // Telemetry pipeline (DESIGN.md §13). All off by default; none of it
     // touches the evaluation results.
@@ -119,6 +155,12 @@ private:
     void handle_frame(const std::shared_ptr<Session>& session, const Frame& f);
     void admit(const std::shared_ptr<Session>& session, EvaluateMsg request);
     void send_frame(Session& session, const std::vector<unsigned char>& bytes);
+    // Poke the io thread's wake pipe (safe from any thread): used on stop
+    // and whenever a session is marked closed off the io thread, so the
+    // poll loop reaps it without waiting for socket traffic.
+    void wake_io();
+    void journal_terminal(const EvaluateMsg& request, std::uint64_t trace_id,
+                          const char* error_code, const std::string& error);
 
     ServerOptions options_;
     EvalService service_;
@@ -150,6 +192,20 @@ private:
     std::atomic<std::uint64_t> requests_total_{0};
     std::atomic<std::uint64_t> rejected_{0};
     std::atomic<std::uint64_t> coalesced_{0};
+    std::atomic<std::uint64_t> deadline_exceeded_{0};
+    std::atomic<std::uint64_t> shed_{0};
+    std::atomic<std::uint64_t> brownout_{0};
+    std::atomic<std::uint64_t> sessions_reaped_{0};
+    // EWMA of dispatcher job service time, microseconds; 0 until the first
+    // job finishes. Written by the dispatcher, read by admission shedding.
+    std::atomic<std::uint64_t> avg_job_us_{0};
+    // Fault-point sequences. accept/read run on the io thread only but the
+    // write sequence is shared between io-thread inline replies and
+    // dispatcher result sends, so all stay atomic for simplicity.
+    std::atomic<std::uint64_t> accept_seq_{0};
+    std::atomic<std::uint64_t> read_seq_{0};
+    std::atomic<std::uint64_t> write_seq_{0};
+    std::atomic<std::uint64_t> dispatch_seq_{0};
     obs::Histogram& request_ms_;
 };
 

@@ -22,6 +22,9 @@
 #ifndef DRE_SERVE_SERVICE_H
 #define DRE_SERVE_SERVICE_H
 
+#include <functional>
+#include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "serve/cache.h"
@@ -29,6 +32,27 @@
 #include "store/reader.h"
 
 namespace dre::serve {
+
+// Thrown when a request's deadline expires mid-evaluation. phase() names
+// where the budget ran out ("cache", "compute", "serialize" from the
+// service; the server adds "queue" and "admission"). The dispatcher maps
+// this to Error{kDeadlineExceeded}.
+class DeadlineExceeded : public std::runtime_error {
+public:
+    explicit DeadlineExceeded(std::string phase)
+        : std::runtime_error("deadline exceeded in " + phase + " phase"),
+          phase_(std::move(phase)) {}
+    const std::string& phase() const noexcept { return phase_; }
+
+private:
+    std::string phase_;
+};
+
+// Injectable expiry predicate: returns true once the request's budget is
+// spent. A default-constructed (empty) function means no deadline. Tests
+// substitute counting lambdas to force expiry in a chosen phase without
+// racing wall clocks.
+using DeadlineFn = std::function<bool()>;
 
 class EvalService {
 public:
@@ -53,9 +77,36 @@ public:
 
     // Throws std::invalid_argument for malformed specs (→ kBadRequest),
     // std::runtime_error for missing/corrupt/empty traces (→ kNotFound),
-    // anything else → kInternal. Thread-safe; concurrent calls share the
-    // caches and the builds inside them.
-    ResultMsg evaluate(const EvaluateMsg& request, EvalPhases* phases = nullptr);
+    // DeadlineExceeded when `deadline` reports expiry at a phase boundary
+    // (→ kDeadlineExceeded), anything else → kInternal. Thread-safe;
+    // concurrent calls share the caches and the builds inside them.
+    ResultMsg evaluate(const EvaluateMsg& request, EvalPhases* phases = nullptr,
+                       const DeadlineFn& deadline = {});
+
+    // Brownout path: evaluates the request over a prefix sub-trace of
+    // roughly `coverage` of the full trace (grown until the prefix spans
+    // every decision id, so fitted policies/models stay dimensionally
+    // compatible), with denominators rescaled exactly over the tuples
+    // actually evaluated and DR CI half-widths widened by 1/coverage —
+    // the PR 5 degrade-mode semantics. The Result carries degraded=true,
+    // the achieved coverage, and a trailing "degraded:" text line; it is
+    // deliberately NOT byte-comparable to the full-fidelity response.
+    ResultMsg evaluate_degraded(const EvaluateMsg& request, double coverage,
+                                EvalPhases* phases = nullptr,
+                                const DeadlineFn& deadline = {});
+
+    // Response cache pass-through for the server's brownout admission: the
+    // dispatcher remembers every finished full-fidelity result under its
+    // job key; under overload a repeat request is answered from here
+    // without queueing.
+    EvalCache::ResultPtr cached_result(const std::string& job_key) {
+        return cache_.result(job_key);
+    }
+    void remember_result(const std::string& job_key, std::string text,
+                         double dr) {
+        cache_.put_result(job_key, std::make_shared<const CachedResult>(
+                                       CachedResult{std::move(text), dr}));
+    }
 
     CacheStats cache_stats() const { return cache_.stats(); }
 

@@ -43,6 +43,9 @@ public:
             case ErrorKind::kTransient: return "store-io-transient";
             case ErrorKind::kPermanent: return "store-io-permanent";
             case ErrorKind::kCorruption: return "store-corruption";
+            // Slow faults are advisory (serve-side io pacing) and never
+            // materialize as a StoreError; the arm exists for -Wswitch.
+            case ErrorKind::kSlow: return "store-slow";
         }
         return "store-error";
     }

@@ -260,20 +260,25 @@ TEST(ServeProtocolTest, PreTelemetryFramesDecodeWithZeroedTail) {
     req.model = "tabular";
     req.seed = 9;
     req.trace_id = 0xffffffffffffffffull;
+    // Pre-telemetry Evaluate tail: trace_id (8) + deadline_ms (8).
     const serve::EvaluateMsg req_back = serve::decode_evaluate(
-        pump(truncate_tail(serve::encode_evaluate(req), 8)));
+        pump(truncate_tail(serve::encode_evaluate(req), 8 + 8)));
     EXPECT_EQ(req_back.trace_id, 0u);
+    EXPECT_EQ(req_back.deadline_ms, 0u);
     EXPECT_EQ(req_back.seed, 9u); // pre-tail fields intact
 
     serve::ResultMsg result;
     result.text = "y\n";
     result.trace_id = 7;
     result.queue_ms = 3.0;
+    // Pre-telemetry Result tail: trace_id (8) + four f64 timings (32) +
+    // the resilience tail (degraded u8 + coverage f64).
     const serve::ResultMsg result_back = serve::decode_result(
-        pump(truncate_tail(serve::encode_result(result), 8 + 4 * 8)));
+        pump(truncate_tail(serve::encode_result(result), 8 + 4 * 8 + 1 + 8)));
     EXPECT_EQ(result_back.text, "y\n");
     EXPECT_EQ(result_back.trace_id, 0u);
     EXPECT_EQ(result_back.queue_ms, 0.0);
+    EXPECT_FALSE(result_back.degraded);
 }
 
 TEST(ServeProtocolTest, MalformedFramesThrow) {

@@ -16,6 +16,17 @@
 //                      default sends identical requests, which exercises
 //                      the shared caches and in-flight coalescing
 //   --small            shorthand for --requests 2
+//   --retry <n>        client-side retry budget per request (max attempts;
+//                      default 1 = no retries). Backoff is virtual — the
+//                      schedule is recorded, never slept — so retried runs
+//                      stay deterministic and fast (see serve::RetryPolicy)
+//   --deadline-ms <n>  attach a deadline to every request; the server may
+//                      shed it at admission or answer kDeadlineExceeded.
+//                      Deadline-exceeded replies are counted, not failures
+//   --hedge-ms <x>     hedged requests: if the primary reply has not
+//                      arrived after x ms, fire a second identical request
+//                      on its own connection and take whichever reply
+//                      lands first (safe: Evaluate is idempotent)
 //   --dump-response    print the first response's text verbatim to stdout
 //                      (and the summary to stderr), so CI can byte-diff a
 //                      server response against `dre_eval` output
@@ -30,11 +41,14 @@
 // --journal records, so a journal line can be traced back to the exact
 // loadgen request that produced it.
 //
-// Every response for the same (trace, policy, model, ci, seed) tuple must
-// be byte-identical — across clients, across repeats, and to the dre_eval
-// CLI. The loadgen verifies the cross-client part itself and exits 1 on
-// any mismatch; per-request latency lands in an obs::Histogram and the
-// summary prints its p50/p90/p99.
+// Every non-degraded response for the same (trace, policy, model, ci,
+// seed) tuple must be byte-identical — across clients, across repeats, and
+// to the dre_eval CLI. The loadgen verifies the cross-client part itself
+// and exits 1 on any mismatch; responses flagged degraded (served under
+// server brownout) are counted separately and excluded from the canonical
+// comparison, since their coverage depends on transient queue depth.
+// Per-request latency lands in an obs::Histogram and the summary prints
+// its p50/p90/p99.
 //
 // Exit codes: 0 success, 1 response mismatch, 2 bad arguments, 3 cannot
 // connect.
@@ -42,6 +56,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -62,7 +78,8 @@ int usage() {
                  "[--ci N] [--seed N]\n"
                  "                   [--clients N] [--requests N] [--distinct] "
                  "[--small] [--dump-response]\n"
-                 "                   [--json-out F]\n");
+                 "                   [--retry N] [--deadline-ms N] "
+                 "[--hedge-ms X] [--json-out F]\n");
     return 2;
 }
 
@@ -81,6 +98,9 @@ int main(int argc, char** argv) {
     std::size_t requests = 8;
     bool distinct = false;
     bool dump_response = false;
+    int retry_attempts = 1;
+    std::uint64_t deadline_ms = 0;
+    double hedge_ms = 0.0;
     std::string json_out;
 
     std::vector<std::string> positional;
@@ -104,6 +124,12 @@ int main(int argc, char** argv) {
             requests = 2;
         } else if (arg == "--dump-response") {
             dump_response = true;
+        } else if (arg == "--retry" && i + 1 < argc) {
+            retry_attempts = std::atoi(argv[++i]);
+        } else if (arg == "--deadline-ms" && i + 1 < argc) {
+            deadline_ms = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--hedge-ms" && i + 1 < argc) {
+            hedge_ms = std::atof(argv[++i]);
         } else if (arg == "--json-out" && i + 1 < argc) {
             json_out = argv[++i];
         } else if (!arg.empty() && arg[0] == '-') {
@@ -116,7 +142,7 @@ int main(int argc, char** argv) {
     if (port <= 0 || port > 65535 || positional.size() != 2) return usage();
     trace_path = positional[0];
     policy_spec = positional[1];
-    if (clients == 0 || requests == 0) return usage();
+    if (clients == 0 || requests == 0 || retry_attempts < 1) return usage();
 
     FILE* const summary = dump_response ? stderr : stdout;
 
@@ -131,14 +157,24 @@ int main(int argc, char** argv) {
     std::uint64_t rejected = 0;
     std::uint64_t echo_confirmed = 0; // Result.trace_id == request.trace_id
     std::uint64_t echo_zero = 0;      // telemetry-disabled or older server
+    std::uint64_t deadline_hits = 0;  // kDeadlineExceeded replies (not failures)
+    std::uint64_t degraded_count = 0; // brownout replies (excluded from
+                                      // the canonical byte comparison)
+    std::uint64_t retries_total = 0;
+    double backoff_total_ms = 0.0; // virtual, never slept
+    std::uint64_t hedged = 0;      // requests that fired a hedge
+    std::uint64_t hedge_wins = 0;  // hedges whose reply landed first
 
     const auto wall_start = std::chrono::steady_clock::now();
     std::vector<std::thread> threads;
     threads.reserve(clients);
     for (std::size_t c = 0; c < clients; ++c) {
         threads.emplace_back([&, c] {
+            serve::RetryPolicy policy;
+            policy.max_attempts = retry_attempts;
+            serve::RetryingClient client(static_cast<std::uint16_t>(port),
+                                         policy);
             try {
-                serve::Client client(static_cast<std::uint16_t>(port));
                 for (std::size_t r = 0; r < requests; ++r) {
                     serve::EvaluateMsg request;
                     request.trace = trace_path;
@@ -147,6 +183,7 @@ int main(int argc, char** argv) {
                     request.ci_replicates = ci_replicates;
                     request.seed =
                         distinct ? seed + c * requests + r : seed;
+                    request.deadline_ms = deadline_ms;
                     // Tag every request with a fresh client-side trace id;
                     // the server's journal records the same id, so journal
                     // lines map 1:1 to loadgen requests.
@@ -154,11 +191,87 @@ int main(int argc, char** argv) {
                     const auto start = std::chrono::steady_clock::now();
                     serve::ResultMsg result;
                     try {
-                        result = client.evaluate(request);
+                        if (hedge_ms > 0.0) {
+                            // Hedged request: wait hedge_ms for the
+                            // primary, then race a second identical
+                            // request on its own connection. Safe because
+                            // Evaluate is idempotent; the loser's reply
+                            // (or failure) is joined and discarded.
+                            auto primary = std::async(
+                                std::launch::async,
+                                [&client, request] {
+                                    return client.evaluate(request);
+                                });
+                            const auto wait =
+                                std::chrono::duration_cast<
+                                    std::chrono::microseconds>(
+                                    std::chrono::duration<double,
+                                                          std::milli>(
+                                        hedge_ms));
+                            if (primary.wait_for(wait) ==
+                                std::future_status::ready) {
+                                result = primary.get();
+                            } else {
+                                auto hedge = std::async(
+                                    std::launch::async, [&, request] {
+                                        serve::RetryingClient second(
+                                            static_cast<std::uint16_t>(
+                                                port),
+                                            policy);
+                                        return second.evaluate(request);
+                                    });
+                                bool primary_won = false;
+                                for (;;) {
+                                    const auto tick =
+                                        std::chrono::microseconds(500);
+                                    if (primary.wait_for(tick) ==
+                                        std::future_status::ready) {
+                                        primary_won = true;
+                                        break;
+                                    }
+                                    if (hedge.wait_for(tick) ==
+                                        std::future_status::ready) {
+                                        break;
+                                    }
+                                }
+                                // Join both; prefer the winner, fall back
+                                // to whichever succeeded, rethrow only if
+                                // both failed.
+                                serve::ResultMsg rp, rh;
+                                std::exception_ptr ep, eh;
+                                try {
+                                    rp = primary.get();
+                                } catch (...) {
+                                    ep = std::current_exception();
+                                }
+                                try {
+                                    rh = hedge.get();
+                                } catch (...) {
+                                    eh = std::current_exception();
+                                }
+                                const bool use_hedge =
+                                    (!primary_won && !eh) || (ep && !eh);
+                                if (ep && eh)
+                                    std::rethrow_exception(ep);
+                                result = use_hedge ? rh : rp;
+                                std::lock_guard<std::mutex> lock(
+                                    state_mutex);
+                                ++hedged;
+                                if (use_hedge) ++hedge_wins;
+                            }
+                        } else {
+                            result = client.evaluate(request);
+                        }
                     } catch (const serve::ServeError& e) {
                         if (e.code() == serve::ErrorCode::kOverloaded) {
                             std::lock_guard<std::mutex> lock(state_mutex);
                             ++rejected;
+                            continue;
+                        }
+                        if (e.code() ==
+                            serve::ErrorCode::kDeadlineExceeded) {
+                            std::lock_guard<std::mutex> lock(state_mutex);
+                            ++deadline_hits;
                             continue;
                         }
                         throw;
@@ -179,6 +292,12 @@ int main(int argc, char** argv) {
                                   "request " +
                                   std::to_string(request.trace_id);
                     }
+                    if (result.degraded) {
+                        // Brownout reply: flagged, coverage-dependent, so
+                        // it never enters the canonical byte comparison.
+                        ++degraded_count;
+                        continue;
+                    }
                     if (first_response.empty()) first_response = result.text;
                     auto [it, inserted] =
                         canonical.emplace(request.seed, result.text);
@@ -194,6 +313,9 @@ int main(int argc, char** argv) {
                     failure = std::string("client ") + std::to_string(c) +
                               ": " + e.what();
             }
+            std::lock_guard<std::mutex> lock(state_mutex);
+            retries_total += client.retries();
+            backoff_total_ms += client.virtual_backoff_ms();
         });
     }
     for (std::thread& t : threads) t.join();
@@ -227,6 +349,18 @@ int main(int argc, char** argv) {
                  "trace ids: %llu echoed, %llu zero (telemetry off)\n",
                  static_cast<unsigned long long>(echo_confirmed),
                  static_cast<unsigned long long>(echo_zero));
+    if (retry_attempts > 1 || hedge_ms > 0.0 || deadline_ms > 0 ||
+        degraded_count > 0)
+        std::fprintf(summary,
+                     "resilience: %llu retries (%.1f ms virtual backoff), "
+                     "%llu hedged (%llu hedge wins), %llu deadline-exceeded, "
+                     "%llu degraded\n",
+                     static_cast<unsigned long long>(retries_total),
+                     backoff_total_ms,
+                     static_cast<unsigned long long>(hedged),
+                     static_cast<unsigned long long>(hedge_wins),
+                     static_cast<unsigned long long>(deadline_hits),
+                     static_cast<unsigned long long>(degraded_count));
 
     // One Stats round trip so operators see the server-side view too.
     bool have_stats = false;
@@ -264,6 +398,12 @@ int main(int argc, char** argv) {
         report.set("run", "rejected", rejected);
         report.set("run", "echo_confirmed", echo_confirmed);
         report.set("run", "echo_zero", echo_zero);
+        report.set("run", "retries", retries_total);
+        report.set("run", "virtual_backoff_ms", backoff_total_ms);
+        report.set("run", "hedged", hedged);
+        report.set("run", "hedge_wins", hedge_wins);
+        report.set("run", "deadline_exceeded", deadline_hits);
+        report.set("run", "degraded", degraded_count);
         report.set("run", "wall_ms", wall_ms);
         report.set("run", "rps", rps);
         report.set("latency", "p50_ms", latency_ms.p50());
@@ -285,6 +425,11 @@ int main(int argc, char** argv) {
             report.set("server", "compute_p50_ms", stats.compute_p50_ms);
             report.set("server", "compute_p99_ms", stats.compute_p99_ms);
             report.set("server", "journal_lines", stats.journal_lines);
+            report.set("server", "deadline_exceeded",
+                       stats.deadline_exceeded);
+            report.set("server", "shed", stats.shed);
+            report.set("server", "brownout", stats.brownout);
+            report.set("server", "sessions_reaped", stats.sessions_reaped);
         }
         if (!bench::write_bench_json(std::move(report), json_out)) return 1;
     }

@@ -12,6 +12,22 @@
 //                     answers kOverloaded (default 64)
 //   --io mmap|pread   I/O backend for .drt traces (default: auto)
 //
+// Resilience (DESIGN.md §15):
+//   --brownout-watermark <n>  queue depth at/above which new unique
+//                             requests are served degraded (cache-only or
+//                             coverage-rescaled prefix evaluation with an
+//                             explicit degraded flag; default 0 = off)
+//   --brownout-coverage <x>   target trace coverage for degraded
+//                             evaluations (default 0.25)
+//   --idle-timeout-ms <n>     io watchdog: reap sessions idle this long
+//                             with no request in flight (default 0 = off)
+//   --fault-spec <spec>       arm deterministic network/dispatch fault
+//                             injection, e.g.
+//                             "serve.read:p=0.02,kind=transient;serve.write:every=9,kind=slow"
+//                             (see fault/fault.h; serve.accept, serve.read,
+//                             serve.write, serve.dispatch)
+//   --fault-seed <n>          seed for the fault schedule (default 1)
+//
 // Telemetry (DESIGN.md §13; all of these need a DRE_OBS_ENABLED build and
 // exit 3 otherwise — a disabled build has nothing to export):
 //   --metrics-port <n>        serve GET /metrics (OpenMetrics text) and
@@ -45,6 +61,7 @@
 #include <string>
 #include <thread>
 
+#include "fault/fault.h"
 #include "obs/obs.h"
 #include "serve/server.h"
 #include "store/reader.h"
@@ -59,6 +76,9 @@ int usage() {
     std::fprintf(stderr,
                  "usage: dre_serve [--port N] [--port-file F] [--max-queue N] "
                  "[--io mmap|pread]\n"
+                 "                 [--brownout-watermark N] "
+                 "[--brownout-coverage X] [--idle-timeout-ms N]\n"
+                 "                 [--fault-spec S] [--fault-seed N]\n"
                  "                 [--metrics-port N] [--metrics-port-file F] "
                  "[--journal F]\n"
                  "                 [--journal-threshold-ms X] [--trace-out F] "
@@ -86,6 +106,8 @@ int main(int argc, char** argv) {
     std::string port_file;
     std::string metrics_port_file;
     std::string trace_out;
+    std::string fault_spec;
+    std::uint64_t fault_seed = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--port" && i + 1 < argc) {
@@ -95,6 +117,18 @@ int main(int argc, char** argv) {
         } else if (arg == "--max-queue" && i + 1 < argc) {
             options.max_queue =
                 static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else if (arg == "--brownout-watermark" && i + 1 < argc) {
+            options.brownout_watermark =
+                static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else if (arg == "--brownout-coverage" && i + 1 < argc) {
+            options.brownout_coverage = std::atof(argv[++i]);
+        } else if (arg == "--idle-timeout-ms" && i + 1 < argc) {
+            options.idle_timeout_ms =
+                static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--fault-spec" && i + 1 < argc) {
+            fault_spec = argv[++i];
+        } else if (arg == "--fault-seed" && i + 1 < argc) {
+            fault_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
         } else if (arg == "--metrics-port" && i + 1 < argc) {
             options.metrics_port = std::atoi(argv[++i]);
         } else if (arg == "--metrics-port-file" && i + 1 < argc) {
@@ -126,6 +160,23 @@ int main(int argc, char** argv) {
             std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
             return usage();
         }
+    }
+
+    if (!fault_spec.empty()) {
+        // Validate eagerly (a malformed spec is a usage error) and arm the
+        // process-wide injector with the chaos schedule's own seed.
+        try {
+            dre::fault::Injector::global().configure_spec(fault_spec,
+                                                          fault_seed);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: bad --fault-spec: %s\n", e.what());
+            return 2;
+        }
+#if !DRE_FAULT_ENABLED
+        std::fprintf(stderr,
+                     "warning: this build has DRE_FAULT_ENABLED=OFF; "
+                     "--fault-spec is parsed but no fault will fire\n");
+#endif
     }
 
     if (!trace_out.empty()) {
@@ -193,5 +244,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.coalesced),
                 static_cast<unsigned long long>(stats.rejected), stats.p50_ms,
                 stats.p99_ms);
+    if (stats.deadline_exceeded != 0 || stats.shed != 0 ||
+        stats.brownout != 0 || stats.sessions_reaped != 0)
+        std::printf("dre_serve resilience: %llu deadline-exceeded (%llu shed "
+                    "at admission), %llu brownout, %llu sessions reaped\n",
+                    static_cast<unsigned long long>(stats.deadline_exceeded),
+                    static_cast<unsigned long long>(stats.shed),
+                    static_cast<unsigned long long>(stats.brownout),
+                    static_cast<unsigned long long>(stats.sessions_reaped));
     return 0;
 }
